@@ -1,0 +1,60 @@
+// Ablation (paper §9): the Multiple OCSP Staple Extension (RFC 6961).
+// Compares a hard-fail client's revocation fetches and latency per visit
+// with (a) no stapling, (b) leaf-only stapling (RFC 6066), and (c)
+// multi-stapling, across chain lengths — showing why leaf-only stapling
+// "does not entirely remove the latency penalty" (§2.2).
+#include "bench_common.h"
+#include "browser/profiles.h"
+#include "browser/testsuite.h"
+
+using namespace rev;
+using namespace rev::browser;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — OCSP Stapling variants (none / leaf-only / RFC 6961)",
+      "stapling removes the leaf's fetch; only the multi-staple extension "
+      "removes the intermediates' fetches too");
+
+  const util::Timestamp now = util::MakeDate(2015, 3, 31);
+  Policy client = FindProfile("IE 11", "Windows 10")->policy;  // checks all
+
+  core::TextTable table({"chain (ints)", "stapling", "OCSP fetches",
+                         "revocation latency (ms)", "staple used"});
+
+  for (int ints : {1, 2, 3}) {
+    for (int mode = 0; mode < 3; ++mode) {
+      TestCase test;
+      test.id = 600 + ints * 10 + mode;
+      test.num_intermediates = ints;
+      test.protocol = RevProtocol::kOcspOnly;
+      Policy policy = client;
+      const char* label = "none";
+      if (mode >= 1) {
+        test.stapling = true;
+        label = "leaf-only";
+      }
+      if (mode == 2) {
+        test.multi_staple = true;
+        policy.request_multi_staple = true;
+        label = "multi (RFC 6961)";
+      }
+      // Unlike the 244-case suite's stapling tests, the responder stays
+      // reachable here — we are measuring cost, not reachability.
+      test.staple_responder_reachable = true;
+      TestEnvironment env(test, /*seed=*/321, now);
+      const VisitOutcome outcome = env.Run(policy);
+      table.AddRow({std::to_string(ints), label,
+                    std::to_string(outcome.ocsp_fetches),
+                    core::FormatDouble(outcome.revocation_seconds * 1000, 1),
+                    outcome.used_staple ? "yes" : "no"});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "shape check: leaf-only stapling saves exactly one fetch; the fetch\n"
+      "count for intermediates grows with chain length and only RFC 6961\n"
+      "drives it to zero — the paper's argument for adopting the multiple\n"
+      "staple extension.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Ablation (paper §7 + §9): how effective are pushed revocation lists in
+// practice? Visits a population of revoked sites — some issued by a
+// Google-crawled CA, some not — through Chrome with its CRLSet, with the
+// network available and under the §2.3 blocking attacker, and compares
+// against online-checking browsers.
+#include "bench_common.h"
+#include "browser/client.h"
+#include "browser/profiles.h"
+#include "crlset/generator.h"
+
+using namespace rev;
+using namespace rev::browser;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — pushed revocation lists (CRLSet) vs online checking",
+      "CRLSets cost nothing at page load and survive blocking attackers, "
+      "but cover only a sliver of revocations; online checks cover all but "
+      "soft-fail away under attack");
+
+  constexpr std::int64_t kDay = util::kSecondsPerDay;
+  const util::Timestamp now = util::MakeDate(2015, 3, 31);
+  util::Rng rng(909);
+
+  // Two issuing CAs: one followed by Google's crawler, one not.
+  net::SimNet net;
+  x509::CertPool roots;
+  ca::CertificateAuthority::Options root_options;
+  root_options.name = "PushedRoot";
+  root_options.domain = "pushedroot.sim";
+  auto root =
+      ca::CertificateAuthority::CreateRoot(root_options, rng, now - 3000 * kDay);
+  roots.Add(root->cert());
+  root->RegisterEndpoints(&net);
+
+  auto make_ca = [&](const char* name) {
+    ca::CertificateAuthority::Options options;
+    options.name = name;
+    options.domain = std::string(name) + ".sim";
+    for (char& ch : options.domain)
+      if (ch >= 'A' && ch <= 'Z') ch = static_cast<char>(ch - 'A' + 'a');
+    auto ca = root->CreateIntermediate(options, rng, now - 1200 * kDay);
+    ca->RegisterEndpoints(&net);
+    return ca;
+  };
+  auto crawled_ca = make_ca("CrawledCA");
+  auto uncrawled_ca = make_ca("UncrawledCA");
+
+  // 200 revoked sites, half per CA.
+  struct Site {
+    x509::CertPtr leaf;
+    ca::CertificateAuthority* issuer;
+  };
+  std::vector<Site> sites;
+  for (int i = 0; i < 200; ++i) {
+    ca::CertificateAuthority* issuer =
+        (i % 2 == 0) ? crawled_ca.get() : uncrawled_ca.get();
+    ca::CertificateAuthority::IssueOptions issue;
+    issue.common_name = "revoked" + std::to_string(i) + ".sim";
+    issue.not_before = now - 100 * kDay;
+    const x509::CertPtr leaf = issuer->Issue(issue, rng);
+    issuer->Revoke(leaf->tbs.serial, now - 20 * kDay,
+                   x509::ReasonCode::kKeyCompromise);
+    sites.push_back({leaf, issuer});
+  }
+
+  // Google's CRLSet: only the crawled CA contributes.
+  std::vector<crlset::CrlSource> sources;
+  const crl::Crl& crawled_crl = crawled_ca->GetCrl(0, now);
+  sources.push_back({crawled_ca->cert()->SubjectSpkiSha256(), &crawled_crl, true});
+  const crlset::CrlSet crlset =
+      crlset::GenerateCrlSet(sources, crlset::GeneratorConfig{}, 1);
+  std::printf("CRLSet: %zu entries covering the crawled CA only\n\n",
+              crlset.NumEntries());
+
+  struct Config {
+    const char* label;
+    const char* browser;
+    const char* os;
+    bool with_crlset;
+    bool attacker;
+  };
+  const Config kConfigs[] = {
+      {"Chrome 44 (non-EV), CRLSet", "Chrome 44", "Windows", true, false},
+      {"Chrome 44 (non-EV), CRLSet, attacker", "Chrome 44", "Windows", true, true},
+      {"Firefox 40 (OCSP)", "Firefox 40", "Windows", false, false},
+      {"Firefox 40 (OCSP), attacker", "Firefox 40", "Windows", false, true},
+      {"IE 11 (full checks)", "IE 11", "Windows 10", false, false},
+      {"IE 11 (full checks), attacker", "IE 11", "Windows 10", false, true},
+  };
+
+  core::TextTable table({"client", "revoked sites rejected", "net fetches"});
+  for (const Config& config : kConfigs) {
+    if (config.attacker) {
+      for (auto* ca : {crawled_ca.get(), uncrawled_ca.get()}) {
+        net.SetUnresponsive(ca->CrlHost(), true);
+        net.SetUnresponsive(ca->OcspHost(), true);
+      }
+    }
+    int rejected = 0;
+    std::uint64_t fetches = 0;
+    for (const Site& site : sites) {
+      tls::TlsServer::Config server_config;
+      server_config.chain_der = {site.leaf->der, site.issuer->cert()->der};
+      tls::TlsServer server(server_config);
+      Client client(FindProfile(config.browser, config.os)->policy, &net, roots);
+      if (config.with_crlset) client.SetCrlSet(&crlset);
+      const VisitOutcome outcome = client.Visit(server, now);
+      if (outcome.rejected()) ++rejected;
+      fetches += static_cast<std::uint64_t>(outcome.crl_fetches + outcome.ocsp_fetches);
+    }
+    if (config.attacker) {
+      for (auto* ca : {crawled_ca.get(), uncrawled_ca.get()}) {
+        net.SetUnresponsive(ca->CrlHost(), false);
+        net.SetUnresponsive(ca->OcspHost(), false);
+      }
+    }
+    table.AddRow({config.label,
+                  std::to_string(rejected) + "/" + std::to_string(sites.size()),
+                  std::to_string(fetches)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "reading: the CRLSet catches exactly the crawled half, free and\n"
+      "attacker-proof; online checkers catch everything until the attacker\n"
+      "shows up, then soft-failers catch nothing. The paper's conclusion —\n"
+      "pushed lists are sound but need far better coverage (§7.4) — falls\n"
+      "out directly.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation (paper §8, [46] Topalovic et al.): short-lived certificates —
+// revocation-by-nonrenewal. Compares a conventional 1-year certificate
+// with CRL/OCSP checking against 4-day certificates with no revocation
+// checking at all: client-side cost per connection and the window of
+// vulnerability after a key compromise.
+#include "bench_common.h"
+#include "crl/crl.h"
+#include "ocsp/ocsp.h"
+
+using namespace rev;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — short-lived certificates vs revocation checking",
+      "short-lived certs make revoking 'as easy as not renewing', trading "
+      "revocation infrastructure for reissuance churn (related work [46])");
+
+  constexpr std::int64_t kDay = util::kSecondsPerDay;
+  const util::Timestamp now = util::MakeDate(2015, 1, 15);
+  util::Rng rng(808);
+
+  ca::CertificateAuthority::Options options;
+  options.name = "ShortCA";
+  options.domain = "shortca.sim";
+  auto ca = ca::CertificateAuthority::CreateRoot(options, rng, now - 1000 * kDay);
+  ca->AddSyntheticRevocations(20'000, rng, now - 200 * kDay, now - kDay,
+                              now + 30 * kDay, now + 400 * kDay,
+                              x509::ReasonCode::kNoReasonCode);
+  net::SimNet net;
+  ca->RegisterEndpoints(&net);
+
+  // Conventional cert + CRL check.
+  ca::CertificateAuthority::IssueOptions issue;
+  issue.common_name = "conventional.sim";
+  issue.not_before = now - 100 * kDay;
+  issue.lifetime_seconds = 365 * kDay;
+  const x509::CertPtr conventional = ca->Issue(issue, rng);
+  const net::FetchResult crl_fetch = net.Get(conventional->tbs.crl_urls[0], now);
+
+  // Conventional cert + OCSP check.
+  ocsp::OcspRequest request;
+  request.cert_id = ocsp::MakeCertId(*ca->cert(), conventional->tbs.serial);
+  const net::FetchResult ocsp_fetch =
+      net.Post(conventional->tbs.ocsp_urls[0], ocsp::EncodeOcspRequest(request), now);
+
+  // Short-lived cert: no revocation pointers, nothing to fetch.
+  ca::CertificateAuthority::IssueOptions short_issue;
+  short_issue.common_name = "shortlived.sim";
+  short_issue.not_before = now - kDay;
+  short_issue.lifetime_seconds = 4 * kDay;
+  short_issue.include_crl_url = false;
+  short_issue.include_ocsp_url = false;
+  const x509::CertPtr shortlived = ca->Issue(short_issue, rng);
+
+  core::TextTable table({"scheme", "client fetch", "client latency (ms)",
+                         "reissues/yr", "vuln. window after compromise"});
+  table.AddRow({"1y cert + CRL",
+                util::HumanBytes(static_cast<double>(crl_fetch.response.body.size())),
+                core::FormatDouble(crl_fetch.elapsed_seconds * 1000, 1), "1",
+                "<= CRL validity (1 day)"});
+  table.AddRow({"1y cert + OCSP",
+                util::HumanBytes(static_cast<double>(ocsp_fetch.response.body.size())),
+                core::FormatDouble(ocsp_fetch.elapsed_seconds * 1000, 1), "1",
+                "<= OCSP validity (4 days)"});
+  table.AddRow({"1y cert, soft-fail blocked", "0 B", "0.0", "1",
+                "until expiry (up to 365 days)"});
+  table.AddRow({"4-day cert, no checking", "0 B", "0.0", "~91",
+                "<= 4 days, unconditionally"});
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("certificate sizes: conventional %zu B vs short-lived %zu B\n",
+              conventional->der.size(), shortlived->der.size());
+  std::printf(
+      "\nreading: short-lived certs cap the compromise window at the cert\n"
+      "lifetime with zero client cost — equivalent to OCSP's freshness\n"
+      "without the fetch — but multiply CA issuance ~91x, and a soft-fail\n"
+      "client with blocked revocation endpoints is strictly worse than\n"
+      "either (§2.3).\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Shared scaffolding for the figure/table benches: builds the calibrated
+// ecosystem, runs the scan and crawl phases, and provides uniform report
+// headers. Every bench accepts the REV_SCALE environment variable
+// (default 0.002) to trade fidelity for runtime; structural results are
+// stable across scales, absolute counts shrink linearly.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/ca_audit.h"
+#include "core/crawler.h"
+#include "core/crlset_audit.h"
+#include "core/ecosystem.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "core/stapling_audit.h"
+#include "core/timeline.h"
+#include "scan/scanner.h"
+
+namespace rev::bench {
+
+inline double ScaleFromEnv() {
+  const char* env = std::getenv("REV_SCALE");
+  if (env != nullptr) {
+    const double scale = std::atof(env);
+    if (scale > 0) return scale;
+  }
+  return 0.002;
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_result) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_result);
+  std::printf("==============================================================\n\n");
+}
+
+// The full measurement world: ecosystem + weekly scans + daily CRL crawl.
+struct World {
+  core::EcosystemConfig config;
+  std::unique_ptr<core::Ecosystem> eco;
+  std::unique_ptr<core::Pipeline> pipeline;
+  std::unique_ptr<core::RevocationCrawler> crawler;
+  int num_scans = 0;
+  int num_crawl_days = 0;
+
+  // `crawl_step_days` > 1 trades Fig. 9/10 granularity for speed in benches
+  // that only need final state.
+  static World Build(double scale, bool run_scans = true,
+                     bool run_crawl = true, int crawl_step_days = 1) {
+    World world;
+    world.config.scale = scale;
+    std::fprintf(stderr, "[world] building ecosystem at scale %.4f ...\n", scale);
+    world.eco = core::Ecosystem::Build(world.config);
+    const core::EcosystemConfig& c = world.eco->config();
+    std::fprintf(stderr, "[world] %zu certs, %zu servers, %zu CAs\n",
+                 world.eco->total_issued(), world.eco->internet().size(),
+                 world.eco->cas().size());
+
+    world.pipeline = std::make_unique<core::Pipeline>(world.eco->roots());
+    if (run_scans) {
+      for (util::Timestamp t = c.study_start; t <= c.study_end;
+           t += 7 * util::kSecondsPerDay) {
+        world.pipeline->IngestScan(scan::RunCertScan(world.eco->internet(), t));
+        ++world.num_scans;
+      }
+      world.pipeline->Finalize();
+      std::fprintf(stderr, "[world] %d scans -> Leaf Set %zu\n",
+                   world.num_scans, world.pipeline->LeafSet().size());
+    }
+
+    world.crawler = std::make_unique<core::RevocationCrawler>(&world.eco->net());
+    if (run_crawl) {
+      world.crawler->CollectUrls(*world.pipeline);
+      for (util::Timestamp t = c.crawl_start; t <= c.study_end;
+           t += crawl_step_days * util::kSecondsPerDay) {
+        world.crawler->CrawlAll(t);
+        ++world.num_crawl_days;
+      }
+      std::fprintf(stderr, "[world] crawled %zu CRLs over %d visits, %zu revocations\n",
+                   world.crawler->crawled().size(), world.num_crawl_days,
+                   world.crawler->total_revocations());
+    }
+    return world;
+  }
+};
+
+// CRLSet generator configuration matched to the documented pipeline, with
+// the per-CRL entry cap following the hidden-population scaling (DESIGN.md).
+inline crlset::GeneratorConfig ScaledCrlsetConfig(double scale) {
+  crlset::GeneratorConfig config;
+  config.max_bytes = 250 * 1024;
+  const double hidden_scale = std::min(1.0, scale * 10);
+  config.max_entries_per_crl = static_cast<std::size_t>(10'000 * hidden_scale);
+  if (config.max_entries_per_crl < 50) config.max_entries_per_crl = 50;
+  config.filter_reason_codes = true;
+  return config;
+}
+
+}  // namespace rev::bench

@@ -1,0 +1,81 @@
+// §5.2/§6 cost analysis: what revocation checking actually costs a browser
+// at page load, across the live server population — CRL downloads vs OCSP
+// queries vs stapling vs nothing. (NetCraft's figure the paper cites: an
+// OCSP exchange typically costs <1 KB and <250 ms; CRLs cost whatever the
+// CA's list weighs.)
+#include "bench_common.h"
+#include "browser/client.h"
+#include "browser/profiles.h"
+
+using namespace rev;
+using namespace rev::browser;
+
+int main() {
+  bench::PrintHeader(
+      "Cost of checking — per-visit revocation latency and bytes",
+      "median certificate's CRL is 51 KB (up to 76 MB); an OCSP exchange is "
+      "<1 KB with a latency penalty under 250 ms; stapling is nearly free");
+
+  bench::World world = bench::World::Build(bench::ScaleFromEnv(),
+                                           /*run_scans=*/false,
+                                           /*run_crawl=*/false);
+  const core::EcosystemConfig& c = world.eco->config();
+  const util::Timestamp now = c.study_end - 30 * util::kSecondsPerDay;
+
+  // Sample alive servers.
+  std::vector<std::size_t> alive;
+  for (std::size_t i = 0; i < world.eco->internet().size(); ++i)
+    if (world.eco->internet().server(i).AliveAt(now)) alive.push_back(i);
+  util::Rng rng(1001);
+  const std::size_t sample = std::min<std::size_t>(800, alive.size());
+  for (std::size_t i = 0; i < sample; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.NextBelow(alive.size() - i));
+    std::swap(alive[i], alive[j]);
+  }
+
+  const struct {
+    const char* label;
+    const char* browser;
+    const char* os;
+  } kProfiles[] = {
+      {"IE 11 (CRL+OCSP, hard-fail leaf)", "IE 11", "Windows 10"},
+      {"Firefox 40 (OCSP leaf only)", "Firefox 40", "Windows"},
+      {"Opera 12.17 (CRLs everywhere)", "Opera 12.17", "Windows"},
+      {"Chrome 44 non-EV (no checks)", "Chrome 44", "Windows"},
+      {"Mobile Safari (no checks)", "Mobile Safari", "iOS 8"},
+  };
+
+  core::TextTable table({"client", "median ms", "p95 ms", "median KB",
+                         "max KB", "accepted"});
+  for (const auto& p : kProfiles) {
+    const Policy& policy = FindProfile(p.browser, p.os)->policy;
+    util::Distribution latency, bytes;
+    std::size_t accepted = 0;
+    for (std::size_t i = 0; i < sample; ++i) {
+      scan::Server& server = world.eco->internet().server(alive[i]);
+      // Build a handshake-capable server from the advertised chain.
+      tls::TlsServer::Config config = server.tls.config();
+      config.chain_der.clear();
+      for (const x509::CertPtr& cert : server.chain)
+        config.chain_der.push_back(cert->der);
+      tls::TlsServer tls_server(config);
+      Client client(policy, &world.eco->net(), world.eco->roots());
+      const VisitOutcome outcome = client.Visit(tls_server, now);
+      latency.Add(outcome.revocation_seconds * 1000);
+      bytes.Add(static_cast<double>(outcome.revocation_bytes) / 1024.0);
+      if (outcome.accepted()) ++accepted;
+    }
+    table.AddRow({p.label, core::FormatDouble(latency.Median(), 1),
+                  core::FormatDouble(latency.Quantile(0.95), 1),
+                  core::FormatDouble(bytes.Median(), 1),
+                  core::FormatDouble(bytes.Max(), 1),
+                  std::to_string(accepted) + "/" + std::to_string(sample)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "shape check (§5.2): OCSP-only checking sits in the ~100-300 ms band;\n"
+      "CRL-based checking pays for whole lists (KB-MB, scale-dependent);\n"
+      "non-checking browsers pay nothing — which is precisely why they\n"
+      "don't check. Rejections here are revoked/unreachable sites.\n");
+  return 0;
+}

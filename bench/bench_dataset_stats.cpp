@@ -1,0 +1,82 @@
+// §3 dataset statistics: scan corpus, Intermediate/Leaf Set construction,
+// and availability of revocation information.
+#include "bench_common.h"
+
+using namespace rev;
+
+int main() {
+  bench::PrintHeader(
+      "Dataset statistics (paper §3.1/§3.2)",
+      "38.5M certs -> 1,946 intermediates, 5.07M leaves (45.2% still "
+      "advertised); leaves: 99.9% CRL, 95.0% OCSP, 0.09% unrevocable; "
+      "intermediates: 98.9% CRL, 48.5% OCSP");
+
+  bench::World world = bench::World::Build(bench::ScaleFromEnv(),
+                                           /*run_scans=*/true,
+                                           /*run_crawl=*/false);
+
+  const core::DatasetStats stats = core::ComputeDatasetStats(*world.pipeline);
+  auto pct = [](std::size_t num, std::size_t den) {
+    return den == 0 ? 0.0 : 100.0 * static_cast<double>(num) / static_cast<double>(den);
+  };
+
+  core::TextTable table({"metric", "measured", "paper"});
+  table.AddRow({"weekly scans", std::to_string(world.num_scans), "74"});
+  table.AddRow({"unique certificates", std::to_string(stats.unique_certs),
+                "38,514,130 (incl. invalid)"});
+  table.AddRow({"Intermediate Set", std::to_string(stats.intermediate_set), "1,946"});
+  table.AddRow({"Leaf Set", std::to_string(stats.leaf_set), "5,067,476"});
+  table.AddRow({"still advertised (last scan)",
+                core::FormatDouble(pct(stats.leaf_still_advertised, stats.leaf_set), 1) + "%",
+                "45.2%"});
+  table.AddRow({"leaves with reachable CRL",
+                core::FormatDouble(pct(stats.leaf_with_crl, stats.leaf_set), 2) + "%",
+                "99.9%"});
+  table.AddRow({"leaves with reachable OCSP",
+                core::FormatDouble(pct(stats.leaf_with_ocsp, stats.leaf_set), 2) + "%",
+                "95.0%"});
+  table.AddRow({"unrevocable leaves",
+                std::to_string(stats.leaf_unrevocable) + " (" +
+                    core::FormatDouble(pct(stats.leaf_unrevocable, stats.leaf_set), 3) + "%)",
+                "4,384 (0.09%)"});
+  table.AddRow({"intermediates with CRL",
+                core::FormatDouble(pct(stats.intermediate_with_crl, stats.intermediate_set), 1) + "%",
+                "98.9%"});
+  table.AddRow({"intermediates with OCSP",
+                core::FormatDouble(pct(stats.intermediate_with_ocsp, stats.intermediate_set), 1) + "%",
+                "48.5%"});
+  std::printf("%s\n", table.Render().c_str());
+
+  // §3.2: certificates with only an OCSP responder (no CRL) — the paper
+  // found 642 and queried each responder directly.
+  core::RevocationCrawler crawler(&world.eco->net());
+  std::size_t ocsp_only = 0, answered = 0, revoked = 0;
+  for (const core::CertRecord* record : world.pipeline->LeafSet()) {
+    if (!record->cert->tbs.crl_urls.empty() ||
+        record->cert->tbs.ocsp_urls.empty())
+      continue;
+    ++ocsp_only;
+    for (const core::Ecosystem::CaEntry& entry : world.eco->cas()) {
+      if (!(entry.ca->cert()->tbs.subject == record->cert->tbs.issuer))
+        continue;
+      auto status = crawler.QueryOcsp(*record->cert, *entry.ca->cert(),
+                                      world.eco->config().study_end);
+      if (status) {
+        ++answered;
+        if (*status == ocsp::CertStatus::kRevoked) ++revoked;
+      }
+      break;
+    }
+  }
+  std::printf("OCSP-only certificates (paper: 642): %zu; responders answered "
+              "%zu, %zu revoked\n\n",
+              ocsp_only, answered, revoked);
+
+  std::printf(
+      "note: counts scale with REV_SCALE=%.4f; invalid/self-signed junk is\n"
+      "not modeled, so unique == leaf+intermediates here. Intermediates all\n"
+      "carry CRL+OCSP by construction (the paper's 48.5%% OCSP reflects\n"
+      "legacy CA certs the generator does not reproduce).\n",
+      world.config.scale);
+  return 0;
+}

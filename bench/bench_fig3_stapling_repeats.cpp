@@ -1,0 +1,63 @@
+// Fig. 3 + §4.3: OCSP Stapling support — the repeat-connection curve and
+// the server/certificate adoption statistics.
+#include "bench_common.h"
+
+using namespace rev;
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 3 / §4.3 — OCSP Stapling adoption",
+      "2.60% of servers staple; 5.19% of certs served by >=1 stapling "
+      "server, 3.09% by all; EV: 3.15% / 1.95%; a single connection "
+      "underestimates stapling support by ~18% (Fig. 3)");
+
+  bench::World world = bench::World::Build(bench::ScaleFromEnv(),
+                                           /*run_scans=*/false,
+                                           /*run_crawl=*/false);
+  const util::Timestamp scan_time = util::MakeDate(2015, 3, 28);
+
+  // §4.3 statistics from one handshake scan.
+  const scan::HandshakeScanSnapshot snap =
+      scan::RunHandshakeScan(world.eco->internet(), scan_time);
+  const core::StaplingStats stats = core::ComputeStaplingStats(snap);
+  auto pct = [](std::uint64_t num, std::uint64_t den) {
+    return den == 0 ? 0.0 : 100.0 * static_cast<double>(num) / static_cast<double>(den);
+  };
+
+  core::TextTable table({"metric", "measured", "paper"});
+  table.AddRow({"servers with fresh certs", std::to_string(stats.servers_total),
+                "12,978,883"});
+  table.AddRow({"servers sending staples",
+                std::to_string(stats.servers_stapled) + " (" +
+                    core::FormatDouble(stats.ServerFraction() * 100, 2) + "%)",
+                "337,856 (2.60%)"});
+  table.AddRow({"fresh certs advertised", std::to_string(stats.fresh_certs),
+                "2,298,778"});
+  table.AddRow({"certs, >=1 stapling server",
+                core::FormatDouble(pct(stats.certs_any_staple, stats.fresh_certs), 2) + "%",
+                "5.19%"});
+  table.AddRow({"certs, all servers staple",
+                core::FormatDouble(pct(stats.certs_all_staple, stats.fresh_certs), 2) + "%",
+                "3.09%"});
+  table.AddRow({"EV certs, >=1 stapling server",
+                core::FormatDouble(pct(stats.ev_certs_any_staple, stats.ev_fresh_certs), 2) + "%",
+                "3.15%"});
+  table.AddRow({"EV certs, all servers staple",
+                core::FormatDouble(pct(stats.ev_certs_all_staple, stats.ev_fresh_certs), 2) + "%",
+                "1.95%"});
+  std::printf("%s\n", table.Render().c_str());
+
+  // Fig. 3: repeat-connection curve over 20,000 random servers, run after
+  // the scan-warmed staple caches have expired (OCSP validity is 4 days).
+  const std::vector<double> curve = core::StaplingRepeatCurve(
+      world.eco->internet(), scan_time + 5 * util::kSecondsPerDay, 10, 20'000,
+      4242);
+  core::TextTable fig({"requests", "fraction observed to staple"});
+  for (std::size_t i = 0; i < curve.size(); ++i)
+    fig.AddRow({std::to_string(i + 1), core::FormatDouble(curve[i], 4)});
+  std::printf("%s\n", fig.Render().c_str());
+  std::printf("shape check: single connection observes %.1f%% of eventual\n"
+              "staplers (paper: ~82%%, i.e. an ~18%% underestimate).\n",
+              100 * curve.front());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 6: cumulative distribution of CRL sizes — raw (per CRL) vs weighted
+// (per certificate, each cert charged its smallest CRL).
+#include "bench_common.h"
+
+using namespace rev;
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 6 — CDF of CRL sizes, raw vs certificate-weighted",
+      "raw median <1 KB (most CRLs are tiny), but the median *certificate* "
+      "has a 51 KB CRL; sizes range up to 76 MB (Apple WWDR)");
+
+  bench::World world = bench::World::Build(bench::ScaleFromEnv());
+  const auto samples =
+      core::CollectCrlSizes(*world.crawler, *world.pipeline, *world.eco);
+  const core::CrlSizeDistributions dist = core::BuildCrlSizeDistributions(samples);
+
+  core::TextTable table({"percentile", "raw CRL size", "weighted (per cert)"});
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00}) {
+    table.AddRow({core::FormatDouble(q, 2),
+                  util::HumanBytes(dist.raw.Quantile(q)),
+                  util::HumanBytes(dist.weighted.Quantile(q))});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("raw median      : %s   (paper: <900 B)\n",
+              util::HumanBytes(dist.raw.Median()).c_str());
+  std::printf("weighted median : %s   (paper: 51 KB)\n",
+              util::HumanBytes(dist.weighted.Median()).c_str());
+  std::printf("maximum         : %s   (paper: 76 MB)\n",
+              util::HumanBytes(dist.raw.Max()).c_str());
+  std::printf("weighted/raw median ratio: %.1fx   (paper: ~57x)\n",
+              dist.raw.Median() > 0 ? dist.weighted.Median() / dist.raw.Median()
+                                    : 0.0);
+  std::printf(
+      "\nshape check: the weighted distribution is shifted far right of the\n"
+      "raw one — most CRLs are small, but most *certificates* point at large\n"
+      "CRLs. Absolute sizes scale with REV_SCALE (entry counts shrink);\n"
+      "the raw median does not, because tiny CRLs are header-dominated.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 8: number of entries in the CRLSet over time — Heartbleed peak, the
+// VeriSign-parent removal, and the slow decline as revoked certs expire.
+#include "bench_common.h"
+
+using namespace rev;
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 8 — CRLSet entry count over time",
+      "15,922–24,904 entries; peak at Heartbleed (Apr 2014); sharp drop "
+      "May–June 2014 when the 'VeriSign Class 3 EV' parent (5,774 entries) "
+      "was removed; downward trend as revoked certs expire");
+
+  bench::World world = bench::World::Build(bench::ScaleFromEnv(),
+                                           /*run_scans=*/false,
+                                           /*run_crawl=*/false);
+  const core::EcosystemConfig& c = world.eco->config();
+
+  core::CrlsetAuditor auditor(world.eco.get(),
+                              bench::ScaledCrlsetConfig(world.config.scale));
+  core::CrlsetAuditor::Options options;
+  options.parent_removal_date = util::MakeDate(2014, 5, 20);
+  options.parent_removal_ca = "Verisign";
+  auditor.RunDaily(util::MakeDate(2013, 7, 18), c.study_end, options);
+
+  core::TextTable table({"date", "CRLSet entries"});
+  const auto& days = auditor.days();
+  for (std::size_t i = 0; i < days.size(); i += 14)
+    table.AddRow({util::FormatDate(days[i].day),
+                  std::to_string(days[i].crlset_entries)});
+  std::printf("%s\n", table.Render().c_str());
+
+  // Shape checks: peak near Heartbleed, drop after the parent removal.
+  std::size_t peak = 0;
+  util::Timestamp peak_day = 0;
+  for (const auto& day : days) {
+    if (day.crlset_entries > peak) {
+      peak = day.crlset_entries;
+      peak_day = day.day;
+    }
+  }
+  std::size_t before_removal = 0, after_removal = 0;
+  for (const auto& day : days) {
+    if (day.day == *options.parent_removal_date - util::kSecondsPerDay)
+      before_removal = day.crlset_entries;
+    if (day.day == *options.parent_removal_date + 2 * util::kSecondsPerDay)
+      after_removal = day.crlset_entries;
+  }
+  std::printf("peak: %zu entries on %s (Heartbleed: %s)\n", peak,
+              util::FormatDate(peak_day).c_str(),
+              util::FormatDate(c.heartbleed).c_str());
+  std::printf("VeriSign parent removal: %zu -> %zu entries\n", before_removal,
+              after_removal);
+  std::printf("final: %zu entries (%.0f%% below peak; paper: >1/3 decline)\n",
+              days.back().crlset_entries,
+              peak ? 100.0 * (1.0 - static_cast<double>(days.back().crlset_entries) /
+                                        static_cast<double>(peak))
+                   : 0.0);
+  return 0;
+}

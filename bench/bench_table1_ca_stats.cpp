@@ -1,0 +1,41 @@
+// Table 1: per-CA CRL counts, certificate totals, revocations, and the
+// certificate-weighted average CRL size.
+#include "bench_common.h"
+
+using namespace rev;
+
+int main() {
+  bench::PrintHeader(
+      "Table 1 — CRLs, certificates, and average CRL size per CA",
+      "GoDaddy 322 CRLs / 1.05M certs / 277.5k revoked / 1,184 KB avg; "
+      "RapidSSL 5 / 626.8k / 2.2k / 34.5 KB; ... ; StartCom 17 / 236.8k / "
+      "1.8k / 240.5 KB (one 22 MB CRL)");
+
+  bench::World world = bench::World::Build(bench::ScaleFromEnv());
+  const auto samples =
+      core::CollectCrlSizes(*world.crawler, *world.pipeline, *world.eco);
+  const auto rows =
+      core::ComputeTable1(samples, *world.pipeline, *world.crawler, *world.eco);
+
+  core::TextTable table(
+      {"CA", "CRLs", "certs", "revoked", "avg CRL size (KB)"});
+  for (const core::CaStatsRow& row : rows) {
+    if (row.total_certs < 10) continue;  // skip tiny tail CAs for readability
+    table.AddRow({row.name, std::to_string(row.num_crls),
+                  std::to_string(row.total_certs),
+                  std::to_string(row.revoked_certs),
+                  core::FormatDouble(row.avg_crl_size_kb, 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf(
+      "shape checks vs paper Table 1:\n"
+      "  - GoDaddy leads in certificates, revocations, and CRL count;\n"
+      "  - RapidSSL has few CRLs and a tiny revoked fraction;\n"
+      "  - GoDaddy / GlobalSign / StartCom carry outsized per-cert CRL\n"
+      "    sizes relative to their revocation counts (skewed sharding /\n"
+      "    hidden CRL populations).\n"
+      "CRL counts are population-scaled (see DESIGN.md): at scale 1 they\n"
+      "equal the paper's 322/5/30/3/27/37/32/26/17.\n");
+  return 0;
+}

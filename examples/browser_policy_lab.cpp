@@ -1,0 +1,122 @@
+// browser_policy_lab: experiment with revocation-checking policies.
+//
+// Runs the paper's 244-case browser test suite against (a) a few shipped
+// browser profiles, and (b) two hypothetical policies — a fully hard-fail
+// "paranoid" browser and a staple-only browser — and scores each one:
+// how many revoked chains it catches, how often it (wrongly) accepts when
+// revocation information is unavailable, and what its checking costs.
+//
+//   $ ./browser_policy_lab
+#include <cstdio>
+#include <vector>
+
+#include "browser/profiles.h"
+#include "browser/testsuite.h"
+#include "core/report.h"
+
+using namespace rev;
+using namespace rev::browser;
+
+namespace {
+
+struct Score {
+  int revoked_caught = 0;
+  int revoked_total = 0;
+  int unavailable_rejected = 0;
+  int unavailable_warned = 0;
+  int unavailable_total = 0;
+  int staple_used = 0;
+  double network_seconds = 0;
+  std::uint64_t network_bytes = 0;
+};
+
+Score Evaluate(const Policy& policy) {
+  constexpr util::Timestamp kNow = 1'427'760'000;  // 2015-03-31
+  Score score;
+  for (const TestCase& test : GenerateTestSuite()) {
+    const VisitOutcome outcome = RunCase(test, policy, /*seed=*/7, kNow);
+    score.network_seconds += outcome.revocation_seconds;
+    score.network_bytes += outcome.revocation_bytes;
+    if (outcome.used_staple) ++score.staple_used;
+    const bool staple_revoked =
+        test.stapling && test.staple_status == ocsp::CertStatus::kRevoked &&
+        !test.server_refuses_bad_staple;
+    if (test.revoked_element >= 0 || staple_revoked) {
+      ++score.revoked_total;
+      if (outcome.rejected()) ++score.revoked_caught;
+    } else if (test.failure != FailureMode::kNone) {
+      ++score.unavailable_total;
+      if (outcome.rejected()) ++score.unavailable_rejected;
+      if (outcome.warned()) ++score.unavailable_warned;
+    }
+  }
+  return score;
+}
+
+Policy Paranoid() {
+  Policy p;
+  p.browser = "Paranoid";
+  p.os = "any";
+  const PositionPolicy strict{CheckLevel::kAlways, FailureAction::kReject, false};
+  p.crl.leaf = p.crl.first_intermediate = p.crl.higher_intermediate = strict;
+  p.ocsp.leaf = p.ocsp.first_intermediate = p.ocsp.higher_intermediate = strict;
+  p.first_position_rule_covers_bare_leaf = true;
+  p.reject_unknown_ocsp = true;
+  p.try_crl_on_ocsp_failure = CheckLevel::kAlways;
+  p.request_staple = true;
+  p.request_multi_staple = true;
+  p.respect_revoked_staple = true;
+  return p;
+}
+
+Policy StapleOnly() {
+  // Checks nothing over the network; trusts (and respects) staples.
+  Policy p;
+  p.browser = "StapleOnly";
+  p.os = "any";
+  p.request_staple = true;
+  p.request_multi_staple = true;
+  p.respect_revoked_staple = true;
+  p.reject_unknown_ocsp = true;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Policy> policies;
+  for (const char* name : {"IE 11", "Firefox 40", "Chrome 44"}) {
+    for (const BrowserProfile& profile : AllProfiles()) {
+      if (profile.policy.browser == name) {
+        policies.push_back(profile.policy);
+        break;  // one OS variant each
+      }
+    }
+  }
+  policies.push_back(*&FindProfile("Mobile Safari", "iOS 8")->policy);
+  policies.push_back(Paranoid());
+  policies.push_back(StapleOnly());
+
+  core::TextTable table({"policy", "revoked caught", "unavail rejected",
+                         "warned", "staples used", "net seconds", "net KB"});
+  for (const Policy& policy : policies) {
+    const Score score = Evaluate(policy);
+    table.AddRow({policy.DisplayName(),
+                  std::to_string(score.revoked_caught) + "/" +
+                      std::to_string(score.revoked_total),
+                  std::to_string(score.unavailable_rejected) + "/" +
+                      std::to_string(score.unavailable_total),
+                  std::to_string(score.unavailable_warned),
+                  std::to_string(score.staple_used),
+                  core::FormatDouble(score.network_seconds, 1),
+                  std::to_string(score.network_bytes / 1024)});
+  }
+  std::printf("Scores over the 244-case test suite (§6.1):\n\n%s\n",
+              table.Render().c_str());
+  std::printf(
+      "Reading: shipped browsers miss most revoked chains (mobile misses\n"
+      "all); the Paranoid policy catches everything but hard-fails on every\n"
+      "unavailability case; StapleOnly is free of network cost yet catches\n"
+      "staple-delivered revocations only.\n");
+  return 0;
+}

@@ -1,0 +1,243 @@
+#include "browser/matrix.h"
+
+#include <map>
+#include <sstream>
+
+#include "browser/profiles.h"
+#include "browser/testsuite.h"
+
+namespace rev::browser {
+
+namespace {
+
+// A canonical scenario used to evaluate one behavior row against one profile.
+struct Probe {
+  TestCase non_ev;
+  TestCase ev;
+};
+
+Probe MakeRevokedProbe(RevProtocol protocol, int num_intermediates,
+                       int element) {
+  TestCase base;
+  base.id = 9000;  // probe ids don't collide with the suite; only used for seeds
+  base.num_intermediates = num_intermediates;
+  base.protocol = protocol;
+  base.revoked_element = element;
+  Probe probe{base, base};
+  probe.ev.ev = true;
+  return probe;
+}
+
+Probe MakeUnavailableProbe(RevProtocol protocol, int num_intermediates,
+                           int element) {
+  TestCase base;
+  base.id = 9100;
+  base.num_intermediates = num_intermediates;
+  base.protocol = protocol;
+  base.failure = FailureMode::kTimeout;
+  base.failure_element = element;
+  Probe probe{base, base};
+  probe.ev.ev = true;
+  return probe;
+}
+
+// Per-profile cell for a pass/fail behavior: "3" (both), "ev" (EV only),
+// "a" (warned), "7" (neither).
+std::string EvaluateCell(const Probe& probe, const Policy& policy,
+                         std::uint64_t seed, util::Timestamp now) {
+  const VisitOutcome non_ev = RunCase(probe.non_ev, policy, seed, now);
+  const VisitOutcome ev = RunCase(probe.ev, policy, seed + 1, now);
+  if (non_ev.warned() || ev.warned()) return "a";
+  if (non_ev.rejected() && ev.rejected()) return "3";
+  if (ev.rejected()) return "ev";
+  return "7";
+}
+
+// Aggregates OS-variant cells within a Table 2 column. Identical cells pass
+// through; the accept-on-OSX / reject-elsewhere split prints "l/w".
+std::string Aggregate(const std::vector<std::pair<std::string, std::string>>&
+                          os_cells /* (os, cell) */) {
+  bool all_same = true;
+  for (const auto& [os, cell] : os_cells)
+    if (cell != os_cells.front().second) all_same = false;
+  if (all_same) return os_cells.front().second;
+
+  bool osx_accepts = true, others_reject = true;
+  for (const auto& [os, cell] : os_cells) {
+    if (os == "OS X") {
+      if (cell != "7") osx_accepts = false;
+    } else {
+      if (cell != "3") others_reject = false;
+    }
+  }
+  if (osx_accepts && others_reject) return "l/w";
+
+  std::string joined;
+  for (const auto& [os, cell] : os_cells) {
+    if (!joined.empty()) joined += "/";
+    joined += cell;
+  }
+  return joined;
+}
+
+}  // namespace
+
+Table2 BuildTable2(std::uint64_t seed, util::Timestamp now) {
+  Table2 table;
+  table.columns = Table2Columns();
+
+  // Group profiles by column, preserving order.
+  std::map<std::string, std::vector<const BrowserProfile*>> by_column;
+  for (const BrowserProfile& profile : AllProfiles())
+    by_column[profile.column].push_back(&profile);
+
+  struct RowSpec {
+    std::string section;
+    std::string label;
+    // Produces the per-profile cell.
+    std::function<std::string(const BrowserProfile&)> eval;
+  };
+
+  std::uint64_t probe_seed = seed;
+  auto behavior_cell = [&](const Probe& probe, const BrowserProfile& profile,
+                           bool needs_unavailable_support) -> std::string {
+    if (needs_unavailable_support && profile.unavailable_untestable) return "-";
+    return EvaluateCell(probe, profile.policy, probe_seed, now);
+  };
+
+  std::vector<RowSpec> specs;
+  for (RevProtocol protocol : {RevProtocol::kCrlOnly, RevProtocol::kOcspOnly}) {
+    const std::string section =
+        protocol == RevProtocol::kCrlOnly ? "CRL" : "OCSP";
+    struct PositionSpec {
+      const char* label;
+      int ints;
+      int element;
+    };
+    for (const PositionSpec& pos : {PositionSpec{"Int. 1", 2, 1},
+                                    PositionSpec{"Int. 2+", 2, 2},
+                                    PositionSpec{"Leaf", 1, 0}}) {
+      specs.push_back(RowSpec{
+          section, std::string(pos.label) + " Revoked",
+          [&, protocol, pos](const BrowserProfile& profile) {
+            return behavior_cell(
+                MakeRevokedProbe(protocol, pos.ints, pos.element), profile,
+                false);
+          }});
+      specs.push_back(RowSpec{
+          section, std::string(pos.label) + " Unavailable",
+          [&, protocol, pos](const BrowserProfile& profile) {
+            return behavior_cell(
+                MakeUnavailableProbe(protocol, pos.ints, pos.element), profile,
+                true);
+          }});
+    }
+  }
+
+  specs.push_back(RowSpec{
+      "", "Reject unknown status", [&](const BrowserProfile& profile) {
+        if (profile.mobile || profile.unavailable_untestable) return std::string("-");
+        TestCase test;
+        test.id = 9200;
+        test.num_intermediates = 1;
+        test.protocol = RevProtocol::kOcspOnly;
+        test.failure = FailureMode::kOcspUnknown;
+        test.failure_element = 0;
+        Probe probe{test, test};
+        probe.ev.ev = true;
+        const std::string cell =
+            EvaluateCell(probe, profile.policy, probe_seed, now);
+        // The table reports this row as pass/fail ("3"/"7"), folding the
+        // EV-only case into pass.
+        return cell == "ev" ? std::string("3") : cell;
+      }});
+
+  specs.push_back(RowSpec{
+      "", "Try CRL on failure", [&](const BrowserProfile& profile) {
+        if (profile.mobile || profile.unavailable_untestable) return std::string("-");
+        TestCase test;
+        test.id = 9300;
+        test.num_intermediates = 1;
+        test.protocol = RevProtocol::kBoth;
+        test.revoked_element = 0;
+        test.failure = FailureMode::kOcspTimeout;
+        test.failure_element = 0;
+        Probe probe{test, test};
+        probe.ev.ev = true;
+        return EvaluateCell(probe, profile.policy, probe_seed, now);
+      }});
+
+  specs.push_back(RowSpec{
+      "OCSP Stapling", "Request OCSP staple",
+      [&](const BrowserProfile& profile) -> std::string {
+        if (!profile.policy.request_staple) return "7";
+        if (!profile.policy.use_staple_in_validation) return "i";
+        return "3";
+      }});
+
+  specs.push_back(RowSpec{
+      "OCSP Stapling", "Respect revoked staple",
+      [&](const BrowserProfile& profile) -> std::string {
+        if (!profile.policy.request_staple ||
+            !profile.policy.use_staple_in_validation ||
+            profile.unavailable_untestable)
+          return "-";
+        TestCase test;
+        test.id = 9400;
+        test.num_intermediates = 1;
+        test.protocol = RevProtocol::kOcspOnly;
+        test.stapling = true;
+        test.staple_status = ocsp::CertStatus::kRevoked;
+        Probe probe{test, test};
+        probe.ev.ev = true;
+        const std::string cell =
+            EvaluateCell(probe, profile.policy, probe_seed, now);
+        return cell == "ev" ? std::string("3") : cell;
+      }});
+
+  for (const RowSpec& spec : specs) {
+    Table2::Row row;
+    row.section = spec.section;
+    row.label = spec.label;
+    for (const std::string& column : table.columns) {
+      std::vector<std::pair<std::string, std::string>> os_cells;
+      for (const BrowserProfile* profile : by_column[column])
+        os_cells.emplace_back(profile->policy.os, spec.eval(*profile));
+      row.cells.push_back(Aggregate(os_cells));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+std::string RenderTable2(const Table2& table) {
+  std::ostringstream out;
+  const int label_width = 32;
+  const int cell_width = 14;
+
+  out << std::string(label_width, ' ');
+  for (const std::string& column : table.columns) {
+    std::string c = column.substr(0, cell_width - 1);
+    out << c << std::string(static_cast<std::size_t>(cell_width) - c.size(), ' ');
+  }
+  out << "\n";
+
+  std::string last_section;
+  for (const Table2::Row& row : table.rows) {
+    if (row.section != last_section && !row.section.empty()) {
+      out << "-- " << row.section << " --\n";
+      last_section = row.section;
+    }
+    std::string label = "  " + row.label;
+    label = label.substr(0, label_width - 1);
+    out << label << std::string(static_cast<std::size_t>(label_width) - label.size(), ' ');
+    for (const std::string& cell : row.cells) {
+      std::string c = cell.substr(0, cell_width - 1);
+      out << c << std::string(static_cast<std::size_t>(cell_width) - c.size(), ' ');
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rev::browser

@@ -1,0 +1,36 @@
+// Rebuilds the paper's Table 2 ("Browser test results") by running the
+// relevant test-suite cases against every browser profile and aggregating
+// OS variants into the paper's column/cell notation:
+//   "3"  — passes (rejects / performs the behavior) in all cases
+//   "7"  — fails in all cases
+//   "ev" — passes only for EV certificates
+//   "a"  — pops a user alert (IE 10's leaf behavior)
+//   "l/w"— passes only on Linux and Windows
+//   "i"  — requests an OCSP staple but ignores the response
+//   "–"  — not testable / not applicable
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace rev::browser {
+
+struct Table2 {
+  std::vector<std::string> columns;
+  struct Row {
+    std::string section;  // "CRL", "OCSP", "OCSP Stapling", ""
+    std::string label;    // "Int. 1 Revoked", "Reject unknown status", ...
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows;
+};
+
+Table2 BuildTable2(std::uint64_t seed, util::Timestamp now);
+
+// Fixed-width text rendering.
+std::string RenderTable2(const Table2& table);
+
+}  // namespace rev::browser

@@ -1,0 +1,23 @@
+#include "browser/policy.h"
+
+namespace rev::browser {
+
+const char* CheckLevelName(CheckLevel level) {
+  switch (level) {
+    case CheckLevel::kNever: return "never";
+    case CheckLevel::kEvOnly: return "ev-only";
+    case CheckLevel::kAlways: return "always";
+  }
+  return "?";
+}
+
+const char* FailureActionName(FailureAction action) {
+  switch (action) {
+    case FailureAction::kAccept: return "accept";
+    case FailureAction::kReject: return "reject";
+    case FailureAction::kWarn: return "warn";
+  }
+  return "?";
+}
+
+}  // namespace rev::browser

@@ -1,0 +1,217 @@
+#include "browser/profiles.h"
+
+namespace rev::browser {
+
+namespace {
+
+using CL = CheckLevel;
+using FA = FailureAction;
+
+PositionPolicy Pos(CL check, FA on_unavailable = FA::kAccept) {
+  PositionPolicy p;
+  p.check = check;
+  p.on_unavailable = on_unavailable;
+  return p;
+}
+
+// Chrome 44. EV-gated checking everywhere except the Windows non-EV
+// first-intermediate CRL quirk; unavailability rejects only at the first
+// intermediate (EV-gated on OS X/Linux, unconditional on Windows).
+Policy Chrome(const std::string& os) {
+  Policy p;
+  p.browser = "Chrome 44";
+  p.os = os;
+  p.crl.leaf = Pos(CL::kEvOnly, FA::kAccept);
+  p.crl.first_intermediate = Pos(CL::kEvOnly, FA::kReject);
+  p.crl.higher_intermediate = Pos(CL::kEvOnly, FA::kAccept);
+  p.ocsp.leaf = Pos(CL::kEvOnly, FA::kAccept);
+  p.ocsp.first_intermediate = Pos(CL::kEvOnly, FA::kAccept);
+  p.ocsp.higher_intermediate = Pos(CL::kEvOnly, FA::kAccept);
+  p.reject_unknown_ocsp = false;
+  p.try_crl_on_ocsp_failure = CL::kEvOnly;
+  // Chrome additionally consults the pushed CRLSet on every platform (§7).
+  p.use_crlset = true;
+  p.request_staple = true;
+  p.respect_revoked_staple = false;  // OS X default; Windows overrides
+  if (os == "Windows") {
+    // Non-EV: only the first intermediate is checked, and only via a CRL
+    // when no OCSP responder is listed.
+    p.crl.first_intermediate.check = CL::kAlways;
+    p.crl.first_intermediate.skip_crl_if_ocsp_listed = true;
+    p.respect_revoked_staple = true;
+  }
+  return p;
+}
+
+Policy Firefox(const std::string& os) {
+  Policy p;
+  p.browser = "Firefox 40";
+  p.os = os;
+  // Firefox does not check any CRLs.
+  p.ocsp.leaf = Pos(CL::kAlways, FA::kAccept);
+  p.ocsp.first_intermediate = Pos(CL::kEvOnly, FA::kAccept);
+  p.ocsp.higher_intermediate = Pos(CL::kEvOnly, FA::kAccept);
+  p.reject_unknown_ocsp = true;
+  p.try_crl_on_ocsp_failure = CL::kNever;
+  // Firefox's OneCRL intermediate blocklist (§7 footnote 24).
+  p.use_onecrl = true;
+  p.request_staple = true;
+  p.respect_revoked_staple = true;
+  return p;
+}
+
+Policy Opera12(const std::string& os) {
+  Policy p;
+  p.browser = "Opera 12.17";
+  p.os = os;
+  p.crl.leaf = Pos(CL::kAlways, FA::kAccept);
+  p.crl.first_intermediate = Pos(CL::kAlways, FA::kAccept);
+  p.crl.higher_intermediate = Pos(CL::kAlways, FA::kAccept);
+  p.ocsp.leaf = Pos(CL::kAlways, FA::kAccept);
+  p.reject_unknown_ocsp = true;
+  p.request_staple = true;
+  p.respect_revoked_staple = true;
+  return p;
+}
+
+Policy Opera31(const std::string& os) {
+  Policy p;
+  p.browser = "Opera 31.0";
+  p.os = os;
+  const bool linux_or_windows = os != "OS X";
+  p.crl.leaf = Pos(CL::kAlways, FA::kAccept);
+  p.crl.first_intermediate = Pos(CL::kAlways, FA::kReject);
+  p.crl.higher_intermediate = Pos(CL::kAlways, FA::kAccept);
+  p.ocsp.leaf = Pos(CL::kAlways, FA::kAccept);
+  p.ocsp.first_intermediate =
+      Pos(CL::kAlways, linux_or_windows ? FA::kReject : FA::kAccept);
+  p.ocsp.higher_intermediate = Pos(CL::kAlways, FA::kAccept);
+  p.first_position_rule_covers_bare_leaf = true;
+  p.reject_unknown_ocsp = false;  // incorrectly trusts unknown
+  p.try_crl_on_ocsp_failure = linux_or_windows ? CL::kAlways : CL::kNever;
+  p.request_staple = true;
+  p.respect_revoked_staple = linux_or_windows;
+  return p;
+}
+
+Policy Safari(const std::string& version) {
+  Policy p;
+  p.browser = "Safari " + version;
+  p.os = "OS X";
+  p.crl.leaf = Pos(CL::kAlways, FA::kAccept);
+  p.crl.first_intermediate = Pos(CL::kAlways, FA::kReject);
+  p.crl.higher_intermediate = Pos(CL::kAlways, FA::kAccept);
+  p.ocsp.leaf = Pos(CL::kAlways, FA::kAccept);
+  p.ocsp.first_intermediate = Pos(CL::kAlways, FA::kAccept);
+  p.ocsp.higher_intermediate = Pos(CL::kAlways, FA::kAccept);
+  p.first_position_rule_covers_bare_leaf = true;
+  p.reject_unknown_ocsp = false;
+  p.try_crl_on_ocsp_failure = CL::kAlways;
+  p.request_staple = false;
+  return p;
+}
+
+Policy InternetExplorer(const std::string& version, const std::string& os,
+                        FA leaf_unavailable) {
+  Policy p;
+  p.browser = "IE " + version;
+  p.os = os;
+  p.crl.leaf = Pos(CL::kAlways, leaf_unavailable);
+  p.crl.first_intermediate = Pos(CL::kAlways, FA::kReject);
+  p.crl.higher_intermediate = Pos(CL::kAlways, FA::kAccept);
+  p.ocsp.leaf = Pos(CL::kAlways, leaf_unavailable);
+  p.ocsp.first_intermediate = Pos(CL::kAlways, FA::kReject);
+  p.ocsp.higher_intermediate = Pos(CL::kAlways, FA::kAccept);
+  p.first_position_rule_covers_bare_leaf = true;
+  p.reject_unknown_ocsp = false;
+  p.try_crl_on_ocsp_failure = CL::kAlways;
+  p.request_staple = true;
+  p.respect_revoked_staple = true;
+  return p;
+}
+
+// Mobile browsers: no revocation checking whatsoever (§6.4).
+Policy Mobile(const std::string& browser, const std::string& os,
+              bool requests_staple_but_ignores) {
+  Policy p;
+  p.browser = browser;
+  p.os = os;
+  p.request_staple = requests_staple_but_ignores;
+  p.use_staple_in_validation = !requests_staple_but_ignores;
+  return p;
+}
+
+std::vector<BrowserProfile> BuildProfiles() {
+  std::vector<BrowserProfile> profiles;
+  auto add = [&](Policy policy, std::string column, bool mobile = false,
+                 bool untestable = false) {
+    profiles.push_back(BrowserProfile{std::move(policy), std::move(column),
+                                      mobile, untestable});
+  };
+
+  add(Chrome("OS X"), "Chrome 44 OS X");
+  add(Chrome("Windows"), "Chrome 44 Win.");
+  add(Chrome("Linux"), "Chrome 44 Lin.", false, /*untestable=*/true);
+
+  add(Firefox("OS X"), "Firefox 40");
+  add(Firefox("Windows"), "Firefox 40");
+  add(Firefox("Linux"), "Firefox 40");
+
+  add(Opera12("OS X"), "Opera 12.17");
+  add(Opera12("Windows"), "Opera 12.17");
+  add(Opera12("Linux"), "Opera 12.17");
+
+  add(Opera31("OS X"), "Opera 31.0");
+  add(Opera31("Windows"), "Opera 31.0");
+  add(Opera31("Linux"), "Opera 31.0");
+
+  add(Safari("6"), "Safari 6-8");
+  add(Safari("7"), "Safari 6-8");
+  add(Safari("8"), "Safari 6-8");
+
+  add(InternetExplorer("7", "Vista", FA::kAccept), "IE 7-9");
+  add(InternetExplorer("8", "Windows 7", FA::kAccept), "IE 7-9");
+  add(InternetExplorer("9", "Windows 7", FA::kAccept), "IE 7-9");
+  add(InternetExplorer("10", "Windows 8", FA::kWarn), "IE 10");
+  add(InternetExplorer("11", "Windows 7", FA::kReject), "IE 11");
+  add(InternetExplorer("11", "Windows 8.1", FA::kReject), "IE 11");
+  add(InternetExplorer("11", "Windows 10", FA::kReject), "IE 11");
+
+  add(Mobile("Mobile Safari", "iOS 6", false), "iOS 6-8", true);
+  add(Mobile("Mobile Safari", "iOS 7", false), "iOS 6-8", true);
+  add(Mobile("Mobile Safari", "iOS 8", false), "iOS 6-8", true);
+  add(Mobile("Stock Browser", "Android 4.3", true), "Andr. Stock", true);
+  add(Mobile("Stock Browser", "Android 4.4", true), "Andr. Stock", true);
+  add(Mobile("Stock Browser", "Android 5.1", true), "Andr. Stock", true);
+  add(Mobile("Chrome", "Android 5.1", true), "Andr. Chrome", true);
+  add(Mobile("IE Mobile", "Windows Phone 8.0", false), "IE Mob. 8.0", true);
+
+  return profiles;
+}
+
+}  // namespace
+
+const std::vector<BrowserProfile>& AllProfiles() {
+  static const std::vector<BrowserProfile> profiles = BuildProfiles();
+  return profiles;
+}
+
+std::vector<std::string> Table2Columns() {
+  std::vector<std::string> columns;
+  for (const BrowserProfile& profile : AllProfiles()) {
+    if (columns.empty() || columns.back() != profile.column)
+      columns.push_back(profile.column);
+  }
+  return columns;
+}
+
+const BrowserProfile* FindProfile(const std::string& browser,
+                                  const std::string& os) {
+  for (const BrowserProfile& profile : AllProfiles()) {
+    if (profile.policy.browser == browser && profile.policy.os == os)
+      return &profile;
+  }
+  return nullptr;
+}
+
+}  // namespace rev::browser

@@ -1,0 +1,35 @@
+// The 30 browser/OS combinations the paper tested (§6.3, §6.4), encoded as
+// revocation-checking policies derived from Table 2 and the accompanying
+// prose. Profiles that share a Table 2 column carry the same `column` label
+// so the matrix printer can aggregate OS variants (cells like "l/w").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "browser/policy.h"
+
+namespace rev::browser {
+
+struct BrowserProfile {
+  Policy policy;
+  // Table 2 column this profile belongs to (e.g. "Chrome 44 OS X",
+  // "IE 7-9"). Columns appear in paper order.
+  std::string column;
+  bool mobile = false;
+  // Chrome on Linux could not be driven through the unavailability tests
+  // (§6.3); its cells print "–" in those rows.
+  bool unavailable_untestable = false;
+};
+
+// All 30 profiles, in Table 2 column order.
+const std::vector<BrowserProfile>& AllProfiles();
+
+// Distinct column labels in display order.
+std::vector<std::string> Table2Columns();
+
+// Finds a profile by browser and OS; returns nullptr if absent.
+const BrowserProfile* FindProfile(const std::string& browser,
+                                  const std::string& os);
+
+}  // namespace rev::browser

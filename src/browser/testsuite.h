@@ -1,0 +1,102 @@
+// The browser revocation test suite (§6.1–6.2).
+//
+// GenerateTestSuite() produces 244 test cases spanning the paper's four
+// dimensions — chain length, revocation protocol, Extended Validation, and
+// unavailable revocation information — plus the OCSP Stapling scenarios.
+// Each case gets a fresh, dedicated PKI (root, intermediates, leaf, CRL and
+// OCSP endpoints, TLS server) on its own simulated hosts, mirroring the
+// paper's one-Nginx-instance-per-test deployment and eliminating caching
+// effects between tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "browser/client.h"
+#include "browser/policy.h"
+#include "ca/ca.h"
+#include "net/simnet.h"
+#include "ocsp/ocsp.h"
+#include "scan/internet.h"
+#include "tls/handshake.h"
+
+namespace rev::browser {
+
+enum class RevProtocol : std::uint8_t { kCrlOnly, kOcspOnly, kBoth };
+const char* RevProtocolName(RevProtocol p);
+
+// The §6.1 unavailability failure modes.
+enum class FailureMode : std::uint8_t {
+  kNone,
+  kNxdomain,     // revocation server's domain does not exist
+  kHttp404,      // server returns HTTP 404
+  kTimeout,      // server does not respond
+  kOcspUnknown,  // OCSP responder answers `unknown`
+  // Only the OCSP responder is down; any CRL endpoint stays reachable.
+  // Used by the "Try CRL on failure" probe (not part of the 244-case grid).
+  kOcspTimeout,
+};
+const char* FailureModeName(FailureMode m);
+
+struct TestCase {
+  int id = 0;
+  // Chain shape: 0–3 intermediates between root and leaf.
+  int num_intermediates = 1;
+  // Element revoked: -1 none; 0 = leaf; 1 = intermediate that issued the
+  // leaf ("Int. 1"); up to num_intermediates.
+  int revoked_element = -1;
+  RevProtocol protocol = RevProtocol::kBoth;
+  bool ev = false;
+  FailureMode failure = FailureMode::kNone;
+  int failure_element = -1;  // element whose revocation info fails
+
+  // OCSP Stapling scenarios: the responder is firewalled so the staple is
+  // the only channel (§6.1 note 15), and the server is patched to staple
+  // any status unless `server_refuses_bad_staple` (note 16).
+  bool stapling = false;
+  bool multi_staple = false;
+  ocsp::CertStatus staple_status = ocsp::CertStatus::kGood;
+  bool server_refuses_bad_staple = false;
+  // The 244-case grid always firewalls the responder in stapling tests;
+  // cost-measurement ablations keep it reachable instead.
+  bool staple_responder_reachable = false;
+
+  std::string Description() const;
+};
+
+// The full 244-case grid. See EXPERIMENTS.md for the breakdown
+// (84 revocation-status cases + 140 unavailability cases + 20 stapling).
+std::vector<TestCase> GenerateTestSuite();
+
+// A fully provisioned environment for one test case.
+class TestEnvironment {
+ public:
+  TestEnvironment(const TestCase& test, std::uint64_t seed,
+                  util::Timestamp now);
+
+  // Runs one browser policy against this environment with a fresh client.
+  // (The TLS server's staple cache is reset per visit.)
+  VisitOutcome Run(const Policy& policy);
+
+  const TestCase& test() const { return test_; }
+  net::SimNet& net() { return net_; }
+  const x509::CertPtr& leaf() const { return leaf_; }
+
+ private:
+  TestCase test_;
+  util::Timestamp now_;
+  net::SimNet net_;
+  // cas_[0] is the root; cas_[k] issued cas_[k-1]'s... — ordered root first,
+  // then intermediates outward; the leaf is issued by cas_.back().
+  std::vector<std::unique_ptr<ca::CertificateAuthority>> cas_;
+  x509::CertPtr leaf_;
+  x509::CertPool roots_;
+  tls::TlsServer::Config server_config_;
+};
+
+// Convenience: provision + run in one call.
+VisitOutcome RunCase(const TestCase& test, const Policy& policy,
+                     std::uint64_t seed, util::Timestamp now);
+
+}  // namespace rev::browser

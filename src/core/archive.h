@@ -1,0 +1,59 @@
+// A compact binary archive for certificate-scan datasets — the equivalent
+// of the scans.io / sslresearch.org data releases the paper built on and
+// published. Certificates are stored once (deduplicated by fingerprint);
+// snapshots reference them by index, so a 74-scan study costs little more
+// than the unique DER plus observation tuples.
+//
+// Format (all integers big-endian u32 unless noted):
+//   magic "RVKA", version u32
+//   cert_count, then cert_count length-prefixed DER blobs
+//   snapshot_count, then per snapshot:
+//     time (i64), observation_count, then per observation:
+//       ip u32, chain_len u32, chain_len cert indices
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scan/scanner.h"
+#include "util/bytes.h"
+
+namespace rev::core {
+
+class ScanArchive {
+ public:
+  // Folds a snapshot into the archive, interning unseen certificates.
+  void AddSnapshot(const scan::CertScanSnapshot& snapshot);
+
+  std::size_t snapshot_count() const { return snapshots_.size(); }
+  std::size_t cert_count() const { return certs_.size(); }
+
+  // Reconstructs the snapshots (certificates are shared CertPtrs).
+  std::vector<scan::CertScanSnapshot> Snapshots() const;
+
+  Bytes Serialize() const;
+  static std::optional<ScanArchive> Deserialize(BytesView data);
+
+  // File convenience. Returns false on I/O failure.
+  bool SaveToFile(const std::string& path) const;
+  static std::optional<ScanArchive> LoadFromFile(const std::string& path);
+
+ private:
+  struct Observation {
+    std::uint32_t ip = 0;
+    std::vector<std::uint32_t> chain;  // indices into certs_
+  };
+  struct Snapshot {
+    util::Timestamp time = 0;
+    std::vector<Observation> observations;
+  };
+
+  std::uint32_t Intern(const x509::CertPtr& cert);
+
+  std::vector<x509::CertPtr> certs_;
+  std::map<Bytes, std::uint32_t> index_by_fingerprint_;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace rev::core

@@ -1,0 +1,136 @@
+#include "core/ca_audit.h"
+
+#include <algorithm>
+#include <map>
+
+#include "net/url.h"
+
+namespace rev::core {
+
+DatasetStats ComputeDatasetStats(const Pipeline& pipeline) {
+  DatasetStats stats;
+  stats.unique_certs = pipeline.records().size();
+  stats.intermediate_set = pipeline.IntermediateSet().size();
+
+  auto has_fetchable = [](const std::vector<std::string>& urls) {
+    for (const std::string& url : urls)
+      if (net::IsFetchable(url)) return true;
+    return false;
+  };
+
+  for (const CertRecord* record : pipeline.LeafSet()) {
+    ++stats.leaf_set;
+    if (record->in_latest_scan) ++stats.leaf_still_advertised;
+    const bool crl = has_fetchable(record->cert->tbs.crl_urls);
+    const bool ocsp = has_fetchable(record->cert->tbs.ocsp_urls);
+    if (crl) ++stats.leaf_with_crl;
+    if (ocsp) ++stats.leaf_with_ocsp;
+    if (!crl && !ocsp) ++stats.leaf_unrevocable;
+  }
+  for (const x509::CertPtr& cert : pipeline.IntermediateSet()) {
+    const bool crl = has_fetchable(cert->tbs.crl_urls);
+    const bool ocsp = has_fetchable(cert->tbs.ocsp_urls);
+    if (crl) ++stats.intermediate_with_crl;
+    if (ocsp) ++stats.intermediate_with_ocsp;
+    if (!crl && !ocsp) ++stats.intermediate_unrevocable;
+  }
+  return stats;
+}
+
+std::vector<CrlSizeSample> CollectCrlSizes(const RevocationCrawler& crawler,
+                                           const Pipeline& pipeline,
+                                           const Ecosystem& eco) {
+  std::map<std::string, CrlSizeSample> by_url;
+  for (const auto& [url, crawled] : crawler.crawled()) {
+    CrlSizeSample sample;
+    sample.url = url;
+    sample.ca_name = eco.CaNameForUrl(url);
+    sample.entries = crawled.num_entries;
+    sample.bytes = crawled.size_bytes;
+    by_url.emplace(url, std::move(sample));
+  }
+
+  // Weight: each Leaf Set certificate contributes 1 to its smallest CRL.
+  for (const CertRecord* record : pipeline.LeafSet()) {
+    CrlSizeSample* smallest = nullptr;
+    for (const std::string& url : record->cert->tbs.crl_urls) {
+      auto it = by_url.find(url);
+      if (it == by_url.end()) continue;
+      if (!smallest || it->second.bytes < smallest->bytes)
+        smallest = &it->second;
+    }
+    if (smallest) smallest->cert_weight += 1;
+  }
+
+  std::vector<CrlSizeSample> samples;
+  samples.reserve(by_url.size());
+  for (auto& [url, sample] : by_url) samples.push_back(std::move(sample));
+  return samples;
+}
+
+CrlSizeDistributions BuildCrlSizeDistributions(
+    const std::vector<CrlSizeSample>& samples) {
+  CrlSizeDistributions dist;
+  for (const CrlSizeSample& sample : samples) {
+    dist.raw.Add(static_cast<double>(sample.bytes));
+    if (sample.cert_weight > 0)
+      dist.weighted.Add(static_cast<double>(sample.bytes), sample.cert_weight);
+  }
+  return dist;
+}
+
+std::vector<CaStatsRow> ComputeTable1(const std::vector<CrlSizeSample>& samples,
+                                      const Pipeline& pipeline,
+                                      const RevocationCrawler& crawler,
+                                      const Ecosystem& eco) {
+  struct Agg {
+    std::size_t num_crls = 0;
+    std::size_t total_certs = 0;
+    std::size_t revoked = 0;
+    double weighted_bytes = 0;  // sum over certs of their CRL size
+    double weight = 0;
+  };
+  std::map<std::string, Agg> by_ca;
+
+  for (const CrlSizeSample& sample : samples) {
+    if (sample.ca_name.empty()) continue;
+    Agg& agg = by_ca[sample.ca_name];
+    ++agg.num_crls;
+    agg.weighted_bytes +=
+        static_cast<double>(sample.bytes) * sample.cert_weight;
+    agg.weight += sample.cert_weight;
+  }
+
+  for (const CertRecord* record : pipeline.LeafSet()) {
+    std::string ca_name;
+    for (const std::string& url : record->cert->tbs.crl_urls) {
+      ca_name = eco.CaNameForUrl(url);
+      if (!ca_name.empty()) break;
+    }
+    if (ca_name.empty() && !record->cert->tbs.ocsp_urls.empty())
+      ca_name = eco.CaNameForUrl(record->cert->tbs.ocsp_urls.front());
+    if (ca_name.empty()) continue;
+    Agg& agg = by_ca[ca_name];
+    ++agg.total_certs;
+    if (crawler.Lookup(record->cert->tbs.issuer, record->cert->tbs.serial))
+      ++agg.revoked;
+  }
+
+  std::vector<CaStatsRow> rows;
+  for (const auto& [name, agg] : by_ca) {
+    CaStatsRow row;
+    row.name = name;
+    row.num_crls = agg.num_crls;
+    row.total_certs = agg.total_certs;
+    row.revoked_certs = agg.revoked;
+    row.avg_crl_size_kb =
+        agg.weight > 0 ? agg.weighted_bytes / agg.weight / 1024.0 : 0;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const CaStatsRow& a, const CaStatsRow& b) {
+    return a.total_certs > b.total_certs;
+  });
+  return rows;
+}
+
+}  // namespace rev::core

@@ -1,0 +1,70 @@
+// CA-side measurements: dataset composition (§3), CRL sizes (Fig. 5 and
+// Fig. 6), and the per-CA Table 1 statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/crawler.h"
+#include "core/ecosystem.h"
+#include "core/pipeline.h"
+#include "util/stats.h"
+
+namespace rev::core {
+
+// §3.1/§3.2 dataset statistics.
+struct DatasetStats {
+  std::size_t unique_certs = 0;
+  std::size_t leaf_set = 0;
+  std::size_t intermediate_set = 0;
+  std::size_t leaf_still_advertised = 0;
+  std::size_t leaf_with_crl = 0;
+  std::size_t leaf_with_ocsp = 0;
+  std::size_t leaf_unrevocable = 0;
+  std::size_t intermediate_with_crl = 0;
+  std::size_t intermediate_with_ocsp = 0;
+  std::size_t intermediate_unrevocable = 0;
+};
+
+DatasetStats ComputeDatasetStats(const Pipeline& pipeline);
+
+// One crawled CRL with its measured size and certificate weight.
+struct CrlSizeSample {
+  std::string url;
+  std::string ca_name;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  // Number of Leaf Set certificates whose (smallest) CRL this is — the
+  // weight for Fig. 6's per-certificate distribution.
+  double cert_weight = 0;
+};
+
+// Joins crawled CRLs with the Leaf Set's distribution-point references.
+std::vector<CrlSizeSample> CollectCrlSizes(const RevocationCrawler& crawler,
+                                           const Pipeline& pipeline,
+                                           const Ecosystem& eco);
+
+// Builds the Fig. 6 distributions: raw (each CRL weight 1) and weighted
+// (each CRL weighted by its certificate count).
+struct CrlSizeDistributions {
+  util::Distribution raw;
+  util::Distribution weighted;
+};
+CrlSizeDistributions BuildCrlSizeDistributions(
+    const std::vector<CrlSizeSample>& samples);
+
+// A Table 1 row.
+struct CaStatsRow {
+  std::string name;
+  std::size_t num_crls = 0;
+  std::size_t total_certs = 0;
+  std::size_t revoked_certs = 0;
+  double avg_crl_size_kb = 0;  // certificate-weighted average
+};
+
+std::vector<CaStatsRow> ComputeTable1(const std::vector<CrlSizeSample>& samples,
+                                      const Pipeline& pipeline,
+                                      const RevocationCrawler& crawler,
+                                      const Ecosystem& eco);
+
+}  // namespace rev::core

@@ -1,0 +1,114 @@
+#include "core/crawler.h"
+
+#include "net/url.h"
+
+namespace rev::core {
+
+RevocationCrawler::RevocationCrawler(net::SimNet* net)
+    : net_(net), client_(net) {}
+
+void RevocationCrawler::CollectUrls(const Pipeline& pipeline) {
+  for (const CertRecord* record : pipeline.LeafSet()) {
+    for (const std::string& url : record->cert->tbs.crl_urls)
+      AddUrl(url);
+  }
+  for (const x509::CertPtr& cert : pipeline.IntermediateSet()) {
+    for (const std::string& url : cert->tbs.crl_urls) AddUrl(url);
+  }
+}
+
+void RevocationCrawler::AddUrl(const std::string& url) {
+  // The paper only follows http[s] URLs (ldap:// and file:// are ignored).
+  if (net::IsFetchable(url)) urls_.insert(url);
+}
+
+std::size_t RevocationCrawler::CrawlAll(util::Timestamp now) {
+  std::size_t new_entries = 0;
+  for (const std::string& url : urls_) {
+    const net::CachingClient::Result result = client_.Get(url, now);
+    seconds_spent_ += result.fetch.elapsed_seconds;
+    if (!result.fetch.ok()) {
+      ++fetch_failures_;
+      continue;
+    }
+    if (!result.from_cache) bytes_downloaded_ += result.fetch.response.body.size();
+
+    auto parsed = crl::ParseCrl(result.fetch.response.body);
+    if (!parsed) {
+      ++fetch_failures_;
+      continue;
+    }
+
+    CrawledCrl& crawled = crawled_[url];
+    crawled.url = url;
+    crawled.issuer_name_der = parsed->tbs.issuer.Encode();
+    crawled.size_bytes = parsed->der.size();
+    crawled.num_entries = parsed->tbs.entries.size();
+    crawled.this_update = parsed->tbs.this_update;
+    crawled.next_update = parsed->tbs.next_update;
+
+    for (const crl::CrlEntry& entry : parsed->tbs.entries) {
+      auto [it, inserted] = revocations_.try_emplace(
+          std::make_pair(crawled.issuer_name_der, entry.serial));
+      if (inserted) {
+        it->second.revoked_at = entry.revocation_date;
+        it->second.reason = entry.reason;
+        it->second.first_seen_in_crl = now;
+        ++new_entries;
+      }
+    }
+    crawled.crl = *std::move(parsed);
+  }
+  return new_entries;
+}
+
+std::optional<ocsp::CertStatus> RevocationCrawler::QueryOcsp(
+    const x509::Certificate& cert, const x509::Certificate& issuer,
+    util::Timestamp now) {
+  for (const std::string& url : cert.tbs.ocsp_urls) {
+    if (!net::IsFetchable(url)) continue;
+    ocsp::OcspRequest request;
+    request.cert_id = ocsp::MakeCertId(issuer, cert.tbs.serial);
+    const net::FetchResult fetch =
+        net_->Post(url, ocsp::EncodeOcspRequest(request), now);
+    seconds_spent_ += fetch.elapsed_seconds;
+    if (!fetch.ok()) {
+      ++fetch_failures_;
+      continue;
+    }
+    bytes_downloaded_ += fetch.response.body.size();
+    auto response = ocsp::ParseOcspResponse(fetch.response.body);
+    if (!response || response->status != ocsp::ResponseStatus::kSuccessful)
+      continue;
+    if (response->single.status == ocsp::CertStatus::kRevoked) {
+      auto [it, inserted] = revocations_.try_emplace(
+          std::make_pair(cert.tbs.issuer.Encode(), cert.tbs.serial));
+      if (inserted) {
+        it->second.revoked_at = response->single.revocation_time;
+        it->second.reason = response->single.reason;
+        it->second.first_seen_in_crl = now;
+      }
+    }
+    return response->single.status;
+  }
+  return std::nullopt;
+}
+
+const RevocationInfo* RevocationCrawler::Lookup(
+    const x509::Name& issuer, const x509::Serial& serial) const {
+  auto it = revocations_.find(std::make_pair(issuer.Encode(), serial));
+  return it == revocations_.end() ? nullptr : &it->second;
+}
+
+std::size_t RevocationCrawler::total_revocations() const {
+  return revocations_.size();
+}
+
+std::map<x509::ReasonCode, std::size_t> RevocationCrawler::ReasonCodeHistogram()
+    const {
+  std::map<x509::ReasonCode, std::size_t> histogram;
+  for (const auto& [key, info] : revocations_) ++histogram[info.reason];
+  return histogram;
+}
+
+}  // namespace rev::core

@@ -1,0 +1,90 @@
+// The revocation crawler (§3.2): downloads every CRL distribution point
+// named by the Leaf and Intermediate Sets once per day over the simulated
+// network, and queries OCSP responders for the certificates that carry no
+// CRL pointer. Builds a revocation database keyed by (issuer name, serial).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "crl/crl.h"
+#include "net/cache.h"
+#include "net/simnet.h"
+#include "ocsp/ocsp.h"
+#include "x509/certificate.h"
+
+namespace rev::core {
+
+struct RevocationInfo {
+  util::Timestamp revoked_at = 0;
+  x509::ReasonCode reason = x509::ReasonCode::kNoReasonCode;
+  // When the crawler first saw this entry in a CRL (for Fig. 10's
+  // window-of-vulnerability analysis).
+  util::Timestamp first_seen_in_crl = 0;
+};
+
+// Snapshot of one crawled CRL.
+struct CrawledCrl {
+  std::string url;
+  Bytes issuer_name_der;
+  std::size_t size_bytes = 0;
+  std::size_t num_entries = 0;
+  util::Timestamp this_update = 0;
+  util::Timestamp next_update = 0;
+  // Latest parsed body, kept for CRLSet generation.
+  crl::Crl crl;
+};
+
+class RevocationCrawler {
+ public:
+  explicit RevocationCrawler(net::SimNet* net);
+
+  // Registers the CRL URLs of every certificate in the pipeline's Leaf and
+  // Intermediate sets. Call once after Pipeline::Finalize().
+  void CollectUrls(const Pipeline& pipeline);
+
+  void AddUrl(const std::string& url);
+
+  // Crawls all registered CRLs at `now` (honoring HTTP cache lifetimes via
+  // nextUpdate). Returns the number of *new* revocation entries discovered.
+  std::size_t CrawlAll(util::Timestamp now);
+
+  // Queries the OCSP responder for one certificate (used for the 642
+  // CRL-less certificates, §3.2). Requires the issuer certificate.
+  std::optional<ocsp::CertStatus> QueryOcsp(const x509::Certificate& cert,
+                                            const x509::Certificate& issuer,
+                                            util::Timestamp now);
+
+  // Lookup: revocation info for (issuer, serial), or nullptr.
+  const RevocationInfo* Lookup(const x509::Name& issuer,
+                               const x509::Serial& serial) const;
+
+  const std::map<std::string, CrawledCrl>& crawled() const { return crawled_; }
+  std::size_t total_revocations() const;
+
+  // §4.2: histogram of CRL reason codes across all discovered revocations
+  // (the paper finds the vast majority carry no reason code at all).
+  std::map<x509::ReasonCode, std::size_t> ReasonCodeHistogram() const;
+
+  // Bandwidth/latency spent crawling (§5.2 cost analysis).
+  std::uint64_t bytes_downloaded() const { return bytes_downloaded_; }
+  double seconds_spent() const { return seconds_spent_; }
+  std::uint64_t fetch_failures() const { return fetch_failures_; }
+
+ private:
+  net::SimNet* net_;
+  net::CachingClient client_;
+  std::set<std::string> urls_;
+  std::map<std::string, CrawledCrl> crawled_;
+  // (issuer name DER, serial) -> info
+  std::map<std::pair<Bytes, x509::Serial>, RevocationInfo> revocations_;
+  std::uint64_t bytes_downloaded_ = 0;
+  double seconds_spent_ = 0;
+  std::uint64_t fetch_failures_ = 0;
+};
+
+}  // namespace rev::core

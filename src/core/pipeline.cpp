@@ -1,0 +1,79 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+namespace rev::core {
+
+void Pipeline::IngestScan(const scan::CertScanSnapshot& snapshot) {
+  finalized_ = false;
+  const bool newest = snapshot.time >= latest_scan_time_;
+  if (newest) {
+    latest_scan_time_ = snapshot.time;
+    for (auto& [fp, record] : records_) record.in_latest_scan = false;
+  }
+  for (const scan::CertObservation& obs : snapshot.observations) {
+    for (std::size_t i = 0; i < obs.chain.size(); ++i) {
+      const x509::CertPtr& cert = obs.chain[i];
+      if (!cert) continue;
+      auto [it, inserted] = records_.try_emplace(cert->Fingerprint());
+      CertRecord& record = it->second;
+      if (inserted) {
+        record.cert = cert;
+        record.first_seen = snapshot.time;
+        record.last_seen = snapshot.time;
+      } else {
+        record.first_seen = std::min(record.first_seen, snapshot.time);
+        record.last_seen = std::max(record.last_seen, snapshot.time);
+      }
+      // Count server-observations for the leaf position only (used for
+      // weighted statistics); chain elements are shared.
+      if (i == 0) {
+        ++record.observations;
+        if (newest) record.in_latest_scan = true;
+      }
+    }
+  }
+}
+
+void Pipeline::Finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+
+  // Candidate intermediates: every CA certificate observed.
+  std::vector<x509::CertPtr> candidates;
+  for (const auto& [fp, record] : records_) {
+    if (record.cert->IsCa()) candidates.push_back(record.cert);
+  }
+  intermediate_set_ = x509::BuildIntermediateSet(candidates, roots_);
+
+  x509::CertPool intermediates;
+  for (const x509::CertPtr& cert : intermediate_set_)
+    intermediates.Add(cert);
+
+  // Validate every certificate, ignoring date errors (§3.1).
+  x509::VerifyOptions options;
+  options.ignore_dates = true;
+  for (auto& [fp, record] : records_) {
+    if (record.cert->IsCa()) {
+      record.valid = roots_.Contains(*record.cert) ||
+                     std::any_of(intermediate_set_.begin(),
+                                 intermediate_set_.end(),
+                                 [&](const x509::CertPtr& c) {
+                                   return c->Fingerprint() == record.cert->Fingerprint();
+                                 });
+      continue;
+    }
+    record.valid =
+        x509::VerifyChain(record.cert, intermediates, roots_, options).ok();
+  }
+}
+
+std::vector<const CertRecord*> Pipeline::LeafSet() const {
+  std::vector<const CertRecord*> out;
+  for (const auto& [fp, record] : records_) {
+    if (record.valid && !record.cert->IsCa()) out.push_back(&record);
+  }
+  return out;
+}
+
+}  // namespace rev::core

@@ -1,0 +1,60 @@
+// The scan-processing pipeline (§3.1): deduplicates observed certificates,
+// tracks per-certificate lifetimes (birth = first advertisement, death =
+// last), builds the Intermediate Set by iterative verification against the
+// root store, and validates leaves with date errors ignored.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "scan/scanner.h"
+#include "util/bytes.h"
+#include "util/time.h"
+#include "x509/verify.h"
+
+namespace rev::core {
+
+struct CertRecord {
+  x509::CertPtr cert;
+  util::Timestamp first_seen = 0;  // birth
+  util::Timestamp last_seen = 0;   // death (so far)
+  std::uint64_t observations = 0;  // server-observations across all scans
+  bool valid = false;              // verified against the root store
+  bool in_latest_scan = false;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(x509::CertPool roots) : roots_(std::move(roots)) {}
+
+  // Folds one scan into the store.
+  void IngestScan(const scan::CertScanSnapshot& snapshot);
+
+  // Builds the Intermediate Set and validates all leaves. Call after the
+  // last IngestScan; idempotent.
+  void Finalize();
+
+  // All unique certificates observed (leaves and CA certs alike).
+  const std::map<Bytes, CertRecord>& records() const { return records_; }
+
+  // The paper's Leaf Set: non-CA certificates that verified (dates ignored).
+  std::vector<const CertRecord*> LeafSet() const;
+
+  // The paper's Intermediate Set.
+  const std::vector<x509::CertPtr>& IntermediateSet() const {
+    return intermediate_set_;
+  }
+
+  const x509::CertPool& roots() const { return roots_; }
+  util::Timestamp latest_scan_time() const { return latest_scan_time_; }
+  std::uint64_t total_observed() const { return records_.size(); }
+
+ private:
+  x509::CertPool roots_;
+  std::map<Bytes, CertRecord> records_;
+  std::vector<x509::CertPtr> intermediate_set_;
+  util::Timestamp latest_scan_time_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace rev::core

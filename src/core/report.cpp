@@ -1,0 +1,74 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace rev::core {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out << cells[i]
+          << std::string(widths[i] - cells[i].size() + 2, ' ');
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string RenderSeries(const std::string& x_label,
+                         const std::vector<Series>& series, int max_rows) {
+  std::vector<std::string> headers = {x_label};
+  for (const Series& s : series) headers.push_back(s.name);
+  TextTable table(std::move(headers));
+
+  std::size_t n = 0;
+  for (const Series& s : series) n = std::max(n, s.points.size());
+  std::size_t step = 1;
+  if (max_rows > 0 && n > static_cast<std::size_t>(max_rows))
+    step = (n + static_cast<std::size_t>(max_rows) - 1) / static_cast<std::size_t>(max_rows);
+
+  for (std::size_t i = 0; i < n; i += step) {
+    std::vector<std::string> row;
+    double x = 0;
+    for (const Series& s : series)
+      if (i < s.points.size()) x = s.points[i].first;
+    row.push_back(FormatDouble(x, 2));
+    for (const Series& s : series) {
+      row.push_back(i < s.points.size() ? FormatDouble(s.points[i].second, 6)
+                                        : "");
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.Render();
+}
+
+}  // namespace rev::core

@@ -1,0 +1,36 @@
+// Plain-text report rendering: aligned tables and (x, y) series in the
+// shape the paper's tables and figures use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rev::core {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// A printable data series (one figure line).
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
+// Renders one or more series as aligned columns: x then one column per
+// series (points are matched by index; series must be equally sampled).
+std::string RenderSeries(const std::string& x_label,
+                         const std::vector<Series>& series,
+                         int max_rows = 0 /* 0 = all */);
+
+std::string FormatDouble(double v, int precision = 4);
+
+}  // namespace rev::core

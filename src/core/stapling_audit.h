@@ -1,0 +1,45 @@
+// OCSP Stapling measurements (§4.3, Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scan/scanner.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace rev::core {
+
+// §4.3 aggregate statistics from one TLS-handshake scan.
+struct StaplingStats {
+  std::uint64_t servers_total = 0;
+  std::uint64_t servers_stapled = 0;
+  std::uint64_t fresh_certs = 0;
+  std::uint64_t certs_any_staple = 0;   // served by >=1 stapling server
+  std::uint64_t certs_all_staple = 0;   // all servers stapled
+  std::uint64_t ev_fresh_certs = 0;
+  std::uint64_t ev_certs_any_staple = 0;
+  std::uint64_t ev_certs_all_staple = 0;
+
+  double ServerFraction() const {
+    return servers_total ? static_cast<double>(servers_stapled) /
+                               static_cast<double>(servers_total)
+                         : 0;
+  }
+};
+
+// Aggregates a handshake scan, counting only certificates fresh at the scan
+// time (matching "fresh Leaf Set certificates advertised in this scan").
+StaplingStats ComputeStaplingStats(const scan::HandshakeScanSnapshot& scan);
+
+// The Fig. 3 repeat-connection experiment: connects to `sample` random
+// alive servers up to `max_requests` times (3 s apart) and reports, for
+// each request count n, the fraction of eventually-stapling servers first
+// observed to staple within n requests. Index 0 of the result corresponds
+// to n = 1.
+std::vector<double> StaplingRepeatCurve(scan::Internet& internet,
+                                        util::Timestamp t, int max_requests,
+                                        std::size_t sample,
+                                        std::uint64_t seed);
+
+}  // namespace rev::core

@@ -1,0 +1,84 @@
+#include "core/timeline.h"
+
+#include <algorithm>
+#include <map>
+
+#include "net/url.h"
+
+namespace rev::core {
+
+std::vector<RevocationTimelinePoint> ComputeRevocationTimeline(
+    const Pipeline& pipeline, const RevocationCrawler& crawler,
+    util::Timestamp start, util::Timestamp end, std::int64_t step_seconds) {
+  struct CertSpan {
+    util::Timestamp not_before, not_after;
+    util::Timestamp birth, death;
+    util::Timestamp revoked_at;  // 0 = never
+    bool ev;
+  };
+  std::vector<CertSpan> spans;
+  for (const CertRecord* record : pipeline.LeafSet()) {
+    CertSpan span;
+    span.not_before = record->cert->tbs.not_before;
+    span.not_after = record->cert->tbs.not_after;
+    span.birth = record->first_seen;
+    span.death = record->last_seen;
+    span.ev = record->cert->IsEv();
+    const RevocationInfo* info =
+        crawler.Lookup(record->cert->tbs.issuer, record->cert->tbs.serial);
+    span.revoked_at = info ? info->revoked_at : 0;
+    spans.push_back(span);
+  }
+
+  std::vector<RevocationTimelinePoint> points;
+  for (util::Timestamp t = start; t <= end; t += step_seconds) {
+    RevocationTimelinePoint point;
+    point.time = t;
+    for (const CertSpan& span : spans) {
+      const bool revoked = span.revoked_at != 0 && span.revoked_at <= t;
+      if (t >= span.not_before && t <= span.not_after) {
+        ++point.fresh;
+        if (revoked) ++point.fresh_revoked;
+        if (span.ev) {
+          ++point.fresh_ev;
+          if (revoked) ++point.fresh_ev_revoked;
+        }
+      }
+      if (t >= span.birth && t <= span.death) {
+        ++point.alive;
+        if (revoked) ++point.alive_revoked;
+        if (span.ev) {
+          ++point.alive_ev;
+          if (revoked) ++point.alive_ev_revoked;
+        }
+      }
+    }
+    points.push_back(point);
+  }
+  return points;
+}
+
+std::vector<AdoptionPoint> ComputeRevinfoAdoption(const Pipeline& pipeline) {
+  std::map<util::Timestamp, AdoptionPoint> by_month;
+  for (const CertRecord* record : pipeline.LeafSet()) {
+    const util::Timestamp month =
+        util::StartOfMonth(record->cert->tbs.not_before);
+    AdoptionPoint& point = by_month[month];
+    point.month_start = month;
+    ++point.issued;
+    bool has_crl = false;
+    for (const std::string& url : record->cert->tbs.crl_urls)
+      has_crl = has_crl || net::IsFetchable(url);
+    bool has_ocsp = false;
+    for (const std::string& url : record->cert->tbs.ocsp_urls)
+      has_ocsp = has_ocsp || net::IsFetchable(url);
+    if (has_crl) ++point.with_crl;
+    if (has_ocsp) ++point.with_ocsp;
+  }
+  std::vector<AdoptionPoint> points;
+  points.reserve(by_month.size());
+  for (const auto& [month, point] : by_month) points.push_back(point);
+  return points;
+}
+
+}  // namespace rev::core

@@ -1,0 +1,66 @@
+// Certificate-lifetime analytics: Fig. 1's fresh/alive timelines folded with
+// crawler revocation data into the Fig. 2 time series, plus the Fig. 4
+// revocation-information adoption series.
+#pragma once
+
+#include <vector>
+
+#include "core/crawler.h"
+#include "core/pipeline.h"
+#include "util/time.h"
+
+namespace rev::core {
+
+struct RevocationTimelinePoint {
+  util::Timestamp time = 0;
+  std::size_t fresh = 0;
+  std::size_t fresh_revoked = 0;
+  std::size_t fresh_ev = 0;
+  std::size_t fresh_ev_revoked = 0;
+  std::size_t alive = 0;
+  std::size_t alive_revoked = 0;
+  std::size_t alive_ev = 0;
+  std::size_t alive_ev_revoked = 0;
+
+  double FreshRevokedFraction() const {
+    return fresh ? static_cast<double>(fresh_revoked) / static_cast<double>(fresh) : 0;
+  }
+  double FreshEvRevokedFraction() const {
+    return fresh_ev ? static_cast<double>(fresh_ev_revoked) / static_cast<double>(fresh_ev) : 0;
+  }
+  double AliveRevokedFraction() const {
+    return alive ? static_cast<double>(alive_revoked) / static_cast<double>(alive) : 0;
+  }
+  double AliveEvRevokedFraction() const {
+    return alive_ev ? static_cast<double>(alive_ev_revoked) / static_cast<double>(alive_ev) : 0;
+  }
+};
+
+// Samples the fraction of fresh and alive certificates that are revoked,
+// every `step_seconds` from `start` to `end` (Fig. 2). Revocation times come
+// from the crawler's database, so certificates revoked before the crawl
+// period are back-dated by their CRL revocation timestamps, matching §3.
+std::vector<RevocationTimelinePoint> ComputeRevocationTimeline(
+    const Pipeline& pipeline, const RevocationCrawler& crawler,
+    util::Timestamp start, util::Timestamp end,
+    std::int64_t step_seconds = 7 * util::kSecondsPerDay);
+
+struct AdoptionPoint {
+  util::Timestamp month_start = 0;
+  std::size_t issued = 0;
+  std::size_t with_crl = 0;
+  std::size_t with_ocsp = 0;
+
+  double CrlFraction() const {
+    return issued ? static_cast<double>(with_crl) / static_cast<double>(issued) : 0;
+  }
+  double OcspFraction() const {
+    return issued ? static_cast<double>(with_ocsp) / static_cast<double>(issued) : 0;
+  }
+};
+
+// Buckets Leaf Set certificates by issuance month (notBefore) and reports
+// the fraction carrying reachable CRL / OCSP pointers (Fig. 4).
+std::vector<AdoptionPoint> ComputeRevinfoAdoption(const Pipeline& pipeline);
+
+}  // namespace rev::core

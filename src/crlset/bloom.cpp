@@ -1,0 +1,97 @@
+#include "crlset/bloom.h"
+
+#include <cmath>
+
+#include "crypto/sha256.h"
+
+namespace rev::crlset {
+
+namespace {
+
+// Two independent 64-bit hashes from a SHA-256 of the key; g_i = h1 + i*h2
+// (Kirsch–Mitzenmacher double hashing).
+struct HashPair {
+  std::uint64_t h1;
+  std::uint64_t h2;
+};
+
+HashPair HashKey(BytesView key) {
+  const crypto::Sha256Digest d = crypto::Sha256::Hash(key);
+  HashPair h{0, 0};
+  for (int i = 0; i < 8; ++i) {
+    h.h1 = (h.h1 << 8) | d[static_cast<std::size_t>(i)];
+    h.h2 = (h.h2 << 8) | d[static_cast<std::size_t>(i + 8)];
+  }
+  if (h.h2 == 0) h.h2 = 0x9E3779B97F4A7C15ull;
+  return h;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t m_bits, int k)
+    : m_(m_bits == 0 ? 8 : m_bits), k_(k <= 0 ? 1 : k) {
+  bits_.assign((m_ + 7) / 8, 0);
+}
+
+BloomFilter BloomFilter::ForCapacity(std::size_t n, double p) {
+  if (n == 0) n = 1;
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(n) * std::log(p) / (ln2 * ln2);
+  const int k = static_cast<int>(std::ceil(m / static_cast<double>(n) * ln2));
+  return BloomFilter(static_cast<std::size_t>(std::ceil(m)), k);
+}
+
+double BloomFilter::ExpectedFpr(std::size_t m_bits, int k, std::size_t n) {
+  if (m_bits == 0) return 1.0;
+  const double exponent = -static_cast<double>(k) * static_cast<double>(n) /
+                          static_cast<double>(m_bits);
+  return std::pow(1.0 - std::exp(exponent), k);
+}
+
+void BloomFilter::Insert(BytesView key) {
+  const HashPair h = HashKey(key);
+  for (int i = 0; i < k_; ++i) {
+    const std::uint64_t bit =
+        (h.h1 + static_cast<std::uint64_t>(i) * h.h2) % m_;
+    bits_[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::MayContain(BytesView key) const {
+  const HashPair h = HashKey(key);
+  for (int i = 0; i < k_; ++i) {
+    const std::uint64_t bit =
+        (h.h1 + static_cast<std::uint64_t>(i) * h.h2) % m_;
+    if (!(bits_[bit / 8] & (1u << (bit % 8)))) return false;
+  }
+  return true;
+}
+
+double BloomFilter::MeasureFpr(std::size_t probes, std::uint64_t seed) const {
+  if (probes == 0) return 0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < probes; ++i) {
+    Bytes key(16);
+    std::uint64_t v = seed + i * 0xD1B54A32D192ED03ull;
+    for (std::size_t b = 0; b < key.size(); ++b) {
+      v ^= v >> 33;
+      v *= 0xFF51AFD7ED558CCDull;
+      key[b] = static_cast<std::uint8_t>(v >> (8 * (b % 8)));
+    }
+    key[0] = 0xFB;  // distinct namespace from RevocationKey outputs
+    if (MayContain(key)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(probes);
+}
+
+Bytes RevocationKey(BytesView parent_spki_sha256, BytesView serial) {
+  Bytes key;
+  key.reserve(parent_spki_sha256.size() + serial.size() + 1);
+  key.push_back(0x01);  // namespace tag
+  Append(key, parent_spki_sha256);
+  Append(key, serial);
+  return key;
+}
+
+}  // namespace rev::crlset

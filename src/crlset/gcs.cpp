@@ -1,0 +1,125 @@
+#include "crlset/gcs.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace rev::crlset {
+
+namespace {
+
+class BitWriter {
+ public:
+  void WriteBit(bool bit) {
+    if (bit_pos_ == 0) data_.push_back(0);
+    if (bit) data_.back() |= static_cast<std::uint8_t>(1u << (7 - bit_pos_));
+    bit_pos_ = (bit_pos_ + 1) % 8;
+  }
+  void WriteUnary(std::uint64_t q) {
+    for (std::uint64_t i = 0; i < q; ++i) WriteBit(true);
+    WriteBit(false);
+  }
+  void WriteBits(std::uint64_t value, int bits) {
+    for (int i = bits - 1; i >= 0; --i) WriteBit((value >> i) & 1);
+  }
+  Bytes Take() { return std::move(data_); }
+
+ private:
+  Bytes data_;
+  int bit_pos_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(BytesView data) : data_(data) {}
+  bool ReadBit(bool* bit) {
+    if (pos_ / 8 >= data_.size()) return false;
+    *bit = (data_[pos_ / 8] >> (7 - pos_ % 8)) & 1;
+    ++pos_;
+    return true;
+  }
+  bool ReadUnary(std::uint64_t* q) {
+    *q = 0;
+    bool bit;
+    while (ReadBit(&bit)) {
+      if (!bit) return true;
+      ++*q;
+    }
+    return false;
+  }
+  bool ReadBits(int bits, std::uint64_t* value) {
+    *value = 0;
+    for (int i = 0; i < bits; ++i) {
+      bool bit;
+      if (!ReadBit(&bit)) return false;
+      *value = (*value << 1) | (bit ? 1 : 0);
+    }
+    return true;
+  }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t Hash64(BytesView key) {
+  const crypto::Sha256Digest d = crypto::Sha256::Hash(key);
+  std::uint64_t h = 0;
+  for (int i = 0; i < 8; ++i) h = (h << 8) | d[static_cast<std::size_t>(i)];
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t GolombCompressedSet::HashToRange(BytesView key) const {
+  if (range_ == 0) return 0;
+  // Modulo mapping of a 64-bit hash into [0, range_); the bias is
+  // negligible since range_ << 2^64.
+  return Hash64(key) % range_;
+}
+
+GolombCompressedSet GolombCompressedSet::Build(const std::vector<Bytes>& keys,
+                                               int log2_inverse_fpr) {
+  GolombCompressedSet set;
+  set.rice_param_ = log2_inverse_fpr;
+  set.num_keys_ = keys.size();
+  set.range_ = static_cast<std::uint64_t>(keys.size())
+               << log2_inverse_fpr;
+  if (keys.empty()) return set;
+
+  std::vector<std::uint64_t> values;
+  values.reserve(keys.size());
+  for (const Bytes& key : keys) values.push_back(set.HashToRange(key));
+  std::sort(values.begin(), values.end());
+
+  BitWriter writer;
+  std::uint64_t previous = 0;
+  for (std::uint64_t v : values) {
+    const std::uint64_t delta = v - previous;
+    previous = v;
+    writer.WriteUnary(delta >> log2_inverse_fpr);
+    writer.WriteBits(delta & ((1ull << log2_inverse_fpr) - 1),
+                     log2_inverse_fpr);
+  }
+  set.data_ = writer.Take();
+  return set;
+}
+
+bool GolombCompressedSet::MayContain(BytesView key) const {
+  if (num_keys_ == 0) return false;
+  const std::uint64_t target = HashToRange(key);
+  BitReader reader(data_);
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < num_keys_; ++i) {
+    std::uint64_t quotient, remainder;
+    if (!reader.ReadUnary(&quotient) ||
+        !reader.ReadBits(rice_param_, &remainder))
+      return false;
+    value += (quotient << rice_param_) | remainder;
+    if (value == target) return true;
+    if (value > target) return false;
+  }
+  return false;
+}
+
+}  // namespace rev::crlset

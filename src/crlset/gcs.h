@@ -1,0 +1,35 @@
+// Golomb Compressed Set: the space-optimal alternative Langley suggested
+// for revocation dissemination (§7.4). Keys are hashed into [0, n/p); the
+// sorted hash values are delta-encoded with Golomb–Rice coding, approaching
+// the information-theoretic lower bound (~1.44x fewer bits than a Bloom
+// filter at the same false-positive rate).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace rev::crlset {
+
+class GolombCompressedSet {
+ public:
+  // Builds from keys at target false-positive rate 2^-log2_fpr.
+  static GolombCompressedSet Build(const std::vector<Bytes>& keys,
+                                   int log2_inverse_fpr);
+
+  bool MayContain(BytesView key) const;
+
+  std::size_t SizeBytes() const { return data_.size(); }
+  std::size_t NumKeys() const { return num_keys_; }
+
+ private:
+  std::uint64_t HashToRange(BytesView key) const;
+
+  int rice_param_ = 0;        // Rice parameter (== log2_inverse_fpr)
+  std::size_t num_keys_ = 0;
+  std::uint64_t range_ = 0;   // hash range = num_keys * 2^rice_param
+  Bytes data_;                // bit-packed Golomb–Rice deltas
+};
+
+}  // namespace rev::crlset

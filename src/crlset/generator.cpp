@@ -1,0 +1,50 @@
+#include "crlset/generator.h"
+
+namespace rev::crlset {
+
+bool IsCrlSetReasonCode(x509::ReasonCode reason) {
+  switch (reason) {
+    case x509::ReasonCode::kNoReasonCode:
+    case x509::ReasonCode::kUnspecified:
+    case x509::ReasonCode::kKeyCompromise:
+    case x509::ReasonCode::kCaCompromise:
+    case x509::ReasonCode::kAaCompromise:
+      return true;
+    default:
+      return false;
+  }
+}
+
+CrlSet GenerateCrlSet(const std::vector<CrlSource>& sources,
+                      const GeneratorConfig& config, int sequence) {
+  CrlSet set;
+  set.sequence = sequence;
+
+  // Rough running size estimate: parent key (32B + length) once per parent,
+  // plus each serial blob. Refined against Serialize() at the end.
+  std::size_t estimated = 8;
+  for (const CrlSource& source : sources) {
+    if (!source.crawled || source.crl == nullptr) continue;
+    if (source.crl->tbs.entries.size() > config.max_entries_per_crl) continue;
+
+    std::size_t crl_bytes = 0;
+    std::vector<const crl::CrlEntry*> eligible;
+    for (const crl::CrlEntry& entry : source.crl->tbs.entries) {
+      if (config.filter_reason_codes && !IsCrlSetReasonCode(entry.reason))
+        continue;
+      eligible.push_back(&entry);
+      crl_bytes += entry.serial.size() + 4;
+    }
+    if (eligible.empty()) continue;
+    if (!set.CoversParent(source.parent_spki_sha256))
+      crl_bytes += source.parent_spki_sha256.size() + 8;
+
+    if (estimated + crl_bytes > config.max_bytes) continue;  // drop whole CRL
+    estimated += crl_bytes;
+    for (const crl::CrlEntry* entry : eligible)
+      set.AddEntry(source.parent_spki_sha256, entry->serial);
+  }
+  return set;
+}
+
+}  // namespace rev::crlset

@@ -1,0 +1,43 @@
+// The CRLSet generation pipeline, reproducing the documented Google process
+// (§7.1): an internal list of crawled CRLs is folded into a size-capped set,
+// dropping CRLs with too many entries and keeping only revocations whose
+// reason code is one of the "CRLSet reason codes" (no reason code,
+// Unspecified, KeyCompromise, CACompromise, AACompromise).
+#pragma once
+
+#include <vector>
+
+#include "crl/crl.h"
+#include "crlset/crlset.h"
+#include "util/bytes.h"
+
+namespace rev::crlset {
+
+// One crawled CRL with the SPKI hash of its issuing ("parent") certificate.
+struct CrlSource {
+  Bytes parent_spki_sha256;
+  const crl::Crl* crl = nullptr;
+  // Whether Google's crawler follows this CRL at all; the paper finds only
+  // 10.5% of CRLs ever contribute entries.
+  bool crawled = true;
+};
+
+struct GeneratorConfig {
+  // "the size of the CRLSet file is capped at 250KB".
+  std::size_t max_bytes = 250 * 1024;
+  // "if a CRL has too many entries it will be dropped from the CRLSet".
+  std::size_t max_entries_per_crl = 10'000;
+  // Apply the reason-code filter.
+  bool filter_reason_codes = true;
+};
+
+// True for the reason codes eligible for CRLSet inclusion.
+bool IsCrlSetReasonCode(x509::ReasonCode reason);
+
+// Builds a CRLSet from the crawled CRLs. CRLs are folded in input order;
+// once the serialized size would exceed the cap, later CRLs are dropped
+// entirely (coarse but faithful to the observed partial coverage).
+CrlSet GenerateCrlSet(const std::vector<CrlSource>& sources,
+                      const GeneratorConfig& config, int sequence);
+
+}  // namespace rev::crlset

@@ -1,0 +1,19 @@
+#include "crlset/onecrl.h"
+
+namespace rev::crlset {
+
+void OneCrl::AddEntry(const x509::Name& issuer, const x509::Serial& serial) {
+  entries_.emplace(issuer.Encode(), serial);
+}
+
+bool OneCrl::IsRevoked(const x509::Name& issuer,
+                       const x509::Serial& serial) const {
+  return entries_.contains({issuer.Encode(), serial});
+}
+
+bool OneCrl::Blocks(const x509::Certificate& intermediate) const {
+  return intermediate.IsCa() &&
+         IsRevoked(intermediate.tbs.issuer, intermediate.tbs.serial);
+}
+
+}  // namespace rev::crlset

@@ -1,0 +1,470 @@
+#include "crypto/bigint.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace rev::crypto {
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+}
+
+BigInt::BigInt(std::uint64_t v) {
+  if (v) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BigInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::FromBytes(BytesView be) {
+  BigInt out;
+  for (std::uint8_t byte : be) {
+    // out = out*256 + byte
+    std::uint64_t carry = byte;
+    for (auto& limb : out.limbs_) {
+      const std::uint64_t v = (static_cast<std::uint64_t>(limb) << 8) | carry;
+      limb = static_cast<std::uint32_t>(v);
+      carry = v >> 32;
+    }
+    if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  }
+  out.Trim();
+  return out;
+}
+
+Bytes BigInt::ToBytes() const {
+  Bytes out;
+  out.reserve(limbs_.size() * 4);
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    out.push_back(static_cast<std::uint8_t>(limbs_[i] >> 24));
+    out.push_back(static_cast<std::uint8_t>(limbs_[i] >> 16));
+    out.push_back(static_cast<std::uint8_t>(limbs_[i] >> 8));
+    out.push_back(static_cast<std::uint8_t>(limbs_[i]));
+  }
+  // Strip leading zero bytes.
+  std::size_t skip = 0;
+  while (skip < out.size() && out[skip] == 0) ++skip;
+  out.erase(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(skip));
+  return out;
+}
+
+BigInt BigInt::FromDecimal(std::string_view s) {
+  BigInt out;
+  for (char c : s) {
+    if (c < '0' || c > '9') throw std::invalid_argument("bad decimal digit");
+    // out = out*10 + digit
+    std::uint64_t carry = static_cast<std::uint64_t>(c - '0');
+    for (auto& limb : out.limbs_) {
+      const std::uint64_t v = static_cast<std::uint64_t>(limb) * 10 + carry;
+      limb = static_cast<std::uint32_t>(v);
+      carry = v >> 32;
+    }
+    if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  }
+  return out;
+}
+
+std::string BigInt::ToDecimal() const {
+  if (IsZero()) return "0";
+  std::vector<std::uint32_t> work = limbs_;
+  std::string digits;
+  while (!work.empty()) {
+    // Divide work by 10, collecting remainder.
+    std::uint64_t rem = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      const std::uint64_t v = (rem << 32) | work[i];
+      work[i] = static_cast<std::uint32_t>(v / 10);
+      rem = v % 10;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    digits.push_back(static_cast<char>('0' + rem));
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+BigInt BigInt::RandomBits(util::Rng& rng, int bits) {
+  assert(bits >= 2);
+  BigInt out;
+  const int limbs = (bits + 31) / 32;
+  out.limbs_.resize(static_cast<std::size_t>(limbs));
+  for (auto& limb : out.limbs_) limb = static_cast<std::uint32_t>(rng.Next());
+  const int top_bits = bits - (limbs - 1) * 32;  // bits in the top limb, [1,32]
+  std::uint32_t& top = out.limbs_.back();
+  if (top_bits < 32) top &= (1u << top_bits) - 1;
+  top |= 1u << (top_bits - 1);  // force exact bit length
+  return out;
+}
+
+BigInt BigInt::RandomBelow(util::Rng& rng, const BigInt& bound) {
+  assert(!bound.IsZero());
+  const int bits = bound.BitLength();
+  const int limbs = (bits + 31) / 32;
+  for (;;) {
+    BigInt out;
+    out.limbs_.resize(static_cast<std::size_t>(limbs));
+    for (auto& limb : out.limbs_) limb = static_cast<std::uint32_t>(rng.Next());
+    const int top_bits = bits - (limbs - 1) * 32;
+    if (top_bits < 32) out.limbs_.back() &= (1u << top_bits) - 1;
+    out.Trim();
+    if (Compare(out, bound) < 0) return out;
+  }
+}
+
+int BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  int bits = static_cast<int>(limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::Bit(int i) const {
+  const std::size_t limb = static_cast<std::size_t>(i / 32);
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+int BigInt::Compare(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::Add(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigInt BigInt::Sub(const BigInt& a, const BigInt& b) {
+  assert(Compare(a, b) >= 0);
+  BigInt out;
+  out.limbs_.resize(a.limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::Mul(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          out.limbs_[i + j] + ai * b.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.limbs_.size();
+    while (carry) {
+      const std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.Trim();
+  return out;
+}
+
+void BigInt::DivMod(const BigInt& dividend, const BigInt& divisor,
+                    BigInt* quotient, BigInt* remainder) {
+  if (divisor.IsZero()) throw std::domain_error("division by zero");
+  if (Compare(dividend, divisor) < 0) {
+    if (quotient) *quotient = BigInt();
+    if (remainder) *remainder = dividend;
+    return;
+  }
+  if (divisor.limbs_.size() == 1) {
+    // Fast path: single-limb divisor.
+    const std::uint64_t d = divisor.limbs_[0];
+    BigInt q;
+    q.limbs_.resize(dividend.limbs_.size());
+    std::uint64_t rem = 0;
+    for (std::size_t i = dividend.limbs_.size(); i-- > 0;) {
+      const std::uint64_t v = (rem << 32) | dividend.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(v / d);
+      rem = v % d;
+    }
+    q.Trim();
+    if (quotient) *quotient = std::move(q);
+    if (remainder) *remainder = BigInt(rem);
+    return;
+  }
+
+  // Knuth Algorithm D (TAOCP Vol. 2, 4.3.1) with 32-bit digits.
+  const std::size_t n = divisor.limbs_.size();
+  const std::size_t m = dividend.limbs_.size() - n;
+
+  // D1: normalize so the divisor's top limb has its high bit set.
+  int shift = 0;
+  {
+    std::uint32_t top = divisor.limbs_.back();
+    while (!(top & 0x80000000u)) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  const BigInt u_big = dividend.ShiftLeft(shift);
+  const BigInt v_big = divisor.ShiftLeft(shift);
+  std::vector<std::uint32_t> u = u_big.limbs_;
+  u.resize(dividend.limbs_.size() + 1, 0);  // ensure u has m+n+1 digits
+  const std::vector<std::uint32_t>& v = v_big.limbs_;
+  assert(v.size() == n);
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  const std::uint64_t v_top = v[n - 1];
+  const std::uint64_t v_next = v[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate q_hat.
+    const std::uint64_t numerator =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t q_hat = numerator / v_top;
+    std::uint64_t r_hat = numerator % v_top;
+    while (q_hat >= kBase ||
+           q_hat * v_next > ((r_hat << 32) | u[j + n - 2])) {
+      --q_hat;
+      r_hat += v_top;
+      if (r_hat >= kBase) break;
+    }
+
+    // D4: multiply and subtract u[j..j+n] -= q_hat * v.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t product = q_hat * v[i] + carry;
+      carry = product >> 32;
+      const std::int64_t diff = static_cast<std::int64_t>(u[j + i]) -
+                                static_cast<std::int64_t>(product & 0xFFFFFFFFull) -
+                                borrow;
+      u[j + i] = static_cast<std::uint32_t>(diff);
+      borrow = diff < 0 ? 1 : 0;
+    }
+    const std::int64_t diff = static_cast<std::int64_t>(u[j + n]) -
+                              static_cast<std::int64_t>(carry) - borrow;
+    u[j + n] = static_cast<std::uint32_t>(diff);
+
+    // D5/D6: if we subtracted too much, add back.
+    if (diff < 0) {
+      --q_hat;
+      std::uint64_t carry2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum =
+            static_cast<std::uint64_t>(u[j + i]) + v[i] + carry2;
+        u[j + i] = static_cast<std::uint32_t>(sum);
+        carry2 = sum >> 32;
+      }
+      u[j + n] = static_cast<std::uint32_t>(u[j + n] + carry2);
+    }
+    q.limbs_[j] = static_cast<std::uint32_t>(q_hat);
+  }
+
+  q.Trim();
+  if (quotient) *quotient = std::move(q);
+  if (remainder) {
+    BigInt r;
+    r.limbs_.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+    r.Trim();
+    *remainder = r.ShiftRight(shift);
+  }
+}
+
+BigInt BigInt::Mod(const BigInt& a, const BigInt& m) {
+  BigInt r;
+  DivMod(a, m, nullptr, &r);
+  return r;
+}
+
+BigInt BigInt::ShiftLeft(int bits) const {
+  if (IsZero() || bits == 0) return *this;
+  const int limb_shift = bits / 32;
+  const int bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + static_cast<std::size_t>(limb_shift) + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + static_cast<std::size_t>(limb_shift)] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + static_cast<std::size_t>(limb_shift) + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::ShiftRight(int bits) const {
+  if (IsZero() || bits == 0) return *this;
+  const std::size_t limb_shift = static_cast<std::size_t>(bits) / 32;
+  const int bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  BigInt out;
+  out.limbs_.resize(limbs_.size() - limb_shift);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size())
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::ModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  assert(Compare(m, BigInt(1)) > 0);
+  BigInt result(1);
+  BigInt b = Mod(base, m);
+  const int bits = exp.BitLength();
+  for (int i = 0; i < bits; ++i) {
+    if (exp.Bit(i)) result = Mod(Mul(result, b), m);
+    b = Mod(Mul(b, b), m);
+  }
+  return result;
+}
+
+bool BigInt::ModInverse(const BigInt& a, const BigInt& m, BigInt* inverse) {
+  // Iterative extended Euclid keeping coefficients modulo m with sign flags.
+  BigInt r0 = Mod(a, m), r1 = m;
+  BigInt t0(1), t1(0);
+  bool t0_neg = false, t1_neg = false;
+
+  while (!r0.IsZero()) {
+    BigInt q, r;
+    DivMod(r1, r0, &q, &r);
+    // (r1, r0) <- (r0, r)
+    r1 = r0;
+    r0 = r;
+    // (t1, t0) <- (t0, t1 - q*t0)
+    BigInt qt0 = Mul(q, t0);
+    BigInt new_t;
+    bool new_neg;
+    if (t1_neg == t0_neg) {
+      // t1 - q*t0 where both same sign: magnitude |t1| - q|t0| (may flip)
+      if (Compare(t1, qt0) >= 0) {
+        new_t = Sub(t1, qt0);
+        new_neg = t1_neg;
+      } else {
+        new_t = Sub(qt0, t1);
+        new_neg = !t1_neg;
+      }
+    } else {
+      new_t = Add(t1, qt0);
+      new_neg = t1_neg;
+    }
+    t1 = t0;
+    t1_neg = t0_neg;
+    t0 = new_t;
+    t0_neg = new_neg;
+  }
+
+  if (Compare(r1, BigInt(1)) != 0) return false;  // gcd != 1
+  BigInt inv = Mod(t1, m);
+  if (t1_neg && !inv.IsZero()) inv = Sub(m, inv);
+  *inverse = inv;
+  return true;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  while (!b.IsZero()) {
+    BigInt r = Mod(a, b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+bool BigInt::IsProbablePrime(const BigInt& n, util::Rng& rng, int rounds) {
+  static const std::uint64_t kSmallPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19,
+                                               23, 29, 31, 37, 41, 43, 47};
+  if (n.BitLength() <= 6) {
+    const std::uint64_t v = n.Low64();
+    for (std::uint64_t p : kSmallPrimes)
+      if (v == p) return true;
+    return false;
+  }
+  if (!n.IsOdd()) return false;
+  for (std::uint64_t p : kSmallPrimes) {
+    BigInt r = Mod(n, BigInt(p));
+    if (r.IsZero()) return false;
+  }
+
+  // Write n-1 = d * 2^s.
+  const BigInt n_minus_1 = Sub(n, BigInt(1));
+  BigInt d = n_minus_1;
+  int s = 0;
+  while (!d.IsOdd()) {
+    d = d.ShiftRight(1);
+    ++s;
+  }
+
+  const BigInt two(2);
+  const BigInt n_minus_3 = Sub(n, BigInt(3));
+  for (int round = 0; round < rounds; ++round) {
+    const BigInt a = Add(RandomBelow(rng, n_minus_3), two);  // [2, n-2]
+    BigInt x = ModExp(a, d, n);
+    if (Compare(x, BigInt(1)) == 0 || Compare(x, n_minus_1) == 0) continue;
+    bool composite = true;
+    for (int i = 1; i < s; ++i) {
+      x = Mod(Mul(x, x), n);
+      if (Compare(x, n_minus_1) == 0) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigInt BigInt::RandomPrime(util::Rng& rng, int bits) {
+  for (;;) {
+    BigInt candidate = RandomBits(rng, bits);
+    if (!candidate.IsOdd()) candidate = Add(candidate, BigInt(1));
+    if (candidate.BitLength() != bits) continue;  // +1 overflowed the width
+    if (IsProbablePrime(candidate, rng)) return candidate;
+  }
+}
+
+std::uint64_t BigInt::Low64() const {
+  std::uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+}  // namespace rev::crypto

@@ -1,0 +1,85 @@
+// Arbitrary-precision unsigned integers, sufficient for RSA.
+//
+// Little-endian 32-bit limbs, schoolbook multiplication, Knuth Algorithm D
+// division, square-and-multiply modular exponentiation, extended-Euclid
+// modular inverse, and Miller–Rabin primality testing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace rev::crypto {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(std::uint64_t v);
+
+  // Big-endian byte import/export (as used by DER INTEGER contents).
+  static BigInt FromBytes(BytesView be);
+  Bytes ToBytes() const;  // minimal big-endian, empty for zero
+
+  static BigInt FromDecimal(std::string_view s);  // ignores non-digits? no: strict
+  std::string ToDecimal() const;
+
+  // Uniform value with exactly `bits` bits (top bit set), bits >= 2.
+  static BigInt RandomBits(util::Rng& rng, int bits);
+  // Uniform in [0, bound).
+  static BigInt RandomBelow(util::Rng& rng, const BigInt& bound);
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  int BitLength() const;
+  bool Bit(int i) const;
+
+  // Comparison: negative/zero/positive like strcmp.
+  static int Compare(const BigInt& a, const BigInt& b);
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) == 0;
+  }
+  friend auto operator<=>(const BigInt& a, const BigInt& b) {
+    return Compare(a, b) <=> 0;
+  }
+
+  static BigInt Add(const BigInt& a, const BigInt& b);
+  // Requires a >= b.
+  static BigInt Sub(const BigInt& a, const BigInt& b);
+  static BigInt Mul(const BigInt& a, const BigInt& b);
+  // Requires divisor != 0. quotient/remainder may alias nothing.
+  static void DivMod(const BigInt& dividend, const BigInt& divisor,
+                     BigInt* quotient, BigInt* remainder);
+  static BigInt Mod(const BigInt& a, const BigInt& m);
+
+  BigInt ShiftLeft(int bits) const;
+  BigInt ShiftRight(int bits) const;
+
+  // (base^exp) mod m; m must be > 1.
+  static BigInt ModExp(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+  // Inverse of a modulo m if gcd(a, m) == 1; returns false otherwise.
+  static bool ModInverse(const BigInt& a, const BigInt& m, BigInt* inverse);
+
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  // Miller–Rabin with `rounds` random bases (plus fixed small bases).
+  static bool IsProbablePrime(const BigInt& n, util::Rng& rng, int rounds = 24);
+
+  // Random prime with exactly `bits` bits.
+  static BigInt RandomPrime(util::Rng& rng, int bits);
+
+  // Low 64 bits (for small values / tests).
+  std::uint64_t Low64() const;
+
+ private:
+  void Trim();
+
+  std::vector<std::uint32_t> limbs_;  // little-endian; no trailing zeros
+};
+
+}  // namespace rev::crypto

@@ -1,0 +1,49 @@
+#include "crypto/hmac.h"
+
+#include <algorithm>
+#include <array>
+
+namespace rev::crypto {
+
+Sha256Digest HmacSha256(BytesView key, BytesView message) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > 64) {
+    const Sha256Digest kd = Sha256::Hash(key);
+    std::copy(kd.begin(), kd.end(), block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block.begin());
+  }
+
+  std::array<std::uint8_t, 64> ipad;
+  std::array<std::uint8_t, 64> opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.Update(BytesView(ipad.data(), ipad.size()));
+  inner.Update(message);
+  const Sha256Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(BytesView(opad.data(), opad.size()));
+  outer.Update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.Finish();
+}
+
+Bytes DeriveKey(BytesView key, std::string_view label, std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  std::uint8_t counter = 1;
+  while (out.size() < n) {
+    Bytes msg(label.begin(), label.end());
+    msg.push_back(counter++);
+    const Sha256Digest block = HmacSha256(key, msg);
+    const std::size_t take = std::min(n - out.size(), block.size());
+    out.insert(out.end(), block.begin(), block.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+}  // namespace rev::crypto

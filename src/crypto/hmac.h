@@ -1,0 +1,16 @@
+// HMAC-SHA256 (RFC 2104). Backing primitive for the SimSigner tag scheme
+// and for deterministic per-entity key derivation in the ecosystem model.
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace rev::crypto {
+
+Sha256Digest HmacSha256(BytesView key, BytesView message);
+
+// Deterministic key derivation: HMAC(key, label) truncated/expanded to `n`
+// bytes by counter-mode iteration (HKDF-expand flavoured, single info).
+Bytes DeriveKey(BytesView key, std::string_view label, std::size_t n);
+
+}  // namespace rev::crypto

@@ -1,0 +1,82 @@
+#include "crypto/rsa.h"
+
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace rev::crypto {
+
+namespace {
+
+// DER-encoded DigestInfo prefix for SHA-256 (RFC 8017 §9.2 note 1).
+constexpr std::uint8_t kSha256DigestInfoPrefix[] = {
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+    0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20};
+
+// EMSA-PKCS1-v1_5 encoding of SHA-256(message) into `em_len` bytes.
+Bytes EncodeEmsa(BytesView message, int em_len) {
+  const Sha256Digest digest = Sha256::Hash(message);
+  const std::size_t t_len = sizeof(kSha256DigestInfoPrefix) + digest.size();
+  if (static_cast<std::size_t>(em_len) < t_len + 11)
+    throw std::invalid_argument("RSA modulus too small for SHA-256 EMSA");
+  Bytes em;
+  em.reserve(static_cast<std::size_t>(em_len));
+  em.push_back(0x00);
+  em.push_back(0x01);
+  em.insert(em.end(), static_cast<std::size_t>(em_len) - t_len - 3, 0xFF);
+  em.push_back(0x00);
+  em.insert(em.end(), std::begin(kSha256DigestInfoPrefix),
+            std::end(kSha256DigestInfoPrefix));
+  em.insert(em.end(), digest.begin(), digest.end());
+  return em;
+}
+
+}  // namespace
+
+RsaPrivateKey RsaGenerateKey(util::Rng& rng, int bits) {
+  const BigInt e(65537);
+  for (;;) {
+    const BigInt p = BigInt::RandomPrime(rng, bits / 2);
+    const BigInt q = BigInt::RandomPrime(rng, bits - bits / 2);
+    if (p == q) continue;
+    const BigInt n = BigInt::Mul(p, q);
+    if (n.BitLength() != bits) continue;
+    const BigInt phi =
+        BigInt::Mul(BigInt::Sub(p, BigInt(1)), BigInt::Sub(q, BigInt(1)));
+    BigInt d;
+    if (!BigInt::ModInverse(e, phi, &d)) continue;  // gcd(e, phi) != 1
+    RsaPrivateKey key;
+    key.pub.n = n;
+    key.pub.e = e;
+    key.d = d;
+    return key;
+  }
+}
+
+Bytes RsaSign(const RsaPrivateKey& key, BytesView message) {
+  const int k = key.pub.ModulusBytes();
+  const Bytes em = EncodeEmsa(message, k);
+  const BigInt m = BigInt::FromBytes(em);
+  const BigInt s = BigInt::ModExp(m, key.d, key.pub.n);
+  Bytes sig = s.ToBytes();
+  // Left-pad to modulus length.
+  Bytes out(static_cast<std::size_t>(k) - sig.size(), 0);
+  out.insert(out.end(), sig.begin(), sig.end());
+  return out;
+}
+
+bool RsaVerify(const RsaPublicKey& key, BytesView message, BytesView signature) {
+  const int k = key.ModulusBytes();
+  if (signature.size() != static_cast<std::size_t>(k)) return false;
+  const BigInt s = BigInt::FromBytes(signature);
+  if (BigInt::Compare(s, key.n) >= 0) return false;
+  const BigInt m = BigInt::ModExp(s, key.e, key.n);
+  Bytes em = m.ToBytes();
+  // Left-pad to modulus length (ToBytes strips leading zeros).
+  Bytes padded(static_cast<std::size_t>(k) - em.size(), 0);
+  padded.insert(padded.end(), em.begin(), em.end());
+  const Bytes expected = EncodeEmsa(message, k);
+  return padded == expected;
+}
+
+}  // namespace rev::crypto

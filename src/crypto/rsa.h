@@ -1,0 +1,36 @@
+// RSA key generation and RSASSA-PKCS1-v1_5 signatures over SHA-256.
+//
+// This is a from-scratch textbook implementation: suitable for the
+// simulation and protocol tests in this repository, NOT hardened for
+// production use (no constant-time guarantees, no blinding).
+#pragma once
+
+#include "crypto/bigint.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace rev::crypto {
+
+struct RsaPublicKey {
+  BigInt n;  // modulus
+  BigInt e;  // public exponent
+
+  int ModulusBytes() const { return (n.BitLength() + 7) / 8; }
+};
+
+struct RsaPrivateKey {
+  RsaPublicKey pub;
+  BigInt d;  // private exponent
+};
+
+// Generates a key with a modulus of exactly `bits` bits (e = 65537).
+// Typical test sizes: 512/768 for speed, 1024+ for realism.
+RsaPrivateKey RsaGenerateKey(util::Rng& rng, int bits);
+
+// RSASSA-PKCS1-v1_5 signature over SHA-256(message).
+Bytes RsaSign(const RsaPrivateKey& key, BytesView message);
+
+// Verifies an RSASSA-PKCS1-v1_5/SHA-256 signature.
+bool RsaVerify(const RsaPublicKey& key, BytesView message, BytesView signature);
+
+}  // namespace rev::crypto

@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for certificate fingerprints, CRLSet parent keys (SPKI hashes),
+// RSASSA-PKCS1-v1_5 digests, and the SimSigner tag scheme.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace rev::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+// Incremental hashing context.
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(BytesView data);
+  Sha256Digest Finish();
+
+  // One-shot convenience.
+  static Sha256Digest Hash(BytesView data);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+// Digest as a byte vector (handy for APIs taking Bytes).
+Bytes Sha256Bytes(BytesView data);
+
+}  // namespace rev::crypto

@@ -1,0 +1,27 @@
+#include "net/cache.h"
+
+namespace rev::net {
+
+CachingClient::Result CachingClient::Get(std::string_view url,
+                                         util::Timestamp now,
+                                         double timeout_seconds) {
+  Result result;
+  auto it = cache_.find(url);
+  if (it != cache_.end() && now < it->second.expires) {
+    ++hits_;
+    result.from_cache = true;
+    result.fetch.error = FetchError::kOk;
+    result.fetch.response = it->second.response;
+    result.fetch.elapsed_seconds = 0;
+    return result;
+  }
+  ++misses_;
+  result.fetch = net_->Get(url, now, timeout_seconds);
+  if (result.fetch.ok() && result.fetch.response.max_age > 0) {
+    cache_[std::string(url)] =
+        Entry{result.fetch.response, now + result.fetch.response.max_age};
+  }
+  return result;
+}
+
+}  // namespace rev::net

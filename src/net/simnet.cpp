@@ -1,0 +1,120 @@
+#include "net/simnet.h"
+
+namespace rev::net {
+
+const char* FetchErrorName(FetchError e) {
+  switch (e) {
+    case FetchError::kOk: return "ok";
+    case FetchError::kDnsFailure: return "dns-failure";
+    case FetchError::kConnectionRefused: return "connection-refused";
+    case FetchError::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+void SimNet::AddHost(std::string_view hostname, HttpHandler handler,
+                     HostProfile profile) {
+  Host& host = hosts_[std::string(hostname)];
+  host.handler = std::move(handler);
+  host.profile = profile;
+}
+
+void SimNet::RemoveHost(std::string_view hostname) {
+  auto it = hosts_.find(hostname);
+  if (it != hosts_.end()) hosts_.erase(it);
+}
+
+bool SimNet::HasHost(std::string_view hostname) const {
+  return hosts_.find(hostname) != hosts_.end();
+}
+
+void SimNet::SetDnsFailure(std::string_view hostname, bool fail) {
+  auto it = hosts_.find(hostname);
+  if (it != hosts_.end()) it->second.dns_failure = fail;
+}
+
+void SimNet::SetUnresponsive(std::string_view hostname, bool unresponsive) {
+  auto it = hosts_.find(hostname);
+  if (it != hosts_.end()) it->second.unresponsive = unresponsive;
+}
+
+FetchResult SimNet::Fetch(const HttpRequest& request, util::Timestamp now,
+                          double timeout_seconds) {
+  FetchResult result;
+  ++total_requests_;
+
+  auto it = hosts_.find(request.host);
+  if (it == hosts_.end() || it->second.dns_failure) {
+    result.error = FetchError::kDnsFailure;
+    // A failed lookup costs roughly one resolver round trip.
+    result.elapsed_seconds = 0.050;
+    return result;
+  }
+  const Host& host = it->second;
+  if (host.unresponsive) {
+    result.error = FetchError::kTimeout;
+    result.elapsed_seconds = timeout_seconds;
+    return result;
+  }
+  if (!host.handler) {
+    result.error = FetchError::kConnectionRefused;
+    result.elapsed_seconds = host.profile.rtt_seconds;
+    return result;
+  }
+
+  result.response = host.handler(request, now);
+
+  // Cost model: DNS (1 RTT) + TCP handshake (1 RTT) + request/response
+  // (1 RTT) + transfer time for the response body.
+  const std::size_t wire_bytes = request.body.size() + result.response.body.size();
+  const double transfer =
+      static_cast<double>(result.response.body.size()) * 8.0 /
+      host.profile.bandwidth_bps;
+  result.elapsed_seconds = 3.0 * host.profile.rtt_seconds + transfer;
+  result.bytes_transferred = wire_bytes;
+  total_bytes_ += wire_bytes;
+
+  if (result.elapsed_seconds > timeout_seconds) {
+    result.error = FetchError::kTimeout;
+    result.elapsed_seconds = timeout_seconds;
+  }
+  return result;
+}
+
+FetchResult SimNet::Get(std::string_view url, util::Timestamp now,
+                        double timeout_seconds) {
+  auto parsed = ParseUrl(url);
+  if (!parsed) {
+    FetchResult result;
+    result.error = FetchError::kDnsFailure;
+    return result;
+  }
+  HttpRequest request;
+  request.method = "GET";
+  request.host = parsed->host;
+  request.path = parsed->path;
+  return Fetch(request, now, timeout_seconds);
+}
+
+FetchResult SimNet::Post(std::string_view url, BytesView body,
+                         util::Timestamp now, double timeout_seconds) {
+  auto parsed = ParseUrl(url);
+  if (!parsed) {
+    FetchResult result;
+    result.error = FetchError::kDnsFailure;
+    return result;
+  }
+  HttpRequest request;
+  request.method = "POST";
+  request.host = parsed->host;
+  request.path = parsed->path;
+  request.body.assign(body.begin(), body.end());
+  return Fetch(request, now, timeout_seconds);
+}
+
+void SimNet::ResetCounters() {
+  total_requests_ = 0;
+  total_bytes_ = 0;
+}
+
+}  // namespace rev::net

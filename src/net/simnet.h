@@ -1,0 +1,109 @@
+// A deterministic simulated network: named hosts with HTTP handlers, a
+// latency/bandwidth cost model, and failure injection.
+//
+// The simulation is synchronous: Fetch() executes the request immediately
+// and reports how long it *would* have taken, letting measurement code
+// account latency/bandwidth without an event loop. This matches how the
+// paper reasons about client cost (RTTs plus size/throughput; §5.2).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "net/url.h"
+#include "util/bytes.h"
+#include "util/time.h"
+
+namespace rev::net {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string host;
+  std::string path;
+  Bytes body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  Bytes body;
+  // Cache lifetime hint in seconds (0 = uncacheable). Stands in for
+  // Cache-Control/Expires headers.
+  std::int64_t max_age = 0;
+};
+
+using HttpHandler =
+    std::function<HttpResponse(const HttpRequest&, util::Timestamp now)>;
+
+// Link characteristics of a host (server side). Client-side access-link
+// characteristics can be modeled by the caller adding its own terms.
+struct HostProfile {
+  double rtt_seconds = 0.030;          // round-trip time to this host
+  double bandwidth_bps = 10e6;         // bits per second on the path
+};
+
+enum class FetchError {
+  kOk,
+  kDnsFailure,        // NXDOMAIN — revocation host does not resolve
+  kConnectionRefused, // host known but not listening
+  kTimeout,           // host accepts but never responds
+};
+
+const char* FetchErrorName(FetchError e);
+
+struct FetchResult {
+  FetchError error = FetchError::kOk;
+  HttpResponse response;
+  // Simulated wall-clock cost of the exchange, in seconds.
+  double elapsed_seconds = 0;
+  // Bytes that crossed the network (body sizes both ways).
+  std::size_t bytes_transferred = 0;
+
+  bool ok() const { return error == FetchError::kOk && response.status == 200; }
+};
+
+class SimNet {
+ public:
+  // Registers (or replaces) a host with the given handler.
+  void AddHost(std::string_view hostname, HttpHandler handler,
+               HostProfile profile = {});
+
+  void RemoveHost(std::string_view hostname);
+  bool HasHost(std::string_view hostname) const;
+
+  // Failure injection (the four §6.1 unavailability modes map to these plus
+  // a handler returning 404).
+  void SetDnsFailure(std::string_view hostname, bool fail);
+  void SetUnresponsive(std::string_view hostname, bool unresponsive);
+
+  // Executes an HTTP exchange. `timeout_seconds` caps the simulated wait.
+  FetchResult Fetch(const HttpRequest& request, util::Timestamp now,
+                    double timeout_seconds = 10.0);
+
+  // Convenience: GET a URL string. Unparseable or non-http URLs map to
+  // kDnsFailure (matching a browser that cannot resolve the reference).
+  FetchResult Get(std::string_view url, util::Timestamp now,
+                  double timeout_seconds = 10.0);
+  FetchResult Post(std::string_view url, BytesView body, util::Timestamp now,
+                   double timeout_seconds = 10.0);
+
+  // Cumulative counters (for bandwidth-cost experiments).
+  std::uint64_t total_requests() const { return total_requests_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  void ResetCounters();
+
+ private:
+  struct Host {
+    HttpHandler handler;
+    HostProfile profile;
+    bool dns_failure = false;
+    bool unresponsive = false;
+  };
+
+  std::map<std::string, Host, std::less<>> hosts_;
+  std::uint64_t total_requests_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace rev::net

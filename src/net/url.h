@@ -1,0 +1,26 @@
+// Minimal URL handling for the simulated HTTP layer.
+//
+// The paper's crawler only follows http[s]:// URLs and ignores ldap:// and
+// file:// distribution points (§3.2); IsFetchable() encodes that rule.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rev::net {
+
+struct Url {
+  std::string scheme;  // "http" or "https"
+  std::string host;
+  std::string path;    // always starts with '/'
+
+  std::string ToString() const { return scheme + "://" + host + path; }
+};
+
+std::optional<Url> ParseUrl(std::string_view url);
+
+// True for http/https URLs pointing at a non-empty host.
+bool IsFetchable(std::string_view url);
+
+}  // namespace rev::net

@@ -1,0 +1,336 @@
+#include "ocsp/ocsp.h"
+#include <sstream>
+
+#include "asn1/reader.h"
+#include "asn1/writer.h"
+#include "crypto/sha256.h"
+#include "util/hex.h"
+#include "x509/spki.h"
+
+namespace rev::ocsp {
+
+const char* CertStatusName(CertStatus s) {
+  switch (s) {
+    case CertStatus::kGood: return "good";
+    case CertStatus::kRevoked: return "revoked";
+    case CertStatus::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+CertId MakeCertId(const x509::Certificate& issuer,
+                  const x509::Serial& subject_serial) {
+  CertId id;
+  id.issuer_name_hash = crypto::Sha256Bytes(issuer.tbs.subject.Encode());
+  id.issuer_key_hash = issuer.SubjectSpkiSha256();
+  id.serial = subject_serial;
+  return id;
+}
+
+namespace {
+
+Bytes Sha256AlgorithmId() {
+  return asn1::EncodeSequence(
+      {asn1::EncodeOid(asn1::oids::Sha256()), asn1::EncodeNull()});
+}
+
+Bytes EncodeCertId(const CertId& id) {
+  return asn1::EncodeSequence({Sha256AlgorithmId(),
+                               asn1::EncodeOctetString(id.issuer_name_hash),
+                               asn1::EncodeOctetString(id.issuer_key_hash),
+                               asn1::EncodeIntegerUnsigned(id.serial)});
+}
+
+std::optional<CertId> DecodeCertId(asn1::Reader& r) {
+  asn1::Reader seq;
+  if (!r.ReadSequence(&seq)) return std::nullopt;
+  asn1::Reader alg;
+  if (!seq.ReadSequence(&alg)) return std::nullopt;  // hash algorithm, assumed SHA-256
+  CertId id;
+  BytesView name_hash, key_hash;
+  if (!seq.ReadOctetString(&name_hash) || !seq.ReadOctetString(&key_hash) ||
+      !seq.ReadIntegerUnsigned(&id.serial))
+    return std::nullopt;
+  id.issuer_name_hash.assign(name_hash.begin(), name_hash.end());
+  id.issuer_key_hash.assign(key_hash.begin(), key_hash.end());
+  return id;
+}
+
+}  // namespace
+
+Bytes EncodeOcspRequest(const OcspRequest& request) {
+  // Request ::= SEQUENCE { reqCert CertID }
+  const Bytes req = asn1::EncodeSequence({EncodeCertId(request.cert_id)});
+  std::vector<Bytes> tbs_parts;
+  tbs_parts.push_back(asn1::EncodeSequence({req}));  // requestList
+  if (!request.nonce.empty()) {
+    const x509::Extension nonce_ext{asn1::oids::OcspNonce(), false,
+                                    asn1::EncodeOctetString(request.nonce)};
+    tbs_parts.push_back(asn1::EncodeContextExplicit(
+        2, x509::EncodeExtensionList({nonce_ext})));
+  }
+  const Bytes tbs = asn1::EncodeSequence(tbs_parts);
+  return asn1::EncodeSequence({tbs});
+}
+
+std::optional<OcspRequest> ParseOcspRequest(BytesView der) {
+  asn1::Reader top(der);
+  asn1::Reader outer;
+  if (!top.ReadSequence(&outer) || !top.Empty()) return std::nullopt;
+  asn1::Reader tbs;
+  if (!outer.ReadSequence(&tbs)) return std::nullopt;
+  asn1::Reader request_list;
+  if (!tbs.ReadSequence(&request_list)) return std::nullopt;
+  asn1::Reader req;
+  if (!request_list.ReadSequence(&req)) return std::nullopt;
+
+  OcspRequest out;
+  auto id = DecodeCertId(req);
+  if (!id) return std::nullopt;
+  out.cert_id = *std::move(id);
+
+  if (tbs.NextIsContext(2)) {
+    asn1::Reader ext_wrapper;
+    if (!tbs.ReadContextExplicit(2, &ext_wrapper)) return std::nullopt;
+    auto exts = x509::DecodeExtensionList(ext_wrapper);
+    if (!exts) return std::nullopt;
+    for (const x509::Extension& ext : *exts) {
+      if (ext.oid == asn1::oids::OcspNonce()) {
+        asn1::Reader nonce_reader(ext.value);
+        BytesView nonce;
+        if (!nonce_reader.ReadOctetString(&nonce)) return std::nullopt;
+        out.nonce.assign(nonce.begin(), nonce.end());
+      }
+    }
+  }
+  return out;
+}
+
+std::string OcspGetPath(const OcspRequest& request) {
+  return "/" + util::Base64Encode(EncodeOcspRequest(request));
+}
+
+std::optional<OcspRequest> ParseOcspGetPath(std::string_view path) {
+  if (path.empty() || path.front() != '/') return std::nullopt;
+  auto der = util::Base64Decode(path.substr(1));
+  if (!der) return std::nullopt;
+  return ParseOcspRequest(*der);
+}
+
+namespace {
+
+Bytes EncodeSingleResponse(const SingleResponse& single) {
+  std::vector<Bytes> parts;
+  parts.push_back(EncodeCertId(single.cert_id));
+  switch (single.status) {
+    case CertStatus::kGood:
+      parts.push_back(asn1::EncodeContextPrimitive(0, {}));
+      break;
+    case CertStatus::kRevoked: {
+      std::vector<Bytes> revoked_info;
+      revoked_info.push_back(asn1::EncodeGeneralizedTime(single.revocation_time));
+      if (single.reason != x509::ReasonCode::kNoReasonCode) {
+        revoked_info.push_back(asn1::EncodeContextExplicit(
+            0, asn1::EncodeEnumerated(static_cast<std::int64_t>(single.reason))));
+      }
+      parts.push_back(
+          asn1::EncodeContextConstructed(1, asn1::Concat(revoked_info)));
+      break;
+    }
+    case CertStatus::kUnknown:
+      parts.push_back(asn1::EncodeContextPrimitive(2, {}));
+      break;
+  }
+  parts.push_back(asn1::EncodeGeneralizedTime(single.this_update));
+  if (single.next_update != 0) {
+    parts.push_back(asn1::EncodeContextExplicit(
+        0, asn1::EncodeGeneralizedTime(single.next_update)));
+  }
+  return asn1::EncodeSequence(parts);
+}
+
+std::optional<SingleResponse> DecodeSingleResponse(asn1::Reader& r) {
+  asn1::Reader seq;
+  if (!r.ReadSequence(&seq)) return std::nullopt;
+  SingleResponse single;
+  auto id = DecodeCertId(seq);
+  if (!id) return std::nullopt;
+  single.cert_id = *std::move(id);
+
+  if (seq.NextIsContext(0)) {
+    BytesView empty;
+    if (!seq.ReadContextPrimitive(0, &empty)) return std::nullopt;
+    single.status = CertStatus::kGood;
+  } else if (seq.NextIsContext(1)) {
+    asn1::Reader revoked_info;
+    if (!seq.ReadContextConstructed(1, &revoked_info)) return std::nullopt;
+    single.status = CertStatus::kRevoked;
+    if (!revoked_info.ReadTime(&single.revocation_time)) return std::nullopt;
+    if (revoked_info.NextIsContext(0)) {
+      asn1::Reader reason_reader;
+      if (!revoked_info.ReadContextExplicit(0, &reason_reader))
+        return std::nullopt;
+      std::int64_t reason;
+      if (!reason_reader.ReadEnumerated(&reason)) return std::nullopt;
+      single.reason = static_cast<x509::ReasonCode>(reason);
+    }
+  } else if (seq.NextIsContext(2)) {
+    BytesView empty;
+    if (!seq.ReadContextPrimitive(2, &empty)) return std::nullopt;
+    single.status = CertStatus::kUnknown;
+  } else {
+    return std::nullopt;
+  }
+
+  if (!seq.ReadTime(&single.this_update)) return std::nullopt;
+  if (seq.NextIsContext(0)) {
+    asn1::Reader next_update;
+    if (!seq.ReadContextExplicit(0, &next_update) ||
+        !next_update.ReadTime(&single.next_update))
+      return std::nullopt;
+  }
+  return single;
+}
+
+}  // namespace
+
+OcspResponse SignOcspResponse(const SingleResponse& single,
+                              util::Timestamp produced_at,
+                              const crypto::KeyPair& responder_key) {
+  OcspResponse response;
+  response.status = ResponseStatus::kSuccessful;
+  response.single = single;
+  response.produced_at = produced_at;
+  response.sig_type = responder_key.type;
+
+  // ResponseData ::= SEQUENCE { responderID [2] byKey, producedAt,
+  //                             responses SEQUENCE OF SingleResponse }
+  const Bytes responder_id = asn1::EncodeContextConstructed(
+      2, asn1::EncodeOctetString(single.cert_id.issuer_key_hash));
+  response.tbs_der = asn1::EncodeSequence(
+      {responder_id, asn1::EncodeGeneralizedTime(produced_at),
+       asn1::EncodeSequence({EncodeSingleResponse(single)})});
+  response.signature = crypto::Sign(responder_key, response.tbs_der);
+
+  const Bytes basic = asn1::EncodeSequence(
+      {response.tbs_der, x509::EncodeSignatureAlgorithm(responder_key.type),
+       asn1::EncodeBitString(response.signature)});
+  const Bytes response_bytes = asn1::EncodeSequence(
+      {asn1::EncodeOid(asn1::oids::OcspBasic()),
+       asn1::EncodeOctetString(basic)});
+  response.der = asn1::EncodeSequence(
+      {asn1::EncodeEnumerated(0),
+       asn1::EncodeContextExplicit(0, response_bytes)});
+  return response;
+}
+
+OcspResponse MakeErrorResponse(ResponseStatus status) {
+  OcspResponse response;
+  response.status = status;
+  response.der = asn1::EncodeSequence(
+      {asn1::EncodeEnumerated(static_cast<std::int64_t>(status))});
+  return response;
+}
+
+std::optional<OcspResponse> ParseOcspResponse(BytesView der) {
+  asn1::Reader top(der);
+  asn1::Reader outer;
+  if (!top.ReadSequence(&outer) || !top.Empty()) return std::nullopt;
+
+  std::int64_t status;
+  if (!outer.ReadEnumerated(&status)) return std::nullopt;
+
+  OcspResponse response;
+  response.status = static_cast<ResponseStatus>(status);
+  if (response.status != ResponseStatus::kSuccessful) {
+    response.der.assign(der.begin(), der.end());
+    return response;
+  }
+
+  asn1::Reader bytes_wrapper;
+  if (!outer.ReadContextExplicit(0, &bytes_wrapper)) return std::nullopt;
+  asn1::Reader response_bytes;
+  if (!bytes_wrapper.ReadSequence(&response_bytes)) return std::nullopt;
+  asn1::Oid response_type;
+  if (!response_bytes.ReadOid(&response_type) ||
+      response_type != asn1::oids::OcspBasic())
+    return std::nullopt;
+  BytesView basic_der;
+  if (!response_bytes.ReadOctetString(&basic_der)) return std::nullopt;
+
+  asn1::Reader basic_top(basic_der);
+  asn1::Reader basic;
+  if (!basic_top.ReadSequence(&basic)) return std::nullopt;
+
+  BytesView tbs_raw;
+  {
+    asn1::Reader probe = basic;
+    if (!probe.ReadRawTlv(&tbs_raw)) return std::nullopt;
+    basic = probe;
+  }
+  response.tbs_der.assign(tbs_raw.begin(), tbs_raw.end());
+
+  asn1::Reader tbs(tbs_raw);
+  asn1::Reader response_data;
+  if (!tbs.ReadSequence(&response_data)) return std::nullopt;
+
+  asn1::Reader responder_id;
+  if (!response_data.ReadContextConstructed(2, &responder_id))
+    return std::nullopt;
+  if (!response_data.ReadTime(&response.produced_at)) return std::nullopt;
+
+  asn1::Reader responses;
+  if (!response_data.ReadSequence(&responses)) return std::nullopt;
+  auto single = DecodeSingleResponse(responses);
+  if (!single) return std::nullopt;
+  response.single = *std::move(single);
+
+  auto sig_type = x509::DecodeSignatureAlgorithm(basic);
+  if (!sig_type) return std::nullopt;
+  response.sig_type = *sig_type;
+
+  BytesView sig_bits;
+  unsigned unused = 0;
+  if (!basic.ReadBitString(&sig_bits, &unused) || unused != 0)
+    return std::nullopt;
+  response.signature.assign(sig_bits.begin(), sig_bits.end());
+
+  response.der.assign(der.begin(), der.end());
+  return response;
+}
+
+bool VerifyOcspSignature(const OcspResponse& response,
+                         const crypto::PublicKey& responder_key) {
+  if (response.status != ResponseStatus::kSuccessful) return false;
+  if (responder_key.type != response.sig_type) return false;
+  return crypto::Verify(responder_key, response.tbs_der, response.signature);
+}
+
+std::string DescribeOcspResponse(const OcspResponse& response) {
+  std::ostringstream out;
+  out << "OCSP response:\n";
+  if (response.status != ResponseStatus::kSuccessful) {
+    out << "  status      : error (" << static_cast<int>(response.status)
+        << ")\n";
+    return out.str();
+  }
+  out << "  produced at : " << util::FormatDateTime(response.produced_at)
+      << "\n";
+  out << "  serial      : "
+      << x509::SerialToString(response.single.cert_id.serial) << "\n";
+  out << "  cert status : " << CertStatusName(response.single.status) << "\n";
+  if (response.single.status == CertStatus::kRevoked) {
+    out << "  revoked at  : "
+        << util::FormatDateTime(response.single.revocation_time) << "\n";
+    out << "  reason      : " << x509::ReasonCodeName(response.single.reason)
+        << "\n";
+  }
+  out << "  this update : "
+      << util::FormatDateTime(response.single.this_update) << "\n";
+  if (response.single.next_update != 0)
+    out << "  next update : "
+        << util::FormatDateTime(response.single.next_update) << "\n";
+  return out.str();
+}
+
+}  // namespace rev::ocsp

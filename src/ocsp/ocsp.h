@@ -1,0 +1,97 @@
+// Online Certificate Status Protocol (RFC 6960), single-certificate flavor —
+// the shape every browser in the paper's test suite actually issues.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/signer.h"
+#include "util/bytes.h"
+#include "util/time.h"
+#include "x509/certificate.h"
+#include "x509/extensions.h"
+
+namespace rev::ocsp {
+
+// Identifies the certificate whose status is requested: SHA-256 hashes of
+// the issuer name and issuer public key, plus the serial number.
+struct CertId {
+  Bytes issuer_name_hash;
+  Bytes issuer_key_hash;
+  x509::Serial serial;
+
+  friend bool operator==(const CertId&, const CertId&) = default;
+};
+
+// Builds the CertID for `subject_serial` issued by `issuer`.
+CertId MakeCertId(const x509::Certificate& issuer,
+                  const x509::Serial& subject_serial);
+
+struct OcspRequest {
+  CertId cert_id;
+  Bytes nonce;  // empty = no nonce extension
+};
+
+Bytes EncodeOcspRequest(const OcspRequest& request);
+std::optional<OcspRequest> ParseOcspRequest(BytesView der);
+
+// RFC 6960 Appendix A: OCSP over HTTP GET — the request DER is base64ed
+// into the URL path ("GET {url}/{base64(request)}"). Browsers issue GETs
+// far more often than POSTs; the paper had to patch OpenSSL's responder to
+// accept them (§6.2).
+std::string OcspGetPath(const OcspRequest& request);
+std::optional<OcspRequest> ParseOcspGetPath(std::string_view path);
+
+// RFC 6960 OCSPResponseStatus.
+enum class ResponseStatus : std::uint8_t {
+  kSuccessful = 0,
+  kMalformedRequest = 1,
+  kInternalError = 2,
+  kTryLater = 3,
+  kSigRequired = 5,
+  kUnauthorized = 6,
+};
+
+// CertStatus of a single response. The paper stresses that `unknown` "does
+// not indicate that the certificate in question should be trusted" (§2.2),
+// yet several browsers treat it as good — the policy engine models both.
+enum class CertStatus : std::uint8_t { kGood = 0, kRevoked = 1, kUnknown = 2 };
+
+const char* CertStatusName(CertStatus s);
+
+struct SingleResponse {
+  CertId cert_id;
+  CertStatus status = CertStatus::kUnknown;
+  util::Timestamp revocation_time = 0;                       // iff revoked
+  x509::ReasonCode reason = x509::ReasonCode::kNoReasonCode; // iff revoked
+  util::Timestamp this_update = 0;
+  util::Timestamp next_update = 0;  // 0 = omit
+};
+
+struct OcspResponse {
+  ResponseStatus status = ResponseStatus::kInternalError;
+  // Populated iff status == kSuccessful.
+  SingleResponse single;
+  util::Timestamp produced_at = 0;
+  crypto::KeyType sig_type = crypto::KeyType::kSimSha256;
+  Bytes tbs_der;
+  Bytes signature;
+  Bytes der;
+};
+
+// Signs a successful response carrying `single`.
+OcspResponse SignOcspResponse(const SingleResponse& single,
+                              util::Timestamp produced_at,
+                              const crypto::KeyPair& responder_key);
+
+// Builds an unsuccessful (error) response; no signature per RFC 6960.
+OcspResponse MakeErrorResponse(ResponseStatus status);
+
+std::optional<OcspResponse> ParseOcspResponse(BytesView der);
+bool VerifyOcspSignature(const OcspResponse& response,
+                         const crypto::PublicKey& responder_key);
+
+// Human-readable rendering of a response.
+std::string DescribeOcspResponse(const OcspResponse& response);
+
+}  // namespace rev::ocsp

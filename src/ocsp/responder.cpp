@@ -1,0 +1,66 @@
+#include "ocsp/responder.h"
+
+#include "crypto/sha256.h"
+#include "x509/spki.h"
+
+namespace rev::ocsp {
+
+Responder::Responder(const x509::Certificate& issuer, crypto::KeyPair key,
+                     std::int64_t validity_seconds)
+    : issuer_name_hash_(crypto::Sha256Bytes(issuer.tbs.subject.Encode())),
+      issuer_key_hash_(issuer.SubjectSpkiSha256()),
+      key_(std::move(key)),
+      validity_seconds_(validity_seconds) {}
+
+void Responder::AddCertificate(const x509::Serial& serial) {
+  records_.try_emplace(serial);
+}
+
+void Responder::Revoke(const x509::Serial& serial, util::Timestamp when,
+                       x509::ReasonCode reason) {
+  StatusRecord& record = records_[serial];
+  record.status = CertStatus::kRevoked;
+  record.revocation_time = when;
+  record.reason = reason;
+}
+
+void Responder::Remove(const x509::Serial& serial) {
+  records_.erase(serial);
+}
+
+OcspResponse Responder::StatusFor(const x509::Serial& serial,
+                                  util::Timestamp now) const {
+  SingleResponse single;
+  single.cert_id.issuer_name_hash = issuer_name_hash_;
+  single.cert_id.issuer_key_hash = issuer_key_hash_;
+  single.cert_id.serial = serial;
+  single.this_update = now;
+  single.next_update = now + validity_seconds_;
+
+  auto it = records_.find(serial);
+  if (it == records_.end()) {
+    single.status = CertStatus::kUnknown;
+  } else if (it->second.status == CertStatus::kRevoked &&
+             it->second.revocation_time > now) {
+    // Revocation scheduled but not yet effective (simulation timelines are
+    // planned up front): still good as of `now`.
+    single.status = CertStatus::kGood;
+  } else {
+    single.status = it->second.status;
+    single.revocation_time = it->second.revocation_time;
+    single.reason = it->second.reason;
+  }
+  return SignOcspResponse(single, now, key_);
+}
+
+Bytes Responder::Handle(BytesView request_der, util::Timestamp now) const {
+  auto request = ParseOcspRequest(request_der);
+  if (!request) return MakeErrorResponse(ResponseStatus::kMalformedRequest).der;
+  if (request->cert_id.issuer_name_hash != issuer_name_hash_ ||
+      request->cert_id.issuer_key_hash != issuer_key_hash_) {
+    return MakeErrorResponse(ResponseStatus::kUnauthorized).der;
+  }
+  return StatusFor(request->cert_id.serial, now).der;
+}
+
+}  // namespace rev::ocsp

@@ -1,0 +1,63 @@
+// An OCSP responder engine: a CA-side status database plus request handling.
+//
+// One Responder instance serves one issuing CA certificate (matching how a
+// CA operates a responder per issuer key). The CA module wires Responder
+// instances to simulated HTTP endpoints.
+#pragma once
+
+#include <map>
+
+#include "crypto/signer.h"
+#include "ocsp/ocsp.h"
+#include "util/bytes.h"
+#include "util/time.h"
+#include "x509/certificate.h"
+
+namespace rev::ocsp {
+
+class Responder {
+ public:
+  // `issuer` is the CA certificate whose issued certs this responder covers;
+  // `key` signs responses (the CA key itself in this library). `validity`
+  // controls SingleResponse nextUpdate; the paper notes OCSP responses are
+  // typically cacheable on the order of days (§2.2).
+  Responder(const x509::Certificate& issuer, crypto::KeyPair key,
+            std::int64_t validity_seconds = 4 * util::kSecondsPerDay);
+
+  // Registers an issued certificate as good.
+  void AddCertificate(const x509::Serial& serial);
+
+  // Marks a certificate revoked.
+  void Revoke(const x509::Serial& serial, util::Timestamp when,
+              x509::ReasonCode reason);
+
+  // Forgets a certificate: subsequent queries answer `unknown`. Used by the
+  // test suite to generate unknown-status responses (§6.1).
+  void Remove(const x509::Serial& serial);
+
+  // Handles a DER OCSP request, producing a DER response. Serials the
+  // responder has never seen yield status `unknown`.
+  Bytes Handle(BytesView request_der, util::Timestamp now) const;
+
+  // Produces a response for a specific serial without a request (used for
+  // OCSP stapling, where the server fetches its own status).
+  OcspResponse StatusFor(const x509::Serial& serial, util::Timestamp now) const;
+
+  const Bytes& issuer_name_hash() const { return issuer_name_hash_; }
+  const Bytes& issuer_key_hash() const { return issuer_key_hash_; }
+
+ private:
+  struct StatusRecord {
+    CertStatus status = CertStatus::kGood;
+    util::Timestamp revocation_time = 0;
+    x509::ReasonCode reason = x509::ReasonCode::kNoReasonCode;
+  };
+
+  Bytes issuer_name_hash_;
+  Bytes issuer_key_hash_;
+  crypto::KeyPair key_;
+  std::int64_t validity_seconds_;
+  std::map<x509::Serial, StatusRecord> records_;
+};
+
+}  // namespace rev::ocsp

@@ -1,0 +1,26 @@
+#include "scan/internet.h"
+
+namespace rev::scan {
+
+std::size_t Internet::AddServer(Server server) {
+  servers_.push_back(std::move(server));
+  return servers_.size() - 1;
+}
+
+void Internet::ForEachAlive(util::Timestamp t,
+                            const std::function<void(Server&)>& fn) {
+  for (Server& s : servers_)
+    if (s.AliveAt(t)) fn(s);
+}
+
+void Internet::ForEachAlive(util::Timestamp t,
+                            const std::function<void(const Server&)>& fn) const {
+  for (const Server& s : servers_)
+    if (s.AliveAt(t)) fn(s);
+}
+
+void Internet::Kill(std::size_t index, util::Timestamp when) {
+  servers_[index].death = when;
+}
+
+}  // namespace rev::scan

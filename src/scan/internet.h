@@ -1,0 +1,57 @@
+// The simulated internet: a population of HTTPS servers with lifetimes.
+//
+// Stands in for the live hosts behind the Rapid7 and Michigan scans. Each
+// server advertises a certificate chain during its [birth, death) interval —
+// including, as the paper observes, servers that keep advertising expired or
+// revoked certificates ("atypical" timelines, Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tls/handshake.h"
+#include "util/time.h"
+#include "x509/certificate.h"
+#include "x509/verify.h"
+
+namespace rev::scan {
+
+struct Server {
+  std::uint32_t ip = 0;
+  x509::CertPtr leaf;
+  // Full advertised chain, leaf first (excluding the root).
+  std::vector<x509::CertPtr> chain;
+  // TLS behavior (stapling config and staple cache state).
+  tls::TlsServer tls;
+  util::Timestamp birth = 0;
+  util::Timestamp death = 0;  // exclusive; 0 = still alive at end of study
+
+  bool AliveAt(util::Timestamp t) const {
+    return t >= birth && (death == 0 || t < death);
+  }
+};
+
+class Internet {
+ public:
+  // Adds a server; returns its index (stable handle).
+  std::size_t AddServer(Server server);
+
+  Server& server(std::size_t index) { return servers_[index]; }
+  const Server& server(std::size_t index) const { return servers_[index]; }
+  std::size_t size() const { return servers_.size(); }
+
+  // Invokes `fn` for every server alive at `t`.
+  void ForEachAlive(util::Timestamp t,
+                    const std::function<void(Server&)>& fn);
+  void ForEachAlive(util::Timestamp t,
+                    const std::function<void(const Server&)>& fn) const;
+
+  // Terminates a server's advertisement (e.g. admin rotated the cert).
+  void Kill(std::size_t index, util::Timestamp when);
+
+ private:
+  std::vector<Server> servers_;
+};
+
+}  // namespace rev::scan

@@ -1,0 +1,45 @@
+#include "scan/scanner.h"
+
+namespace rev::scan {
+
+CertScanSnapshot RunCertScan(const Internet& internet, util::Timestamp t) {
+  CertScanSnapshot snapshot;
+  snapshot.time = t;
+  internet.ForEachAlive(t, [&](const Server& server) {
+    CertObservation obs;
+    obs.ip = server.ip;
+    obs.chain = server.chain;
+    snapshot.observations.push_back(std::move(obs));
+  });
+  return snapshot;
+}
+
+HandshakeScanSnapshot RunHandshakeScan(Internet& internet, util::Timestamp t) {
+  HandshakeScanSnapshot snapshot;
+  snapshot.time = t;
+  tls::ClientHello hello;
+  hello.status_request = true;
+  internet.ForEachAlive(t, [&](Server& server) {
+    const tls::ServerHello response = server.tls.Handshake(hello, t);
+    HandshakeObservation obs;
+    obs.ip = server.ip;
+    obs.leaf = server.leaf;
+    obs.sent_staple = !response.stapled_ocsp.empty();
+    snapshot.observations.push_back(std::move(obs));
+  });
+  return snapshot;
+}
+
+int AttemptsUntilStaple(Server& server, util::Timestamp start, int attempts,
+                        std::int64_t gap_seconds) {
+  tls::ClientHello hello;
+  hello.status_request = true;
+  for (int i = 1; i <= attempts; ++i) {
+    const util::Timestamp t = start + (i - 1) * gap_seconds;
+    const tls::ServerHello response = server.tls.Handshake(hello, t);
+    if (!response.stapled_ocsp.empty()) return i;
+  }
+  return 0;
+}
+
+}  // namespace rev::scan

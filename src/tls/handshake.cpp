@@ -1,0 +1,65 @@
+#include "tls/handshake.h"
+
+namespace rev::tls {
+
+bool TlsServer::StapleAcceptable(BytesView staple_der) const {
+  if (config_.staple_any_status) return true;
+  auto parsed = ocsp::ParseOcspResponse(staple_der);
+  if (!parsed || parsed->status != ocsp::ResponseStatus::kSuccessful)
+    return false;
+  return parsed->single.status == ocsp::CertStatus::kGood;
+}
+
+Bytes TlsServer::LeafStaple(util::Timestamp now) {
+  if (!config_.fetch_leaf_staple) return {};
+
+  if (config_.staple_requires_cache) {
+    if (!cached_staple_.empty() && now < cached_staple_expiry_) {
+      return cached_staple_;
+    }
+    // Cache miss: the handshake goes out without a staple, and the fetch
+    // completes afterwards — model by populating the cache now for the
+    // *next* connection. With background traffic, an earlier visitor
+    // already triggered the fetch, so this connection is served too.
+    Bytes fresh = config_.fetch_leaf_staple(now);
+    if (!fresh.empty() && StapleAcceptable(fresh)) {
+      auto parsed = ocsp::ParseOcspResponse(fresh);
+      cached_staple_ = std::move(fresh);
+      cached_staple_expiry_ = (parsed && parsed->single.next_update != 0)
+                                  ? parsed->single.next_update
+                                  : now + util::kSecondsPerDay;
+      if (config_.background_traffic) return cached_staple_;
+    }
+    return {};
+  }
+
+  Bytes fresh = config_.fetch_leaf_staple(now);
+  if (fresh.empty() || !StapleAcceptable(fresh)) return {};
+  return fresh;
+}
+
+ServerHello TlsServer::Handshake(const ClientHello& hello,
+                                 util::Timestamp now) {
+  ServerHello out;
+  out.chain_der = config_.chain_der;
+
+  if (!config_.stapling_enabled) return out;
+
+  if (hello.status_request_v2 && config_.multi_staple_enabled &&
+      !config_.fetch_chain_staples.empty()) {
+    out.stapled_ocsp_multi.reserve(config_.fetch_chain_staples.size());
+    for (const StapleFetcher& fetch : config_.fetch_chain_staples) {
+      Bytes staple = fetch ? fetch(now) : Bytes{};
+      if (!staple.empty() && !StapleAcceptable(staple)) staple.clear();
+      out.stapled_ocsp_multi.push_back(std::move(staple));
+    }
+    if (!out.stapled_ocsp_multi.empty())
+      out.stapled_ocsp = out.stapled_ocsp_multi.front();
+    return out;
+  }
+
+  if (hello.status_request) out.stapled_ocsp = LeafStaple(now);
+  return out;
+}
+
+}  // namespace rev::tls

@@ -1,0 +1,89 @@
+// A simplified TLS handshake: certificate-chain delivery plus the OCSP
+// stapling extensions. Key exchange and record encryption are out of scope —
+// the paper's measurements concern only the certificate/status machinery.
+//
+// Server stapling behavior is modeled after real deployments (§4.3, §6.1):
+//  - status_request (RFC 6066): single staple for the leaf;
+//  - status_request_v2 (RFC 6961): staples for the whole chain (the
+//    "Multiple OCSP Staple Extension" the paper recommends adopting);
+//  - nginx-like cache behavior: a server with stapling enabled but no fresh
+//    cached staple sends none and fetches one afterwards, so the *next*
+//    handshake carries it (this is why single-connection scans underestimate
+//    stapling support by ~18%, Fig. 3);
+//  - by default nginx refuses to staple a response whose status is revoked
+//    or unknown; the paper patched that out for its test suite, and the
+//    `staple_any_status` switch models both.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ocsp/ocsp.h"
+#include "util/bytes.h"
+#include "util/time.h"
+
+namespace rev::tls {
+
+struct ClientHello {
+  bool status_request = false;     // request a leaf staple
+  bool status_request_v2 = false;  // request staples for the full chain
+};
+
+struct ServerHello {
+  // DER certificates, leaf first, excluding the root.
+  std::vector<Bytes> chain_der;
+  // Leaf OCSP staple (DER OCSPResponse); empty when not stapled.
+  Bytes stapled_ocsp;
+  // RFC 6961: staple per chain element (parallel to chain_der); empty when
+  // the extension is unsupported or not requested.
+  std::vector<Bytes> stapled_ocsp_multi;
+};
+
+// Fetches a fresh OCSP response for one chain position (wired by the CA /
+// scan layers to the right responder). Returns the DER response.
+using StapleFetcher = std::function<Bytes(util::Timestamp now)>;
+
+class TlsServer {
+ public:
+  struct Config {
+    std::vector<Bytes> chain_der;  // leaf first
+    bool stapling_enabled = false;
+    bool multi_staple_enabled = false;
+    // When true (nginx-like), only staple when a fresh cached response
+    // exists; a cache miss triggers an async fetch that lands after the
+    // handshake completes.
+    bool staple_requires_cache = true;
+    // Models other clients' traffic keeping the staple cache warm: on a
+    // cache miss the fetch is treated as having completed before this
+    // handshake (a previous visitor triggered it). Only meaningful with
+    // staple_requires_cache.
+    bool background_traffic = false;
+    // When false (default nginx), responses with status revoked/unknown are
+    // not stapled. True matches the paper's patched server.
+    bool staple_any_status = false;
+    StapleFetcher fetch_leaf_staple;
+    std::vector<StapleFetcher> fetch_chain_staples;  // parallel to chain_der
+  };
+
+  TlsServer() = default;
+  explicit TlsServer(Config config) : config_(std::move(config)) {}
+
+  ServerHello Handshake(const ClientHello& hello, util::Timestamp now);
+
+  const Config& config() const { return config_; }
+
+ private:
+  // Returns the staple to send for the leaf (possibly empty), honoring the
+  // cache and status rules.
+  Bytes LeafStaple(util::Timestamp now);
+
+  bool StapleAcceptable(BytesView staple_der) const;
+
+  Config config_;
+  Bytes cached_staple_;
+  util::Timestamp cached_staple_expiry_ = 0;
+  bool fetch_pending_ = false;
+};
+
+}  // namespace rev::tls

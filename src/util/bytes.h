@@ -1,0 +1,33 @@
+// Byte-buffer aliases and small helpers shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rev {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+// Appends `src` to the end of `dst`.
+inline void Append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+// Appends the raw bytes of a string (no encoding conversion).
+inline void Append(Bytes& dst, std::string_view src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string ToString(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace rev

@@ -1,0 +1,24 @@
+// Hex and base64 codecs for fingerprints, serial numbers, and CRLSet blobs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace rev::util {
+
+// Lower-case hex encoding.
+std::string HexEncode(BytesView data);
+
+// Decodes hex (either case). Returns nullopt on odd length or bad digit.
+std::optional<Bytes> HexDecode(std::string_view hex);
+
+// Standard base64 with padding.
+std::string Base64Encode(BytesView data);
+
+// Decodes standard base64 (padding required). Returns nullopt on bad input.
+std::optional<Bytes> Base64Decode(std::string_view b64);
+
+}  // namespace rev::util

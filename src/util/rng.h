@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation for the simulation.
+//
+// Every stochastic component takes an explicit Rng (or a seed) so whole-system
+// runs are reproducible bit-for-bit. The generator is xoshiro256**, seeded
+// via splitmix64 per the reference recommendation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace rev::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  // Uniform 64-bit value.
+  std::uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Bernoulli trial with success probability p.
+  bool Chance(double p);
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Normal via Box–Muller.
+  double Normal(double mean, double stddev);
+
+  // Log-normal: exp(Normal(mu, sigma)) — heavy-tailed sizes/durations.
+  double LogNormal(double mu, double sigma);
+
+  // Pareto with scale xm > 0 and shape alpha > 0.
+  double Pareto(double xm, double alpha);
+
+  // Poisson-distributed count with the given mean (uses inversion for small
+  // means, normal approximation for large ones).
+  std::uint64_t Poisson(double mean);
+
+  // Zipf-like rank in [0, n): probability of rank r proportional to
+  // 1/(r+1)^s. Uses rejection sampling.
+  std::uint64_t Zipf(std::uint64_t n, double s);
+
+  // Picks an index in [0, weights.size()) proportionally to weights.
+  std::size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Fills `out` with random bytes.
+  void Fill(std::uint8_t* out, std::size_t n);
+
+  // Derives an independent generator; `label` decorrelates streams that
+  // share a parent seed.
+  Rng Fork(std::uint64_t label);
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace rev::util

@@ -1,0 +1,128 @@
+#include "util/time.h"
+
+#include <array>
+#include <cstdio>
+
+namespace rev::util {
+
+std::int64_t DaysFromCivil(int y, int m, int d) {
+  // Howard Hinnant's algorithm, civil epoch 1970-01-01.
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1; // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilTime CivilFromDays(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  CivilTime ct;
+  ct.year = static_cast<int>(y + (m <= 2));
+  ct.month = static_cast<int>(m);
+  ct.day = static_cast<int>(d);
+  return ct;
+}
+
+Timestamp ToTimestamp(const CivilTime& ct) {
+  return DaysFromCivil(ct.year, ct.month, ct.day) * kSecondsPerDay +
+         ct.hour * 3600 + ct.minute * 60 + ct.second;
+}
+
+CivilTime ToCivil(Timestamp ts) {
+  std::int64_t days = ts / kSecondsPerDay;
+  std::int64_t secs = ts % kSecondsPerDay;
+  if (secs < 0) {
+    secs += kSecondsPerDay;
+    --days;
+  }
+  CivilTime ct = CivilFromDays(days);
+  ct.hour = static_cast<int>(secs / 3600);
+  ct.minute = static_cast<int>((secs % 3600) / 60);
+  ct.second = static_cast<int>(secs % 60);
+  return ct;
+}
+
+Timestamp MakeDate(int year, int month, int day) {
+  return DaysFromCivil(year, month, day) * kSecondsPerDay;
+}
+
+int DayOfWeek(Timestamp ts) {
+  std::int64_t days = ts / kSecondsPerDay;
+  if (ts % kSecondsPerDay < 0) --days;
+  // 1970-01-01 was a Thursday (4).
+  std::int64_t dow = (days + 4) % 7;
+  if (dow < 0) dow += 7;
+  return static_cast<int>(dow);
+}
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr std::array<int, 13> kDays = {0,  31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[static_cast<std::size_t>(month)];
+}
+
+std::string FormatDate(Timestamp ts) {
+  const CivilTime ct = ToCivil(ts);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", ct.year, ct.month, ct.day);
+  return buf;
+}
+
+std::string FormatDateTime(Timestamp ts) {
+  const CivilTime ct = ToCivil(ts);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ", ct.year,
+                ct.month, ct.day, ct.hour, ct.minute, ct.second);
+  return buf;
+}
+
+bool ParseDate(std::string_view s, Timestamp* out) {
+  if (s.size() != 10 || s[4] != '-' || s[7] != '-') return false;
+  auto digits = [&](int pos, int len, int* value) {
+    int v = 0;
+    for (int i = pos; i < pos + len; ++i) {
+      const char c = s[static_cast<std::size_t>(i)];
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + (c - '0');
+    }
+    *value = v;
+    return true;
+  };
+  int y = 0, m = 0, d = 0;
+  if (!digits(0, 4, &y) || !digits(5, 2, &m) || !digits(8, 2, &d)) return false;
+  if (m < 1 || m > 12 || d < 1 || d > DaysInMonth(y, m)) return false;
+  *out = MakeDate(y, m, d);
+  return true;
+}
+
+int MonthIndex(Timestamp ts) {
+  const CivilTime ct = ToCivil(ts);
+  return ct.year * 12 + (ct.month - 1);
+}
+
+Timestamp StartOfMonth(Timestamp ts) {
+  const CivilTime ct = ToCivil(ts);
+  return MakeDate(ct.year, ct.month, 1);
+}
+
+Timestamp StartOfDay(Timestamp ts) {
+  std::int64_t days = ts / kSecondsPerDay;
+  if (ts % kSecondsPerDay < 0) --days;
+  return days * kSecondsPerDay;
+}
+
+}  // namespace rev::util

@@ -1,0 +1,75 @@
+// Civil-time arithmetic on a virtual clock.
+//
+// The whole library runs on simulated time: a Timestamp is seconds since the
+// Unix epoch (UTC), computed with pure civil-calendar arithmetic (Howard
+// Hinnant's days_from_civil algorithm) so results are identical on every
+// platform and independent of the host clock or timezone database.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rev::util {
+
+// Seconds since 1970-01-01T00:00:00Z.
+using Timestamp = std::int64_t;
+
+inline constexpr std::int64_t kSecondsPerDay = 86'400;
+
+// A civil (proleptic Gregorian) date-time, always UTC.
+struct CivilTime {
+  int year = 1970;
+  int month = 1;  // [1, 12]
+  int day = 1;    // [1, 31]
+  int hour = 0;   // [0, 23]
+  int minute = 0; // [0, 59]
+  int second = 0; // [0, 59]
+
+  friend bool operator==(const CivilTime&, const CivilTime&) = default;
+};
+
+// Days between 1970-01-01 and the given civil date (may be negative).
+std::int64_t DaysFromCivil(int year, int month, int day);
+
+// Inverse of DaysFromCivil.
+CivilTime CivilFromDays(std::int64_t days);
+
+// Civil date-time -> Timestamp.
+Timestamp ToTimestamp(const CivilTime& ct);
+
+// Timestamp -> civil date-time.
+CivilTime ToCivil(Timestamp ts);
+
+// Convenience: midnight UTC of the given date.
+Timestamp MakeDate(int year, int month, int day);
+
+// Day-of-week, 0 = Sunday .. 6 = Saturday.
+int DayOfWeek(Timestamp ts);
+
+// True if the given year is a Gregorian leap year.
+bool IsLeapYear(int year);
+
+// Number of days in the given month of the given year.
+int DaysInMonth(int year, int month);
+
+// Formats as "YYYY-MM-DD".
+std::string FormatDate(Timestamp ts);
+
+// Formats as "YYYY-MM-DDTHH:MM:SSZ".
+std::string FormatDateTime(Timestamp ts);
+
+// Parses "YYYY-MM-DD" (midnight UTC). Returns false on malformed input.
+bool ParseDate(std::string_view s, Timestamp* out);
+
+// Index of the month since year 0 (year*12 + month-1); handy for bucketing
+// time series by calendar month.
+int MonthIndex(Timestamp ts);
+
+// First instant of the month containing `ts`.
+Timestamp StartOfMonth(Timestamp ts);
+
+// Midnight UTC of the day containing `ts`.
+Timestamp StartOfDay(Timestamp ts);
+
+}  // namespace rev::util

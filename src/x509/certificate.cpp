@@ -1,0 +1,207 @@
+#include "x509/certificate.h"
+
+#include "asn1/writer.h"
+#include "crypto/sha256.h"
+#include "util/hex.h"
+#include "x509/spki.h"
+
+namespace rev::x509 {
+
+const Bytes& Certificate::Fingerprint() const {
+  if (fingerprint_.empty() && !der.empty())
+    fingerprint_ = crypto::Sha256Bytes(der);
+  return fingerprint_;
+}
+
+Bytes Certificate::SubjectSpkiSha256() const {
+  return SpkiSha256(tbs.public_key);
+}
+
+bool Certificate::IsEv() const {
+  for (const asn1::Oid& policy : tbs.policies)
+    if (policy == asn1::oids::VerisignEvPolicy()) return true;
+  return false;
+}
+
+namespace {
+
+std::vector<Extension> BuildExtensions(const TbsCertificate& tbs) {
+  std::vector<Extension> exts;
+  // Always encode BasicConstraints for CA certs; include an empty one for
+  // leaves as real CAs commonly do.
+  exts.push_back(MakeBasicConstraints(tbs.basic_constraints));
+  if (!tbs.name_constraints.Empty())
+    exts.push_back(MakeNameConstraints(tbs.name_constraints));
+  if (tbs.key_usage != 0) exts.push_back(MakeKeyUsage(tbs.key_usage));
+  if (!tbs.crl_urls.empty())
+    exts.push_back(MakeCrlDistributionPoints(tbs.crl_urls));
+  if (!tbs.ocsp_urls.empty()) {
+    AuthorityInfoAccess aia;
+    aia.ocsp_urls = tbs.ocsp_urls;
+    exts.push_back(MakeAuthorityInfoAccess(aia));
+  }
+  if (!tbs.policies.empty())
+    exts.push_back(MakeCertificatePolicies(tbs.policies));
+  if (!tbs.dns_names.empty()) exts.push_back(MakeSubjectAltName(tbs.dns_names));
+  if (!tbs.subject_key_id.empty())
+    exts.push_back(MakeSubjectKeyIdentifier(tbs.subject_key_id));
+  if (!tbs.authority_key_id.empty())
+    exts.push_back(MakeAuthorityKeyIdentifier(tbs.authority_key_id));
+  return exts;
+}
+
+}  // namespace
+
+Bytes EncodeTbs(const TbsCertificate& tbs, crypto::KeyType sig_type) {
+  std::vector<Bytes> parts;
+  // version [0] EXPLICIT INTEGER { v3(2) }
+  parts.push_back(asn1::EncodeContextExplicit(0, asn1::EncodeInteger(2)));
+  parts.push_back(asn1::EncodeIntegerUnsigned(tbs.serial));
+  parts.push_back(EncodeSignatureAlgorithm(sig_type));
+  parts.push_back(tbs.issuer.Encode());
+  parts.push_back(asn1::EncodeSequence(
+      {asn1::EncodeTime(tbs.not_before), asn1::EncodeTime(tbs.not_after)}));
+  parts.push_back(tbs.subject.Encode());
+  parts.push_back(EncodeSpki(tbs.public_key));
+  parts.push_back(
+      asn1::EncodeContextExplicit(3, EncodeExtensionList(BuildExtensions(tbs))));
+  return asn1::EncodeSequence(parts);
+}
+
+Certificate SignCertificate(const TbsCertificate& tbs,
+                            const crypto::KeyPair& issuer_key) {
+  Certificate cert;
+  cert.tbs = tbs;
+  cert.sig_type = issuer_key.type;
+  cert.tbs_der = EncodeTbs(tbs, issuer_key.type);
+  cert.signature = crypto::Sign(issuer_key, cert.tbs_der);
+  cert.der = asn1::EncodeSequence({cert.tbs_der,
+                                   EncodeSignatureAlgorithm(issuer_key.type),
+                                   asn1::EncodeBitString(cert.signature)});
+  return cert;
+}
+
+std::optional<Certificate> ParseCertificate(BytesView der) {
+  asn1::Reader top(der);
+  asn1::Reader cert_seq;
+  if (!top.ReadSequence(&cert_seq) || !top.Empty()) return std::nullopt;
+
+  Certificate cert;
+  cert.der.assign(der.begin(), der.end());
+
+  BytesView tbs_raw;
+  {
+    // Capture the raw TBS bytes, then parse them.
+    asn1::Reader probe = cert_seq;
+    if (!probe.ReadRawTlv(&tbs_raw)) return std::nullopt;
+    cert_seq = probe;
+  }
+  cert.tbs_der.assign(tbs_raw.begin(), tbs_raw.end());
+
+  asn1::Reader tbs(tbs_raw);
+  asn1::Reader tbs_seq;
+  if (!tbs.ReadSequence(&tbs_seq)) return std::nullopt;
+
+  // version
+  asn1::Reader version_reader;
+  if (!tbs_seq.ReadContextExplicit(0, &version_reader)) return std::nullopt;
+  std::int64_t version;
+  if (!version_reader.ReadInteger(&version) || version != 2)
+    return std::nullopt;
+
+  if (!tbs_seq.ReadIntegerUnsigned(&cert.tbs.serial)) return std::nullopt;
+
+  auto inner_sig_type = DecodeSignatureAlgorithm(tbs_seq);
+  if (!inner_sig_type) return std::nullopt;
+
+  auto issuer = Name::Decode(tbs_seq);
+  if (!issuer) return std::nullopt;
+  cert.tbs.issuer = *std::move(issuer);
+
+  asn1::Reader validity;
+  if (!tbs_seq.ReadSequence(&validity) ||
+      !validity.ReadTime(&cert.tbs.not_before) ||
+      !validity.ReadTime(&cert.tbs.not_after))
+    return std::nullopt;
+
+  auto subject = Name::Decode(tbs_seq);
+  if (!subject) return std::nullopt;
+  cert.tbs.subject = *std::move(subject);
+
+  auto key = DecodeSpki(tbs_seq);
+  if (!key) return std::nullopt;
+  cert.tbs.public_key = *std::move(key);
+
+  if (tbs_seq.NextIsContext(3)) {
+    asn1::Reader ext_wrapper;
+    if (!tbs_seq.ReadContextExplicit(3, &ext_wrapper)) return std::nullopt;
+    auto exts = DecodeExtensionList(ext_wrapper);
+    if (!exts) return std::nullopt;
+    for (const Extension& ext : *exts) {
+      if (ext.oid == asn1::oids::BasicConstraints()) {
+        auto bc = ParseBasicConstraints(ext.value);
+        if (!bc) return std::nullopt;
+        cert.tbs.basic_constraints = *bc;
+      } else if (ext.oid == asn1::oids::NameConstraints()) {
+        auto nc = ParseNameConstraints(ext.value);
+        if (!nc) return std::nullopt;
+        cert.tbs.name_constraints = *std::move(nc);
+      } else if (ext.oid == asn1::oids::KeyUsage()) {
+        auto ku = ParseKeyUsage(ext.value);
+        if (!ku) return std::nullopt;
+        cert.tbs.key_usage = *ku;
+      } else if (ext.oid == asn1::oids::CrlDistributionPoints()) {
+        auto urls = ParseCrlDistributionPoints(ext.value);
+        if (!urls) return std::nullopt;
+        cert.tbs.crl_urls = *std::move(urls);
+      } else if (ext.oid == asn1::oids::AuthorityInfoAccess()) {
+        auto aia = ParseAuthorityInfoAccess(ext.value);
+        if (!aia) return std::nullopt;
+        cert.tbs.ocsp_urls = std::move(aia->ocsp_urls);
+      } else if (ext.oid == asn1::oids::CertificatePolicies()) {
+        auto policies = ParseCertificatePolicies(ext.value);
+        if (!policies) return std::nullopt;
+        cert.tbs.policies = *std::move(policies);
+      } else if (ext.oid == asn1::oids::SubjectAltName()) {
+        auto sans = ParseSubjectAltName(ext.value);
+        if (!sans) return std::nullopt;
+        cert.tbs.dns_names = *std::move(sans);
+      } else if (ext.oid == asn1::oids::SubjectKeyIdentifier()) {
+        auto ski = ParseSubjectKeyIdentifier(ext.value);
+        if (!ski) return std::nullopt;
+        cert.tbs.subject_key_id = *std::move(ski);
+      } else if (ext.oid == asn1::oids::AuthorityKeyIdentifier()) {
+        auto aki = ParseAuthorityKeyIdentifier(ext.value);
+        if (!aki) return std::nullopt;
+        cert.tbs.authority_key_id = *std::move(aki);
+      } else if (ext.critical) {
+        return std::nullopt;  // unknown critical extension
+      }
+    }
+  }
+
+  auto outer_sig_type = DecodeSignatureAlgorithm(cert_seq);
+  if (!outer_sig_type || *outer_sig_type != *inner_sig_type)
+    return std::nullopt;
+  cert.sig_type = *outer_sig_type;
+
+  BytesView sig_bits;
+  unsigned unused = 0;
+  if (!cert_seq.ReadBitString(&sig_bits, &unused) || unused != 0)
+    return std::nullopt;
+  cert.signature.assign(sig_bits.begin(), sig_bits.end());
+  if (!cert_seq.Empty()) return std::nullopt;
+  return cert;
+}
+
+bool VerifyCertificateSignature(const Certificate& cert,
+                                const crypto::PublicKey& issuer_key) {
+  if (issuer_key.type != cert.sig_type) return false;
+  return crypto::Verify(issuer_key, cert.tbs_der, cert.signature);
+}
+
+std::string SerialToString(const Serial& serial) {
+  return util::HexEncode(serial);
+}
+
+}  // namespace rev::x509

@@ -1,0 +1,47 @@
+#include "x509/describe.h"
+
+#include <sstream>
+
+#include "util/hex.h"
+#include "util/time.h"
+
+namespace rev::x509 {
+
+std::string DescribeCertificate(const Certificate& cert) {
+  std::ostringstream out;
+  out << "Certificate:\n";
+  out << "  subject     : " << cert.tbs.subject.ToString() << "\n";
+  out << "  issuer      : " << cert.tbs.issuer.ToString() << "\n";
+  out << "  serial      : " << SerialToString(cert.tbs.serial) << "\n";
+  out << "  not before  : " << util::FormatDateTime(cert.tbs.not_before) << "\n";
+  out << "  not after   : " << util::FormatDateTime(cert.tbs.not_after) << "\n";
+  out << "  key type    : "
+      << (cert.tbs.public_key.type == crypto::KeyType::kRsaSha256
+              ? "RSA (sha256WithRSAEncryption)"
+              : "sim (HMAC-SHA256 simulation scheme)")
+      << "\n";
+  out << "  CA          : " << (cert.IsCa() ? "yes" : "no");
+  if (cert.IsCa() && cert.tbs.basic_constraints.path_len >= 0)
+    out << " (pathlen " << cert.tbs.basic_constraints.path_len << ")";
+  out << "\n";
+  if (cert.IsEv()) out << "  EV policy   : yes\n";
+  for (const std::string& url : cert.tbs.crl_urls)
+    out << "  CRL         : " << url << "\n";
+  for (const std::string& url : cert.tbs.ocsp_urls)
+    out << "  OCSP        : " << url << "\n";
+  for (const std::string& dns : cert.tbs.dns_names)
+    out << "  SAN         : " << dns << "\n";
+  if (!cert.tbs.name_constraints.Empty()) {
+    for (const std::string& p : cert.tbs.name_constraints.permitted_dns)
+      out << "  permitted   : " << p << "\n";
+    for (const std::string& e : cert.tbs.name_constraints.excluded_dns)
+      out << "  excluded    : " << e << "\n";
+  }
+  if (cert.Unrevocable())
+    out << "  WARNING     : no revocation pointers — unrevocable\n";
+  out << "  DER size    : " << cert.der.size() << " bytes\n";
+  out << "  fingerprint : " << util::HexEncode(cert.Fingerprint()) << "\n";
+  return out.str();
+}
+
+}  // namespace rev::x509

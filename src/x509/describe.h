@@ -1,0 +1,16 @@
+// Human-readable rendering of certificates (the `openssl x509 -text`
+// equivalent), used by the CLI tool and handy in test failure output.
+// CRL and OCSP describers live in their own modules (crl/crl.h, ocsp/ocsp.h).
+#pragma once
+
+#include <string>
+
+#include "x509/certificate.h"
+
+namespace rev::x509 {
+
+// Multi-line description of a certificate: subject/issuer, validity,
+// extensions, key type, fingerprint.
+std::string DescribeCertificate(const Certificate& cert);
+
+}  // namespace rev::x509

@@ -1,0 +1,460 @@
+#include "x509/extensions.h"
+
+#include "asn1/writer.h"
+
+namespace rev::x509 {
+
+namespace {
+// GeneralName uniformResourceIdentifier is IMPLICIT [6] IA5String.
+constexpr unsigned kGeneralNameUri = 6;
+// GeneralName dNSName is IMPLICIT [2] IA5String.
+constexpr unsigned kGeneralNameDns = 2;
+
+Bytes EncodeGeneralNameUri(const std::string& uri) {
+  return asn1::EncodeContextPrimitive(kGeneralNameUri, ToBytes(uri));
+}
+}  // namespace
+
+Bytes EncodeExtension(const Extension& ext) {
+  std::vector<Bytes> parts;
+  parts.push_back(asn1::EncodeOid(ext.oid));
+  if (ext.critical) parts.push_back(asn1::EncodeBoolean(true));
+  parts.push_back(asn1::EncodeOctetString(ext.value));
+  return asn1::EncodeSequence(parts);
+}
+
+std::optional<Extension> DecodeExtension(asn1::Reader& r) {
+  asn1::Reader seq;
+  if (!r.ReadSequence(&seq)) return std::nullopt;
+  Extension ext;
+  if (!seq.ReadOid(&ext.oid)) return std::nullopt;
+  if (seq.NextIs(asn1::kTagBoolean)) {
+    if (!seq.ReadBoolean(&ext.critical)) return std::nullopt;
+  }
+  BytesView value;
+  if (!seq.ReadOctetString(&value)) return std::nullopt;
+  ext.value.assign(value.begin(), value.end());
+  return ext;
+}
+
+Bytes EncodeExtensionList(const std::vector<Extension>& exts) {
+  std::vector<Bytes> parts;
+  parts.reserve(exts.size());
+  for (const Extension& e : exts) parts.push_back(EncodeExtension(e));
+  return asn1::EncodeSequence(parts);
+}
+
+std::optional<std::vector<Extension>> DecodeExtensionList(asn1::Reader& r) {
+  asn1::Reader list;
+  if (!r.ReadSequence(&list)) return std::nullopt;
+  std::vector<Extension> out;
+  while (!list.Empty()) {
+    auto ext = DecodeExtension(list);
+    if (!ext) return std::nullopt;
+    out.push_back(*std::move(ext));
+  }
+  return out;
+}
+
+// BasicConstraints ----------------------------------------------------------
+
+Extension MakeBasicConstraints(const BasicConstraints& bc) {
+  std::vector<Bytes> parts;
+  if (bc.is_ca) parts.push_back(asn1::EncodeBoolean(true));
+  if (bc.path_len >= 0) parts.push_back(asn1::EncodeInteger(bc.path_len));
+  Extension ext;
+  ext.oid = asn1::oids::BasicConstraints();
+  ext.critical = true;
+  ext.value = asn1::EncodeSequence(parts);
+  return ext;
+}
+
+std::optional<BasicConstraints> ParseBasicConstraints(BytesView value) {
+  asn1::Reader r(value);
+  asn1::Reader seq;
+  if (!r.ReadSequence(&seq)) return std::nullopt;
+  BasicConstraints bc;
+  if (seq.NextIs(asn1::kTagBoolean)) {
+    if (!seq.ReadBoolean(&bc.is_ca)) return std::nullopt;
+  }
+  if (seq.NextIs(asn1::kTagInteger)) {
+    std::int64_t v;
+    if (!seq.ReadInteger(&v) || v < 0) return std::nullopt;
+    bc.path_len = static_cast<int>(v);
+  }
+  return bc;
+}
+
+// KeyUsage ------------------------------------------------------------------
+
+Extension MakeKeyUsage(std::uint16_t bits) {
+  // Named-bit BIT STRING: bit 0 is the MSB of the first octet; DER strips
+  // trailing zero bits.
+  int highest = -1;
+  for (int i = 15; i >= 0; --i) {
+    if (bits & (1u << i)) {
+      highest = i;
+      break;
+    }
+  }
+  Bytes content;
+  unsigned unused = 0;
+  if (highest >= 0) {
+    const int num_bits = highest + 1;
+    const int num_bytes = (num_bits + 7) / 8;
+    content.assign(static_cast<std::size_t>(num_bytes), 0);
+    for (int i = 0; i <= highest; ++i) {
+      if (bits & (1u << i))
+        content[static_cast<std::size_t>(i / 8)] |= static_cast<std::uint8_t>(0x80 >> (i % 8));
+    }
+    unused = static_cast<unsigned>(num_bytes * 8 - num_bits);
+  }
+  Extension ext;
+  ext.oid = asn1::oids::KeyUsage();
+  ext.critical = true;
+  ext.value = asn1::EncodeBitString(content, unused);
+  return ext;
+}
+
+std::optional<std::uint16_t> ParseKeyUsage(BytesView value) {
+  asn1::Reader r(value);
+  BytesView content;
+  unsigned unused;
+  if (!r.ReadBitString(&content, &unused)) return std::nullopt;
+  std::uint16_t bits = 0;
+  for (std::size_t byte = 0; byte < content.size() && byte < 2; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      if (content[byte] & (0x80 >> bit))
+        bits |= static_cast<std::uint16_t>(1u << (byte * 8 + static_cast<std::size_t>(bit)));
+    }
+  }
+  return bits;
+}
+
+// CRLDistributionPoints -----------------------------------------------------
+
+Extension MakeCrlDistributionPoints(const std::vector<std::string>& urls) {
+  std::vector<Bytes> points;
+  points.reserve(urls.size());
+  for (const std::string& url : urls) {
+    // DistributionPoint ::= SEQUENCE { distributionPoint [0] EXPLICIT
+    //   DistributionPointName OPTIONAL, ... }
+    // DistributionPointName ::= CHOICE { fullName [0] IMPLICIT GeneralNames }
+    const Bytes general_name = EncodeGeneralNameUri(url);
+    const Bytes full_name = asn1::EncodeContextConstructed(0, general_name);
+    const Bytes dp_name = asn1::EncodeContextConstructed(0, full_name);
+    points.push_back(asn1::EncodeSequence({dp_name}));
+  }
+  Extension ext;
+  ext.oid = asn1::oids::CrlDistributionPoints();
+  ext.critical = false;
+  ext.value = asn1::EncodeSequence(points);
+  return ext;
+}
+
+std::optional<std::vector<std::string>> ParseCrlDistributionPoints(
+    BytesView value) {
+  asn1::Reader r(value);
+  asn1::Reader points;
+  if (!r.ReadSequence(&points)) return std::nullopt;
+  std::vector<std::string> urls;
+  while (!points.Empty()) {
+    asn1::Reader point;
+    if (!points.ReadSequence(&point)) return std::nullopt;
+    asn1::Reader dp_name;
+    if (!point.ReadContextConstructed(0, &dp_name)) continue;
+    asn1::Reader full_name;
+    if (!dp_name.ReadContextConstructed(0, &full_name)) continue;
+    while (!full_name.Empty()) {
+      BytesView uri;
+      if (full_name.ReadContextPrimitive(kGeneralNameUri, &uri)) {
+        urls.emplace_back(uri.begin(), uri.end());
+      } else {
+        // Skip non-URI general names.
+        std::uint8_t tag;
+        BytesView skipped;
+        if (!full_name.ReadTlv(&tag, &skipped)) return std::nullopt;
+      }
+    }
+  }
+  return urls;
+}
+
+// AuthorityInfoAccess -------------------------------------------------------
+
+Extension MakeAuthorityInfoAccess(const AuthorityInfoAccess& aia) {
+  std::vector<Bytes> descriptions;
+  for (const std::string& url : aia.ocsp_urls) {
+    descriptions.push_back(asn1::EncodeSequence(
+        {asn1::EncodeOid(asn1::oids::AdOcsp()), EncodeGeneralNameUri(url)}));
+  }
+  for (const std::string& url : aia.ca_issuer_urls) {
+    descriptions.push_back(
+        asn1::EncodeSequence({asn1::EncodeOid(asn1::oids::AdCaIssuers()),
+                              EncodeGeneralNameUri(url)}));
+  }
+  Extension ext;
+  ext.oid = asn1::oids::AuthorityInfoAccess();
+  ext.critical = false;
+  ext.value = asn1::EncodeSequence(descriptions);
+  return ext;
+}
+
+std::optional<AuthorityInfoAccess> ParseAuthorityInfoAccess(BytesView value) {
+  asn1::Reader r(value);
+  asn1::Reader descriptions;
+  if (!r.ReadSequence(&descriptions)) return std::nullopt;
+  AuthorityInfoAccess aia;
+  while (!descriptions.Empty()) {
+    asn1::Reader desc;
+    if (!descriptions.ReadSequence(&desc)) return std::nullopt;
+    asn1::Oid method;
+    BytesView uri;
+    if (!desc.ReadOid(&method)) return std::nullopt;
+    if (!desc.ReadContextPrimitive(kGeneralNameUri, &uri)) continue;
+    if (method == asn1::oids::AdOcsp()) {
+      aia.ocsp_urls.emplace_back(uri.begin(), uri.end());
+    } else if (method == asn1::oids::AdCaIssuers()) {
+      aia.ca_issuer_urls.emplace_back(uri.begin(), uri.end());
+    }
+  }
+  return aia;
+}
+
+// CertificatePolicies -------------------------------------------------------
+
+Extension MakeCertificatePolicies(const std::vector<asn1::Oid>& policies) {
+  std::vector<Bytes> infos;
+  infos.reserve(policies.size());
+  for (const asn1::Oid& policy : policies)
+    infos.push_back(asn1::EncodeSequence({asn1::EncodeOid(policy)}));
+  Extension ext;
+  ext.oid = asn1::oids::CertificatePolicies();
+  ext.critical = false;
+  ext.value = asn1::EncodeSequence(infos);
+  return ext;
+}
+
+std::optional<std::vector<asn1::Oid>> ParseCertificatePolicies(
+    BytesView value) {
+  asn1::Reader r(value);
+  asn1::Reader infos;
+  if (!r.ReadSequence(&infos)) return std::nullopt;
+  std::vector<asn1::Oid> out;
+  while (!infos.Empty()) {
+    asn1::Reader info;
+    if (!infos.ReadSequence(&info)) return std::nullopt;
+    asn1::Oid policy;
+    if (!info.ReadOid(&policy)) return std::nullopt;
+    out.push_back(std::move(policy));
+  }
+  return out;
+}
+
+// SubjectAltName ------------------------------------------------------------
+
+Extension MakeSubjectAltName(const std::vector<std::string>& dns_names) {
+  std::vector<Bytes> names;
+  names.reserve(dns_names.size());
+  for (const std::string& dns : dns_names)
+    names.push_back(asn1::EncodeContextPrimitive(kGeneralNameDns, ToBytes(dns)));
+  Extension ext;
+  ext.oid = asn1::oids::SubjectAltName();
+  ext.critical = false;
+  ext.value = asn1::EncodeSequence(names);
+  return ext;
+}
+
+std::optional<std::vector<std::string>> ParseSubjectAltName(BytesView value) {
+  asn1::Reader r(value);
+  asn1::Reader names;
+  if (!r.ReadSequence(&names)) return std::nullopt;
+  std::vector<std::string> out;
+  while (!names.Empty()) {
+    BytesView dns;
+    if (names.ReadContextPrimitive(kGeneralNameDns, &dns)) {
+      out.emplace_back(dns.begin(), dns.end());
+    } else {
+      std::uint8_t tag;
+      BytesView skipped;
+      if (!names.ReadTlv(&tag, &skipped)) return std::nullopt;
+    }
+  }
+  return out;
+}
+
+// NameConstraints -------------------------------------------------------------
+
+namespace {
+
+// GeneralSubtrees ::= SEQUENCE OF GeneralSubtree;
+// GeneralSubtree ::= SEQUENCE { base GeneralName } (min/max omitted = DER
+// defaults). We only emit dNSName bases.
+Bytes EncodeSubtrees(const std::vector<std::string>& dns_suffixes) {
+  std::vector<Bytes> subtrees;
+  subtrees.reserve(dns_suffixes.size());
+  for (const std::string& suffix : dns_suffixes) {
+    subtrees.push_back(asn1::EncodeSequence(
+        {asn1::EncodeContextPrimitive(kGeneralNameDns, ToBytes(suffix))}));
+  }
+  return asn1::Concat(subtrees);
+}
+
+bool DecodeSubtrees(asn1::Reader& r, std::vector<std::string>* out) {
+  while (!r.Empty()) {
+    asn1::Reader subtree;
+    if (!r.ReadSequence(&subtree)) return false;
+    BytesView dns;
+    if (subtree.ReadContextPrimitive(kGeneralNameDns, &dns)) {
+      out->emplace_back(dns.begin(), dns.end());
+    } else {
+      std::uint8_t tag;
+      BytesView skipped;
+      if (!subtree.ReadTlv(&tag, &skipped)) return false;  // skip other bases
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Extension MakeNameConstraints(const NameConstraints& nc) {
+  std::vector<Bytes> parts;
+  if (!nc.permitted_dns.empty())
+    parts.push_back(
+        asn1::EncodeContextConstructed(0, EncodeSubtrees(nc.permitted_dns)));
+  if (!nc.excluded_dns.empty())
+    parts.push_back(
+        asn1::EncodeContextConstructed(1, EncodeSubtrees(nc.excluded_dns)));
+  Extension ext;
+  ext.oid = asn1::oids::NameConstraints();
+  ext.critical = true;
+  ext.value = asn1::EncodeSequence(parts);
+  return ext;
+}
+
+std::optional<NameConstraints> ParseNameConstraints(BytesView value) {
+  asn1::Reader r(value);
+  asn1::Reader seq;
+  if (!r.ReadSequence(&seq)) return std::nullopt;
+  NameConstraints nc;
+  if (seq.NextIsContext(0)) {
+    asn1::Reader permitted;
+    if (!seq.ReadContextConstructed(0, &permitted) ||
+        !DecodeSubtrees(permitted, &nc.permitted_dns))
+      return std::nullopt;
+  }
+  if (seq.NextIsContext(1)) {
+    asn1::Reader excluded;
+    if (!seq.ReadContextConstructed(1, &excluded) ||
+        !DecodeSubtrees(excluded, &nc.excluded_dns))
+      return std::nullopt;
+  }
+  return nc;
+}
+
+bool DnsNameInSubtree(std::string_view dns_name, std::string_view suffix) {
+  if (suffix.empty()) return true;
+  if (dns_name.size() < suffix.size()) return false;
+  if (dns_name.size() == suffix.size()) return dns_name == suffix;
+  // Must match on a label boundary: "notexample.com" !< "example.com".
+  return dns_name.substr(dns_name.size() - suffix.size()) == suffix &&
+         dns_name[dns_name.size() - suffix.size() - 1] == '.';
+}
+
+bool NameConstraintsAllow(const NameConstraints& nc,
+                          std::string_view dns_name) {
+  for (const std::string& excluded : nc.excluded_dns)
+    if (DnsNameInSubtree(dns_name, excluded)) return false;
+  if (nc.permitted_dns.empty()) return true;
+  for (const std::string& permitted : nc.permitted_dns)
+    if (DnsNameInSubtree(dns_name, permitted)) return true;
+  return false;
+}
+
+// Key identifiers -----------------------------------------------------------
+
+Extension MakeSubjectKeyIdentifier(BytesView key_id) {
+  Extension ext;
+  ext.oid = asn1::oids::SubjectKeyIdentifier();
+  ext.critical = false;
+  ext.value = asn1::EncodeOctetString(key_id);
+  return ext;
+}
+
+std::optional<Bytes> ParseSubjectKeyIdentifier(BytesView value) {
+  asn1::Reader r(value);
+  BytesView id;
+  if (!r.ReadOctetString(&id)) return std::nullopt;
+  return Bytes(id.begin(), id.end());
+}
+
+Extension MakeAuthorityKeyIdentifier(BytesView key_id) {
+  // AuthorityKeyIdentifier ::= SEQUENCE { keyIdentifier [0] IMPLICIT ... }
+  Extension ext;
+  ext.oid = asn1::oids::AuthorityKeyIdentifier();
+  ext.critical = false;
+  ext.value =
+      asn1::EncodeSequence({asn1::EncodeContextPrimitive(0, key_id)});
+  return ext;
+}
+
+std::optional<Bytes> ParseAuthorityKeyIdentifier(BytesView value) {
+  asn1::Reader r(value);
+  asn1::Reader seq;
+  if (!r.ReadSequence(&seq)) return std::nullopt;
+  BytesView id;
+  if (!seq.ReadContextPrimitive(0, &id)) return std::nullopt;
+  return Bytes(id.begin(), id.end());
+}
+
+// CRL extensions ------------------------------------------------------------
+
+const char* ReasonCodeName(ReasonCode rc) {
+  switch (rc) {
+    case ReasonCode::kNoReasonCode: return "noReasonCode";
+    case ReasonCode::kUnspecified: return "unspecified";
+    case ReasonCode::kKeyCompromise: return "keyCompromise";
+    case ReasonCode::kCaCompromise: return "cACompromise";
+    case ReasonCode::kAffiliationChanged: return "affiliationChanged";
+    case ReasonCode::kSuperseded: return "superseded";
+    case ReasonCode::kCessationOfOperation: return "cessationOfOperation";
+    case ReasonCode::kCertificateHold: return "certificateHold";
+    case ReasonCode::kRemoveFromCrl: return "removeFromCRL";
+    case ReasonCode::kPrivilegeWithdrawn: return "privilegeWithdrawn";
+    case ReasonCode::kAaCompromise: return "aACompromise";
+  }
+  return "unknown";
+}
+
+Extension MakeCrlReason(ReasonCode rc) {
+  Extension ext;
+  ext.oid = asn1::oids::CrlReason();
+  ext.critical = false;
+  ext.value = asn1::EncodeEnumerated(static_cast<std::int64_t>(rc));
+  return ext;
+}
+
+std::optional<ReasonCode> ParseCrlReason(BytesView value) {
+  asn1::Reader r(value);
+  std::int64_t v;
+  if (!r.ReadEnumerated(&v) || v < 0 || v > 10 || v == 7) return std::nullopt;
+  return static_cast<ReasonCode>(v);
+}
+
+Extension MakeCrlNumber(std::int64_t number) {
+  Extension ext;
+  ext.oid = asn1::oids::CrlNumber();
+  ext.critical = false;
+  ext.value = asn1::EncodeInteger(number);
+  return ext;
+}
+
+std::optional<std::int64_t> ParseCrlNumber(BytesView value) {
+  asn1::Reader r(value);
+  std::int64_t v;
+  if (!r.ReadInteger(&v) || v < 0) return std::nullopt;
+  return v;
+}
+
+}  // namespace rev::x509

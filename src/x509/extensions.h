@@ -1,0 +1,135 @@
+// X.509v3 extensions: the generic wrapper plus typed codecs for every
+// extension this library reads or writes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asn1/oid.h"
+#include "asn1/reader.h"
+#include "util/bytes.h"
+
+namespace rev::x509 {
+
+// Generic extension: `value` holds the DER inside the extnValue OCTET STRING.
+struct Extension {
+  asn1::Oid oid;
+  bool critical = false;
+  Bytes value;
+};
+
+Bytes EncodeExtension(const Extension& ext);
+std::optional<Extension> DecodeExtension(asn1::Reader& r);
+
+// SEQUENCE OF Extension (caller wraps in the [3] EXPLICIT of TBSCertificate).
+Bytes EncodeExtensionList(const std::vector<Extension>& exts);
+std::optional<std::vector<Extension>> DecodeExtensionList(asn1::Reader& r);
+
+// BasicConstraints ----------------------------------------------------------
+
+struct BasicConstraints {
+  bool is_ca = false;
+  int path_len = -1;  // -1 = absent
+};
+Extension MakeBasicConstraints(const BasicConstraints& bc);
+std::optional<BasicConstraints> ParseBasicConstraints(BytesView value);
+
+// KeyUsage ------------------------------------------------------------------
+
+// Named bits per RFC 5280 §4.2.1.3 (bit 0 = digitalSignature ... ).
+enum KeyUsageBits : std::uint16_t {
+  kKeyUsageDigitalSignature = 1u << 0,
+  kKeyUsageKeyEncipherment = 1u << 2,
+  kKeyUsageKeyCertSign = 1u << 5,
+  kKeyUsageCrlSign = 1u << 6,
+};
+Extension MakeKeyUsage(std::uint16_t bits);
+std::optional<std::uint16_t> ParseKeyUsage(BytesView value);
+
+// CRLDistributionPoints -----------------------------------------------------
+
+Extension MakeCrlDistributionPoints(const std::vector<std::string>& urls);
+std::optional<std::vector<std::string>> ParseCrlDistributionPoints(
+    BytesView value);
+
+// AuthorityInfoAccess -------------------------------------------------------
+
+struct AuthorityInfoAccess {
+  std::vector<std::string> ocsp_urls;
+  std::vector<std::string> ca_issuer_urls;
+};
+Extension MakeAuthorityInfoAccess(const AuthorityInfoAccess& aia);
+std::optional<AuthorityInfoAccess> ParseAuthorityInfoAccess(BytesView value);
+
+// CertificatePolicies -------------------------------------------------------
+
+Extension MakeCertificatePolicies(const std::vector<asn1::Oid>& policies);
+std::optional<std::vector<asn1::Oid>> ParseCertificatePolicies(BytesView value);
+
+// SubjectAltName (dNSName entries only) --------------------------------------
+
+Extension MakeSubjectAltName(const std::vector<std::string>& dns_names);
+std::optional<std::vector<std::string>> ParseSubjectAltName(BytesView value);
+
+// NameConstraints (dNSName subtrees only) -------------------------------------
+//
+// The paper (§2.1 footnote 2) notes this extension exists precisely to
+// scope a CA's issuing authority "but it is rarely used and few clients
+// support it"; chain verification enforces it only when asked.
+
+struct NameConstraints {
+  // DNS suffixes; an empty permitted list means "no restriction".
+  std::vector<std::string> permitted_dns;
+  std::vector<std::string> excluded_dns;
+
+  bool Empty() const { return permitted_dns.empty() && excluded_dns.empty(); }
+};
+
+Extension MakeNameConstraints(const NameConstraints& nc);
+std::optional<NameConstraints> ParseNameConstraints(BytesView value);
+
+// True if `dns_name` falls within the subtree `suffix` ("example.com"
+// matches itself and any subdomain).
+bool DnsNameInSubtree(std::string_view dns_name, std::string_view suffix);
+
+// Checks a DNS name against the constraints.
+bool NameConstraintsAllow(const NameConstraints& nc, std::string_view dns_name);
+
+// Subject/Authority key identifiers ------------------------------------------
+
+Extension MakeSubjectKeyIdentifier(BytesView key_id);
+std::optional<Bytes> ParseSubjectKeyIdentifier(BytesView value);
+
+Extension MakeAuthorityKeyIdentifier(BytesView key_id);
+std::optional<Bytes> ParseAuthorityKeyIdentifier(BytesView value);
+
+// CRL entry/respective extensions ---------------------------------------------
+
+// RFC 5280 CRLReason codes. kUnspecified is also what a revocation without
+// the extension maps to; kNoReasonCode marks "extension absent" when the
+// distinction matters (CRLSet inclusion rules, §7.1).
+enum class ReasonCode : std::int8_t {
+  kNoReasonCode = -1,  // extension absent
+  kUnspecified = 0,
+  kKeyCompromise = 1,
+  kCaCompromise = 2,
+  kAffiliationChanged = 3,
+  kSuperseded = 4,
+  kCessationOfOperation = 5,
+  kCertificateHold = 6,
+  kRemoveFromCrl = 8,
+  kPrivilegeWithdrawn = 9,
+  kAaCompromise = 10,
+};
+
+const char* ReasonCodeName(ReasonCode rc);
+
+Extension MakeCrlReason(ReasonCode rc);
+std::optional<ReasonCode> ParseCrlReason(BytesView value);
+
+Extension MakeCrlNumber(std::int64_t number);
+std::optional<std::int64_t> ParseCrlNumber(BytesView value);
+
+}  // namespace rev::x509

@@ -1,0 +1,85 @@
+#include "x509/spki.h"
+
+#include "asn1/writer.h"
+#include "crypto/sha256.h"
+
+namespace rev::x509 {
+
+Bytes EncodeSpki(const crypto::PublicKey& key) {
+  Bytes alg;
+  Bytes key_bits;
+  if (key.type == crypto::KeyType::kRsaSha256) {
+    alg = asn1::EncodeSequence(
+        {asn1::EncodeOid(asn1::oids::RsaEncryption()), asn1::EncodeNull()});
+    const Bytes rsa_pub = asn1::EncodeSequence(
+        {asn1::EncodeIntegerUnsigned(key.rsa.n.ToBytes()),
+         asn1::EncodeIntegerUnsigned(key.rsa.e.ToBytes())});
+    key_bits = rsa_pub;
+  } else {
+    alg = asn1::EncodeSequence({asn1::EncodeOid(asn1::oids::SimSha256())});
+    key_bits = key.sim_id;
+  }
+  return asn1::EncodeSequence({alg, asn1::EncodeBitString(key_bits)});
+}
+
+std::optional<crypto::PublicKey> DecodeSpki(asn1::Reader& r) {
+  asn1::Reader spki;
+  if (!r.ReadSequence(&spki)) return std::nullopt;
+  asn1::Reader alg;
+  if (!spki.ReadSequence(&alg)) return std::nullopt;
+  asn1::Oid alg_oid;
+  if (!alg.ReadOid(&alg_oid)) return std::nullopt;
+
+  BytesView key_bits;
+  unsigned unused = 0;
+  if (!spki.ReadBitString(&key_bits, &unused) || unused != 0)
+    return std::nullopt;
+
+  crypto::PublicKey key;
+  if (alg_oid == asn1::oids::RsaEncryption()) {
+    if (!alg.ReadNull()) return std::nullopt;
+    key.type = crypto::KeyType::kRsaSha256;
+    asn1::Reader rsa(key_bits);
+    asn1::Reader rsa_seq;
+    Bytes n_be, e_be;
+    if (!rsa.ReadSequence(&rsa_seq) || !rsa_seq.ReadIntegerUnsigned(&n_be) ||
+        !rsa_seq.ReadIntegerUnsigned(&e_be))
+      return std::nullopt;
+    key.rsa.n = crypto::BigInt::FromBytes(n_be);
+    key.rsa.e = crypto::BigInt::FromBytes(e_be);
+  } else if (alg_oid == asn1::oids::SimSha256()) {
+    key.type = crypto::KeyType::kSimSha256;
+    key.sim_id.assign(key_bits.begin(), key_bits.end());
+    if (key.sim_id.size() != crypto::kSha256DigestSize) return std::nullopt;
+  } else {
+    return std::nullopt;
+  }
+  return key;
+}
+
+Bytes SpkiSha256(const crypto::PublicKey& key) {
+  return crypto::Sha256Bytes(EncodeSpki(key));
+}
+
+Bytes EncodeSignatureAlgorithm(crypto::KeyType type) {
+  if (type == crypto::KeyType::kRsaSha256) {
+    return asn1::EncodeSequence(
+        {asn1::EncodeOid(asn1::oids::Sha256WithRsa()), asn1::EncodeNull()});
+  }
+  return asn1::EncodeSequence({asn1::EncodeOid(asn1::oids::SimSha256())});
+}
+
+std::optional<crypto::KeyType> DecodeSignatureAlgorithm(asn1::Reader& r) {
+  asn1::Reader alg;
+  if (!r.ReadSequence(&alg)) return std::nullopt;
+  asn1::Oid oid;
+  if (!alg.ReadOid(&oid)) return std::nullopt;
+  if (oid == asn1::oids::Sha256WithRsa()) {
+    if (!alg.ReadNull()) return std::nullopt;
+    return crypto::KeyType::kRsaSha256;
+  }
+  if (oid == asn1::oids::SimSha256()) return crypto::KeyType::kSimSha256;
+  return std::nullopt;
+}
+
+}  // namespace rev::x509

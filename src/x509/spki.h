@@ -1,0 +1,32 @@
+// SubjectPublicKeyInfo encoding/decoding for the two key types.
+//
+// RSA keys use the standard rsaEncryption AlgorithmIdentifier with an
+// RSAPublicKey SEQUENCE in the BIT STRING; sim keys use a private-arc OID
+// with the 32-byte identifier as the BIT STRING payload.
+#pragma once
+
+#include <optional>
+
+#include "asn1/reader.h"
+#include "crypto/signer.h"
+#include "util/bytes.h"
+
+namespace rev::x509 {
+
+// DER SubjectPublicKeyInfo for a public key.
+Bytes EncodeSpki(const crypto::PublicKey& key);
+
+// Parses a SubjectPublicKeyInfo from the reader.
+std::optional<crypto::PublicKey> DecodeSpki(asn1::Reader& r);
+
+// SHA-256 of the DER SubjectPublicKeyInfo. This is the "parent" identifier
+// CRLSets key their entries by (§7.1 of the paper).
+Bytes SpkiSha256(const crypto::PublicKey& key);
+
+// AlgorithmIdentifier for the *signature* made by a key of this type.
+Bytes EncodeSignatureAlgorithm(crypto::KeyType type);
+
+// Reads an AlgorithmIdentifier and maps it back to a key type.
+std::optional<crypto::KeyType> DecodeSignatureAlgorithm(asn1::Reader& r);
+
+}  // namespace rev::x509

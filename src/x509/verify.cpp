@@ -1,0 +1,177 @@
+#include "x509/verify.h"
+
+#include <algorithm>
+
+namespace rev::x509 {
+
+const char* VerifyStatusName(VerifyStatus s) {
+  switch (s) {
+    case VerifyStatus::kOk: return "ok";
+    case VerifyStatus::kNoPath: return "no-path";
+    case VerifyStatus::kBadSignature: return "bad-signature";
+    case VerifyStatus::kExpired: return "expired";
+    case VerifyStatus::kNotYetValid: return "not-yet-valid";
+    case VerifyStatus::kIssuerNotCa: return "issuer-not-ca";
+    case VerifyStatus::kDepthExceeded: return "depth-exceeded";
+    case VerifyStatus::kNameConstraintViolation: return "name-constraint";
+  }
+  return "unknown";
+}
+
+void CertPool::Add(CertPtr cert) {
+  if (!cert) return;
+  const Bytes& fp = cert->Fingerprint();
+  if (by_fingerprint_.contains(fp)) return;
+  by_fingerprint_.emplace(fp, cert);
+  by_subject_[cert->tbs.subject.DerKey()].push_back(cert);
+  all_.push_back(std::move(cert));
+}
+
+std::vector<CertPtr> CertPool::FindBySubject(const Name& subject) const {
+  auto it = by_subject_.find(subject.DerKey());
+  if (it == by_subject_.end()) return {};
+  return it->second;
+}
+
+bool CertPool::Contains(const Certificate& cert) const {
+  return by_fingerprint_.contains(cert.Fingerprint());
+}
+
+namespace {
+
+// Checks date validity; returns kOk when acceptable under the options.
+VerifyStatus CheckDates(const Certificate& cert, const VerifyOptions& options) {
+  if (options.ignore_dates) return VerifyStatus::kOk;
+  if (options.at < cert.tbs.not_before) return VerifyStatus::kNotYetValid;
+  if (options.at > cert.tbs.not_after) return VerifyStatus::kExpired;
+  return VerifyStatus::kOk;
+}
+
+// Recursive DFS over issuer candidates. `chain` holds the path so far (leaf
+// first). Returns true when a full path to a root was found. `worst` tracks
+// the most informative failure seen, so callers get e.g. kBadSignature
+// rather than a generic kNoPath when a signature was the blocker.
+bool Extend(const CertPtr& current, std::vector<CertPtr>& chain,
+            const CertPool& intermediates, const CertPool& roots,
+            const VerifyOptions& options, VerifyStatus& worst) {
+  if (chain.size() > options.max_depth) {
+    worst = VerifyStatus::kDepthExceeded;
+    return false;
+  }
+
+  // Roots first: a certificate directly signed by a root terminates.
+  for (const CertPtr& root : roots.FindBySubject(current->tbs.issuer)) {
+    if (!VerifyCertificateSignature(*current, root->tbs.public_key)) continue;
+    const VerifyStatus date_status = CheckDates(*root, options);
+    if (date_status != VerifyStatus::kOk) {
+      worst = date_status;
+      continue;
+    }
+    chain.push_back(root);
+    return true;
+  }
+
+  for (const CertPtr& issuer : intermediates.FindBySubject(current->tbs.issuer)) {
+    // Self-signed non-roots and cycles are skipped.
+    if (std::any_of(chain.begin(), chain.end(), [&](const CertPtr& c) {
+          return c->Fingerprint() == issuer->Fingerprint();
+        }))
+      continue;
+    if (!issuer->IsCa()) {
+      worst = VerifyStatus::kIssuerNotCa;
+      continue;
+    }
+    if (!VerifyCertificateSignature(*current, issuer->tbs.public_key)) {
+      if (worst == VerifyStatus::kNoPath) worst = VerifyStatus::kBadSignature;
+      continue;
+    }
+    const VerifyStatus date_status = CheckDates(*issuer, options);
+    if (date_status != VerifyStatus::kOk) {
+      worst = date_status;
+      continue;
+    }
+    chain.push_back(issuer);
+    if (Extend(issuer, chain, intermediates, roots, options, worst))
+      return true;
+    chain.pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+VerifyResult VerifyChain(const CertPtr& leaf, const CertPool& intermediates,
+                         const CertPool& roots, const VerifyOptions& options) {
+  VerifyResult result;
+  if (!leaf) return result;
+
+  const VerifyStatus leaf_dates = CheckDates(*leaf, options);
+  if (leaf_dates != VerifyStatus::kOk) {
+    result.status = leaf_dates;
+    return result;
+  }
+
+  // A leaf that *is* a trusted root verifies trivially.
+  if (roots.Contains(*leaf)) {
+    result.status = VerifyStatus::kOk;
+    result.chain = {leaf};
+    return result;
+  }
+
+  std::vector<CertPtr> chain = {leaf};
+  VerifyStatus worst = VerifyStatus::kNoPath;
+  if (Extend(leaf, chain, intermediates, roots, options, worst)) {
+    // NameConstraints (optional enforcement, §2.1 footnote 2): every name
+    // the leaf asserts must satisfy every CA's constraints.
+    if (options.enforce_name_constraints) {
+      std::vector<std::string> names = leaf->tbs.dns_names;
+      if (names.empty()) names.push_back(leaf->tbs.subject.CommonName());
+      for (std::size_t i = 1; i < chain.size(); ++i) {
+        const NameConstraints& nc = chain[i]->tbs.name_constraints;
+        if (nc.Empty()) continue;
+        for (const std::string& name : names) {
+          if (!NameConstraintsAllow(nc, name)) {
+            result.status = VerifyStatus::kNameConstraintViolation;
+            return result;
+          }
+        }
+      }
+    }
+    result.status = VerifyStatus::kOk;
+    result.chain = std::move(chain);
+  } else {
+    result.status = worst;
+  }
+  return result;
+}
+
+std::vector<CertPtr> BuildIntermediateSet(const std::vector<CertPtr>& candidates,
+                                          const CertPool& roots) {
+  CertPool verified;
+  std::vector<CertPtr> pending;
+  for (const CertPtr& c : candidates) {
+    if (c && c->IsCa() && !roots.Contains(*c)) pending.push_back(c);
+  }
+
+  VerifyOptions options;
+  options.ignore_dates = true;  // scans span years; match §3.1 methodology
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    std::vector<CertPtr> still_pending;
+    for (const CertPtr& candidate : pending) {
+      const VerifyResult r = VerifyChain(candidate, verified, roots, options);
+      if (r.ok()) {
+        verified.Add(candidate);
+        progress = true;
+      } else {
+        still_pending.push_back(candidate);
+      }
+    }
+    pending = std::move(still_pending);
+  }
+  return verified.all();
+}
+
+}  // namespace rev::x509

@@ -1,0 +1,541 @@
+// Browser policy-engine tests: the 244-case suite structure, per-profile
+// behaviors cross-checked against Table 2 of the paper, staple handling,
+// and the matrix builder.
+#include <gtest/gtest.h>
+
+#include "browser/client.h"
+#include "browser/matrix.h"
+#include "browser/profiles.h"
+#include "browser/testsuite.h"
+
+namespace rev::browser {
+namespace {
+
+constexpr util::Timestamp kNow = 1'427'760'000;  // 2015-03-31
+constexpr std::uint64_t kSeed = 42;
+
+const Policy& PolicyOf(const char* browser, const char* os) {
+  const BrowserProfile* profile = FindProfile(browser, os);
+  EXPECT_NE(profile, nullptr) << browser << "/" << os;
+  return profile->policy;
+}
+
+VisitOutcome RunTest(const TestCase& test, const Policy& policy) {
+  return RunCase(test, policy, kSeed, kNow);
+}
+
+TestCase Revoked(int ints, int element, RevProtocol protocol, bool ev = false) {
+  TestCase test;
+  test.num_intermediates = ints;
+  test.revoked_element = element;
+  test.protocol = protocol;
+  test.ev = ev;
+  return test;
+}
+
+TestCase Unavailable(int ints, int element, RevProtocol protocol,
+                     FailureMode mode, bool ev = false) {
+  TestCase test;
+  test.num_intermediates = ints;
+  test.protocol = protocol;
+  test.failure = mode;
+  test.failure_element = element;
+  test.ev = ev;
+  return test;
+}
+
+// ------------------------------------------------------------ the suite ----
+
+TEST(TestSuite, Has244Cases) {
+  const std::vector<TestCase> suite = GenerateTestSuite();
+  EXPECT_EQ(suite.size(), 244u);
+  // Unique ids.
+  std::set<int> ids;
+  for (const TestCase& test : suite) ids.insert(test.id);
+  EXPECT_EQ(ids.size(), 244u);
+}
+
+TEST(TestSuite, CoversAllDimensions) {
+  const std::vector<TestCase> suite = GenerateTestSuite();
+  std::set<int> chain_lengths;
+  std::set<FailureMode> failures;
+  bool has_ev = false, has_staple = false, has_multi = false;
+  for (const TestCase& test : suite) {
+    chain_lengths.insert(test.num_intermediates);
+    failures.insert(test.failure);
+    has_ev |= test.ev;
+    has_staple |= test.stapling;
+    has_multi |= test.multi_staple;
+  }
+  EXPECT_EQ(chain_lengths, (std::set<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(failures.contains(FailureMode::kNxdomain));
+  EXPECT_TRUE(failures.contains(FailureMode::kHttp404));
+  EXPECT_TRUE(failures.contains(FailureMode::kTimeout));
+  EXPECT_TRUE(failures.contains(FailureMode::kOcspUnknown));
+  EXPECT_TRUE(has_ev);
+  EXPECT_TRUE(has_staple);
+  EXPECT_TRUE(has_multi);
+}
+
+TEST(TestSuite, ValidChainsAcceptedByCheckingBrowser) {
+  // A healthy, unrevoked chain is accepted even by the strictest browser.
+  const Policy& ie11 = PolicyOf("IE 11", "Windows 8.1");
+  for (int ints : {0, 1, 2, 3}) {
+    const VisitOutcome outcome =
+        RunTest(Revoked(ints, -1, RevProtocol::kBoth), ie11);
+    EXPECT_TRUE(outcome.accepted()) << ints << ": " << outcome.reject_reason;
+    EXPECT_TRUE(outcome.chain_valid);
+  }
+}
+
+TEST(TestSuite, FullSuiteRunsForRepresentativeProfiles) {
+  // Every one of the 244 cases must execute cleanly for a hard-fail, a
+  // soft-fail, and a non-checking profile — and deterministically.
+  const std::vector<TestCase> suite = GenerateTestSuite();
+  for (const char* name : {"IE 11", "Firefox 40", "Mobile Safari"}) {
+    const BrowserProfile* profile = nullptr;
+    for (const BrowserProfile& p : AllProfiles())
+      if (p.policy.browser == name) {
+        profile = &p;
+        break;
+      }
+    ASSERT_NE(profile, nullptr);
+    int rejected = 0;
+    for (const TestCase& test : suite) {
+      const VisitOutcome first = RunTest(test, profile->policy);
+      const VisitOutcome second = RunTest(test, profile->policy);
+      EXPECT_EQ(first.decision, second.decision) << test.Description();
+      EXPECT_TRUE(first.chain_valid) << test.Description();
+      if (first.rejected()) ++rejected;
+      // Only IE 10 warns; none of these three profiles should.
+      EXPECT_FALSE(first.warned()) << name << " " << test.Description();
+    }
+    if (std::string(name) == "Mobile Safari") {
+      EXPECT_EQ(rejected, 0) << "mobile browsers check nothing";
+    } else {
+      EXPECT_GT(rejected, 0);
+    }
+  }
+}
+
+TEST(Profiles, ThirtyCombinations) {
+  EXPECT_EQ(AllProfiles().size(), 30u);
+  EXPECT_EQ(Table2Columns().size(), 14u);
+}
+
+// ------------------------------------------------- per-profile behaviors ----
+
+TEST(MobileBrowsers, NeverCheckAnything) {
+  // §6.4: "not a single mobile browser checks revocation information".
+  for (const BrowserProfile& profile : AllProfiles()) {
+    if (!profile.mobile) continue;
+    // Revoked leaf over both protocols: accepted regardless.
+    EXPECT_TRUE(RunTest(Revoked(1, 0, RevProtocol::kBoth), profile.policy).accepted())
+        << profile.policy.DisplayName();
+    // Even a revoked intermediate.
+    EXPECT_TRUE(RunTest(Revoked(2, 1, RevProtocol::kBoth), profile.policy).accepted())
+        << profile.policy.DisplayName();
+    // Zero revocation fetches.
+    const VisitOutcome outcome = RunTest(Revoked(1, 0, RevProtocol::kBoth), profile.policy);
+    EXPECT_EQ(outcome.crl_fetches + outcome.ocsp_fetches, 0)
+        << profile.policy.DisplayName();
+  }
+}
+
+TEST(AndroidBrowsers, RequestStapleButIgnoreIt) {
+  const Policy& stock = PolicyOf("Stock Browser", "Android 4.4");
+  TestCase test;
+  test.num_intermediates = 1;
+  test.protocol = RevProtocol::kOcspOnly;
+  test.stapling = true;
+  test.staple_status = ocsp::CertStatus::kRevoked;
+  const VisitOutcome outcome = RunTest(test, stock);
+  // Served a revoked staple, still validates and connects (§6.4).
+  EXPECT_TRUE(outcome.accepted());
+  EXPECT_FALSE(outcome.used_staple);
+}
+
+TEST(Firefox, ChecksOnlyOcspLeafForNonEv) {
+  const Policy& ff = PolicyOf("Firefox 40", "Linux");
+  // CRL-only revoked leaf: not checked.
+  EXPECT_TRUE(RunTest(Revoked(1, 0, RevProtocol::kCrlOnly), ff).accepted());
+  // OCSP revoked leaf: rejected.
+  EXPECT_TRUE(RunTest(Revoked(1, 0, RevProtocol::kOcspOnly), ff).rejected());
+  // OCSP revoked intermediate, non-EV: not checked.
+  EXPECT_TRUE(RunTest(Revoked(2, 1, RevProtocol::kOcspOnly), ff).accepted());
+  // ... but checked for EV.
+  EXPECT_TRUE(RunTest(Revoked(2, 1, RevProtocol::kOcspOnly, true), ff).rejected());
+}
+
+TEST(Firefox, RejectsUnknownAndSoftFails) {
+  const Policy& ff = PolicyOf("Firefox 40", "OS X");
+  // OCSP unknown: correctly rejected.
+  EXPECT_TRUE(
+      RunTest(Unavailable(1, 0, RevProtocol::kOcspOnly, FailureMode::kOcspUnknown), ff)
+          .rejected());
+  // Responder down: soft-fail accept, and no CRL fallback even when present.
+  EXPECT_TRUE(
+      RunTest(Unavailable(1, 0, RevProtocol::kOcspOnly, FailureMode::kTimeout), ff)
+          .accepted());
+  TestCase both = Revoked(1, 0, RevProtocol::kBoth);
+  both.failure = FailureMode::kOcspTimeout;
+  both.failure_element = 0;
+  EXPECT_TRUE(RunTest(both, ff).accepted());  // revoked in CRL, FF never looks
+}
+
+TEST(Chrome, OsxChecksOnlyEv) {
+  const Policy& chrome = PolicyOf("Chrome 44", "OS X");
+  EXPECT_TRUE(RunTest(Revoked(1, 0, RevProtocol::kOcspOnly), chrome).accepted());
+  EXPECT_TRUE(RunTest(Revoked(1, 0, RevProtocol::kOcspOnly, true), chrome).rejected());
+  EXPECT_TRUE(RunTest(Revoked(2, 1, RevProtocol::kCrlOnly), chrome).accepted());
+  EXPECT_TRUE(RunTest(Revoked(2, 1, RevProtocol::kCrlOnly, true), chrome).rejected());
+}
+
+TEST(Chrome, WindowsChecksNonEvFirstIntermediateCrlOnly) {
+  const Policy& chrome = PolicyOf("Chrome 44", "Windows");
+  // Non-EV Int.1 via CRL-only chain: checked (Table 2 cell "3").
+  EXPECT_TRUE(RunTest(Revoked(2, 1, RevProtocol::kCrlOnly), chrome).rejected());
+  // But "only if it only has a CRL listed": with OCSP also present, no.
+  EXPECT_TRUE(RunTest(Revoked(2, 1, RevProtocol::kBoth), chrome).accepted());
+  // Non-EV leaf: never checked.
+  EXPECT_TRUE(RunTest(Revoked(1, 0, RevProtocol::kCrlOnly), chrome).accepted());
+  // Unavailable Int.1 CRL: rejected even for non-EV (unlike OS X).
+  EXPECT_TRUE(
+      RunTest(Unavailable(2, 1, RevProtocol::kCrlOnly, FailureMode::kTimeout), chrome)
+          .rejected());
+}
+
+TEST(Chrome, OsxTriesCrlOnOcspFailureForEv) {
+  const Policy& chrome = PolicyOf("Chrome 44", "OS X");
+  TestCase test = Revoked(1, 0, RevProtocol::kBoth, /*ev=*/true);
+  test.failure = FailureMode::kOcspTimeout;
+  test.failure_element = 0;
+  const VisitOutcome outcome = RunTest(test, chrome);
+  EXPECT_TRUE(outcome.rejected());
+  EXPECT_GT(outcome.crl_fetches, 0);
+  // Non-EV: nothing checked at the leaf.
+  test.ev = false;
+  EXPECT_TRUE(RunTest(test, chrome).accepted());
+}
+
+TEST(Chrome, OsxDoesNotRespectRevokedStaple) {
+  const Policy& chrome = PolicyOf("Chrome 44", "OS X");
+  TestCase test;
+  test.num_intermediates = 1;
+  test.protocol = RevProtocol::kOcspOnly;
+  test.stapling = true;
+  test.staple_status = ocsp::CertStatus::kRevoked;
+  test.ev = true;  // make Chrome check at all
+  // Responder firewalled; Chrome ignores the revoked staple, tries the
+  // responder, fails, soft-accepts (leaf position).
+  EXPECT_TRUE(RunTest(test, chrome).accepted());
+  // Chrome on Windows *does* respect the revoked staple.
+  EXPECT_TRUE(RunTest(test, PolicyOf("Chrome 44", "Windows")).rejected());
+}
+
+TEST(Opera12, CrlAllPositionsOcspLeafOnly) {
+  const Policy& opera = PolicyOf("Opera 12.17", "Windows");
+  EXPECT_TRUE(RunTest(Revoked(2, 1, RevProtocol::kCrlOnly), opera).rejected());
+  EXPECT_TRUE(RunTest(Revoked(2, 2, RevProtocol::kCrlOnly), opera).rejected());
+  EXPECT_TRUE(RunTest(Revoked(1, 0, RevProtocol::kCrlOnly), opera).rejected());
+  EXPECT_TRUE(RunTest(Revoked(1, 0, RevProtocol::kOcspOnly), opera).rejected());
+  EXPECT_TRUE(RunTest(Revoked(2, 1, RevProtocol::kOcspOnly), opera).accepted());
+  // Rejects unknown.
+  EXPECT_TRUE(
+      RunTest(Unavailable(1, 0, RevProtocol::kOcspOnly, FailureMode::kOcspUnknown), opera)
+          .rejected());
+  // Soft-fails unavailability everywhere.
+  EXPECT_TRUE(
+      RunTest(Unavailable(2, 1, RevProtocol::kCrlOnly, FailureMode::kTimeout), opera)
+          .accepted());
+}
+
+TEST(Opera31, FirstPositionHardFailPlatformSplit) {
+  const Policy& osx = PolicyOf("Opera 31.0", "OS X");
+  const Policy& lin = PolicyOf("Opera 31.0", "Linux");
+  // CRL first-intermediate unavailable: rejected on all platforms.
+  EXPECT_TRUE(
+      RunTest(Unavailable(2, 1, RevProtocol::kCrlOnly, FailureMode::kTimeout), osx)
+          .rejected());
+  EXPECT_TRUE(
+      RunTest(Unavailable(2, 1, RevProtocol::kCrlOnly, FailureMode::kTimeout), lin)
+          .rejected());
+  // OCSP first-intermediate unavailable: rejected only on Linux/Windows.
+  EXPECT_TRUE(
+      RunTest(Unavailable(2, 1, RevProtocol::kOcspOnly, FailureMode::kTimeout), osx)
+          .accepted());
+  EXPECT_TRUE(
+      RunTest(Unavailable(2, 1, RevProtocol::kOcspOnly, FailureMode::kTimeout), lin)
+          .rejected());
+  // Bare leaf (no intermediates) falls under the first-position rule.
+  EXPECT_TRUE(
+      RunTest(Unavailable(0, 0, RevProtocol::kCrlOnly, FailureMode::kTimeout), lin)
+          .rejected());
+  // Leaf below an intermediate: soft-fail.
+  EXPECT_TRUE(
+      RunTest(Unavailable(1, 0, RevProtocol::kCrlOnly, FailureMode::kTimeout), lin)
+          .accepted());
+}
+
+TEST(Safari, ChecksEverythingFallsBackRejectsFirstCrl) {
+  const Policy& safari = PolicyOf("Safari 8", "OS X");
+  EXPECT_TRUE(RunTest(Revoked(2, 1, RevProtocol::kCrlOnly), safari).rejected());
+  EXPECT_TRUE(RunTest(Revoked(2, 2, RevProtocol::kOcspOnly), safari).rejected());
+  EXPECT_TRUE(RunTest(Revoked(1, 0, RevProtocol::kBoth), safari).rejected());
+  // OCSP down, CRL has it: fallback finds the revocation.
+  TestCase fallback = Revoked(1, 0, RevProtocol::kBoth);
+  fallback.failure = FailureMode::kOcspTimeout;
+  fallback.failure_element = 0;
+  EXPECT_TRUE(RunTest(fallback, safari).rejected());
+  // First-intermediate CRL unavailable: hard-fail.
+  EXPECT_TRUE(
+      RunTest(Unavailable(2, 1, RevProtocol::kCrlOnly, FailureMode::kNxdomain), safari)
+          .rejected());
+  // ... but OCSP-only chain unavailable: soft accept ("has a CRL" rule).
+  EXPECT_TRUE(
+      RunTest(Unavailable(2, 1, RevProtocol::kOcspOnly, FailureMode::kNxdomain), safari)
+          .accepted());
+  // Unknown treated as trusted (incorrect, per the paper).
+  EXPECT_TRUE(
+      RunTest(Unavailable(1, 0, RevProtocol::kOcspOnly, FailureMode::kOcspUnknown), safari)
+          .accepted());
+  // Safari never requests staples.
+  EXPECT_FALSE(safari.request_staple);
+}
+
+TEST(Safari, KeychainRequireIfCertificateIndicates) {
+  // §6.3: OS X's Keychain Access offers "Require if certificate indicates";
+  // with it, Safari "does indeed reject all chains where any of the
+  // revocation information is unavailable". Modeled as hard-fail at every
+  // position.
+  Policy strict = PolicyOf("Safari 8", "OS X");
+  for (PositionPolicy* rule :
+       {&strict.crl.leaf, &strict.crl.first_intermediate,
+        &strict.crl.higher_intermediate, &strict.ocsp.leaf,
+        &strict.ocsp.first_intermediate, &strict.ocsp.higher_intermediate}) {
+    rule->on_unavailable = FailureAction::kReject;
+  }
+
+  // Default Safari soft-fails these; the strict setting rejects them all.
+  const TestCase cases[] = {
+      Unavailable(1, 0, RevProtocol::kOcspOnly, FailureMode::kTimeout),
+      Unavailable(2, 2, RevProtocol::kCrlOnly, FailureMode::kNxdomain),
+      Unavailable(2, 1, RevProtocol::kOcspOnly, FailureMode::kHttp404),
+  };
+  for (const TestCase& test : cases) {
+    EXPECT_TRUE(RunTest(test, PolicyOf("Safari 8", "OS X")).accepted())
+        << test.Description();
+    EXPECT_TRUE(RunTest(test, strict).rejected()) << test.Description();
+  }
+  // Healthy chains still load.
+  EXPECT_TRUE(RunTest(Revoked(2, -1, RevProtocol::kBoth), strict).accepted());
+}
+
+TEST(InternetExplorer, LeafUnavailableEvolution) {
+  const TestCase leaf_down =
+      Unavailable(1, 0, RevProtocol::kOcspOnly, FailureMode::kTimeout);
+  // IE 7-9 accept; IE 10 warns; IE 11 rejects.
+  EXPECT_TRUE(RunTest(leaf_down, PolicyOf("IE 9", "Windows 7")).accepted());
+  EXPECT_TRUE(RunTest(leaf_down, PolicyOf("IE 10", "Windows 8")).warned());
+  EXPECT_TRUE(RunTest(leaf_down, PolicyOf("IE 11", "Windows 10")).rejected());
+}
+
+TEST(InternetExplorer, ChecksEverythingWithCrlFallback) {
+  const Policy& ie = PolicyOf("IE 8", "Windows 7");
+  EXPECT_TRUE(RunTest(Revoked(3, 3, RevProtocol::kCrlOnly), ie).rejected());
+  EXPECT_TRUE(RunTest(Revoked(3, 2, RevProtocol::kOcspOnly), ie).rejected());
+  TestCase fallback = Revoked(1, 0, RevProtocol::kBoth);
+  fallback.failure = FailureMode::kOcspTimeout;
+  fallback.failure_element = 0;
+  EXPECT_TRUE(RunTest(fallback, ie).rejected());
+  // First-chain-element unavailable: reject; higher intermediate: accept.
+  EXPECT_TRUE(
+      RunTest(Unavailable(2, 1, RevProtocol::kCrlOnly, FailureMode::kHttp404), ie)
+          .rejected());
+  EXPECT_TRUE(
+      RunTest(Unavailable(2, 2, RevProtocol::kCrlOnly, FailureMode::kHttp404), ie)
+          .accepted());
+}
+
+TEST(FailureModes, AllFourBehaveEquivalentlyForSoftFail) {
+  const Policy& ff = PolicyOf("Firefox 40", "Windows");
+  for (FailureMode mode : {FailureMode::kNxdomain, FailureMode::kHttp404,
+                           FailureMode::kTimeout}) {
+    EXPECT_TRUE(RunTest(Unavailable(1, 0, RevProtocol::kOcspOnly, mode), ff).accepted())
+        << FailureModeName(mode);
+  }
+  // Unknown is different for Firefox: rejected.
+  EXPECT_TRUE(
+      RunTest(Unavailable(1, 0, RevProtocol::kOcspOnly, FailureMode::kOcspUnknown), ff)
+          .rejected());
+}
+
+TEST(Stapling, GoodStapleSatisfiesLeafWithoutFetch) {
+  const Policy& ff = PolicyOf("Firefox 40", "OS X");
+  TestCase test;
+  test.num_intermediates = 1;
+  test.protocol = RevProtocol::kOcspOnly;
+  test.stapling = true;
+  test.staple_status = ocsp::CertStatus::kGood;
+  const VisitOutcome outcome = RunTest(test, ff);
+  EXPECT_TRUE(outcome.accepted());
+  EXPECT_TRUE(outcome.used_staple);
+  EXPECT_EQ(outcome.ocsp_fetches, 0);
+}
+
+TEST(Stapling, NginxDefaultHidesRevokedStaple) {
+  // With the unpatched server, the revoked staple is never sent; a
+  // staple-respecting browser soft-fails against the firewalled responder.
+  const Policy& ff = PolicyOf("Firefox 40", "OS X");
+  TestCase test;
+  test.num_intermediates = 1;
+  test.protocol = RevProtocol::kOcspOnly;
+  test.stapling = true;
+  test.staple_status = ocsp::CertStatus::kRevoked;
+  test.server_refuses_bad_staple = true;
+  const VisitOutcome outcome = RunTest(test, ff);
+  EXPECT_TRUE(outcome.accepted());
+  EXPECT_FALSE(outcome.used_staple);
+}
+
+TEST(Stapling, MultiStapleCoversIntermediates) {
+  // Extension ablation: RFC 6961 lets a hard-fail client validate the whole
+  // chain with zero revocation fetches.
+  Policy policy = PolicyOf("IE 11", "Windows 10");
+  policy.request_multi_staple = true;
+  TestCase test;
+  test.num_intermediates = 2;
+  test.protocol = RevProtocol::kOcspOnly;
+  test.stapling = true;
+  test.multi_staple = true;
+  test.staple_status = ocsp::CertStatus::kGood;
+  const VisitOutcome outcome = RunTest(test, policy);
+  EXPECT_TRUE(outcome.accepted());
+  EXPECT_TRUE(outcome.used_staple);
+  EXPECT_EQ(outcome.ocsp_fetches, 0);
+
+  // Revoked leaf in the multi-staple is caught.
+  test.staple_status = ocsp::CertStatus::kRevoked;
+  EXPECT_TRUE(RunTest(test, policy).rejected());
+}
+
+// --------------------------------------------------------------- matrix ----
+
+class MatrixTest : public ::testing::Test {
+ protected:
+  static const Table2& GetTable() {
+    static const Table2 table = BuildTable2(kSeed, kNow);
+    return table;
+  }
+
+  static std::string Cell(const std::string& row_label,
+                          const std::string& column) {
+    const Table2& table = GetTable();
+    for (const Table2::Row& row : table.rows) {
+      if (row.label != row_label) continue;
+      for (std::size_t i = 0; i < table.columns.size(); ++i) {
+        if (table.columns[i] == column) return row.cells[i];
+      }
+    }
+    return "<missing>";
+  }
+
+  // CRL section rows come first (6), then OCSP rows (6): disambiguate by
+  // section when both share a label.
+  static std::string CellInSection(const std::string& section,
+                                   const std::string& row_label,
+                                   const std::string& column) {
+    const Table2& table = GetTable();
+    for (const Table2::Row& row : table.rows) {
+      if (row.section != section || row.label != row_label) continue;
+      for (std::size_t i = 0; i < table.columns.size(); ++i) {
+        if (table.columns[i] == column) return row.cells[i];
+      }
+    }
+    return "<missing>";
+  }
+};
+
+TEST_F(MatrixTest, ShapeMatchesPaper) {
+  const Table2& table = GetTable();
+  EXPECT_EQ(table.columns.size(), 14u);
+  EXPECT_EQ(table.rows.size(), 16u);
+}
+
+TEST_F(MatrixTest, SpotChecksAgainstPaperTable2) {
+  // CRL / Int. 1 Revoked row: "ev 3 ev 7 3 3 3 3 3 3 7 7 7 7".
+  EXPECT_EQ(CellInSection("CRL", "Int. 1 Revoked", "Chrome 44 OS X"), "ev");
+  EXPECT_EQ(CellInSection("CRL", "Int. 1 Revoked", "Chrome 44 Win."), "3");
+  EXPECT_EQ(CellInSection("CRL", "Int. 1 Revoked", "Firefox 40"), "7");
+  EXPECT_EQ(CellInSection("CRL", "Int. 1 Revoked", "Opera 12.17"), "3");
+  EXPECT_EQ(CellInSection("CRL", "Int. 1 Revoked", "Safari 6-8"), "3");
+  EXPECT_EQ(CellInSection("CRL", "Int. 1 Revoked", "IE 11"), "3");
+  EXPECT_EQ(CellInSection("CRL", "Int. 1 Revoked", "iOS 6-8"), "7");
+  EXPECT_EQ(CellInSection("CRL", "Int. 1 Revoked", "Andr. Stock"), "7");
+
+  // CRL / Leaf Unavailable row: IE 10 = "a", IE 11 = "3", others accept.
+  EXPECT_EQ(CellInSection("CRL", "Leaf Unavailable", "IE 10"), "a");
+  EXPECT_EQ(CellInSection("CRL", "Leaf Unavailable", "IE 11"), "3");
+  EXPECT_EQ(CellInSection("CRL", "Leaf Unavailable", "IE 7-9"), "7");
+  EXPECT_EQ(CellInSection("CRL", "Leaf Unavailable", "Safari 6-8"), "7");
+
+  // OCSP / Leaf Revoked: Firefox = "3" (checks leaf OCSP for all certs).
+  EXPECT_EQ(CellInSection("OCSP", "Leaf Revoked", "Firefox 40"), "3");
+  EXPECT_EQ(CellInSection("OCSP", "Leaf Revoked", "Chrome 44 OS X"), "ev");
+  EXPECT_EQ(CellInSection("OCSP", "Leaf Revoked", "Opera 12.17"), "3");
+
+  // OCSP / Int. 1 Revoked: Firefox = "ev", Opera 12.17 = "7".
+  EXPECT_EQ(CellInSection("OCSP", "Int. 1 Revoked", "Firefox 40"), "ev");
+  EXPECT_EQ(CellInSection("OCSP", "Int. 1 Revoked", "Opera 12.17"), "7");
+
+  // OCSP / Int. 1 Unavailable: Opera 31.0 = "l/w", IE rows = "3".
+  EXPECT_EQ(CellInSection("OCSP", "Int. 1 Unavailable", "Opera 31.0"), "l/w");
+  EXPECT_EQ(CellInSection("OCSP", "Int. 1 Unavailable", "IE 7-9"), "3");
+  EXPECT_EQ(CellInSection("OCSP", "Int. 1 Unavailable", "Chrome 44 OS X"), "7");
+
+  // Int. 2+ Unavailable: universal soft-fail.
+  for (const std::string& column : Table2Columns()) {
+    const std::string cell = CellInSection("CRL", "Int. 2+ Unavailable", column);
+    EXPECT_TRUE(cell == "7" || cell == "-") << column << " = " << cell;
+  }
+
+  // Behavior rows.
+  EXPECT_EQ(Cell("Reject unknown status", "Firefox 40"), "3");
+  EXPECT_EQ(Cell("Reject unknown status", "Opera 12.17"), "3");
+  EXPECT_EQ(Cell("Reject unknown status", "Safari 6-8"), "7");
+  EXPECT_EQ(Cell("Reject unknown status", "iOS 6-8"), "-");
+
+  EXPECT_EQ(Cell("Try CRL on failure", "Chrome 44 OS X"), "ev");
+  EXPECT_EQ(Cell("Try CRL on failure", "Firefox 40"), "7");
+  EXPECT_EQ(Cell("Try CRL on failure", "Opera 31.0"), "l/w");
+  EXPECT_EQ(Cell("Try CRL on failure", "Safari 6-8"), "3");
+  EXPECT_EQ(Cell("Try CRL on failure", "IE 11"), "3");
+
+  EXPECT_EQ(Cell("Request OCSP staple", "Safari 6-8"), "7");
+  EXPECT_EQ(Cell("Request OCSP staple", "Andr. Stock"), "i");
+  EXPECT_EQ(Cell("Request OCSP staple", "Andr. Chrome"), "i");
+  EXPECT_EQ(Cell("Request OCSP staple", "Chrome 44 Lin."), "3");
+  EXPECT_EQ(Cell("Request OCSP staple", "IE Mob. 8.0"), "7");
+
+  EXPECT_EQ(Cell("Respect revoked staple", "Chrome 44 OS X"), "7");
+  EXPECT_EQ(Cell("Respect revoked staple", "Chrome 44 Win."), "3");
+  EXPECT_EQ(Cell("Respect revoked staple", "Firefox 40"), "3");
+  EXPECT_EQ(Cell("Respect revoked staple", "Opera 31.0"), "l/w");
+  EXPECT_EQ(Cell("Respect revoked staple", "Safari 6-8"), "-");
+}
+
+TEST_F(MatrixTest, LinuxChromeUntestableCells) {
+  EXPECT_EQ(CellInSection("CRL", "Int. 1 Unavailable", "Chrome 44 Lin."), "-");
+  EXPECT_EQ(Cell("Respect revoked staple", "Chrome 44 Lin."), "-");
+  // But revoked rows are testable.
+  EXPECT_EQ(CellInSection("CRL", "Int. 1 Revoked", "Chrome 44 Lin."), "ev");
+}
+
+TEST_F(MatrixTest, RendersWithoutCrashing) {
+  const std::string rendered = RenderTable2(GetTable());
+  EXPECT_NE(rendered.find("Int. 1 Revoked"), std::string::npos);
+  EXPECT_NE(rendered.find("OCSP Stapling"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rev::browser

@@ -1,0 +1,190 @@
+// CRL tests: round-trips, signatures, entry semantics, index lookups, and
+// size behavior (the ~38 bytes/entry linearity of Fig. 5).
+#include <gtest/gtest.h>
+
+#include "crl/crl.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace rev::crl {
+namespace {
+
+constexpr util::Timestamp kNow = 1'400'000'000;
+
+crypto::KeyPair TestKey(std::string_view label) {
+  return crypto::SimKeyFromLabel(label);
+}
+
+x509::Serial RandomSerial(util::Rng& rng, int len) {
+  x509::Serial s(static_cast<std::size_t>(len));
+  rng.Fill(s.data(), s.size());
+  if (s[0] == 0) s[0] = 1;
+  return s;
+}
+
+TbsCrl MakeTbs(std::size_t entries, util::Rng& rng, int serial_len = 16) {
+  TbsCrl tbs;
+  tbs.issuer = x509::Name::Make("CRL Test CA", "Test");
+  tbs.this_update = kNow;
+  tbs.next_update = kNow + util::kSecondsPerDay;
+  tbs.crl_number = 7;
+  for (std::size_t i = 0; i < entries; ++i) {
+    CrlEntry entry;
+    entry.serial = RandomSerial(rng, serial_len);
+    entry.revocation_date = kNow - static_cast<util::Timestamp>(rng.NextBelow(10'000'000));
+    entry.reason = (i % 3 == 0) ? x509::ReasonCode::kKeyCompromise
+                                : x509::ReasonCode::kNoReasonCode;
+    tbs.entries.push_back(std::move(entry));
+  }
+  return tbs;
+}
+
+TEST(Crl, SignParseRoundTrip) {
+  util::Rng rng(1);
+  const crypto::KeyPair key = TestKey("crlca");
+  const Crl crl = SignCrl(MakeTbs(10, rng), key);
+
+  auto parsed = ParseCrl(crl.der);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->tbs.issuer, crl.tbs.issuer);
+  EXPECT_EQ(parsed->tbs.this_update, crl.tbs.this_update);
+  EXPECT_EQ(parsed->tbs.next_update, crl.tbs.next_update);
+  EXPECT_EQ(parsed->tbs.crl_number, 7);
+  ASSERT_EQ(parsed->tbs.entries.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(parsed->tbs.entries[i].serial, crl.tbs.entries[i].serial);
+    EXPECT_EQ(parsed->tbs.entries[i].revocation_date,
+              crl.tbs.entries[i].revocation_date);
+    EXPECT_EQ(parsed->tbs.entries[i].reason, crl.tbs.entries[i].reason);
+  }
+}
+
+TEST(Crl, EmptyCrl) {
+  util::Rng rng(2);
+  const Crl crl = SignCrl(MakeTbs(0, rng), TestKey("k"));
+  auto parsed = ParseCrl(crl.der);
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->tbs.entries.empty());
+  // Tiny CRLs are well under 900 bytes (the raw-median observation, §5.2).
+  EXPECT_LT(crl.SizeBytes(), 900u);
+}
+
+TEST(Crl, OptionalFieldsOmitted) {
+  util::Rng rng(3);
+  TbsCrl tbs = MakeTbs(1, rng);
+  tbs.next_update = 0;
+  tbs.crl_number = -1;
+  const Crl crl = SignCrl(tbs, TestKey("k"));
+  auto parsed = ParseCrl(crl.der);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->tbs.next_update, 0);
+  EXPECT_EQ(parsed->tbs.crl_number, -1);
+}
+
+TEST(Crl, SignatureVerification) {
+  util::Rng rng(4);
+  const crypto::KeyPair key = TestKey("signer");
+  const Crl crl = SignCrl(MakeTbs(5, rng), key);
+  EXPECT_TRUE(VerifyCrlSignature(crl, key.Public()));
+  EXPECT_FALSE(VerifyCrlSignature(crl, TestKey("other").Public()));
+
+  auto parsed = ParseCrl(crl.der);
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(VerifyCrlSignature(*parsed, key.Public()));
+}
+
+TEST(Crl, TamperedEntryFailsSignature) {
+  util::Rng rng(5);
+  const crypto::KeyPair key = TestKey("signer2");
+  Crl crl = SignCrl(MakeTbs(5, rng), key);
+  Bytes tampered = crl.der;
+  tampered[40] ^= 0xFF;
+  auto parsed = ParseCrl(tampered);
+  if (parsed) {
+    EXPECT_FALSE(VerifyCrlSignature(*parsed, key.Public()));
+  }
+}
+
+TEST(Crl, Expiry) {
+  util::Rng rng(6);
+  const Crl crl = SignCrl(MakeTbs(1, rng), TestKey("k"));
+  EXPECT_FALSE(crl.IsExpired(kNow));
+  EXPECT_FALSE(crl.IsExpired(kNow + util::kSecondsPerDay));
+  EXPECT_TRUE(crl.IsExpired(kNow + util::kSecondsPerDay + 1));
+}
+
+TEST(Crl, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseCrl(Bytes{}));
+  EXPECT_FALSE(ParseCrl(Bytes{0x30, 0x01, 0x00}));
+  util::Rng rng(7);
+  Bytes der = SignCrl(MakeTbs(3, rng), TestKey("k")).der;
+  der.resize(der.size() - 10);
+  EXPECT_FALSE(ParseCrl(der));
+}
+
+TEST(Crl, DescribeRendering) {
+  util::Rng rng(12);
+  const Crl crl = SignCrl(MakeTbs(25, rng), TestKey("k"));
+  const std::string text = DescribeCrl(crl, 5);
+  EXPECT_NE(text.find("CRL Test CA"), std::string::npos);
+  EXPECT_NE(text.find("entries     : 25"), std::string::npos);
+  EXPECT_NE(text.find("... 20 more"), std::string::npos);
+}
+
+TEST(CrlIndex, LookupSemantics) {
+  util::Rng rng(8);
+  const Crl crl = SignCrl(MakeTbs(100, rng), TestKey("k"));
+  const CrlIndex index(crl);
+  EXPECT_EQ(index.size(), 100u);
+  for (const CrlEntry& entry : crl.tbs.entries) {
+    const CrlEntry* found = index.Lookup(entry.serial);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->revocation_date, entry.revocation_date);
+    EXPECT_TRUE(index.IsRevoked(entry.serial));
+  }
+  EXPECT_FALSE(index.IsRevoked(RandomSerial(rng, 16)));
+  EXPECT_EQ(index.Lookup(x509::Serial{}), nullptr);
+}
+
+TEST(CrlIndex, EmptyIndex) {
+  CrlIndex index;
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_FALSE(index.IsRevoked(x509::Serial{1, 2, 3}));
+}
+
+// Fig. 5 property: size grows linearly with entries, ~tens of bytes each.
+TEST(Crl, SizeLinearInEntries) {
+  util::Rng rng(9);
+  std::vector<double> xs, ys;
+  for (std::size_t n : {10u, 100u, 500u, 1000u, 5000u}) {
+    const Crl crl = SignCrl(MakeTbs(n, rng), TestKey("k"));
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(static_cast<double>(crl.SizeBytes()));
+  }
+  const util::LinearFit fit = util::FitLine(xs, ys);
+  EXPECT_GT(fit.r, 0.999);
+  // Our 16-byte serials + times + occasional reason put each entry in the
+  // same ballpark as the paper's 38-byte average.
+  EXPECT_GT(fit.slope, 25.0);
+  EXPECT_LT(fit.slope, 60.0);
+}
+
+// Serial-length policy shifts per-entry size (the Fig. 5 variance).
+TEST(Crl, SerialLengthAffectsSize) {
+  util::Rng rng(10);
+  const Crl small = SignCrl(MakeTbs(1000, rng, 8), TestKey("k"));
+  const Crl large = SignCrl(MakeTbs(1000, rng, 21), TestKey("k"));
+  EXPECT_GT(large.SizeBytes(), small.SizeBytes() + 10'000u);
+}
+
+TEST(Crl, LargeCrlRoundTrip) {
+  util::Rng rng(11);
+  const Crl crl = SignCrl(MakeTbs(20'000, rng), TestKey("k"));
+  auto parsed = ParseCrl(crl.der);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->tbs.entries.size(), 20'000u);
+  EXPECT_GT(crl.SizeBytes(), 500'000u);
+}
+
+}  // namespace
+}  // namespace rev::crl

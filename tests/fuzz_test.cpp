@@ -1,0 +1,197 @@
+// Mutation-fuzz tests: random byte-level corruption of valid DER artifacts
+// must never crash, hang, or over-read — parsers either reject the input or
+// produce a structurally valid object whose signature check then fails.
+// (The paper's pipeline parses millions of certificates harvested from the
+// open internet; parser robustness is a correctness requirement, not a
+// nicety.)
+#include <gtest/gtest.h>
+
+#include "crl/crl.h"
+#include "crlset/crlset.h"
+#include "ocsp/ocsp.h"
+#include "util/rng.h"
+#include "x509/certificate.h"
+
+namespace rev {
+namespace {
+
+constexpr util::Timestamp kNow = 1'420'000'000;
+
+Bytes ValidCertDer() {
+  x509::TbsCertificate tbs;
+  tbs.serial = x509::Serial{0x01, 0x02, 0x03};
+  tbs.issuer = x509::Name::Make("Fuzz CA", "Fuzz");
+  tbs.subject = x509::Name::FromCommonName("www.fuzz.sim");
+  tbs.not_before = kNow - 1000;
+  tbs.not_after = kNow + 1000;
+  tbs.public_key = crypto::SimKeyFromLabel("fuzz-leaf").Public();
+  tbs.crl_urls = {"http://crl.fuzz.sim/a.crl"};
+  tbs.ocsp_urls = {"http://ocsp.fuzz.sim/"};
+  tbs.dns_names = {"www.fuzz.sim"};
+  tbs.key_usage = x509::kKeyUsageDigitalSignature;
+  tbs.policies = {asn1::oids::VerisignEvPolicy()};
+  return x509::SignCertificate(tbs, crypto::SimKeyFromLabel("fuzz-ca")).der;
+}
+
+Bytes ValidCrlDer() {
+  util::Rng rng(4242);
+  crl::TbsCrl tbs;
+  tbs.issuer = x509::Name::Make("Fuzz CA", "Fuzz");
+  tbs.this_update = kNow;
+  tbs.next_update = kNow + util::kSecondsPerDay;
+  tbs.crl_number = 3;
+  for (int i = 0; i < 30; ++i) {
+    x509::Serial serial(16);
+    rng.Fill(serial.data(), serial.size());
+    tbs.entries.push_back(crl::CrlEntry{std::move(serial), kNow - 100,
+                                        i % 2 ? x509::ReasonCode::kKeyCompromise
+                                              : x509::ReasonCode::kNoReasonCode});
+  }
+  return crl::SignCrl(tbs, crypto::SimKeyFromLabel("fuzz-ca")).der;
+}
+
+Bytes ValidOcspDer() {
+  ocsp::SingleResponse single;
+  single.cert_id.issuer_name_hash = Bytes(32, 0x11);
+  single.cert_id.issuer_key_hash = Bytes(32, 0x22);
+  single.cert_id.serial = x509::Serial{0x09};
+  single.status = ocsp::CertStatus::kRevoked;
+  single.revocation_time = kNow - 100;
+  single.reason = x509::ReasonCode::kKeyCompromise;
+  single.this_update = kNow;
+  single.next_update = kNow + util::kSecondsPerDay;
+  return ocsp::SignOcspResponse(single, kNow, crypto::SimKeyFromLabel("fuzz-ca"))
+      .der;
+}
+
+enum class Mutation { kFlipBit, kSetByte, kTruncate, kExtend, kSwapRange };
+
+Bytes Mutate(const Bytes& input, util::Rng& rng) {
+  Bytes out = input;
+  const int num_mutations = 1 + static_cast<int>(rng.NextBelow(4));
+  for (int m = 0; m < num_mutations && !out.empty(); ++m) {
+    switch (static_cast<Mutation>(rng.NextBelow(5))) {
+      case Mutation::kFlipBit: {
+        const std::size_t pos = rng.NextBelow(out.size());
+        out[pos] ^= static_cast<std::uint8_t>(1u << rng.NextBelow(8));
+        break;
+      }
+      case Mutation::kSetByte: {
+        const std::size_t pos = rng.NextBelow(out.size());
+        out[pos] = static_cast<std::uint8_t>(rng.Next());
+        break;
+      }
+      case Mutation::kTruncate:
+        out.resize(rng.NextBelow(out.size()) + 1);
+        break;
+      case Mutation::kExtend: {
+        Bytes extra(1 + rng.NextBelow(16));
+        rng.Fill(extra.data(), extra.size());
+        Append(out, extra);
+        break;
+      }
+      case Mutation::kSwapRange: {
+        const std::size_t a = rng.NextBelow(out.size());
+        const std::size_t b = rng.NextBelow(out.size());
+        std::swap(out[a], out[b]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeeds, CertificateParserNeverCrashes) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const Bytes valid = ValidCertDer();
+  const crypto::PublicKey ca_key = crypto::SimKeyFromLabel("fuzz-ca").Public();
+  int parsed_ok = 0;
+  for (int i = 0; i < 400; ++i) {
+    const Bytes mutated = Mutate(valid, rng);
+    auto cert = x509::ParseCertificate(mutated);
+    if (!cert) continue;
+    ++parsed_ok;
+    // Anything that still parses must carry the original signed bytes to
+    // verify — i.e. the mutation missed the TBS or the signature, not both.
+    if (x509::VerifyCertificateSignature(*cert, ca_key)) {
+      EXPECT_EQ(cert->tbs_der,
+                x509::EncodeTbs(cert->tbs, cert->sig_type));
+    }
+    // Accessors never crash on parsed-but-mutated objects.
+    (void)cert->IsEv();
+    (void)cert->IsCa();
+    (void)cert->Fingerprint();
+    (void)cert->Unrevocable();
+  }
+  // Some mutations (e.g. in the signature bits) must still parse.
+  EXPECT_GT(parsed_ok, 0);
+}
+
+TEST_P(FuzzSeeds, CrlParserNeverCrashes) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 2);
+  const Bytes valid = ValidCrlDer();
+  for (int i = 0; i < 400; ++i) {
+    const Bytes mutated = Mutate(valid, rng);
+    auto crl = crl::ParseCrl(mutated);
+    if (!crl) continue;
+    const crl::CrlIndex index(*crl);
+    (void)index.IsRevoked(x509::Serial{1, 2, 3});
+    (void)crl->IsExpired(kNow);
+  }
+}
+
+TEST_P(FuzzSeeds, OcspParserNeverCrashes) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1299709 + 3);
+  const Bytes valid = ValidOcspDer();
+  for (int i = 0; i < 400; ++i) {
+    const Bytes mutated = Mutate(valid, rng);
+    auto response = ocsp::ParseOcspResponse(mutated);
+    if (response && response->status == ocsp::ResponseStatus::kSuccessful) {
+      (void)ocsp::CertStatusName(response->single.status);
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, CrlSetDeserializeNeverCrashes) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863 + 4);
+  crlset::CrlSet set;
+  set.sequence = 1;
+  for (int i = 0; i < 10; ++i) {
+    Bytes parent(32);
+    rng.Fill(parent.data(), parent.size());
+    x509::Serial serial(16);
+    rng.Fill(serial.data(), serial.size());
+    set.AddEntry(parent, serial);
+  }
+  const Bytes valid = set.Serialize();
+  for (int i = 0; i < 400; ++i) {
+    const Bytes mutated = Mutate(valid, rng);
+    auto decoded = crlset::CrlSet::Deserialize(mutated);
+    if (decoded) (void)decoded->NumEntries();
+  }
+}
+
+TEST_P(FuzzSeeds, PureGarbageRejected) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 32452843 + 5);
+  for (int i = 0; i < 200; ++i) {
+    Bytes garbage(rng.NextBelow(600));
+    rng.Fill(garbage.data(), garbage.size());
+    // Random bytes essentially never form a valid signed object.
+    auto cert = x509::ParseCertificate(garbage);
+    if (cert) {
+      EXPECT_FALSE(x509::VerifyCertificateSignature(
+          *cert, crypto::SimKeyFromLabel("fuzz-ca").Public()));
+    }
+    (void)crl::ParseCrl(garbage);
+    (void)ocsp::ParseOcspResponse(garbage);
+    (void)ocsp::ParseOcspRequest(garbage);
+    (void)crlset::CrlSet::Deserialize(garbage);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace rev

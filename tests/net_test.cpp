@@ -1,0 +1,239 @@
+// Simulated-network tests: URL parsing, fetch semantics, the latency and
+// bandwidth cost model, failure injection, and client-side caching.
+#include <gtest/gtest.h>
+
+#include "net/cache.h"
+#include "net/simnet.h"
+#include "net/url.h"
+
+namespace rev::net {
+namespace {
+
+constexpr util::Timestamp kNow = 1'000'000;
+
+// ----------------------------------------------------------------- url ----
+
+TEST(Url, ParseBasics) {
+  auto url = ParseUrl("http://crl.godaddy.sim/crl0.crl");
+  ASSERT_TRUE(url);
+  EXPECT_EQ(url->scheme, "http");
+  EXPECT_EQ(url->host, "crl.godaddy.sim");
+  EXPECT_EQ(url->path, "/crl0.crl");
+  EXPECT_EQ(url->ToString(), "http://crl.godaddy.sim/crl0.crl");
+}
+
+TEST(Url, DefaultPathAndCaseFolding) {
+  auto url = ParseUrl("HTTPS://Example.sim");
+  ASSERT_TRUE(url);
+  EXPECT_EQ(url->scheme, "https");
+  EXPECT_EQ(url->path, "/");
+}
+
+TEST(Url, RejectsNonHttp) {
+  // §3.2: ldap:// and file:// distribution points are ignored.
+  EXPECT_FALSE(ParseUrl("ldap://dir.ca.sim/cn=crl"));
+  EXPECT_FALSE(ParseUrl("file:///etc/crl"));
+  EXPECT_FALSE(ParseUrl("not a url"));
+  EXPECT_FALSE(ParseUrl("http://"));
+  EXPECT_FALSE(ParseUrl("://host/"));
+  EXPECT_TRUE(IsFetchable("http://x.sim/a"));
+  EXPECT_FALSE(IsFetchable("ldap://x.sim/a"));
+}
+
+// -------------------------------------------------------------- simnet ----
+
+HttpHandler Hello(std::int64_t max_age = 0) {
+  return [max_age](const HttpRequest& request, util::Timestamp) {
+    HttpResponse response;
+    response.body = ToBytes("hello:" + request.path);
+    response.max_age = max_age;
+    return response;
+  };
+}
+
+TEST(SimNet, BasicFetch) {
+  SimNet net;
+  net.AddHost("a.sim", Hello());
+  const FetchResult result = net.Get("http://a.sim/x", kNow);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ToString(result.response.body), "hello:/x");
+  EXPECT_GT(result.elapsed_seconds, 0);
+  EXPECT_EQ(net.total_requests(), 1u);
+}
+
+TEST(SimNet, UnknownHostIsDnsFailure) {
+  SimNet net;
+  const FetchResult result = net.Get("http://nowhere.sim/", kNow);
+  EXPECT_EQ(result.error, FetchError::kDnsFailure);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SimNet, DnsFailureInjection) {
+  SimNet net;
+  net.AddHost("a.sim", Hello());
+  net.SetDnsFailure("a.sim", true);
+  EXPECT_EQ(net.Get("http://a.sim/", kNow).error, FetchError::kDnsFailure);
+  net.SetDnsFailure("a.sim", false);
+  EXPECT_TRUE(net.Get("http://a.sim/", kNow).ok());
+}
+
+TEST(SimNet, TimeoutInjection) {
+  SimNet net;
+  net.AddHost("a.sim", Hello());
+  net.SetUnresponsive("a.sim", true);
+  const FetchResult result = net.Get("http://a.sim/", kNow, 5.0);
+  EXPECT_EQ(result.error, FetchError::kTimeout);
+  EXPECT_DOUBLE_EQ(result.elapsed_seconds, 5.0);
+}
+
+TEST(SimNet, Http404IsNotOk) {
+  SimNet net;
+  net.AddHost("a.sim", [](const HttpRequest&, util::Timestamp) {
+    return HttpResponse{.status = 404, .body = {}, .max_age = 0};
+  });
+  const FetchResult result = net.Get("http://a.sim/", kNow);
+  EXPECT_EQ(result.error, FetchError::kOk);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.response.status, 404);
+}
+
+TEST(SimNet, LatencyModelScalesWithSize) {
+  SimNet net;
+  HostProfile slow;
+  slow.rtt_seconds = 0.1;
+  slow.bandwidth_bps = 8000;  // 1 KB/s
+  net.AddHost("slow.sim", [](const HttpRequest&, util::Timestamp) {
+    return HttpResponse{.status = 200, .body = Bytes(10'000, 'x'), .max_age = 0};
+  }, slow);
+  const FetchResult result = net.Get("http://slow.sim/", kNow, 60.0);
+  ASSERT_TRUE(result.ok());
+  // 3 RTTs (0.3s) + 10 KB at 1 KB/s (10s).
+  EXPECT_NEAR(result.elapsed_seconds, 10.3, 0.01);
+  EXPECT_EQ(result.bytes_transferred, 10'000u);
+}
+
+TEST(SimNet, TransferSlowerThanTimeoutFails) {
+  SimNet net;
+  HostProfile slow;
+  slow.bandwidth_bps = 800;  // 100 B/s
+  net.AddHost("slow.sim", [](const HttpRequest&, util::Timestamp) {
+    return HttpResponse{.status = 200, .body = Bytes(100'000, 'x'), .max_age = 0};
+  }, slow);
+  const FetchResult result = net.Get("http://slow.sim/", kNow, 10.0);
+  EXPECT_EQ(result.error, FetchError::kTimeout);
+}
+
+TEST(SimNet, PostDeliversBody) {
+  SimNet net;
+  net.AddHost("ocsp.sim", [](const HttpRequest& request, util::Timestamp) {
+    HttpResponse response;
+    response.body = request.body;
+    return response;
+  });
+  const Bytes body = ToBytes("ocsp-request-bytes");
+  const FetchResult result = net.Post("http://ocsp.sim/", body, kNow);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.response.body, body);
+}
+
+TEST(SimNet, HandlerSeesVirtualTime) {
+  SimNet net;
+  util::Timestamp seen = 0;
+  net.AddHost("t.sim", [&seen](const HttpRequest&, util::Timestamp now) {
+    seen = now;
+    return HttpResponse{};
+  });
+  net.Get("http://t.sim/", 42'000);
+  EXPECT_EQ(seen, 42'000);
+}
+
+TEST(SimNet, RemoveHost) {
+  SimNet net;
+  net.AddHost("a.sim", Hello());
+  EXPECT_TRUE(net.HasHost("a.sim"));
+  net.RemoveHost("a.sim");
+  EXPECT_FALSE(net.HasHost("a.sim"));
+  EXPECT_EQ(net.Get("http://a.sim/", kNow).error, FetchError::kDnsFailure);
+}
+
+TEST(SimNet, CountersAccumulateAndReset) {
+  SimNet net;
+  net.AddHost("a.sim", Hello());
+  net.Get("http://a.sim/1", kNow);
+  net.Get("http://a.sim/22", kNow);
+  EXPECT_EQ(net.total_requests(), 2u);
+  EXPECT_GT(net.total_bytes(), 0u);
+  net.ResetCounters();
+  EXPECT_EQ(net.total_requests(), 0u);
+  EXPECT_EQ(net.total_bytes(), 0u);
+}
+
+TEST(SimNet, BadUrlFails) {
+  SimNet net;
+  EXPECT_EQ(net.Get("ldap://x/", kNow).error, FetchError::kDnsFailure);
+}
+
+// --------------------------------------------------------------- cache ----
+
+TEST(CachingClient, CachesByMaxAge) {
+  SimNet net;
+  int hits = 0;
+  net.AddHost("a.sim", [&hits](const HttpRequest&, util::Timestamp) {
+    ++hits;
+    HttpResponse response;
+    response.body = ToBytes("payload");
+    response.max_age = 3600;
+    return response;
+  });
+  CachingClient client(&net);
+
+  auto r1 = client.Get("http://a.sim/x", kNow);
+  EXPECT_FALSE(r1.from_cache);
+  auto r2 = client.Get("http://a.sim/x", kNow + 100);
+  EXPECT_TRUE(r2.from_cache);
+  EXPECT_DOUBLE_EQ(r2.fetch.elapsed_seconds, 0);
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(client.hits(), 1u);
+  EXPECT_EQ(client.misses(), 1u);
+
+  // Expired: re-fetch.
+  auto r3 = client.Get("http://a.sim/x", kNow + 3600);
+  EXPECT_FALSE(r3.from_cache);
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(CachingClient, UncacheableNotCached) {
+  SimNet net;
+  int hits = 0;
+  net.AddHost("a.sim", [&hits](const HttpRequest&, util::Timestamp) {
+    ++hits;
+    return HttpResponse{};  // max_age = 0
+  });
+  CachingClient client(&net);
+  client.Get("http://a.sim/", kNow);
+  client.Get("http://a.sim/", kNow);
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(client.EntryCount(), 0u);
+}
+
+TEST(CachingClient, FailuresNotCached) {
+  SimNet net;
+  CachingClient client(&net);
+  auto r1 = client.Get("http://missing.sim/", kNow);
+  EXPECT_FALSE(r1.fetch.ok());
+  EXPECT_EQ(client.EntryCount(), 0u);
+}
+
+TEST(CachingClient, DistinctUrlsDistinctEntries) {
+  SimNet net;
+  net.AddHost("a.sim", Hello(3600));
+  CachingClient client(&net);
+  client.Get("http://a.sim/1", kNow);
+  client.Get("http://a.sim/2", kNow);
+  EXPECT_EQ(client.EntryCount(), 2u);
+  client.Clear();
+  EXPECT_EQ(client.EntryCount(), 0u);
+}
+
+}  // namespace
+}  // namespace rev::net

@@ -1,0 +1,287 @@
+// OCSP tests: request/response round-trips, status semantics, responder
+// engine behavior, and error responses.
+#include <gtest/gtest.h>
+
+#include "ocsp/ocsp.h"
+#include "ocsp/responder.h"
+#include "util/rng.h"
+#include "x509/name.h"
+
+namespace rev::ocsp {
+namespace {
+
+constexpr util::Timestamp kNow = 1'412'208'000;  // 2014-10-02
+
+crypto::KeyPair TestKey(std::string_view label) {
+  return crypto::SimKeyFromLabel(label);
+}
+
+x509::Certificate MakeIssuerCert() {
+  x509::TbsCertificate tbs;
+  tbs.serial = x509::Serial{0x11};
+  tbs.issuer = tbs.subject = x509::Name::Make("OCSP Test CA", "Test");
+  tbs.not_before = 0;
+  tbs.not_after = kNow + 10'000'000;
+  tbs.public_key = TestKey("issuer").Public();
+  tbs.basic_constraints = {true, -1};
+  return x509::SignCertificate(tbs, TestKey("issuer"));
+}
+
+TEST(Ocsp, RequestRoundTrip) {
+  const x509::Certificate issuer = MakeIssuerCert();
+  OcspRequest request;
+  request.cert_id = MakeCertId(issuer, x509::Serial{0xAA, 0xBB});
+  request.nonce = Bytes{1, 2, 3, 4};
+  const Bytes der = EncodeOcspRequest(request);
+  auto parsed = ParseOcspRequest(der);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->cert_id, request.cert_id);
+  EXPECT_EQ(parsed->nonce, request.nonce);
+}
+
+TEST(Ocsp, RequestWithoutNonce) {
+  const x509::Certificate issuer = MakeIssuerCert();
+  OcspRequest request;
+  request.cert_id = MakeCertId(issuer, x509::Serial{0x01});
+  auto parsed = ParseOcspRequest(EncodeOcspRequest(request));
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->nonce.empty());
+}
+
+TEST(Ocsp, GetFormRoundTrip) {
+  const x509::Certificate issuer = MakeIssuerCert();
+  OcspRequest request;
+  request.cert_id = MakeCertId(issuer, x509::Serial{0xAA, 0xBB, 0xCC});
+  const std::string path = OcspGetPath(request);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), '/');
+  auto parsed = ParseOcspGetPath(path);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->cert_id, request.cert_id);
+}
+
+TEST(Ocsp, GetFormRejectsGarbage) {
+  EXPECT_FALSE(ParseOcspGetPath(""));
+  EXPECT_FALSE(ParseOcspGetPath("no-leading-slash"));
+  EXPECT_FALSE(ParseOcspGetPath("/not-base64!!"));
+  EXPECT_FALSE(ParseOcspGetPath("/QUJD"));  // valid base64, not an OCSP request
+}
+
+TEST(Ocsp, RequestRejectsGarbage) {
+  EXPECT_FALSE(ParseOcspRequest(Bytes{}));
+  EXPECT_FALSE(ParseOcspRequest(Bytes{0x30, 0x00}));
+}
+
+TEST(Ocsp, CertIdHashesIssuer) {
+  const x509::Certificate issuer = MakeIssuerCert();
+  const CertId id = MakeCertId(issuer, x509::Serial{0x01});
+  EXPECT_EQ(id.issuer_name_hash.size(), 32u);
+  EXPECT_EQ(id.issuer_key_hash.size(), 32u);
+  EXPECT_EQ(id.issuer_key_hash, issuer.SubjectSpkiSha256());
+}
+
+class OcspResponseTest : public ::testing::Test {
+ protected:
+  x509::Certificate issuer_ = MakeIssuerCert();
+  crypto::KeyPair key_ = TestKey("issuer");
+};
+
+TEST_F(OcspResponseTest, GoodRoundTrip) {
+  SingleResponse single;
+  single.cert_id = MakeCertId(issuer_, x509::Serial{0x42});
+  single.status = CertStatus::kGood;
+  single.this_update = kNow;
+  single.next_update = kNow + 4 * util::kSecondsPerDay;
+  const OcspResponse response = SignOcspResponse(single, kNow, key_);
+
+  auto parsed = ParseOcspResponse(response.der);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->status, ResponseStatus::kSuccessful);
+  EXPECT_EQ(parsed->single.status, CertStatus::kGood);
+  EXPECT_EQ(parsed->single.cert_id, single.cert_id);
+  EXPECT_EQ(parsed->single.this_update, kNow);
+  EXPECT_EQ(parsed->single.next_update, single.next_update);
+  EXPECT_EQ(parsed->produced_at, kNow);
+  EXPECT_TRUE(VerifyOcspSignature(*parsed, key_.Public()));
+}
+
+TEST_F(OcspResponseTest, RevokedRoundTrip) {
+  SingleResponse single;
+  single.cert_id = MakeCertId(issuer_, x509::Serial{0x43});
+  single.status = CertStatus::kRevoked;
+  single.revocation_time = kNow - 100'000;
+  single.reason = x509::ReasonCode::kKeyCompromise;
+  single.this_update = kNow;
+  const OcspResponse response = SignOcspResponse(single, kNow, key_);
+
+  auto parsed = ParseOcspResponse(response.der);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->single.status, CertStatus::kRevoked);
+  EXPECT_EQ(parsed->single.revocation_time, single.revocation_time);
+  EXPECT_EQ(parsed->single.reason, x509::ReasonCode::kKeyCompromise);
+  EXPECT_EQ(parsed->single.next_update, 0);
+}
+
+TEST_F(OcspResponseTest, UnknownRoundTrip) {
+  SingleResponse single;
+  single.cert_id = MakeCertId(issuer_, x509::Serial{0x44});
+  single.status = CertStatus::kUnknown;
+  single.this_update = kNow;
+  auto parsed = ParseOcspResponse(SignOcspResponse(single, kNow, key_).der);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->single.status, CertStatus::kUnknown);
+}
+
+TEST_F(OcspResponseTest, SignatureTamperRejected) {
+  SingleResponse single;
+  single.cert_id = MakeCertId(issuer_, x509::Serial{0x45});
+  single.status = CertStatus::kGood;
+  single.this_update = kNow;
+  OcspResponse response = SignOcspResponse(single, kNow, key_);
+  response.signature[3] ^= 1;
+  EXPECT_FALSE(VerifyOcspSignature(response, key_.Public()));
+  EXPECT_FALSE(VerifyOcspSignature(response, TestKey("wrong").Public()));
+}
+
+TEST_F(OcspResponseTest, ErrorResponses) {
+  for (ResponseStatus status :
+       {ResponseStatus::kMalformedRequest, ResponseStatus::kInternalError,
+        ResponseStatus::kTryLater, ResponseStatus::kUnauthorized}) {
+    const OcspResponse error = MakeErrorResponse(status);
+    auto parsed = ParseOcspResponse(error.der);
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->status, status);
+    EXPECT_FALSE(VerifyOcspSignature(*parsed, key_.Public()));
+  }
+}
+
+TEST_F(OcspResponseTest, SmallWireSize) {
+  // §5.2: an OCSP exchange is typically under 1 KB — a core advantage
+  // over CRLs.
+  SingleResponse single;
+  single.cert_id = MakeCertId(issuer_, x509::Serial{0x46});
+  single.status = CertStatus::kGood;
+  single.this_update = kNow;
+  single.next_update = kNow + 4 * util::kSecondsPerDay;
+  const OcspResponse response = SignOcspResponse(single, kNow, key_);
+  EXPECT_LT(response.der.size(), 1024u);
+  OcspRequest request;
+  request.cert_id = single.cert_id;
+  EXPECT_LT(EncodeOcspRequest(request).size(), 1024u);
+}
+
+TEST_F(OcspResponseTest, DescribeRendering) {
+  SingleResponse single;
+  single.cert_id = MakeCertId(issuer_, x509::Serial{0x77});
+  single.status = CertStatus::kRevoked;
+  single.revocation_time = kNow - 3600;
+  single.reason = x509::ReasonCode::kCaCompromise;
+  single.this_update = kNow;
+  const std::string text =
+      DescribeOcspResponse(SignOcspResponse(single, kNow, key_));
+  EXPECT_NE(text.find("cert status : revoked"), std::string::npos);
+  EXPECT_NE(text.find("cACompromise"), std::string::npos);
+  EXPECT_NE(DescribeOcspResponse(MakeErrorResponse(ResponseStatus::kTryLater))
+                .find("error"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------------- responder ----
+
+class ResponderTest : public ::testing::Test {
+ protected:
+  ResponderTest()
+      : issuer_(MakeIssuerCert()),
+        responder_(issuer_, TestKey("issuer"), 4 * util::kSecondsPerDay) {}
+
+  Bytes Query(const x509::Serial& serial) {
+    OcspRequest request;
+    request.cert_id = MakeCertId(issuer_, serial);
+    return responder_.Handle(EncodeOcspRequest(request), kNow);
+  }
+
+  x509::Certificate issuer_;
+  Responder responder_;
+};
+
+TEST_F(ResponderTest, GoodForRegistered) {
+  responder_.AddCertificate(x509::Serial{0x01});
+  auto parsed = ParseOcspResponse(Query(x509::Serial{0x01}));
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->single.status, CertStatus::kGood);
+  EXPECT_EQ(parsed->single.next_update, kNow + 4 * util::kSecondsPerDay);
+  EXPECT_TRUE(VerifyOcspSignature(*parsed, TestKey("issuer").Public()));
+}
+
+TEST_F(ResponderTest, UnknownForUnregistered) {
+  auto parsed = ParseOcspResponse(Query(x509::Serial{0x99}));
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->single.status, CertStatus::kUnknown);
+}
+
+TEST_F(ResponderTest, RevokedAfterRevoke) {
+  responder_.AddCertificate(x509::Serial{0x02});
+  responder_.Revoke(x509::Serial{0x02}, kNow - 500,
+                    x509::ReasonCode::kCaCompromise);
+  auto parsed = ParseOcspResponse(Query(x509::Serial{0x02}));
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->single.status, CertStatus::kRevoked);
+  EXPECT_EQ(parsed->single.revocation_time, kNow - 500);
+  EXPECT_EQ(parsed->single.reason, x509::ReasonCode::kCaCompromise);
+}
+
+TEST_F(ResponderTest, RemoveYieldsUnknown) {
+  responder_.AddCertificate(x509::Serial{0x03});
+  responder_.Remove(x509::Serial{0x03});
+  auto parsed = ParseOcspResponse(Query(x509::Serial{0x03}));
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->single.status, CertStatus::kUnknown);
+}
+
+TEST_F(ResponderTest, MalformedRequestRejected) {
+  auto parsed = ParseOcspResponse(responder_.Handle(Bytes{0x00, 0x01}, kNow));
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->status, ResponseStatus::kMalformedRequest);
+}
+
+TEST_F(ResponderTest, WrongIssuerUnauthorized) {
+  // A request keyed to a different issuer is not ours to answer.
+  x509::TbsCertificate other_tbs;
+  other_tbs.serial = x509::Serial{0x22};
+  other_tbs.issuer = other_tbs.subject = x509::Name::FromCommonName("Other CA");
+  other_tbs.not_before = 0;
+  other_tbs.not_after = kNow + 1'000'000;
+  other_tbs.public_key = TestKey("other").Public();
+  other_tbs.basic_constraints = {true, -1};
+  const x509::Certificate other =
+      x509::SignCertificate(other_tbs, TestKey("other"));
+
+  OcspRequest request;
+  request.cert_id = MakeCertId(other, x509::Serial{0x01});
+  auto parsed = ParseOcspResponse(
+      responder_.Handle(EncodeOcspRequest(request), kNow));
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->status, ResponseStatus::kUnauthorized);
+}
+
+TEST_F(ResponderTest, StatusForStapling) {
+  responder_.AddCertificate(x509::Serial{0x05});
+  const OcspResponse staple = responder_.StatusFor(x509::Serial{0x05}, kNow);
+  EXPECT_EQ(staple.status, ResponseStatus::kSuccessful);
+  EXPECT_EQ(staple.single.status, CertStatus::kGood);
+  auto parsed = ParseOcspResponse(staple.der);
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(VerifyOcspSignature(*parsed, TestKey("issuer").Public()));
+}
+
+TEST_F(ResponderTest, RevokeIsIdempotentInResponder) {
+  responder_.AddCertificate(x509::Serial{0x06});
+  responder_.Revoke(x509::Serial{0x06}, kNow - 100, x509::ReasonCode::kUnspecified);
+  responder_.Revoke(x509::Serial{0x06}, kNow - 50, x509::ReasonCode::kSuperseded);
+  auto parsed = ParseOcspResponse(Query(x509::Serial{0x06}));
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->single.status, CertStatus::kRevoked);
+}
+
+}  // namespace
+}  // namespace rev::ocsp

@@ -1,0 +1,380 @@
+// Randomized property tests (parameterized over seeds): DER round-trips for
+// randomly shaped certificates / CRLs / OCSP messages, chain verification
+// invariants at random depths, filter guarantees across random workloads,
+// and end-to-end CA/browser consistency under random revocation schedules.
+#include <gtest/gtest.h>
+
+#include "browser/client.h"
+#include "browser/profiles.h"
+#include "ca/ca.h"
+#include "crl/crl.h"
+#include "crlset/bloom.h"
+#include "crlset/gcs.h"
+#include "crypto/signer.h"
+#include "ocsp/ocsp.h"
+#include "util/rng.h"
+#include "x509/certificate.h"
+#include "x509/verify.h"
+
+namespace rev {
+namespace {
+
+constexpr util::Timestamp kNow = 1'420'000'000;
+constexpr std::int64_t kDay = util::kSecondsPerDay;
+
+std::string RandomLabel(util::Rng& rng, std::size_t max_len) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789-.";
+  const std::size_t len = 1 + rng.NextBelow(max_len);
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i)
+    out.push_back(kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)]);
+  return out;
+}
+
+x509::Serial RandomSerial(util::Rng& rng) {
+  x509::Serial serial(1 + rng.NextBelow(49));
+  rng.Fill(serial.data(), serial.size());
+  if (serial[0] == 0) serial[0] = 1;
+  return serial;
+}
+
+class Seeded : public ::testing::TestWithParam<int> {
+ protected:
+  util::Rng rng_{static_cast<std::uint64_t>(GetParam()) * 0x9E3779B9u + 7};
+};
+
+// ------------------------------------------------- certificate round-trip ----
+
+class CertRoundTrip : public Seeded {};
+
+TEST_P(CertRoundTrip, RandomFields) {
+  x509::TbsCertificate tbs;
+  tbs.serial = RandomSerial(rng_);
+  tbs.issuer = x509::Name::Make(RandomLabel(rng_, 30), RandomLabel(rng_, 20));
+  tbs.subject = x509::Name::FromCommonName(RandomLabel(rng_, 40));
+  tbs.not_before = kNow - static_cast<util::Timestamp>(rng_.NextBelow(3000) * kDay);
+  tbs.not_after =
+      tbs.not_before + static_cast<util::Timestamp>((1 + rng_.NextBelow(3000)) * kDay);
+  tbs.public_key = crypto::SimKeyFromLabel(RandomLabel(rng_, 10)).Public();
+  tbs.basic_constraints.is_ca = rng_.Chance(0.3);
+  if (tbs.basic_constraints.is_ca && rng_.Chance(0.5))
+    tbs.basic_constraints.path_len = static_cast<int>(rng_.NextBelow(5));
+  if (rng_.Chance(0.8))
+    tbs.key_usage = static_cast<std::uint16_t>(1 + rng_.NextBelow(0x1FF));
+  const std::size_t num_crls = rng_.NextBelow(4);
+  for (std::size_t i = 0; i < num_crls; ++i)
+    tbs.crl_urls.push_back("http://" + RandomLabel(rng_, 20) + ".sim/c" +
+                           std::to_string(i) + ".crl");
+  const std::size_t num_ocsp = rng_.NextBelow(3);
+  for (std::size_t i = 0; i < num_ocsp; ++i)
+    tbs.ocsp_urls.push_back("http://" + RandomLabel(rng_, 20) + ".sim/");
+  if (rng_.Chance(0.3)) tbs.policies = {asn1::oids::VerisignEvPolicy()};
+  const std::size_t num_san = rng_.NextBelow(5);
+  for (std::size_t i = 0; i < num_san; ++i)
+    tbs.dns_names.push_back(RandomLabel(rng_, 30));
+  if (rng_.Chance(0.5)) {
+    tbs.subject_key_id.resize(20);
+    rng_.Fill(tbs.subject_key_id.data(), 20);
+  }
+  if (rng_.Chance(0.5)) {
+    tbs.authority_key_id.resize(20);
+    rng_.Fill(tbs.authority_key_id.data(), 20);
+  }
+
+  const crypto::KeyPair issuer_key =
+      crypto::SimKeyFromLabel(RandomLabel(rng_, 8));
+  const x509::Certificate cert = x509::SignCertificate(tbs, issuer_key);
+  auto parsed = x509::ParseCertificate(cert.der);
+  ASSERT_TRUE(parsed);
+
+  EXPECT_EQ(parsed->tbs.serial, tbs.serial);
+  EXPECT_EQ(parsed->tbs.issuer, tbs.issuer);
+  EXPECT_EQ(parsed->tbs.subject, tbs.subject);
+  EXPECT_EQ(parsed->tbs.not_before, tbs.not_before);
+  EXPECT_EQ(parsed->tbs.not_after, tbs.not_after);
+  EXPECT_TRUE(parsed->tbs.public_key == tbs.public_key);
+  EXPECT_EQ(parsed->tbs.basic_constraints.is_ca, tbs.basic_constraints.is_ca);
+  EXPECT_EQ(parsed->tbs.basic_constraints.path_len,
+            tbs.basic_constraints.path_len);
+  EXPECT_EQ(parsed->tbs.key_usage, tbs.key_usage);
+  EXPECT_EQ(parsed->tbs.crl_urls, tbs.crl_urls);
+  EXPECT_EQ(parsed->tbs.ocsp_urls, tbs.ocsp_urls);
+  EXPECT_EQ(parsed->tbs.policies, tbs.policies);
+  EXPECT_EQ(parsed->tbs.dns_names, tbs.dns_names);
+  EXPECT_EQ(parsed->tbs.subject_key_id, tbs.subject_key_id);
+  EXPECT_EQ(parsed->tbs.authority_key_id, tbs.authority_key_id);
+  EXPECT_TRUE(x509::VerifyCertificateSignature(*parsed, issuer_key.Public()));
+
+  // Re-encoding the parsed TBS is byte-identical (canonical DER).
+  EXPECT_EQ(x509::EncodeTbs(parsed->tbs, parsed->sig_type), cert.tbs_der);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertRoundTrip, ::testing::Range(0, 25));
+
+// --------------------------------------------------------- CRL round-trip ----
+
+class CrlRoundTrip : public Seeded {};
+
+TEST_P(CrlRoundTrip, RandomCrls) {
+  crl::TbsCrl tbs;
+  tbs.issuer = x509::Name::Make(RandomLabel(rng_, 20), RandomLabel(rng_, 10));
+  tbs.this_update = kNow - static_cast<util::Timestamp>(rng_.NextBelow(100'000));
+  if (rng_.Chance(0.9))
+    tbs.next_update = tbs.this_update + static_cast<util::Timestamp>(
+                                            1 + rng_.NextBelow(7 * kDay));
+  if (rng_.Chance(0.8)) tbs.crl_number = static_cast<std::int64_t>(rng_.NextBelow(1'000'000));
+  const std::size_t entries = rng_.NextBelow(200);
+  for (std::size_t i = 0; i < entries; ++i) {
+    crl::CrlEntry entry;
+    entry.serial = RandomSerial(rng_);
+    entry.revocation_date =
+        tbs.this_update - static_cast<util::Timestamp>(rng_.NextBelow(10'000'000));
+    const std::uint64_t reason_pick = rng_.NextBelow(5);
+    entry.reason = reason_pick == 0 ? x509::ReasonCode::kKeyCompromise
+                   : reason_pick == 1 ? x509::ReasonCode::kSuperseded
+                                      : x509::ReasonCode::kNoReasonCode;
+    tbs.entries.push_back(std::move(entry));
+  }
+
+  const crypto::KeyPair key = crypto::SimKeyFromLabel(RandomLabel(rng_, 8));
+  const crl::Crl crl = crl::SignCrl(tbs, key);
+  auto parsed = crl::ParseCrl(crl.der);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->tbs.issuer, tbs.issuer);
+  EXPECT_EQ(parsed->tbs.this_update, tbs.this_update);
+  EXPECT_EQ(parsed->tbs.next_update, tbs.next_update);
+  EXPECT_EQ(parsed->tbs.crl_number, tbs.crl_number);
+  ASSERT_EQ(parsed->tbs.entries.size(), tbs.entries.size());
+  for (std::size_t i = 0; i < entries; ++i) {
+    EXPECT_EQ(parsed->tbs.entries[i].serial, tbs.entries[i].serial);
+    EXPECT_EQ(parsed->tbs.entries[i].revocation_date,
+              tbs.entries[i].revocation_date);
+    EXPECT_EQ(parsed->tbs.entries[i].reason, tbs.entries[i].reason);
+  }
+  EXPECT_TRUE(crl::VerifyCrlSignature(*parsed, key.Public()));
+
+  // The index agrees with a linear scan for every entry and for misses.
+  const crl::CrlIndex index(*parsed);
+  for (const crl::CrlEntry& entry : tbs.entries)
+    EXPECT_TRUE(index.IsRevoked(entry.serial));
+  for (int i = 0; i < 20; ++i) {
+    const x509::Serial probe = RandomSerial(rng_);
+    const bool linear = std::any_of(
+        tbs.entries.begin(), tbs.entries.end(),
+        [&](const crl::CrlEntry& e) { return e.serial == probe; });
+    EXPECT_EQ(index.IsRevoked(probe), linear);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrlRoundTrip, ::testing::Range(0, 15));
+
+// -------------------------------------------------------- OCSP round-trip ----
+
+class OcspRoundTrip : public Seeded {};
+
+TEST_P(OcspRoundTrip, RandomResponses) {
+  ocsp::SingleResponse single;
+  single.cert_id.issuer_name_hash.resize(32);
+  single.cert_id.issuer_key_hash.resize(32);
+  rng_.Fill(single.cert_id.issuer_name_hash.data(), 32);
+  rng_.Fill(single.cert_id.issuer_key_hash.data(), 32);
+  single.cert_id.serial = RandomSerial(rng_);
+  const std::uint64_t status_pick = rng_.NextBelow(3);
+  single.status = static_cast<ocsp::CertStatus>(status_pick);
+  single.this_update = kNow - static_cast<util::Timestamp>(rng_.NextBelow(100'000));
+  if (rng_.Chance(0.7))
+    single.next_update = single.this_update + 4 * kDay;
+  if (single.status == ocsp::CertStatus::kRevoked) {
+    single.revocation_time =
+        single.this_update - static_cast<util::Timestamp>(rng_.NextBelow(1'000'000));
+    if (rng_.Chance(0.4)) single.reason = x509::ReasonCode::kKeyCompromise;
+  }
+
+  const crypto::KeyPair key = crypto::SimKeyFromLabel(RandomLabel(rng_, 8));
+  const ocsp::OcspResponse response =
+      ocsp::SignOcspResponse(single, kNow, key);
+  auto parsed = ocsp::ParseOcspResponse(response.der);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->single.cert_id, single.cert_id);
+  EXPECT_EQ(parsed->single.status, single.status);
+  EXPECT_EQ(parsed->single.this_update, single.this_update);
+  EXPECT_EQ(parsed->single.next_update, single.next_update);
+  EXPECT_EQ(parsed->single.revocation_time, single.revocation_time);
+  EXPECT_EQ(parsed->single.reason, single.reason);
+  EXPECT_TRUE(ocsp::VerifyOcspSignature(*parsed, key.Public()));
+
+  // Requests round-trip too.
+  ocsp::OcspRequest request;
+  request.cert_id = single.cert_id;
+  if (rng_.Chance(0.5)) {
+    request.nonce.resize(16);
+    rng_.Fill(request.nonce.data(), 16);
+  }
+  auto parsed_request = ocsp::ParseOcspRequest(ocsp::EncodeOcspRequest(request));
+  ASSERT_TRUE(parsed_request);
+  EXPECT_EQ(parsed_request->cert_id, request.cert_id);
+  EXPECT_EQ(parsed_request->nonce, request.nonce);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OcspRoundTrip, ::testing::Range(0, 15));
+
+// ----------------------------------------------------- chain verification ----
+
+class ChainProperty : public Seeded {};
+
+TEST_P(ChainProperty, RandomDepthChains) {
+  const int depth = 1 + static_cast<int>(rng_.NextBelow(5));  // intermediates
+
+  // Root.
+  const crypto::KeyPair root_key = crypto::SimKeyFromLabel(
+      "root" + std::to_string(GetParam()));
+  x509::TbsCertificate root_tbs;
+  root_tbs.serial = RandomSerial(rng_);
+  root_tbs.issuer = root_tbs.subject = x509::Name::FromCommonName("Root");
+  root_tbs.not_before = 0;
+  root_tbs.not_after = kNow + 5000 * kDay;
+  root_tbs.public_key = root_key.Public();
+  root_tbs.basic_constraints = {true, -1};
+  auto root = std::make_shared<const x509::Certificate>(
+      x509::SignCertificate(root_tbs, root_key));
+
+  x509::CertPool roots, pool;
+  roots.Add(root);
+
+  crypto::KeyPair prev_key = root_key;
+  x509::Name prev_name = root_tbs.subject;
+  for (int i = 0; i < depth; ++i) {
+    const crypto::KeyPair key = crypto::SimKeyFromLabel(
+        "int" + std::to_string(GetParam()) + "." + std::to_string(i));
+    x509::TbsCertificate tbs;
+    tbs.serial = RandomSerial(rng_);
+    tbs.issuer = prev_name;
+    tbs.subject = x509::Name::FromCommonName("Int" + std::to_string(i));
+    tbs.not_before = 0;
+    tbs.not_after = kNow + 4000 * kDay;
+    tbs.public_key = key.Public();
+    tbs.basic_constraints = {true, -1};
+    pool.Add(std::make_shared<const x509::Certificate>(
+        x509::SignCertificate(tbs, prev_key)));
+    prev_key = key;
+    prev_name = tbs.subject;
+  }
+
+  x509::TbsCertificate leaf_tbs;
+  leaf_tbs.serial = RandomSerial(rng_);
+  leaf_tbs.issuer = prev_name;
+  leaf_tbs.subject = x509::Name::FromCommonName("leaf.sim");
+  leaf_tbs.not_before = kNow - kDay;
+  leaf_tbs.not_after = kNow + kDay;
+  leaf_tbs.public_key = crypto::SimKeyFromLabel("leafkey").Public();
+  auto leaf = std::make_shared<const x509::Certificate>(
+      x509::SignCertificate(leaf_tbs, prev_key));
+
+  x509::VerifyOptions options;
+  options.at = kNow;
+  const x509::VerifyResult result =
+      x509::VerifyChain(leaf, pool, roots, options);
+  ASSERT_TRUE(result.ok()) << "depth " << depth << ": "
+                           << x509::VerifyStatusName(result.status);
+  EXPECT_EQ(result.chain.size(), static_cast<std::size_t>(depth) + 2);
+
+  // Invariant: every adjacent pair in the returned chain is issuer-signed.
+  for (std::size_t i = 0; i + 1 < result.chain.size(); ++i) {
+    EXPECT_TRUE(x509::VerifyCertificateSignature(
+        *result.chain[i], result.chain[i + 1]->tbs.public_key));
+    EXPECT_EQ(result.chain[i]->tbs.issuer, result.chain[i + 1]->tbs.subject);
+  }
+
+  // Removing any single intermediate breaks the (only) path.
+  for (const x509::CertPtr& removed : pool.all()) {
+    x509::CertPool without;
+    for (const x509::CertPtr& cert : pool.all())
+      if (cert != removed) without.Add(cert);
+    EXPECT_FALSE(x509::VerifyChain(leaf, without, roots, options).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainProperty, ::testing::Range(0, 10));
+
+// ----------------------------------------------------------- filter sweeps ----
+
+class FilterProperty : public Seeded {};
+
+TEST_P(FilterProperty, BloomNeverFalseNegative) {
+  const std::size_t n = 100 + rng_.NextBelow(3000);
+  const double fpr = 0.001 + rng_.UniformDouble() * 0.05;
+  crlset::BloomFilter filter = crlset::BloomFilter::ForCapacity(n, fpr);
+  std::vector<Bytes> keys;
+  for (std::size_t i = 0; i < n; ++i) {
+    Bytes key(8 + rng_.NextBelow(40));
+    rng_.Fill(key.data(), key.size());
+    keys.push_back(std::move(key));
+    filter.Insert(keys.back());
+  }
+  for (const Bytes& key : keys) EXPECT_TRUE(filter.MayContain(key));
+}
+
+TEST_P(FilterProperty, GcsNeverFalseNegative) {
+  const std::size_t n = 50 + rng_.NextBelow(1000);
+  const int p = 4 + static_cast<int>(rng_.NextBelow(10));
+  std::vector<Bytes> keys;
+  for (std::size_t i = 0; i < n; ++i) {
+    Bytes key(8 + rng_.NextBelow(40));
+    rng_.Fill(key.data(), key.size());
+    keys.push_back(std::move(key));
+  }
+  const crlset::GolombCompressedSet set = crlset::GolombCompressedSet::Build(keys, p);
+  for (const Bytes& key : keys) EXPECT_TRUE(set.MayContain(key));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterProperty, ::testing::Range(0, 10));
+
+// ------------------------------------------ CA + browser consistency sweep ----
+
+class EndToEndProperty : public Seeded {};
+
+TEST_P(EndToEndProperty, RevokedIsCaughtExactlyWhenCheckingApplies) {
+  // Random CA with random revocation schedule; a checking browser (IE 11)
+  // must reject exactly the revoked-and-effective certificates.
+  util::Rng rng = rng_;
+  ca::CertificateAuthority::Options options;
+  options.name = "Prop" + std::to_string(GetParam());
+  options.domain = "prop" + std::to_string(GetParam()) + ".sim";
+  options.num_crl_shards = 1 + static_cast<int>(rng.NextBelow(4));
+  auto root = ca::CertificateAuthority::CreateRoot(options, rng,
+                                                   kNow - 2000 * kDay);
+  net::SimNet net;
+  root->RegisterEndpoints(&net);
+  x509::CertPool roots;
+  roots.Add(root->cert());
+
+  const browser::Policy& policy =
+      browser::FindProfile("IE 11", "Windows 10")->policy;
+
+  for (int i = 0; i < 12; ++i) {
+    ca::CertificateAuthority::IssueOptions issue;
+    issue.common_name = "site" + std::to_string(i) + ".sim";
+    issue.not_before = kNow - 50 * kDay;
+    const x509::CertPtr leaf = root->Issue(issue, rng);
+    const bool revoked = rng.Chance(0.5);
+    if (revoked) {
+      root->Revoke(leaf->tbs.serial,
+                   kNow - static_cast<util::Timestamp>(1 + rng.NextBelow(30)) * kDay,
+                   x509::ReasonCode::kKeyCompromise);
+    }
+    tls::TlsServer::Config config;
+    config.chain_der = {leaf->der};
+    tls::TlsServer server(config);
+    browser::Client client(policy, &net, roots);
+    const browser::VisitOutcome outcome = client.Visit(server, kNow);
+    EXPECT_EQ(outcome.rejected(), revoked)
+        << "cert " << i << " revoked=" << revoked << ": "
+        << outcome.reject_reason;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace rev

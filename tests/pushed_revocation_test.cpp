@@ -1,0 +1,160 @@
+// Tests for the pushed-revocation channels wired into the browser client:
+// Chrome's CRLSet (including the BlockedSPKI render-anyway bug, §7.1 note
+// 26) and Mozilla's OneCRL intermediate blocklist (§7 footnote 24).
+#include <gtest/gtest.h>
+
+#include "browser/client.h"
+#include "browser/profiles.h"
+#include "ca/ca.h"
+#include "crlset/crlset.h"
+#include "crlset/onecrl.h"
+#include "util/rng.h"
+
+namespace rev::browser {
+namespace {
+
+constexpr util::Timestamp kNow = 1'420'000'000;
+constexpr std::int64_t kDay = util::kSecondsPerDay;
+
+class PushedRevocation : public ::testing::Test {
+ protected:
+  PushedRevocation() : rng_(77) {
+    ca::CertificateAuthority::Options root_options;
+    root_options.name = "PushRoot";
+    root_options.domain = "pushroot.sim";
+    root_ = ca::CertificateAuthority::CreateRoot(root_options, rng_,
+                                                 kNow - 2000 * kDay);
+    ca::CertificateAuthority::Options int_options;
+    int_options.name = "PushCA";
+    int_options.domain = "pushca.sim";
+    intermediate_ =
+        root_->CreateIntermediate(int_options, rng_, kNow - 1000 * kDay);
+    // Deliberately do NOT register endpoints: pushed channels must work
+    // with zero network availability.
+    roots_.Add(root_->cert());
+
+    ca::CertificateAuthority::IssueOptions issue;
+    issue.common_name = "pushed.example.sim";
+    issue.not_before = kNow - 100 * kDay;
+    leaf_ = intermediate_->Issue(issue, rng_);
+  }
+
+  VisitOutcome Visit(const Policy& policy, const crlset::CrlSet* crlset,
+                     const crlset::OneCrl* onecrl = nullptr) {
+    tls::TlsServer::Config config;
+    config.chain_der = {leaf_->der, intermediate_->cert()->der};
+    tls::TlsServer server(config);
+    Client client(policy, &net_, roots_);
+    client.SetCrlSet(crlset);
+    client.SetOneCrl(onecrl);
+    return client.Visit(server, kNow);
+  }
+
+  util::Rng rng_;
+  net::SimNet net_;
+  x509::CertPool roots_;
+  std::unique_ptr<ca::CertificateAuthority> root_;
+  std::unique_ptr<ca::CertificateAuthority> intermediate_;
+  x509::CertPtr leaf_;
+};
+
+TEST_F(PushedRevocation, CrlsetRejectsRevokedLeafOffline) {
+  crlset::CrlSet set;
+  set.AddEntry(intermediate_->cert()->SubjectSpkiSha256(), leaf_->tbs.serial);
+
+  const Policy& chrome = FindProfile("Chrome 44", "OS X")->policy;
+  ASSERT_TRUE(chrome.use_crlset);
+  const VisitOutcome outcome = Visit(chrome, &set);
+  EXPECT_TRUE(outcome.rejected());
+  EXPECT_TRUE(outcome.crlset_hit);
+  // Zero network cost — the whole point of CRLSets.
+  EXPECT_EQ(outcome.crl_fetches + outcome.ocsp_fetches, 0);
+  EXPECT_EQ(net_.total_requests(), 0u);
+}
+
+TEST_F(PushedRevocation, CrlsetMissAccepts) {
+  crlset::CrlSet set;
+  set.AddEntry(intermediate_->cert()->SubjectSpkiSha256(),
+               x509::Serial{0xDE, 0xAD});
+  const Policy& chrome = FindProfile("Chrome 44", "Windows")->policy;
+  const VisitOutcome outcome = Visit(chrome, &set);
+  EXPECT_TRUE(outcome.accepted());
+  EXPECT_FALSE(outcome.crlset_hit);
+}
+
+TEST_F(PushedRevocation, CrlsetCoversIntermediates) {
+  crlset::CrlSet set;
+  set.AddEntry(root_->cert()->SubjectSpkiSha256(),
+               intermediate_->cert()->tbs.serial);
+  const Policy& chrome = FindProfile("Chrome 44", "Linux")->policy;
+  EXPECT_TRUE(Visit(chrome, &set).rejected());
+}
+
+TEST_F(PushedRevocation, BlockedSpkiBugRendersAnyway) {
+  crlset::CrlSet set;
+  set.AddBlockedSpki(leaf_->SubjectSpkiSha256());
+
+  Policy chrome = FindProfile("Chrome 44", "OS X")->policy;
+  ASSERT_TRUE(chrome.blocked_spki_bug);
+  const VisitOutcome buggy = Visit(chrome, &set);
+  // The §7.1 note-26 bug: flagged revoked, connection completes.
+  EXPECT_TRUE(buggy.accepted());
+  EXPECT_TRUE(buggy.crlset_hit);
+
+  chrome.blocked_spki_bug = false;
+  const VisitOutcome fixed = Visit(chrome, &set);
+  EXPECT_TRUE(fixed.rejected());
+}
+
+TEST_F(PushedRevocation, NonChromeIgnoresCrlset) {
+  crlset::CrlSet set;
+  set.AddEntry(intermediate_->cert()->SubjectSpkiSha256(), leaf_->tbs.serial);
+  // Firefox has no CRLSet; with its OCSP responder unreachable (endpoints
+  // never registered) it soft-fails to accept.
+  const Policy& ff = FindProfile("Firefox 40", "Windows")->policy;
+  EXPECT_FALSE(ff.use_crlset);
+  EXPECT_TRUE(Visit(ff, &set).accepted());
+}
+
+TEST_F(PushedRevocation, NullCrlsetIsNoop) {
+  const Policy& chrome = FindProfile("Chrome 44", "OS X")->policy;
+  EXPECT_TRUE(Visit(chrome, nullptr).accepted());
+}
+
+TEST_F(PushedRevocation, OneCrlBlocksIntermediateOnly) {
+  crlset::OneCrl onecrl;
+  onecrl.AddEntry(intermediate_->cert()->tbs.issuer,
+                  intermediate_->cert()->tbs.serial);
+  EXPECT_EQ(onecrl.size(), 1u);
+  EXPECT_TRUE(onecrl.Blocks(*intermediate_->cert()));
+  EXPECT_FALSE(onecrl.Blocks(*leaf_));  // not a CA
+
+  const Policy& ff = FindProfile("Firefox 40", "OS X")->policy;
+  ASSERT_TRUE(ff.use_onecrl);
+  const VisitOutcome outcome = Visit(ff, nullptr, &onecrl);
+  EXPECT_TRUE(outcome.rejected());
+  EXPECT_NE(outcome.reject_reason.find("OneCRL"), std::string::npos);
+}
+
+TEST_F(PushedRevocation, OneCrlDoesNotCoverLeaves) {
+  // A leaf entry in OneCRL has no effect — it is an intermediate blocklist.
+  crlset::OneCrl onecrl;
+  onecrl.AddEntry(leaf_->tbs.issuer, leaf_->tbs.serial);
+  const Policy& ff = FindProfile("Firefox 40", "Linux")->policy;
+  EXPECT_TRUE(Visit(ff, nullptr, &onecrl).accepted());
+}
+
+TEST_F(PushedRevocation, CrlsetBeatsSoftFailAttack) {
+  // The scenario motivating pushed revocations: network channels blocked,
+  // CRLSet still catches the revocation where OCSP/CRL soft-fail cannot.
+  crlset::CrlSet set;
+  set.AddEntry(intermediate_->cert()->SubjectSpkiSha256(), leaf_->tbs.serial);
+
+  Policy soft = FindProfile("Firefox 40", "Windows")->policy;  // soft-fail
+  EXPECT_TRUE(Visit(soft, nullptr).accepted());  // attack wins
+  soft.use_crlset = true;
+  EXPECT_TRUE(Visit(soft, &set).rejected());  // pushed list survives
+}
+
+}  // namespace
+}  // namespace rev::browser

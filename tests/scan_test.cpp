@@ -1,0 +1,157 @@
+// Scanner and internet-population tests: lifetimes, cert harvesting, the
+// handshake (stapling) scan, and the repeat-connection protocol.
+#include <gtest/gtest.h>
+
+#include "ca/ca.h"
+#include "scan/internet.h"
+#include "scan/scanner.h"
+#include "util/rng.h"
+
+namespace rev::scan {
+namespace {
+
+constexpr util::Timestamp kNow = 1'400'000'000;
+constexpr std::int64_t kDay = util::kSecondsPerDay;
+
+struct Fixture {
+  util::Rng rng{1};
+  std::unique_ptr<ca::CertificateAuthority> ca;
+  Fixture() {
+    ca::CertificateAuthority::Options options;
+    options.name = "ScanCA";
+    options.domain = "scanca.sim";
+    ca = ca::CertificateAuthority::CreateRoot(options, rng, kNow - 400 * kDay);
+  }
+
+  x509::CertPtr IssueLeaf(std::string_view cn) {
+    ca::CertificateAuthority::IssueOptions issue;
+    issue.common_name = std::string(cn);
+    issue.not_before = kNow - 30 * kDay;
+    return ca->Issue(issue, rng);
+  }
+
+  Server MakeServer(std::uint32_t ip, x509::CertPtr leaf,
+                    util::Timestamp birth, util::Timestamp death,
+                    bool staple = false, bool requires_cache = false) {
+    Server server{};
+    server.ip = ip;
+    server.leaf = leaf;
+    server.chain = {leaf, ca->cert()};
+    server.birth = birth;
+    server.death = death;
+    tls::TlsServer::Config config;
+    if (staple) {
+      config.stapling_enabled = true;
+      config.staple_requires_cache = requires_cache;
+      ca::CertificateAuthority* issuer = ca.get();
+      const x509::Serial serial = leaf->tbs.serial;
+      config.fetch_leaf_staple = [issuer, serial](util::Timestamp t) {
+        return issuer->responder().StatusFor(serial, t).der;
+      };
+    }
+    server.tls = tls::TlsServer(config);
+    return server;
+  }
+};
+
+TEST(Internet, AliveWindows) {
+  Fixture f;
+  Internet internet;
+  const auto idx = internet.AddServer(
+      f.MakeServer(1, f.IssueLeaf("a.sim"), kNow, kNow + 10 * kDay));
+  EXPECT_TRUE(internet.server(idx).AliveAt(kNow));
+  EXPECT_TRUE(internet.server(idx).AliveAt(kNow + 10 * kDay - 1));
+  EXPECT_FALSE(internet.server(idx).AliveAt(kNow - 1));
+  EXPECT_FALSE(internet.server(idx).AliveAt(kNow + 10 * kDay));
+
+  // death == 0 means alive indefinitely.
+  const auto forever = internet.AddServer(
+      f.MakeServer(2, f.IssueLeaf("b.sim"), kNow, 0));
+  EXPECT_TRUE(internet.server(forever).AliveAt(kNow + 1000 * kDay));
+
+  internet.Kill(forever, kNow + kDay);
+  EXPECT_FALSE(internet.server(forever).AliveAt(kNow + 2 * kDay));
+}
+
+TEST(Scanner, CertScanSeesOnlyAlive) {
+  Fixture f;
+  Internet internet;
+  const x509::CertPtr early = f.IssueLeaf("early.sim");
+  const x509::CertPtr late = f.IssueLeaf("late.sim");
+  internet.AddServer(f.MakeServer(1, early, kNow - 10 * kDay, kNow + kDay));
+  internet.AddServer(f.MakeServer(2, late, kNow + 5 * kDay, kNow + 50 * kDay));
+
+  const CertScanSnapshot snap = RunCertScan(internet, kNow);
+  ASSERT_EQ(snap.observations.size(), 1u);
+  EXPECT_EQ(snap.observations[0].ip, 1u);
+  ASSERT_EQ(snap.observations[0].chain.size(), 2u);
+  EXPECT_EQ(snap.observations[0].chain[0]->Fingerprint(), early->Fingerprint());
+
+  const CertScanSnapshot later = RunCertScan(internet, kNow + 10 * kDay);
+  ASSERT_EQ(later.observations.size(), 1u);
+  EXPECT_EQ(later.observations[0].ip, 2u);
+}
+
+TEST(Scanner, HandshakeScanRecordsStaples) {
+  Fixture f;
+  Internet internet;
+  internet.AddServer(
+      f.MakeServer(1, f.IssueLeaf("s.sim"), kNow - kDay, 0, /*staple=*/true));
+  internet.AddServer(
+      f.MakeServer(2, f.IssueLeaf("n.sim"), kNow - kDay, 0, /*staple=*/false));
+
+  const HandshakeScanSnapshot snap = RunHandshakeScan(internet, kNow);
+  ASSERT_EQ(snap.observations.size(), 2u);
+  int stapled = 0;
+  for (const HandshakeObservation& obs : snap.observations)
+    if (obs.sent_staple) ++stapled;
+  EXPECT_EQ(stapled, 1);
+}
+
+TEST(Scanner, ColdCacheServerMissesFirstScan) {
+  // The ~18% single-scan underestimate (§4.3): a cache-requiring server
+  // staples nothing on the first connection and staples on the second.
+  Fixture f;
+  Internet internet;
+  const auto idx = internet.AddServer(f.MakeServer(
+      1, f.IssueLeaf("c.sim"), kNow - kDay, 0, /*staple=*/true,
+      /*requires_cache=*/true));
+
+  const HandshakeScanSnapshot first = RunHandshakeScan(internet, kNow);
+  EXPECT_FALSE(first.observations[0].sent_staple);
+  const HandshakeScanSnapshot second = RunHandshakeScan(internet, kNow + 10);
+  EXPECT_TRUE(second.observations[0].sent_staple);
+  (void)idx;
+}
+
+TEST(Scanner, AttemptsUntilStaple) {
+  Fixture f;
+  Internet internet;
+  const auto warm = internet.AddServer(
+      f.MakeServer(1, f.IssueLeaf("w.sim"), kNow - kDay, 0, true, false));
+  const auto cold = internet.AddServer(
+      f.MakeServer(2, f.IssueLeaf("k.sim"), kNow - kDay, 0, true, true));
+  const auto never = internet.AddServer(
+      f.MakeServer(3, f.IssueLeaf("v.sim"), kNow - kDay, 0, false));
+
+  EXPECT_EQ(AttemptsUntilStaple(internet.server(warm), kNow, 10), 1);
+  EXPECT_EQ(AttemptsUntilStaple(internet.server(cold), kNow, 10), 2);
+  EXPECT_EQ(AttemptsUntilStaple(internet.server(never), kNow, 10), 0);
+}
+
+TEST(Scanner, RevokedCertStillAdvertised) {
+  // The paper's "alive and revoked" servers: revocation does not stop the
+  // scanner from harvesting the cert.
+  Fixture f;
+  Internet internet;
+  const x509::CertPtr leaf = f.IssueLeaf("zombie.sim");
+  f.ca->Revoke(leaf->tbs.serial, kNow - kDay, x509::ReasonCode::kKeyCompromise);
+  internet.AddServer(f.MakeServer(1, leaf, kNow - 10 * kDay, kNow + 100 * kDay));
+
+  const CertScanSnapshot snap = RunCertScan(internet, kNow);
+  ASSERT_EQ(snap.observations.size(), 1u);
+  EXPECT_TRUE(f.ca->IsRevoked(snap.observations[0].chain[0]->tbs.serial));
+}
+
+}  // namespace
+}  // namespace rev::scan

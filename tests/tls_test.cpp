@@ -1,0 +1,197 @@
+// TLS handshake / OCSP stapling behavior tests, including the nginx-style
+// cache dynamics behind Fig. 3 and the staple-status refusal rules.
+#include <gtest/gtest.h>
+
+#include "ocsp/ocsp.h"
+#include "tls/handshake.h"
+#include "x509/certificate.h"
+#include "x509/name.h"
+
+namespace rev::tls {
+namespace {
+
+constexpr util::Timestamp kNow = 1'412'208'000;
+
+crypto::KeyPair TestKey(std::string_view label) {
+  return crypto::SimKeyFromLabel(label);
+}
+
+// Builds a signed staple with the given status.
+Bytes MakeStaple(ocsp::CertStatus status, util::Timestamp now,
+                 util::Timestamp next_update = 0) {
+  ocsp::SingleResponse single;
+  single.cert_id.issuer_name_hash = Bytes(32, 0x11);
+  single.cert_id.issuer_key_hash = Bytes(32, 0x22);
+  single.cert_id.serial = x509::Serial{0x01};
+  single.status = status;
+  single.this_update = now;
+  single.next_update = next_update ? next_update : now + 4 * util::kSecondsPerDay;
+  if (status == ocsp::CertStatus::kRevoked) single.revocation_time = now - 1000;
+  return ocsp::SignOcspResponse(single, now, TestKey("resp")).der;
+}
+
+TEST(TlsServer, NoStaplingMeansNoStaple) {
+  TlsServer::Config config;
+  config.chain_der = {ToBytes("leaf-der")};
+  TlsServer server(config);
+  ClientHello hello;
+  hello.status_request = true;
+  const ServerHello response = server.Handshake(hello, kNow);
+  EXPECT_EQ(response.chain_der.size(), 1u);
+  EXPECT_TRUE(response.stapled_ocsp.empty());
+}
+
+TEST(TlsServer, StapleNotSentWhenNotRequested) {
+  TlsServer::Config config;
+  config.stapling_enabled = true;
+  config.staple_requires_cache = false;
+  config.fetch_leaf_staple = [](util::Timestamp t) {
+    return MakeStaple(ocsp::CertStatus::kGood, t);
+  };
+  TlsServer server(config);
+  ClientHello hello;  // no status_request
+  EXPECT_TRUE(server.Handshake(hello, kNow).stapled_ocsp.empty());
+}
+
+TEST(TlsServer, ImmediateStapleWhenCacheNotRequired) {
+  TlsServer::Config config;
+  config.stapling_enabled = true;
+  config.staple_requires_cache = false;
+  config.fetch_leaf_staple = [](util::Timestamp t) {
+    return MakeStaple(ocsp::CertStatus::kGood, t);
+  };
+  TlsServer server(config);
+  ClientHello hello;
+  hello.status_request = true;
+  const ServerHello response = server.Handshake(hello, kNow);
+  EXPECT_FALSE(response.stapled_ocsp.empty());
+}
+
+TEST(TlsServer, NginxColdCacheWarmsAfterFirstHandshake) {
+  // The §4.3/Fig. 3 behavior: first connection gets no staple, the fetch
+  // completes afterwards, the second connection is served from cache.
+  int fetches = 0;
+  TlsServer::Config config;
+  config.stapling_enabled = true;
+  config.staple_requires_cache = true;
+  config.fetch_leaf_staple = [&fetches](util::Timestamp t) {
+    ++fetches;
+    return MakeStaple(ocsp::CertStatus::kGood, t);
+  };
+  TlsServer server(config);
+  ClientHello hello;
+  hello.status_request = true;
+
+  EXPECT_TRUE(server.Handshake(hello, kNow).stapled_ocsp.empty());
+  EXPECT_EQ(fetches, 1);
+  EXPECT_FALSE(server.Handshake(hello, kNow + 3).stapled_ocsp.empty());
+  EXPECT_EQ(fetches, 1);  // served from cache
+}
+
+TEST(TlsServer, CachedStapleExpiresAtNextUpdate) {
+  TlsServer::Config config;
+  config.stapling_enabled = true;
+  config.staple_requires_cache = true;
+  config.fetch_leaf_staple = [](util::Timestamp t) {
+    return MakeStaple(ocsp::CertStatus::kGood, t,
+                      t + util::kSecondsPerDay);
+  };
+  TlsServer server(config);
+  ClientHello hello;
+  hello.status_request = true;
+
+  server.Handshake(hello, kNow);  // warms cache
+  EXPECT_FALSE(server.Handshake(hello, kNow + 10).stapled_ocsp.empty());
+  // After expiry the cache misses again (no staple, then re-warmed).
+  const util::Timestamp later = kNow + 2 * util::kSecondsPerDay;
+  EXPECT_TRUE(server.Handshake(hello, later).stapled_ocsp.empty());
+  EXPECT_FALSE(server.Handshake(hello, later + 3).stapled_ocsp.empty());
+}
+
+TEST(TlsServer, RefusesRevokedStapleByDefault) {
+  // Default nginx refuses to staple revoked/unknown responses (§6.1); the
+  // paper patched that out, modeled by staple_any_status.
+  TlsServer::Config config;
+  config.stapling_enabled = true;
+  config.staple_requires_cache = false;
+  config.staple_any_status = false;
+  config.fetch_leaf_staple = [](util::Timestamp t) {
+    return MakeStaple(ocsp::CertStatus::kRevoked, t);
+  };
+  TlsServer server(config);
+  ClientHello hello;
+  hello.status_request = true;
+  EXPECT_TRUE(server.Handshake(hello, kNow).stapled_ocsp.empty());
+
+  config.staple_any_status = true;
+  TlsServer patched(config);
+  EXPECT_FALSE(patched.Handshake(hello, kNow).stapled_ocsp.empty());
+}
+
+TEST(TlsServer, RefusesUnknownStapleByDefault) {
+  TlsServer::Config config;
+  config.stapling_enabled = true;
+  config.staple_requires_cache = false;
+  config.staple_any_status = false;
+  config.fetch_leaf_staple = [](util::Timestamp t) {
+    return MakeStaple(ocsp::CertStatus::kUnknown, t);
+  };
+  TlsServer server(config);
+  ClientHello hello;
+  hello.status_request = true;
+  EXPECT_TRUE(server.Handshake(hello, kNow).stapled_ocsp.empty());
+}
+
+TEST(TlsServer, EmptyFetchMeansNoStaple) {
+  TlsServer::Config config;
+  config.stapling_enabled = true;
+  config.staple_requires_cache = false;
+  config.fetch_leaf_staple = [](util::Timestamp) { return Bytes{}; };
+  TlsServer server(config);
+  ClientHello hello;
+  hello.status_request = true;
+  EXPECT_TRUE(server.Handshake(hello, kNow).stapled_ocsp.empty());
+}
+
+TEST(TlsServer, MultiStapleCoversChain) {
+  TlsServer::Config config;
+  config.chain_der = {ToBytes("leaf"), ToBytes("int1")};
+  config.stapling_enabled = true;
+  config.multi_staple_enabled = true;
+  config.staple_any_status = true;
+  config.fetch_chain_staples = {
+      [](util::Timestamp t) { return MakeStaple(ocsp::CertStatus::kGood, t); },
+      [](util::Timestamp t) { return MakeStaple(ocsp::CertStatus::kGood, t); },
+  };
+  TlsServer server(config);
+  ClientHello hello;
+  hello.status_request = true;
+  hello.status_request_v2 = true;
+  const ServerHello response = server.Handshake(hello, kNow);
+  ASSERT_EQ(response.stapled_ocsp_multi.size(), 2u);
+  EXPECT_FALSE(response.stapled_ocsp_multi[0].empty());
+  EXPECT_FALSE(response.stapled_ocsp_multi[1].empty());
+  // Leaf staple mirrors the first multi-staple.
+  EXPECT_EQ(response.stapled_ocsp, response.stapled_ocsp_multi[0]);
+}
+
+TEST(TlsServer, MultiStapleRequiresV2Request) {
+  TlsServer::Config config;
+  config.stapling_enabled = true;
+  config.multi_staple_enabled = true;
+  config.staple_requires_cache = false;
+  config.fetch_leaf_staple = [](util::Timestamp t) {
+    return MakeStaple(ocsp::CertStatus::kGood, t);
+  };
+  config.fetch_chain_staples = {
+      [](util::Timestamp t) { return MakeStaple(ocsp::CertStatus::kGood, t); }};
+  TlsServer server(config);
+  ClientHello hello;
+  hello.status_request = true;  // v1 only
+  const ServerHello response = server.Handshake(hello, kNow);
+  EXPECT_TRUE(response.stapled_ocsp_multi.empty());
+  EXPECT_FALSE(response.stapled_ocsp.empty());
+}
+
+}  // namespace
+}  // namespace rev::tls
