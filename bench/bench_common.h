@@ -31,6 +31,17 @@ inline double ScaleFromEnv() {
   return 0.002;
 }
 
+// REV_THREADS sizes the Finalize()/CrawlAll() fan-out: 0 (default) uses
+// hardware concurrency, 1 forces the exact serial path (docs/parallelism.md).
+inline unsigned ThreadsFromEnv() {
+  const char* env = std::getenv("REV_THREADS");
+  if (env != nullptr) {
+    const int threads = std::atoi(env);
+    if (threads > 0) return static_cast<unsigned>(threads);
+  }
+  return 0;
+}
+
 inline void PrintHeader(const char* experiment, const char* paper_result) {
   std::printf("==============================================================\n");
   std::printf("%s\n", experiment);
@@ -60,7 +71,9 @@ struct World {
                  world.eco->total_issued(), world.eco->internet().size(),
                  world.eco->cas().size());
 
-    world.pipeline = std::make_unique<core::Pipeline>(world.eco->roots());
+    const unsigned threads = ThreadsFromEnv();
+    world.pipeline =
+        std::make_unique<core::Pipeline>(world.eco->roots(), threads);
     if (run_scans) {
       for (util::Timestamp t = c.study_start; t <= c.study_end;
            t += 7 * util::kSecondsPerDay) {
@@ -68,11 +81,17 @@ struct World {
         ++world.num_scans;
       }
       world.pipeline->Finalize();
-      std::fprintf(stderr, "[world] %d scans -> Leaf Set %zu\n",
-                   world.num_scans, world.pipeline->LeafSet().size());
+      std::fprintf(stderr,
+                   "[world] %d scans -> Leaf Set %zu (finalize %.3fs: "
+                   "intermediates %.3fs + verify %.3fs)\n",
+                   world.num_scans, world.pipeline->LeafSet().size(),
+                   world.pipeline->finalize_wall_seconds(),
+                   world.pipeline->intermediate_wall_seconds(),
+                   world.pipeline->verify_wall_seconds());
     }
 
-    world.crawler = std::make_unique<core::RevocationCrawler>(&world.eco->net());
+    world.crawler =
+        std::make_unique<core::RevocationCrawler>(&world.eco->net(), threads);
     if (run_crawl) {
       world.crawler->CollectUrls(*world.pipeline);
       for (util::Timestamp t = c.crawl_start; t <= c.study_end;
@@ -80,9 +99,12 @@ struct World {
         world.crawler->CrawlAll(t);
         ++world.num_crawl_days;
       }
-      std::fprintf(stderr, "[world] crawled %zu CRLs over %d visits, %zu revocations\n",
+      std::fprintf(stderr,
+                   "[world] crawled %zu CRLs over %d visits, %zu revocations "
+                   "(wall %.3fs)\n",
                    world.crawler->crawled().size(), world.num_crawl_days,
-                   world.crawler->total_revocations());
+                   world.crawler->total_revocations(),
+                   world.crawler->crawl_wall_seconds());
     }
     return world;
   }

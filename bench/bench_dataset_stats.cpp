@@ -2,6 +2,8 @@
 // and availability of revocation information.
 #include "bench_common.h"
 
+#include "util/thread_pool.h"
+
 using namespace rev;
 
 int main() {
@@ -71,6 +73,19 @@ int main() {
   std::printf("OCSP-only certificates (paper: 642): %zu; responders answered "
               "%zu, %zu revoked\n\n",
               ocsp_only, answered, revoked);
+
+  // Parallelism cost accounting (docs/parallelism.md): wall time of the
+  // ThreadPool-backed stages at the configured REV_THREADS. Compare a
+  // REV_THREADS=1 run against the default to measure the speedup.
+  std::printf(
+      "pipeline wall time (REV_THREADS=%u -> %u worker(s)):\n"
+      "  Finalize           %8.3f s  (intermediates %.3f s + verify %.3f s)\n",
+      bench::ThreadsFromEnv(),
+      bench::ThreadsFromEnv() == 0 ? util::ThreadPool::DefaultThreads()
+                                   : bench::ThreadsFromEnv(),
+      world.pipeline->finalize_wall_seconds(),
+      world.pipeline->intermediate_wall_seconds(),
+      world.pipeline->verify_wall_seconds());
 
   std::printf(
       "note: counts scale with REV_SCALE=%.4f; invalid/self-signed junk is\n"

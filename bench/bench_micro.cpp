@@ -12,6 +12,7 @@
 #include "crypto/signer.h"
 #include "ocsp/ocsp.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "x509/certificate.h"
 
 using namespace rev;
@@ -145,6 +146,21 @@ void BM_OcspRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OcspRoundTrip);
+
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  // The unit of Finalize()/CrawlAll() fan-out: dispatch 4096 CRL-parse-sized
+  // work items through a pool of `range(0)` workers. Compare against the
+  // /1 row (inline serial path) for dispatch overhead and speedup.
+  util::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  const Bytes der = BenchCrl(100).der;
+  for (auto _ : state) {
+    pool.ParallelFor(4096, [&](std::size_t) {
+      benchmark::DoNotOptimize(crl::ParseCrl(der));
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(4)->Arg(8);
 
 void BM_BrowserVisit(benchmark::State& state) {
   // Full provision + visit of one test case (the unit of the 244-case

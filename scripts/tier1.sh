@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the ThreadPool and
+# parallel-determinism tests again under ThreadSanitizer (a clean TSan run
+# is part of the parallel pipeline/crawler's acceptance bar — see
+# docs/parallelism.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+# TSan pass in a separate build tree: races in util::ThreadPool, the
+# parallel Pipeline::Finalize(), and the parallel RevocationCrawler::CrawlAll
+# (including the CachingClient / SimNet synchronization) surface here.
+cmake -B build-tsan -S . -DREV_SANITIZE_THREAD=ON
+cmake --build build-tsan -j"$(nproc)" --target util_test core_test
+./build-tsan/tests/util_test --gtest_filter='ThreadPool.*'
+./build-tsan/tests/core_test --gtest_filter='Parallelism.*'
+echo "tier-1 OK (unit suites + TSan determinism)"

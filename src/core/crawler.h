@@ -2,9 +2,15 @@
 // named by the Leaf and Intermediate Sets once per day over the simulated
 // network, and queries OCSP responders for the certificates that carry no
 // CRL pointer. Builds a revocation database keyed by (issuer name, serial).
+//
+// CrawlAll() fans fetch+parse out per URL across a util::ThreadPool and
+// merges the per-URL results into `crawled_` / the revocation database in
+// URL-sorted order, so the database, the counters, and the Fig. 5/6/9
+// series are byte-identical at every thread count (docs/parallelism.md).
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -15,6 +21,7 @@
 #include "net/cache.h"
 #include "net/simnet.h"
 #include "ocsp/ocsp.h"
+#include "util/thread_pool.h"
 #include "x509/certificate.h"
 
 namespace rev::core {
@@ -41,7 +48,9 @@ struct CrawledCrl {
 
 class RevocationCrawler {
  public:
-  explicit RevocationCrawler(net::SimNet* net);
+  // `threads` sizes the CrawlAll() fan-out: 0 = hardware concurrency,
+  // 1 = the exact serial path.
+  explicit RevocationCrawler(net::SimNet* net, unsigned threads = 0);
 
   // Registers the CRL URLs of every certificate in the pipeline's Leaf and
   // Intermediate sets. Call once after Pipeline::Finalize().
@@ -70,14 +79,25 @@ class RevocationCrawler {
   // (the paper finds the vast majority carry no reason code at all).
   std::map<x509::ReasonCode, std::size_t> ReasonCodeHistogram() const;
 
-  // Bandwidth/latency spent crawling (§5.2 cost analysis).
+  // Bandwidth/latency spent crawling (§5.2 cost analysis). These are
+  // *simulated* network costs and are merged deterministically, so they
+  // match the serial run bit for bit.
   std::uint64_t bytes_downloaded() const { return bytes_downloaded_; }
   double seconds_spent() const { return seconds_spent_; }
   std::uint64_t fetch_failures() const { return fetch_failures_; }
 
+  unsigned threads() const { return threads_; }
+  void set_threads(unsigned threads);
+
+  // Cost accounting: real wall time spent inside CrawlAll() across all
+  // visits (the parallel-speedup counterpart of seconds_spent()).
+  double crawl_wall_seconds() const { return crawl_wall_seconds_; }
+
  private:
   net::SimNet* net_;
   net::CachingClient client_;
+  unsigned threads_;
+  std::unique_ptr<util::ThreadPool> pool_;  // created on first CrawlAll
   std::set<std::string> urls_;
   std::map<std::string, CrawledCrl> crawled_;
   // (issuer name DER, serial) -> info
@@ -85,6 +105,7 @@ class RevocationCrawler {
   std::uint64_t bytes_downloaded_ = 0;
   double seconds_spent_ = 0;
   std::uint64_t fetch_failures_ = 0;
+  double crawl_wall_seconds_ = 0;
 };
 
 }  // namespace rev::core

@@ -1,15 +1,36 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "util/thread_pool.h"
 
 namespace rev::core {
 
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
 void Pipeline::IngestScan(const scan::CertScanSnapshot& snapshot) {
   finalized_ = false;
-  const bool newest = snapshot.time >= latest_scan_time_;
-  if (newest) {
+  // Only a strictly newer snapshot starts a new latest-scan view; a second
+  // snapshot at the same timestamp merges into the current view (clearing
+  // here would silently drop the first snapshot's leaves), and an older one
+  // must not disturb the view at all.
+  const bool strictly_newer = snapshot.time > latest_scan_time_;
+  const bool in_latest = snapshot.time >= latest_scan_time_;
+  if (strictly_newer) {
     latest_scan_time_ = snapshot.time;
     for (auto& [fp, record] : records_) record.in_latest_scan = false;
+  } else if (!in_latest) {
+    ++out_of_order_scans_;
   }
   for (const scan::CertObservation& obs : snapshot.observations) {
     for (std::size_t i = 0; i < obs.chain.size(); ++i) {
@@ -29,7 +50,7 @@ void Pipeline::IngestScan(const scan::CertScanSnapshot& snapshot) {
       // weighted statistics); chain elements are shared.
       if (i == 0) {
         ++record.observations;
-        if (newest) record.in_latest_scan = true;
+        if (in_latest) record.in_latest_scan = true;
       }
     }
   }
@@ -38,6 +59,7 @@ void Pipeline::IngestScan(const scan::CertScanSnapshot& snapshot) {
 void Pipeline::Finalize() {
   if (finalized_) return;
   finalized_ = true;
+  const auto start = std::chrono::steady_clock::now();
 
   // Candidate intermediates: every CA certificate observed.
   std::vector<x509::CertPtr> candidates;
@@ -47,25 +69,39 @@ void Pipeline::Finalize() {
   intermediate_set_ = x509::BuildIntermediateSet(candidates, roots_);
 
   x509::CertPool intermediates;
-  for (const x509::CertPtr& cert : intermediate_set_)
+  std::set<Bytes> intermediate_fps;
+  for (const x509::CertPtr& cert : intermediate_set_) {
     intermediates.Add(cert);
+    intermediate_fps.insert(cert->Fingerprint());
+  }
+  intermediate_wall_seconds_ = SecondsSince(start);
 
-  // Validate every certificate, ignoring date errors (§3.1).
+  // Validate every certificate, ignoring date errors (§3.1). CA records are
+  // membership checks against the precomputed fingerprint set; leaves get a
+  // full chain verification, fanned out across workers. Each worker writes
+  // only its own record's `valid` slot over the read-only pools, so the
+  // result is identical at every thread count.
   x509::VerifyOptions options;
   options.ignore_dates = true;
+  std::vector<CertRecord*> leaves;
+  leaves.reserve(records_.size());
   for (auto& [fp, record] : records_) {
     if (record.cert->IsCa()) {
       record.valid = roots_.Contains(*record.cert) ||
-                     std::any_of(intermediate_set_.begin(),
-                                 intermediate_set_.end(),
-                                 [&](const x509::CertPtr& c) {
-                                   return c->Fingerprint() == record.cert->Fingerprint();
-                                 });
-      continue;
+                     intermediate_fps.contains(record.cert->Fingerprint());
+    } else {
+      leaves.push_back(&record);
     }
+  }
+  const auto verify_start = std::chrono::steady_clock::now();
+  util::ThreadPool pool(threads_);
+  pool.ParallelFor(leaves.size(), [&](std::size_t i) {
+    CertRecord& record = *leaves[i];
     record.valid =
         x509::VerifyChain(record.cert, intermediates, roots_, options).ok();
-  }
+  });
+  verify_wall_seconds_ = SecondsSince(verify_start);
+  finalize_wall_seconds_ = SecondsSince(start);
 }
 
 std::vector<const CertRecord*> Pipeline::LeafSet() const {

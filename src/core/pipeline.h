@@ -2,6 +2,10 @@
 // tracks per-certificate lifetimes (birth = first advertisement, death =
 // last), builds the Intermediate Set by iterative verification against the
 // root store, and validates leaves with date errors ignored.
+//
+// Finalize() fans the per-leaf chain verifications out across a
+// util::ThreadPool; results are written into each record's pre-existing
+// slot, so output is bit-identical at any thread count (docs/parallelism.md).
 #pragma once
 
 #include <map>
@@ -25,9 +29,16 @@ struct CertRecord {
 
 class Pipeline {
  public:
-  explicit Pipeline(x509::CertPool roots) : roots_(std::move(roots)) {}
+  // `threads` sizes the Finalize() fan-out: 0 = hardware concurrency,
+  // 1 = the exact serial path.
+  explicit Pipeline(x509::CertPool roots, unsigned threads = 0)
+      : roots_(std::move(roots)), threads_(threads) {}
 
-  // Folds one scan into the store.
+  // Folds one scan into the store. Snapshots should arrive in chronological
+  // order; a snapshot with the same timestamp as the latest merges into the
+  // latest-scan view (it does NOT clear previously set flags), and an older
+  // snapshot is folded into lifetimes/observations but never touches the
+  // latest-scan view — such regressions are counted in out_of_order_scans().
   void IngestScan(const scan::CertScanSnapshot& snapshot);
 
   // Builds the Intermediate Set and validates all leaves. Call after the
@@ -49,12 +60,30 @@ class Pipeline {
   util::Timestamp latest_scan_time() const { return latest_scan_time_; }
   std::uint64_t total_observed() const { return records_.size(); }
 
+  // Snapshots ingested with a timestamp older than one already seen.
+  std::uint64_t out_of_order_scans() const { return out_of_order_scans_; }
+
+  unsigned threads() const { return threads_; }
+  void set_threads(unsigned threads) { threads_ = threads; }
+
+  // Cost accounting: real wall time spent inside Finalize(), split into the
+  // serial Intermediate-Set construction and the parallel leaf-verification
+  // stage (bench_dataset_stats reports these for the speedup measurement).
+  double finalize_wall_seconds() const { return finalize_wall_seconds_; }
+  double intermediate_wall_seconds() const { return intermediate_wall_seconds_; }
+  double verify_wall_seconds() const { return verify_wall_seconds_; }
+
  private:
   x509::CertPool roots_;
   std::map<Bytes, CertRecord> records_;
   std::vector<x509::CertPtr> intermediate_set_;
   util::Timestamp latest_scan_time_ = 0;
+  std::uint64_t out_of_order_scans_ = 0;
   bool finalized_ = false;
+  unsigned threads_ = 0;
+  double finalize_wall_seconds_ = 0;
+  double intermediate_wall_seconds_ = 0;
+  double verify_wall_seconds_ = 0;
 };
 
 }  // namespace rev::core

@@ -6,22 +6,50 @@ CachingClient::Result CachingClient::Get(std::string_view url,
                                          util::Timestamp now,
                                          double timeout_seconds) {
   Result result;
-  auto it = cache_.find(url);
-  if (it != cache_.end() && now < it->second.expires) {
-    ++hits_;
-    result.from_cache = true;
-    result.fetch.error = FetchError::kOk;
-    result.fetch.response = it->second.response;
-    result.fetch.elapsed_seconds = 0;
-    return result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(url);  // heterogeneous: no temporary string
+    if (it != cache_.end()) {
+      if (now < it->second.expires) {
+        ++hits_;
+        result.from_cache = true;
+        result.fetch.error = FetchError::kOk;
+        result.fetch.response = it->second.response;
+        result.fetch.elapsed_seconds = 0;
+        return result;
+      }
+      // Stale: erase now rather than leaving a dead entry behind (the
+      // refetch below may fail or come back uncacheable).
+      cache_.erase(it);
+      ++evictions_;
+    }
+    ++misses_;
   }
-  ++misses_;
+  // Network I/O happens outside the lock; SimNet serializes internally.
   result.fetch = net_->Get(url, now, timeout_seconds);
   if (result.fetch.ok() && result.fetch.response.max_age > 0) {
-    cache_[std::string(url)] =
-        Entry{result.fetch.response, now + result.fetch.response.max_age};
+    std::lock_guard<std::mutex> lock(mu_);
+    // The std::string is built only when actually storing a new entry.
+    cache_.insert_or_assign(
+        std::string(url),
+        Entry{result.fetch.response, now + result.fetch.response.max_age});
   }
   return result;
+}
+
+std::size_t CachingClient::PruneExpired(util::Timestamp now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t removed = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (now >= it->second.expires) {
+      it = cache_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  evictions_ += removed;
+  return removed;
 }
 
 }  // namespace rev::net

@@ -3,9 +3,16 @@
 // Browsers cache CRLs and OCSP responses; the paper observes 95% of CRLs
 // expire within 24 hours, limiting the bandwidth savings (§5.2). The cache
 // makes that dynamic measurable.
+//
+// Get() is safe to call from multiple threads (the revocation crawler fans
+// CRL fetches out across a ThreadPool); lookups use the map's transparent
+// comparator so no temporary std::string is built on the hot path, and
+// expired entries are erased when encountered so a months-long simulated
+// crawl cannot grow the cache without bound.
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "net/simnet.h"
@@ -21,15 +28,21 @@ class CachingClient {
     bool from_cache = false;
   };
 
-  // GETs the URL, serving from cache when a fresh entry exists.
+  // GETs the URL, serving from cache when a fresh entry exists. Thread-safe.
   Result Get(std::string_view url, util::Timestamp now,
              double timeout_seconds = 10.0);
+
+  // Erases every entry whose lifetime ended at or before `now`; returns the
+  // number removed. Get() already evicts lazily on access — this sweeps
+  // entries for URLs that are never requested again.
+  std::size_t PruneExpired(util::Timestamp now);
 
   // Cache management.
   void Clear() { cache_.clear(); }
   std::size_t EntryCount() const { return cache_.size(); }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
 
  private:
   struct Entry {
@@ -38,9 +51,11 @@ class CachingClient {
   };
 
   SimNet* net_;
+  std::mutex mu_;  // guards cache_ and the counters during Get()
   std::map<std::string, Entry, std::less<>> cache_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace rev::net

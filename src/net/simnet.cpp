@@ -14,32 +14,39 @@ const char* FetchErrorName(FetchError e) {
 
 void SimNet::AddHost(std::string_view hostname, HttpHandler handler,
                      HostProfile profile) {
+  std::lock_guard<std::mutex> lock(mu_);
   Host& host = hosts_[std::string(hostname)];
   host.handler = std::move(handler);
   host.profile = profile;
 }
 
 void SimNet::RemoveHost(std::string_view hostname) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = hosts_.find(hostname);
   if (it != hosts_.end()) hosts_.erase(it);
 }
 
 bool SimNet::HasHost(std::string_view hostname) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return hosts_.find(hostname) != hosts_.end();
 }
 
 void SimNet::SetDnsFailure(std::string_view hostname, bool fail) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = hosts_.find(hostname);
   if (it != hosts_.end()) it->second.dns_failure = fail;
 }
 
 void SimNet::SetUnresponsive(std::string_view hostname, bool unresponsive) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = hosts_.find(hostname);
   if (it != hosts_.end()) it->second.unresponsive = unresponsive;
 }
 
 FetchResult SimNet::Fetch(const HttpRequest& request, util::Timestamp now,
                           double timeout_seconds) {
+  // One lock spans the whole exchange: the handler may mutate CA state.
+  std::lock_guard<std::mutex> lock(mu_);
   FetchResult result;
   ++total_requests_;
 
@@ -112,7 +119,18 @@ FetchResult SimNet::Post(std::string_view url, BytesView body,
   return Fetch(request, now, timeout_seconds);
 }
 
+std::uint64_t SimNet::total_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_requests_;
+}
+
+std::uint64_t SimNet::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
 void SimNet::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
   total_requests_ = 0;
   total_bytes_ = 0;
 }

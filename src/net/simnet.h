@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -63,6 +64,11 @@ struct FetchResult {
   bool ok() const { return error == FetchError::kOk && response.status == 200; }
 };
 
+// Thread-safety: every exchange runs under one internal mutex, so handlers
+// (which mutate CA state — lazy CRL rebuilds, OCSP signing) never execute
+// concurrently and the cost counters stay exact. Parallel callers overlap
+// only their client-side work (parsing, verification); the simulated server
+// is a serialization point, like a single-homed CA endpoint.
 class SimNet {
  public:
   // Registers (or replaces) a host with the given handler.
@@ -89,8 +95,8 @@ class SimNet {
                    double timeout_seconds = 10.0);
 
   // Cumulative counters (for bandwidth-cost experiments).
-  std::uint64_t total_requests() const { return total_requests_; }
-  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t total_requests() const;
+  std::uint64_t total_bytes() const;
   void ResetCounters();
 
  private:
@@ -101,6 +107,7 @@ class SimNet {
     bool unresponsive = false;
   };
 
+  mutable std::mutex mu_;  // serializes exchanges, guards hosts_ + counters
   std::map<std::string, Host, std::less<>> hosts_;
   std::uint64_t total_requests_ = 0;
   std::uint64_t total_bytes_ = 0;

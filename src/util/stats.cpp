@@ -21,9 +21,14 @@ void Distribution::Sort() const {
 
 double Distribution::Quantile(double q) const {
   if (samples_.empty()) return 0;
+  // All-zero (or negative) weights mean the distribution is empty for CDF
+  // purposes; without this guard `target == 0` and the first sample's
+  // `cum >= target` is trivially true, returning an arbitrary value.
+  const double total = TotalWeight();
+  if (total <= 0) return 0;
   Sort();
   q = std::clamp(q, 0.0, 1.0);
-  const double target = q * TotalWeight();
+  const double target = q * total;
   double cum = 0;
   for (const auto& [value, weight] : samples_) {
     cum += weight;

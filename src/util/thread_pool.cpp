@@ -1,0 +1,85 @@
+#include "util/thread_pool.h"
+
+namespace rev::util {
+
+unsigned ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads == 0 ? DefaultThreads() : threads) {
+  if (threads_ < 2) return;  // inline mode: no workers
+  workers_.reserve(threads_);
+  for (unsigned i = 0; i < threads_; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunBatch() {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count_ || failed_.load(std::memory_order_relaxed)) return;
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+      failed_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    RunBatch();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    // Serial path: same iteration order and exception behavior as a loop.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  count_ = count;
+  next_.store(0, std::memory_order_relaxed);
+  failed_.store(false, std::memory_order_relaxed);
+  error_ = nullptr;
+  active_ = static_cast<unsigned>(workers_.size());
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [&] { return active_ == 0; });
+  fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr error = std::move(error_);
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace rev::util

@@ -5,6 +5,7 @@
 
 #include "core/ca_audit.h"
 #include "core/crawler.h"
+#include "crypto/signer.h"
 #include "core/crlset_audit.h"
 #include "core/ecosystem.h"
 #include "core/pipeline.h"
@@ -56,6 +57,86 @@ class World {
 };
 
 // ------------------------------------------------------------- pipeline ----
+
+// Minimal synthetic scans for the ingest-ordering tests: one self-contained
+// leaf per name, observed as a chain of just itself.
+x509::CertPtr MakeTestLeaf(const std::string& cn) {
+  x509::TbsCertificate tbs;
+  tbs.serial = x509::Serial(8, 0x21);
+  tbs.issuer = x509::Name::Make("Ingest Test CA", "Ingest");
+  tbs.subject = x509::Name::FromCommonName(cn);
+  tbs.not_before = util::MakeDate(2013, 1, 1);
+  tbs.not_after = util::MakeDate(2016, 1, 1);
+  tbs.public_key = crypto::SimKeyFromLabel("ingest-" + cn).Public();
+  tbs.dns_names = {cn};
+  return std::make_shared<const x509::Certificate>(
+      x509::SignCertificate(tbs, crypto::SimKeyFromLabel("ingest-ca")));
+}
+
+scan::CertScanSnapshot MakeSnapshot(util::Timestamp t,
+                                    const std::vector<x509::CertPtr>& leaves) {
+  scan::CertScanSnapshot snapshot;
+  snapshot.time = t;
+  for (const x509::CertPtr& leaf : leaves) {
+    scan::CertObservation obs;
+    obs.chain = {leaf};
+    snapshot.observations.push_back(obs);
+  }
+  return snapshot;
+}
+
+bool InLatestScan(const Pipeline& pipeline, const x509::CertPtr& cert) {
+  return pipeline.records().at(cert->Fingerprint()).in_latest_scan;
+}
+
+TEST(Pipeline, SameTimestampSnapshotsMergeIntoLatestView) {
+  // Regression: `time >= latest` used to clear every in_latest_scan flag on
+  // a second snapshot with the *same* timestamp, silently dropping the first
+  // snapshot's leaves from the latest-scan view.
+  const util::Timestamp t = util::MakeDate(2014, 6, 1);
+  const x509::CertPtr a = MakeTestLeaf("a.ingest.sim");
+  const x509::CertPtr b = MakeTestLeaf("b.ingest.sim");
+
+  Pipeline pipeline{x509::CertPool{}};
+  pipeline.IngestScan(MakeSnapshot(t, {a}));
+  pipeline.IngestScan(MakeSnapshot(t, {b}));
+
+  EXPECT_EQ(pipeline.latest_scan_time(), t);
+  EXPECT_TRUE(InLatestScan(pipeline, a));
+  EXPECT_TRUE(InLatestScan(pipeline, b));
+  EXPECT_EQ(pipeline.out_of_order_scans(), 0u);
+
+  // A strictly newer snapshot still starts a fresh view.
+  pipeline.IngestScan(MakeSnapshot(t + kDay, {b}));
+  EXPECT_FALSE(InLatestScan(pipeline, a));
+  EXPECT_TRUE(InLatestScan(pipeline, b));
+}
+
+TEST(Pipeline, OutOfOrderSnapshotIsFlaggedAndDoesNotTouchLatestView) {
+  const util::Timestamp t1 = util::MakeDate(2014, 6, 1);
+  const util::Timestamp t2 = util::MakeDate(2014, 6, 8);
+  const x509::CertPtr a = MakeTestLeaf("a.ooo.sim");
+  const x509::CertPtr b = MakeTestLeaf("b.ooo.sim");
+
+  Pipeline pipeline{x509::CertPool{}};
+  pipeline.IngestScan(MakeSnapshot(t2, {a}));
+  // Late-arriving older scan: lifetimes/observations fold in, but the
+  // latest-scan view must not change, and the regression is counted.
+  pipeline.IngestScan(MakeSnapshot(t1, {a, b}));
+
+  EXPECT_EQ(pipeline.out_of_order_scans(), 1u);
+  EXPECT_EQ(pipeline.latest_scan_time(), t2);
+  EXPECT_TRUE(InLatestScan(pipeline, a));
+  EXPECT_FALSE(InLatestScan(pipeline, b));
+
+  const CertRecord& ra = pipeline.records().at(a->Fingerprint());
+  EXPECT_EQ(ra.first_seen, t1);  // the older scan still widens the lifetime
+  EXPECT_EQ(ra.last_seen, t2);
+  EXPECT_EQ(ra.observations, 2u);
+  const CertRecord& rb = pipeline.records().at(b->Fingerprint());
+  EXPECT_EQ(rb.first_seen, t1);
+  EXPECT_EQ(rb.last_seen, t1);
+}
 
 TEST(Pipeline, BuildsLeafAndIntermediateSets) {
   World& w = World::Get();
@@ -171,6 +252,91 @@ TEST(Crawler, OcspQueryPath) {
     }
   }
   FAIL() << "no OCSP-capable leaf found";
+}
+
+// ---------------------------------------------------------- parallelism ----
+
+// The tentpole guarantee (docs/parallelism.md): Finalize() and CrawlAll()
+// produce byte-identical records, revocation DB, and cost counters at any
+// thread count. Two fully independent (but identically seeded) worlds are
+// built so CA-side lazy CRL state cannot leak between the runs.
+TEST(Parallelism, FinalizeAndCrawlDeterministicAcrossThreadCounts) {
+  struct Run {
+    std::unique_ptr<Ecosystem> eco;
+    std::unique_ptr<Pipeline> pipeline;
+    std::unique_ptr<RevocationCrawler> crawler;
+  };
+  auto build = [](unsigned threads) {
+    Run run;
+    EcosystemConfig config;
+    config.scale = 0.001;
+    config.seed = 11;
+    run.eco = Ecosystem::Build(config);
+    const EcosystemConfig& c = run.eco->config();
+    run.pipeline = std::make_unique<Pipeline>(run.eco->roots(), threads);
+    for (util::Timestamp t = c.study_start; t <= c.study_end; t += 14 * kDay)
+      run.pipeline->IngestScan(scan::RunCertScan(run.eco->internet(), t));
+    run.pipeline->Finalize();
+    run.crawler =
+        std::make_unique<RevocationCrawler>(&run.eco->net(), threads);
+    run.crawler->CollectUrls(*run.pipeline);
+    for (util::Timestamp t = c.crawl_start; t <= c.study_end; t += 7 * kDay)
+      run.crawler->CrawlAll(t);
+    return run;
+  };
+
+  const Run serial = build(1);
+  const Run parallel = build(8);
+  EXPECT_EQ(serial.pipeline->threads(), 1u);
+  EXPECT_EQ(parallel.pipeline->threads(), 8u);
+
+  // Pipeline records: identical fingerprints, verdicts, and lifetimes.
+  ASSERT_EQ(serial.pipeline->records().size(),
+            parallel.pipeline->records().size());
+  auto it1 = serial.pipeline->records().begin();
+  auto it8 = parallel.pipeline->records().begin();
+  for (; it1 != serial.pipeline->records().end(); ++it1, ++it8) {
+    ASSERT_EQ(it1->first, it8->first);
+    EXPECT_EQ(it1->second.valid, it8->second.valid);
+    EXPECT_EQ(it1->second.first_seen, it8->second.first_seen);
+    EXPECT_EQ(it1->second.last_seen, it8->second.last_seen);
+    EXPECT_EQ(it1->second.observations, it8->second.observations);
+    EXPECT_EQ(it1->second.in_latest_scan, it8->second.in_latest_scan);
+  }
+  ASSERT_EQ(serial.pipeline->IntermediateSet().size(),
+            parallel.pipeline->IntermediateSet().size());
+  for (std::size_t i = 0; i < serial.pipeline->IntermediateSet().size(); ++i)
+    EXPECT_EQ(serial.pipeline->IntermediateSet()[i]->Fingerprint(),
+              parallel.pipeline->IntermediateSet()[i]->Fingerprint());
+  EXPECT_EQ(serial.pipeline->LeafSet().size(),
+            parallel.pipeline->LeafSet().size());
+
+  // Crawler: identical CRL snapshots, revocation DB, and counters — the
+  // doubles must match exactly (the merge order is fixed), hence EXPECT_EQ
+  // rather than a tolerance.
+  EXPECT_GT(serial.crawler->total_revocations(), 0u);
+  EXPECT_EQ(serial.crawler->total_revocations(),
+            parallel.crawler->total_revocations());
+  EXPECT_EQ(serial.crawler->bytes_downloaded(),
+            parallel.crawler->bytes_downloaded());
+  EXPECT_EQ(serial.crawler->seconds_spent(), parallel.crawler->seconds_spent());
+  EXPECT_EQ(serial.crawler->fetch_failures(),
+            parallel.crawler->fetch_failures());
+  ASSERT_EQ(serial.crawler->crawled().size(),
+            parallel.crawler->crawled().size());
+  auto c1 = serial.crawler->crawled().begin();
+  auto c8 = parallel.crawler->crawled().begin();
+  for (; c1 != serial.crawler->crawled().end(); ++c1, ++c8) {
+    ASSERT_EQ(c1->first, c8->first);
+    EXPECT_EQ(c1->second.issuer_name_der, c8->second.issuer_name_der);
+    EXPECT_EQ(c1->second.size_bytes, c8->second.size_bytes);
+    EXPECT_EQ(c1->second.num_entries, c8->second.num_entries);
+    EXPECT_EQ(c1->second.this_update, c8->second.this_update);
+    EXPECT_EQ(c1->second.next_update, c8->second.next_update);
+    EXPECT_EQ(c1->second.crl.der, c8->second.crl.der);
+  }
+  EXPECT_EQ(serial.crawler->ReasonCodeHistogram(),
+            parallel.crawler->ReasonCodeHistogram());
 }
 
 // ------------------------------------------------------------- timeline ----

@@ -224,6 +224,28 @@ TEST(CachingClient, FailuresNotCached) {
   EXPECT_EQ(client.EntryCount(), 0u);
 }
 
+TEST(CachingClient, EvictsExpiredEntries) {
+  // Regression: expired entries were never erased, so a months-long crawl
+  // grew the cache without bound.
+  SimNet net;
+  net.AddHost("a.sim", Hello(3600));
+  CachingClient client(&net);
+  client.Get("http://a.sim/1", kNow);
+  client.Get("http://a.sim/2", kNow);
+  EXPECT_EQ(client.EntryCount(), 2u);
+
+  // Re-requesting an expired URL evicts the stale entry before refetching
+  // (and then re-caches the fresh response).
+  client.Get("http://a.sim/1", kNow + 7200);
+  EXPECT_EQ(client.evictions(), 1u);
+  EXPECT_EQ(client.EntryCount(), 2u);
+
+  // PruneExpired sweeps entries whose URLs are never requested again.
+  EXPECT_EQ(client.PruneExpired(kNow + 2 * 7200), 2u);
+  EXPECT_EQ(client.EntryCount(), 0u);
+  EXPECT_EQ(client.evictions(), 3u);
+}
+
 TEST(CachingClient, DistinctUrlsDistinctEntries) {
   SimNet net;
   net.AddHost("a.sim", Hello(3600));

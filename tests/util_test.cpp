@@ -1,11 +1,17 @@
-// Unit and property tests for util: civil time, RNG, codecs, statistics.
+// Unit and property tests for util: civil time, RNG, codecs, statistics,
+// and the worker pool behind the parallel pipeline/crawler.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "util/hex.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 #include "util/time.h"
 
 namespace rev::util {
@@ -328,6 +334,21 @@ TEST(Distribution, Empty) {
   EXPECT_DOUBLE_EQ(d.CdfAt(10), 0);
 }
 
+TEST(Distribution, AllZeroWeightsIsEmptyForQuantiles) {
+  // Regression: `target == 0` made the first `cum >= target` trivially true,
+  // so a distribution holding only zero-weight samples returned its smallest
+  // sample instead of behaving like an empty one.
+  Distribution d;
+  d.Add(42.0, 0.0);
+  d.Add(7.0, 0.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.0), 0);
+  EXPECT_DOUBLE_EQ(d.Median(), 0);
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), 0);
+  // A single positive weight brings the quantiles back.
+  d.Add(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(d.Median(), 10.0);
+}
+
 TEST(Accumulator, Welford) {
   Accumulator acc;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(v);
@@ -360,6 +381,70 @@ TEST(HumanBytes, Formats) {
   EXPECT_EQ(HumanBytes(512), "512.0 B");
   EXPECT_EQ(HumanBytes(51.0 * 1024), "51.0 KB");
   EXPECT_EQ(HumanBytes(76.0 * 1024 * 1024), "76.0 MB");
+}
+
+// ---------------------------------------------------------- thread pool ----
+
+TEST(ThreadPool, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+  EXPECT_GE(ThreadPool(0).threads(), 1u);
+  EXPECT_EQ(ThreadPool(3).threads(), 3u);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kCount = 10'000;
+    std::vector<std::atomic<int>> visits(kCount);
+    pool.ParallelFor(kCount, [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < kCount; ++i)
+      ASSERT_EQ(visits[i].load(), 1) << "index " << i << " threads " << threads;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInOrder) {
+  // threads=1 is the exact serial path: no workers, caller's thread,
+  // ascending order.
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.ParallelFor(100, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  for (unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.ParallelFor(1'000,
+                         [&](std::size_t i) {
+                           if (i == 137) throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // The pool survives a failed batch and runs the next one normally.
+    std::atomic<std::size_t> done{0};
+    pool.ParallelFor(64, [&](std::size_t) { ++done; });
+    EXPECT_EQ(done.load(), 64u);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  for (int batch = 0; batch < 50; ++batch)
+    pool.ParallelFor(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 50u * (99u * 100u / 2u));
 }
 
 }  // namespace
