@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hardfail.dir/bench_ablation_hardfail.cpp.o"
+  "CMakeFiles/bench_ablation_hardfail.dir/bench_ablation_hardfail.cpp.o.d"
+  "bench_ablation_hardfail"
+  "bench_ablation_hardfail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hardfail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multistaple.dir/bench_ablation_multistaple.cpp.o"
+  "CMakeFiles/bench_ablation_multistaple.dir/bench_ablation_multistaple.cpp.o.d"
+  "bench_ablation_multistaple"
+  "bench_ablation_multistaple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multistaple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pushed.dir/bench_ablation_pushed.cpp.o"
+  "CMakeFiles/bench_ablation_pushed.dir/bench_ablation_pushed.cpp.o.d"
+  "bench_ablation_pushed"
+  "bench_ablation_pushed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pushed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

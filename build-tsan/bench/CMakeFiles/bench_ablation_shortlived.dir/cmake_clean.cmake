@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shortlived.dir/bench_ablation_shortlived.cpp.o"
+  "CMakeFiles/bench_ablation_shortlived.dir/bench_ablation_shortlived.cpp.o.d"
+  "bench_ablation_shortlived"
+  "bench_ablation_shortlived.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shortlived.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

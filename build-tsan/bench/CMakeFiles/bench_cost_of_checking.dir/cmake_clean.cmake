@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_of_checking.dir/bench_cost_of_checking.cpp.o"
+  "CMakeFiles/bench_cost_of_checking.dir/bench_cost_of_checking.cpp.o.d"
+  "bench_cost_of_checking"
+  "bench_cost_of_checking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_of_checking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_vuln_windows.dir/bench_fig10_vuln_windows.cpp.o"
+  "CMakeFiles/bench_fig10_vuln_windows.dir/bench_fig10_vuln_windows.cpp.o.d"
+  "bench_fig10_vuln_windows"
+  "bench_fig10_vuln_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_vuln_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_revoked_fractions.dir/bench_fig2_revoked_fractions.cpp.o"
+  "CMakeFiles/bench_fig2_revoked_fractions.dir/bench_fig2_revoked_fractions.cpp.o.d"
+  "bench_fig2_revoked_fractions"
+  "bench_fig2_revoked_fractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_revoked_fractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

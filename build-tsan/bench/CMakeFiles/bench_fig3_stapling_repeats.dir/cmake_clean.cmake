@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_stapling_repeats.dir/bench_fig3_stapling_repeats.cpp.o"
+  "CMakeFiles/bench_fig3_stapling_repeats.dir/bench_fig3_stapling_repeats.cpp.o.d"
+  "bench_fig3_stapling_repeats"
+  "bench_fig3_stapling_repeats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_stapling_repeats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

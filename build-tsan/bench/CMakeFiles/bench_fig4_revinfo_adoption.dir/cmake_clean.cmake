@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_revinfo_adoption.dir/bench_fig4_revinfo_adoption.cpp.o"
+  "CMakeFiles/bench_fig4_revinfo_adoption.dir/bench_fig4_revinfo_adoption.cpp.o.d"
+  "bench_fig4_revinfo_adoption"
+  "bench_fig4_revinfo_adoption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_revinfo_adoption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

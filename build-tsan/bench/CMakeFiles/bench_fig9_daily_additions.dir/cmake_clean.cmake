@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_daily_additions.dir/bench_fig9_daily_additions.cpp.o"
+  "CMakeFiles/bench_fig9_daily_additions.dir/bench_fig9_daily_additions.cpp.o.d"
+  "bench_fig9_daily_additions"
+  "bench_fig9_daily_additions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_daily_additions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

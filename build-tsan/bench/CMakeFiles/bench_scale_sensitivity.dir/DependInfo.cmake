@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_scale_sensitivity.cpp" "bench/CMakeFiles/bench_scale_sensitivity.dir/bench_scale_sensitivity.cpp.o" "gcc" "bench/CMakeFiles/bench_scale_sensitivity.dir/bench_scale_sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/rev_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/browser/CMakeFiles/rev_browser.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crlset/CMakeFiles/rev_crlset.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/scan/CMakeFiles/rev_scan.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ca/CMakeFiles/rev_ca.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tls/CMakeFiles/rev_tls.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/rev_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ocsp/CMakeFiles/rev_ocsp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crl/CMakeFiles/rev_crl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/x509/CMakeFiles/rev_x509.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/asn1/CMakeFiles/rev_asn1.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/rev_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/rev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

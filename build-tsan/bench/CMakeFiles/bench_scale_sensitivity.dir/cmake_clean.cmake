@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_sensitivity.dir/bench_scale_sensitivity.cpp.o"
+  "CMakeFiles/bench_scale_sensitivity.dir/bench_scale_sensitivity.cpp.o.d"
+  "bench_scale_sensitivity"
+  "bench_scale_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

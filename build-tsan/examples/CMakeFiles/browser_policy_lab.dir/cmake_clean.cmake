@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_policy_lab.dir/browser_policy_lab.cpp.o"
+  "CMakeFiles/browser_policy_lab.dir/browser_policy_lab.cpp.o.d"
+  "browser_policy_lab"
+  "browser_policy_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_policy_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

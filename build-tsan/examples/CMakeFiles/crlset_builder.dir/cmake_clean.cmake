@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crlset_builder.dir/crlset_builder.cpp.o"
+  "CMakeFiles/crlset_builder.dir/crlset_builder.cpp.o.d"
+  "crlset_builder"
+  "crlset_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crlset_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

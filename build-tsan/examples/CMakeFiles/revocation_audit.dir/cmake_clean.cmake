@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revocation_audit.dir/revocation_audit.cpp.o"
+  "CMakeFiles/revocation_audit.dir/revocation_audit.cpp.o.d"
+  "revocation_audit"
+  "revocation_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revocation_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("asn1")
+subdirs("x509")
+subdirs("crl")
+subdirs("ocsp")
+subdirs("net")
+subdirs("tls")
+subdirs("ca")
+subdirs("scan")
+subdirs("browser")
+subdirs("crlset")
+subdirs("core")

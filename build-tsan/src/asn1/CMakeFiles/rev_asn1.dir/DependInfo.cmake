@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asn1/oid.cpp" "src/asn1/CMakeFiles/rev_asn1.dir/oid.cpp.o" "gcc" "src/asn1/CMakeFiles/rev_asn1.dir/oid.cpp.o.d"
+  "/root/repo/src/asn1/reader.cpp" "src/asn1/CMakeFiles/rev_asn1.dir/reader.cpp.o" "gcc" "src/asn1/CMakeFiles/rev_asn1.dir/reader.cpp.o.d"
+  "/root/repo/src/asn1/writer.cpp" "src/asn1/CMakeFiles/rev_asn1.dir/writer.cpp.o" "gcc" "src/asn1/CMakeFiles/rev_asn1.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/rev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_asn1.dir/oid.cpp.o"
+  "CMakeFiles/rev_asn1.dir/oid.cpp.o.d"
+  "CMakeFiles/rev_asn1.dir/reader.cpp.o"
+  "CMakeFiles/rev_asn1.dir/reader.cpp.o.d"
+  "CMakeFiles/rev_asn1.dir/writer.cpp.o"
+  "CMakeFiles/rev_asn1.dir/writer.cpp.o.d"
+  "librev_asn1.a"
+  "librev_asn1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_asn1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

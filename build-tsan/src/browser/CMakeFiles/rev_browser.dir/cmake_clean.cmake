@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_browser.dir/client.cpp.o"
+  "CMakeFiles/rev_browser.dir/client.cpp.o.d"
+  "CMakeFiles/rev_browser.dir/matrix.cpp.o"
+  "CMakeFiles/rev_browser.dir/matrix.cpp.o.d"
+  "CMakeFiles/rev_browser.dir/policy.cpp.o"
+  "CMakeFiles/rev_browser.dir/policy.cpp.o.d"
+  "CMakeFiles/rev_browser.dir/profiles.cpp.o"
+  "CMakeFiles/rev_browser.dir/profiles.cpp.o.d"
+  "CMakeFiles/rev_browser.dir/testsuite.cpp.o"
+  "CMakeFiles/rev_browser.dir/testsuite.cpp.o.d"
+  "librev_browser.a"
+  "librev_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_ca.dir/ca.cpp.o"
+  "CMakeFiles/rev_ca.dir/ca.cpp.o.d"
+  "librev_ca.a"
+  "librev_ca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_ca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

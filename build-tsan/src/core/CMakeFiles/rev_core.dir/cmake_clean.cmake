@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_core.dir/archive.cpp.o"
+  "CMakeFiles/rev_core.dir/archive.cpp.o.d"
+  "CMakeFiles/rev_core.dir/ca_audit.cpp.o"
+  "CMakeFiles/rev_core.dir/ca_audit.cpp.o.d"
+  "CMakeFiles/rev_core.dir/crawler.cpp.o"
+  "CMakeFiles/rev_core.dir/crawler.cpp.o.d"
+  "CMakeFiles/rev_core.dir/crlset_audit.cpp.o"
+  "CMakeFiles/rev_core.dir/crlset_audit.cpp.o.d"
+  "CMakeFiles/rev_core.dir/ecosystem.cpp.o"
+  "CMakeFiles/rev_core.dir/ecosystem.cpp.o.d"
+  "CMakeFiles/rev_core.dir/pipeline.cpp.o"
+  "CMakeFiles/rev_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/rev_core.dir/report.cpp.o"
+  "CMakeFiles/rev_core.dir/report.cpp.o.d"
+  "CMakeFiles/rev_core.dir/stapling_audit.cpp.o"
+  "CMakeFiles/rev_core.dir/stapling_audit.cpp.o.d"
+  "CMakeFiles/rev_core.dir/timeline.cpp.o"
+  "CMakeFiles/rev_core.dir/timeline.cpp.o.d"
+  "librev_core.a"
+  "librev_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

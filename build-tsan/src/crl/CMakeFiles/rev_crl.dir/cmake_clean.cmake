@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_crl.dir/crl.cpp.o"
+  "CMakeFiles/rev_crl.dir/crl.cpp.o.d"
+  "librev_crl.a"
+  "librev_crl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_crl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

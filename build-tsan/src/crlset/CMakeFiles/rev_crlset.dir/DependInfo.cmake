@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crlset/bloom.cpp" "src/crlset/CMakeFiles/rev_crlset.dir/bloom.cpp.o" "gcc" "src/crlset/CMakeFiles/rev_crlset.dir/bloom.cpp.o.d"
+  "/root/repo/src/crlset/crlset.cpp" "src/crlset/CMakeFiles/rev_crlset.dir/crlset.cpp.o" "gcc" "src/crlset/CMakeFiles/rev_crlset.dir/crlset.cpp.o.d"
+  "/root/repo/src/crlset/gcs.cpp" "src/crlset/CMakeFiles/rev_crlset.dir/gcs.cpp.o" "gcc" "src/crlset/CMakeFiles/rev_crlset.dir/gcs.cpp.o.d"
+  "/root/repo/src/crlset/generator.cpp" "src/crlset/CMakeFiles/rev_crlset.dir/generator.cpp.o" "gcc" "src/crlset/CMakeFiles/rev_crlset.dir/generator.cpp.o.d"
+  "/root/repo/src/crlset/onecrl.cpp" "src/crlset/CMakeFiles/rev_crlset.dir/onecrl.cpp.o" "gcc" "src/crlset/CMakeFiles/rev_crlset.dir/onecrl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/crl/CMakeFiles/rev_crl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/x509/CMakeFiles/rev_x509.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/rev_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/asn1/CMakeFiles/rev_asn1.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/rev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

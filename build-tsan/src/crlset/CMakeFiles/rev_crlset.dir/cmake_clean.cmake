@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_crlset.dir/bloom.cpp.o"
+  "CMakeFiles/rev_crlset.dir/bloom.cpp.o.d"
+  "CMakeFiles/rev_crlset.dir/crlset.cpp.o"
+  "CMakeFiles/rev_crlset.dir/crlset.cpp.o.d"
+  "CMakeFiles/rev_crlset.dir/gcs.cpp.o"
+  "CMakeFiles/rev_crlset.dir/gcs.cpp.o.d"
+  "CMakeFiles/rev_crlset.dir/generator.cpp.o"
+  "CMakeFiles/rev_crlset.dir/generator.cpp.o.d"
+  "CMakeFiles/rev_crlset.dir/onecrl.cpp.o"
+  "CMakeFiles/rev_crlset.dir/onecrl.cpp.o.d"
+  "librev_crlset.a"
+  "librev_crlset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_crlset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

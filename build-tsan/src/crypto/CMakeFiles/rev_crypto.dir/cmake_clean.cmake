@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/rev_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/rev_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/rev_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/rev_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/rev_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/rev_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/rev_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/rev_crypto.dir/signer.cpp.o"
+  "CMakeFiles/rev_crypto.dir/signer.cpp.o.d"
+  "librev_crypto.a"
+  "librev_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

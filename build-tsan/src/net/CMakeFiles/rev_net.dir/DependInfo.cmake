@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cache.cpp" "src/net/CMakeFiles/rev_net.dir/cache.cpp.o" "gcc" "src/net/CMakeFiles/rev_net.dir/cache.cpp.o.d"
+  "/root/repo/src/net/simnet.cpp" "src/net/CMakeFiles/rev_net.dir/simnet.cpp.o" "gcc" "src/net/CMakeFiles/rev_net.dir/simnet.cpp.o.d"
+  "/root/repo/src/net/url.cpp" "src/net/CMakeFiles/rev_net.dir/url.cpp.o" "gcc" "src/net/CMakeFiles/rev_net.dir/url.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/rev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

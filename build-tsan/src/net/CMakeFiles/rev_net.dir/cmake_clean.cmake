@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_net.dir/cache.cpp.o"
+  "CMakeFiles/rev_net.dir/cache.cpp.o.d"
+  "CMakeFiles/rev_net.dir/simnet.cpp.o"
+  "CMakeFiles/rev_net.dir/simnet.cpp.o.d"
+  "CMakeFiles/rev_net.dir/url.cpp.o"
+  "CMakeFiles/rev_net.dir/url.cpp.o.d"
+  "librev_net.a"
+  "librev_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

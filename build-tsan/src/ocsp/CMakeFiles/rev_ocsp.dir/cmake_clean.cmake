@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_ocsp.dir/ocsp.cpp.o"
+  "CMakeFiles/rev_ocsp.dir/ocsp.cpp.o.d"
+  "CMakeFiles/rev_ocsp.dir/responder.cpp.o"
+  "CMakeFiles/rev_ocsp.dir/responder.cpp.o.d"
+  "librev_ocsp.a"
+  "librev_ocsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_ocsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_scan.dir/internet.cpp.o"
+  "CMakeFiles/rev_scan.dir/internet.cpp.o.d"
+  "CMakeFiles/rev_scan.dir/scanner.cpp.o"
+  "CMakeFiles/rev_scan.dir/scanner.cpp.o.d"
+  "librev_scan.a"
+  "librev_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

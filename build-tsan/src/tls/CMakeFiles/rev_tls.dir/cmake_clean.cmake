@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_tls.dir/handshake.cpp.o"
+  "CMakeFiles/rev_tls.dir/handshake.cpp.o.d"
+  "librev_tls.a"
+  "librev_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_util.dir/hex.cpp.o"
+  "CMakeFiles/rev_util.dir/hex.cpp.o.d"
+  "CMakeFiles/rev_util.dir/rng.cpp.o"
+  "CMakeFiles/rev_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rev_util.dir/stats.cpp.o"
+  "CMakeFiles/rev_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rev_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/rev_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/rev_util.dir/time.cpp.o"
+  "CMakeFiles/rev_util.dir/time.cpp.o.d"
+  "librev_util.a"
+  "librev_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

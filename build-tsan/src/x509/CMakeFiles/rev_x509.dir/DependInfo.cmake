@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x509/certificate.cpp" "src/x509/CMakeFiles/rev_x509.dir/certificate.cpp.o" "gcc" "src/x509/CMakeFiles/rev_x509.dir/certificate.cpp.o.d"
+  "/root/repo/src/x509/describe.cpp" "src/x509/CMakeFiles/rev_x509.dir/describe.cpp.o" "gcc" "src/x509/CMakeFiles/rev_x509.dir/describe.cpp.o.d"
+  "/root/repo/src/x509/extensions.cpp" "src/x509/CMakeFiles/rev_x509.dir/extensions.cpp.o" "gcc" "src/x509/CMakeFiles/rev_x509.dir/extensions.cpp.o.d"
+  "/root/repo/src/x509/name.cpp" "src/x509/CMakeFiles/rev_x509.dir/name.cpp.o" "gcc" "src/x509/CMakeFiles/rev_x509.dir/name.cpp.o.d"
+  "/root/repo/src/x509/spki.cpp" "src/x509/CMakeFiles/rev_x509.dir/spki.cpp.o" "gcc" "src/x509/CMakeFiles/rev_x509.dir/spki.cpp.o.d"
+  "/root/repo/src/x509/verify.cpp" "src/x509/CMakeFiles/rev_x509.dir/verify.cpp.o" "gcc" "src/x509/CMakeFiles/rev_x509.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/asn1/CMakeFiles/rev_asn1.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/rev_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/rev_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rev_x509.dir/certificate.cpp.o"
+  "CMakeFiles/rev_x509.dir/certificate.cpp.o.d"
+  "CMakeFiles/rev_x509.dir/describe.cpp.o"
+  "CMakeFiles/rev_x509.dir/describe.cpp.o.d"
+  "CMakeFiles/rev_x509.dir/extensions.cpp.o"
+  "CMakeFiles/rev_x509.dir/extensions.cpp.o.d"
+  "CMakeFiles/rev_x509.dir/name.cpp.o"
+  "CMakeFiles/rev_x509.dir/name.cpp.o.d"
+  "CMakeFiles/rev_x509.dir/spki.cpp.o"
+  "CMakeFiles/rev_x509.dir/spki.cpp.o.d"
+  "CMakeFiles/rev_x509.dir/verify.cpp.o"
+  "CMakeFiles/rev_x509.dir/verify.cpp.o.d"
+  "librev_x509.a"
+  "librev_x509.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rev_x509.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

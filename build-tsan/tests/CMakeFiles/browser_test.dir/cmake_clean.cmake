@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_test.dir/browser_test.cpp.o"
+  "CMakeFiles/browser_test.dir/browser_test.cpp.o.d"
+  "browser_test"
+  "browser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

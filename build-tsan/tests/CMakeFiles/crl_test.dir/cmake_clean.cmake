@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crl_test.dir/crl_test.cpp.o"
+  "CMakeFiles/crl_test.dir/crl_test.cpp.o.d"
+  "crl_test"
+  "crl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

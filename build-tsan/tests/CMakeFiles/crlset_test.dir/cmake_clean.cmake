@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crlset_test.dir/crlset_test.cpp.o"
+  "CMakeFiles/crlset_test.dir/crlset_test.cpp.o.d"
+  "crlset_test"
+  "crlset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crlset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

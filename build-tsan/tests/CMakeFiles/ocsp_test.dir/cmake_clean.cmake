@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocsp_test.dir/ocsp_test.cpp.o"
+  "CMakeFiles/ocsp_test.dir/ocsp_test.cpp.o.d"
+  "ocsp_test"
+  "ocsp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

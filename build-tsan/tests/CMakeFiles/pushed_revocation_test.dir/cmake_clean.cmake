@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushed_revocation_test.dir/pushed_revocation_test.cpp.o"
+  "CMakeFiles/pushed_revocation_test.dir/pushed_revocation_test.cpp.o.d"
+  "pushed_revocation_test"
+  "pushed_revocation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushed_revocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_test.dir/tls_test.cpp.o"
+  "CMakeFiles/tls_test.dir/tls_test.cpp.o.d"
+  "tls_test"
+  "tls_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x509_test.dir/x509_test.cpp.o"
+  "CMakeFiles/x509_test.dir/x509_test.cpp.o.d"
+  "x509_test"
+  "x509_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x509_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revoked_cli.dir/revoked_cli.cpp.o"
+  "CMakeFiles/revoked_cli.dir/revoked_cli.cpp.o.d"
+  "revoked_cli"
+  "revoked_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revoked_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
