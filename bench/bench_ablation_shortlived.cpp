@@ -39,7 +39,7 @@ int main() {
 
   // Conventional cert + OCSP check.
   ocsp::OcspRequest request;
-  request.cert_id = ocsp::MakeCertId(*ca->cert(), conventional->tbs.serial);
+  request.cert_ids = {ocsp::MakeCertId(*ca->cert(), conventional->tbs.serial)};
   const net::FetchResult ocsp_fetch =
       net.Post(conventional->tbs.ocsp_urls[0], ocsp::EncodeOcspRequest(request), now);
 

@@ -91,7 +91,7 @@ int main() {
 
   // 5b. Check via OCSP: one small signed answer instead of the whole list.
   ocsp::OcspRequest request;
-  request.cert_id = ocsp::MakeCertId(*intermediate->cert(), leaf->tbs.serial);
+  request.cert_ids = {ocsp::MakeCertId(*intermediate->cert(), leaf->tbs.serial)};
   const net::FetchResult ocsp_fetch =
       net.Post(leaf->tbs.ocsp_urls[0], ocsp::EncodeOcspRequest(request), now);
   auto response = ocsp::ParseOcspResponse(ocsp_fetch.response.body);

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: Release-mode tier-1 (full build + every ctest suite),
+# then a ThreadSanitizer pass over the concurrency-sensitive targets —
+# the thread pool, the parallel pipeline/crawler, and the serving
+# frontend (tests + a small bench_serve load). Fails on any ctest
+# regression or TSan report.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: Release build + full test suite =="
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+echo "== TSan: thread pool, parallel pipeline, serving frontend =="
+cmake -B build-tsan -S . -DREV_SANITIZE_THREAD=ON
+cmake --build build-tsan -j"$(nproc)" --target util_test core_test serve_test bench_serve
+./build-tsan/tests/util_test --gtest_filter='ThreadPool.*'
+./build-tsan/tests/core_test --gtest_filter='Parallelism.*'
+./build-tsan/tests/serve_test
+# Small closed-loop load under TSan: races between concurrent Serve(),
+# observer-driven invalidation, and batch refresh surface here.
+REV_SERVE_CERTS=2000 REV_SERVE_OPS=2000 REV_SERVE_THREADS=4 \
+  REV_SERVE_FLOOR=0 ./build-tsan/bench/bench_serve > /dev/null || {
+    echo "bench_serve under TSan failed" >&2; exit 1; }
+
+echo "ci OK (tier-1 + TSan: unit suites, serve stress, bench_serve load)"

@@ -68,7 +68,7 @@ ElementStatus CheckViaOcsp(CheckContext& ctx, const x509::Certificate& cert,
   for (const std::string& url : cert.tbs.ocsp_urls) {
     ++ctx.outcome->ocsp_fetches;
     ocsp::OcspRequest request;
-    request.cert_id = ocsp::MakeCertId(issuer, cert.tbs.serial);
+    request.cert_ids = {ocsp::MakeCertId(issuer, cert.tbs.serial)};
     // Browsers favor the GET form (§6.2) — cacheable by intermediaries.
     std::string get_url = url;
     if (!get_url.empty() && get_url.back() == '/') get_url.pop_back();

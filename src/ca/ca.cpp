@@ -44,6 +44,7 @@ std::unique_ptr<CertificateAuthority> CertificateAuthority::CreateRoot(
       x509::SignCertificate(tbs, ca->key_));
   ca->responder_ = std::make_unique<ocsp::Responder>(
       *ca->cert_, ca->key_, options.ocsp_validity_seconds);
+  ca->InitServing();
   return ca;
 }
 
@@ -70,12 +71,25 @@ std::unique_ptr<CertificateAuthority> CertificateAuthority::CreateIntermediate(
       x509::SignCertificate(tbs, key_));
   child->responder_ = std::make_unique<ocsp::Responder>(
       *child->cert_, child->key_, options.ocsp_validity_seconds);
+  child->InitServing();
 
   // The parent tracks the intermediate like any issued certificate so it
   // can be revoked via the parent's CRL/OCSP.
   issued_[tbs.serial] = IssuedRecord{.not_after = tbs.not_after};
   responder_->AddCertificate(tbs.serial);
   return child;
+}
+
+void CertificateAuthority::InitServing() {
+  frontend_ = std::make_unique<serve::Frontend>();
+  frontend_->AttachResponder(responder_.get());
+}
+
+Bytes CertificateAuthority::StapleFor(const x509::Serial& serial,
+                                      util::Timestamp now) {
+  const std::shared_ptr<const Bytes> der =
+      frontend_->Staple(responder_->issuer_key_hash(), serial, now);
+  return der ? *der : Bytes{};
 }
 
 x509::Serial CertificateAuthority::NextSerial(util::Rng& rng) {
@@ -268,17 +282,10 @@ void CertificateAuthority::RegisterEndpoints(net::SimNet* net) {
 
   net->AddHost(OcspHost(), [this](const net::HttpRequest& request,
                                   util::Timestamp now) {
-    net::HttpResponse response;
-    if (request.method == "GET") {
-      // RFC 6960 Appendix A GET form: base64(request) in the path. Browsers
-      // use this far more often than POST (§6.2).
-      auto parsed = ocsp::ParseOcspGetPath(request.path);
-      response.body =
-          parsed ? responder_->Handle(ocsp::EncodeOcspRequest(*parsed), now)
-                 : ocsp::MakeErrorResponse(ocsp::ResponseStatus::kMalformedRequest).der;
-    } else {
-      response.body = responder_->Handle(request.body, now);
-    }
+    // GET (RFC 6960 Appendix A, the form browsers favor; §6.2) and POST
+    // both flow through the serving frontend: precomputed responses,
+    // admission control, 503 + Retry-After under overload.
+    net::HttpResponse response = frontend_->HandleHttp(request, now);
     response.max_age = options_.ocsp_validity_seconds;
     return response;
   });

@@ -19,6 +19,7 @@
 #include "crypto/signer.h"
 #include "net/simnet.h"
 #include "ocsp/responder.h"
+#include "serve/frontend.h"
 #include "util/rng.h"
 #include "x509/certificate.h"
 #include "x509/verify.h"
@@ -93,6 +94,16 @@ class CertificateAuthority {
   ocsp::Responder& responder() { return *responder_; }
   const ocsp::Responder& responder() const { return *responder_; }
 
+  // The serving frontend in front of this CA's responder: precomputed
+  // responses, admission control, load shedding (docs/serving.md). All OCSP
+  // traffic registered via RegisterEndpoints flows through it.
+  serve::Frontend& frontend() { return *frontend_; }
+  const serve::Frontend& frontend() const { return *frontend_; }
+
+  // The response DER a server staples for one of this CA's serials —
+  // served from the frontend's precomputed cache when fresh.
+  Bytes StapleFor(const x509::Serial& serial, util::Timestamp now);
+
   // Installs HTTP handlers for the CRL shards and the OCSP responder on the
   // simulated network. The CA must outlive `net`.
   void RegisterEndpoints(net::SimNet* net);
@@ -128,10 +139,15 @@ class CertificateAuthority {
   x509::Serial NextSerial(util::Rng& rng);
   void RebuildCrl(int shard, util::Timestamp now);
 
+  void InitServing();
+
   Options options_;
   crypto::KeyPair key_;
   x509::CertPtr cert_;
   std::unique_ptr<ocsp::Responder> responder_;
+  // Declared after responder_: the frontend detaches its observer on
+  // destruction, so it must be destroyed first.
+  std::unique_ptr<serve::Frontend> frontend_;
 
   // Adds `count` synthetic revoked-certificate records (serials only, no
   // real certificates issued). Models CRL populations that are not part of

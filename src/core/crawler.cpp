@@ -104,7 +104,7 @@ std::optional<ocsp::CertStatus> RevocationCrawler::QueryOcsp(
   for (const std::string& url : cert.tbs.ocsp_urls) {
     if (!net::IsFetchable(url)) continue;
     ocsp::OcspRequest request;
-    request.cert_id = ocsp::MakeCertId(issuer, cert.tbs.serial);
+    request.cert_ids = {ocsp::MakeCertId(issuer, cert.tbs.serial)};
     const net::FetchResult fetch =
         net_->Post(url, ocsp::EncodeOcspRequest(request), now);
     seconds_spent_ += fetch.elapsed_seconds;

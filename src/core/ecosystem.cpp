@@ -392,7 +392,7 @@ void Ecosystem::IssuePopulation(util::Rng& rng) {
           tls_config.fetch_leaf_staple =
               [issuer, serial, fetch_rng, success](util::Timestamp t) {
                 if (!fetch_rng->Chance(success)) return Bytes{};
-                return issuer->responder().StatusFor(serial, t).der;
+                return issuer->StapleFor(serial, t);
               };
         }
         server.tls = tls::TlsServer(tls_config);

@@ -32,6 +32,8 @@ struct HttpResponse {
   // Cache lifetime hint in seconds (0 = uncacheable). Stands in for
   // Cache-Control/Expires headers.
   std::int64_t max_age = 0;
+  // Retry-After hint in seconds, set by load-shedding endpoints on 503.
+  std::int64_t retry_after = 0;
 };
 
 using HttpHandler =

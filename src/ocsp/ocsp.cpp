@@ -59,10 +59,13 @@ std::optional<CertId> DecodeCertId(asn1::Reader& r) {
 }  // namespace
 
 Bytes EncodeOcspRequest(const OcspRequest& request) {
-  // Request ::= SEQUENCE { reqCert CertID }
-  const Bytes req = asn1::EncodeSequence({EncodeCertId(request.cert_id)});
+  // requestList ::= SEQUENCE OF Request; Request ::= SEQUENCE { reqCert CertID }
+  std::vector<Bytes> requests;
+  requests.reserve(request.cert_ids.size());
+  for (const CertId& id : request.cert_ids)
+    requests.push_back(asn1::EncodeSequence({EncodeCertId(id)}));
   std::vector<Bytes> tbs_parts;
-  tbs_parts.push_back(asn1::EncodeSequence({req}));  // requestList
+  tbs_parts.push_back(asn1::EncodeSequence(requests));  // requestList
   if (!request.nonce.empty()) {
     const x509::Extension nonce_ext{asn1::oids::OcspNonce(), false,
                                     asn1::EncodeOctetString(request.nonce)};
@@ -81,13 +84,16 @@ std::optional<OcspRequest> ParseOcspRequest(BytesView der) {
   if (!outer.ReadSequence(&tbs)) return std::nullopt;
   asn1::Reader request_list;
   if (!tbs.ReadSequence(&request_list)) return std::nullopt;
-  asn1::Reader req;
-  if (!request_list.ReadSequence(&req)) return std::nullopt;
 
   OcspRequest out;
-  auto id = DecodeCertId(req);
-  if (!id) return std::nullopt;
-  out.cert_id = *std::move(id);
+  while (!request_list.Empty()) {
+    asn1::Reader req;
+    if (!request_list.ReadSequence(&req)) return std::nullopt;
+    auto id = DecodeCertId(req);
+    if (!id) return std::nullopt;
+    out.cert_ids.push_back(*std::move(id));
+  }
+  if (out.cert_ids.empty()) return std::nullopt;
 
   if (tbs.NextIsContext(2)) {
     asn1::Reader ext_wrapper;
@@ -197,19 +203,42 @@ std::optional<SingleResponse> DecodeSingleResponse(asn1::Reader& r) {
 OcspResponse SignOcspResponse(const SingleResponse& single,
                               util::Timestamp produced_at,
                               const crypto::KeyPair& responder_key) {
+  return SignOcspResponse(std::vector<SingleResponse>{single}, produced_at,
+                          responder_key, {});
+}
+
+OcspResponse SignOcspResponse(const std::vector<SingleResponse>& singles,
+                              util::Timestamp produced_at,
+                              const crypto::KeyPair& responder_key,
+                              BytesView nonce) {
   OcspResponse response;
+  if (singles.empty()) return MakeErrorResponse(ResponseStatus::kInternalError);
   response.status = ResponseStatus::kSuccessful;
-  response.single = single;
+  response.single = singles.front();
+  response.singles = singles;
+  response.nonce.assign(nonce.begin(), nonce.end());
   response.produced_at = produced_at;
   response.sig_type = responder_key.type;
 
   // ResponseData ::= SEQUENCE { responderID [2] byKey, producedAt,
-  //                             responses SEQUENCE OF SingleResponse }
+  //                             responses SEQUENCE OF SingleResponse,
+  //                             responseExtensions [1] EXPLICIT OPTIONAL }
   const Bytes responder_id = asn1::EncodeContextConstructed(
-      2, asn1::EncodeOctetString(single.cert_id.issuer_key_hash));
-  response.tbs_der = asn1::EncodeSequence(
-      {responder_id, asn1::EncodeGeneralizedTime(produced_at),
-       asn1::EncodeSequence({EncodeSingleResponse(single)})});
+      2, asn1::EncodeOctetString(singles.front().cert_id.issuer_key_hash));
+  std::vector<Bytes> encoded_singles;
+  encoded_singles.reserve(singles.size());
+  for (const SingleResponse& single : singles)
+    encoded_singles.push_back(EncodeSingleResponse(single));
+  std::vector<Bytes> data_parts{responder_id,
+                                asn1::EncodeGeneralizedTime(produced_at),
+                                asn1::EncodeSequence(encoded_singles)};
+  if (!nonce.empty()) {
+    const x509::Extension nonce_ext{asn1::oids::OcspNonce(), false,
+                                    asn1::EncodeOctetString(response.nonce)};
+    data_parts.push_back(asn1::EncodeContextExplicit(
+        1, x509::EncodeExtensionList({nonce_ext})));
+  }
+  response.tbs_der = asn1::EncodeSequence(data_parts);
   response.signature = crypto::Sign(responder_key, response.tbs_der);
 
   const Bytes basic = asn1::EncodeSequence(
@@ -281,9 +310,28 @@ std::optional<OcspResponse> ParseOcspResponse(BytesView der) {
 
   asn1::Reader responses;
   if (!response_data.ReadSequence(&responses)) return std::nullopt;
-  auto single = DecodeSingleResponse(responses);
-  if (!single) return std::nullopt;
-  response.single = *std::move(single);
+  while (!responses.Empty()) {
+    auto single = DecodeSingleResponse(responses);
+    if (!single) return std::nullopt;
+    response.singles.push_back(*std::move(single));
+  }
+  if (response.singles.empty()) return std::nullopt;
+  response.single = response.singles.front();
+
+  if (response_data.NextIsContext(1)) {
+    asn1::Reader ext_wrapper;
+    if (!response_data.ReadContextExplicit(1, &ext_wrapper)) return std::nullopt;
+    auto exts = x509::DecodeExtensionList(ext_wrapper);
+    if (!exts) return std::nullopt;
+    for (const x509::Extension& ext : *exts) {
+      if (ext.oid == asn1::oids::OcspNonce()) {
+        asn1::Reader nonce_reader(ext.value);
+        BytesView nonce;
+        if (!nonce_reader.ReadOctetString(&nonce)) return std::nullopt;
+        response.nonce.assign(nonce.begin(), nonce.end());
+      }
+    }
+  }
 
   auto sig_type = x509::DecodeSignatureAlgorithm(basic);
   if (!sig_type) return std::nullopt;
@@ -316,6 +364,8 @@ std::string DescribeOcspResponse(const OcspResponse& response) {
   }
   out << "  produced at : " << util::FormatDateTime(response.produced_at)
       << "\n";
+  if (response.singles.size() > 1)
+    out << "  responses   : " << response.singles.size() << "\n";
   out << "  serial      : "
       << x509::SerialToString(response.single.cert_id.serial) << "\n";
   out << "  cert status : " << CertStatusName(response.single.status) << "\n";

@@ -1,5 +1,7 @@
-// Online Certificate Status Protocol (RFC 6960), single-certificate flavor —
-// the shape every browser in the paper's test suite actually issues.
+// Online Certificate Status Protocol (RFC 6960). Requests carry one or more
+// CertIDs (browsers issue single-cert requests, but the RFC allows batching
+// and some clients batch a whole chain); responses carry one SingleResponse
+// per requested certificate, in request order, and echo the request nonce.
 #pragma once
 
 #include <cstdint>
@@ -28,7 +30,9 @@ CertId MakeCertId(const x509::Certificate& issuer,
                   const x509::Serial& subject_serial);
 
 struct OcspRequest {
-  CertId cert_id;
+  // requestList, in wire order. The single-cert shape browsers send is
+  // `cert_ids = {id}`.
+  std::vector<CertId> cert_ids;
   Bytes nonce;  // empty = no nonce extension
 };
 
@@ -70,8 +74,12 @@ struct SingleResponse {
 
 struct OcspResponse {
   ResponseStatus status = ResponseStatus::kInternalError;
-  // Populated iff status == kSuccessful.
+  // Populated iff status == kSuccessful. `single` is singles.front() — the
+  // dominant single-cert shape; multi-cert responses carry the rest in
+  // `singles` (request order).
   SingleResponse single;
+  std::vector<SingleResponse> singles;
+  Bytes nonce;  // echoed request nonce (responseExtensions), empty if none
   util::Timestamp produced_at = 0;
   crypto::KeyType sig_type = crypto::KeyType::kSimSha256;
   Bytes tbs_der;
@@ -83,6 +91,13 @@ struct OcspResponse {
 OcspResponse SignOcspResponse(const SingleResponse& single,
                               util::Timestamp produced_at,
                               const crypto::KeyPair& responder_key);
+
+// Signs a successful response carrying `singles` in order (at least one),
+// echoing `nonce` in responseExtensions when non-empty (RFC 6960 §4.4.1).
+OcspResponse SignOcspResponse(const std::vector<SingleResponse>& singles,
+                              util::Timestamp produced_at,
+                              const crypto::KeyPair& responder_key,
+                              BytesView nonce);
 
 // Builds an unsuccessful (error) response; no signature per RFC 6960.
 OcspResponse MakeErrorResponse(ResponseStatus status);

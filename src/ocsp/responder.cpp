@@ -12,24 +12,55 @@ Responder::Responder(const x509::Certificate& issuer, crypto::KeyPair key,
       key_(std::move(key)),
       validity_seconds_(validity_seconds) {}
 
+void Responder::SetObserver(MutationObserver observer) {
+  observer_ = std::move(observer);
+}
+
+void Responder::Notify(const x509::Serial& serial) const {
+  if (!observer_) return;
+  auto it = records_.find(serial);
+  observer_(serial, it == records_.end()
+                        ? std::nullopt
+                        : std::optional<RecordView>(it->second));
+}
+
 void Responder::AddCertificate(const x509::Serial& serial) {
   records_.try_emplace(serial);
+  Notify(serial);
 }
 
 void Responder::Revoke(const x509::Serial& serial, util::Timestamp when,
                        x509::ReasonCode reason) {
-  StatusRecord& record = records_[serial];
+  RecordView& record = records_[serial];
   record.status = CertStatus::kRevoked;
   record.revocation_time = when;
   record.reason = reason;
+  Notify(serial);
 }
 
 void Responder::Remove(const x509::Serial& serial) {
   records_.erase(serial);
+  Notify(serial);
 }
 
-OcspResponse Responder::StatusFor(const x509::Serial& serial,
-                                  util::Timestamp now) const {
+std::optional<Responder::RecordView> Responder::Lookup(
+    const x509::Serial& serial) const {
+  auto it = records_.find(serial);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<x509::Serial, Responder::RecordView>>
+Responder::SnapshotRecords() const {
+  std::vector<std::pair<x509::Serial, RecordView>> out;
+  out.reserve(records_.size());
+  for (const auto& [serial, record] : records_) out.emplace_back(serial, record);
+  return out;
+}
+
+SingleResponse Responder::MakeSingle(const x509::Serial& serial,
+                                     const std::optional<RecordView>& record,
+                                     util::Timestamp now) const {
   SingleResponse single;
   single.cert_id.issuer_name_hash = issuer_name_hash_;
   single.cert_id.issuer_key_hash = issuer_key_hash_;
@@ -37,30 +68,45 @@ OcspResponse Responder::StatusFor(const x509::Serial& serial,
   single.this_update = now;
   single.next_update = now + validity_seconds_;
 
-  auto it = records_.find(serial);
-  if (it == records_.end()) {
+  if (!record) {
     single.status = CertStatus::kUnknown;
-  } else if (it->second.status == CertStatus::kRevoked &&
-             it->second.revocation_time > now) {
+  } else if (record->status == CertStatus::kRevoked &&
+             record->revocation_time > now) {
     // Revocation scheduled but not yet effective (simulation timelines are
     // planned up front): still good as of `now`.
     single.status = CertStatus::kGood;
   } else {
-    single.status = it->second.status;
-    single.revocation_time = it->second.revocation_time;
-    single.reason = it->second.reason;
+    single.status = record->status;
+    single.revocation_time = record->revocation_time;
+    single.reason = record->reason;
   }
-  return SignOcspResponse(single, now, key_);
+  return single;
+}
+
+OcspResponse Responder::Sign(const std::vector<SingleResponse>& singles,
+                             util::Timestamp produced_at,
+                             BytesView nonce) const {
+  return SignOcspResponse(singles, produced_at, key_, nonce);
+}
+
+OcspResponse Responder::StatusFor(const x509::Serial& serial,
+                                  util::Timestamp now) const {
+  return Sign({MakeSingle(serial, Lookup(serial), now)}, now);
 }
 
 Bytes Responder::Handle(BytesView request_der, util::Timestamp now) const {
   auto request = ParseOcspRequest(request_der);
   if (!request) return MakeErrorResponse(ResponseStatus::kMalformedRequest).der;
-  if (request->cert_id.issuer_name_hash != issuer_name_hash_ ||
-      request->cert_id.issuer_key_hash != issuer_key_hash_) {
-    return MakeErrorResponse(ResponseStatus::kUnauthorized).der;
+  std::vector<SingleResponse> singles;
+  singles.reserve(request->cert_ids.size());
+  for (const CertId& id : request->cert_ids) {
+    if (id.issuer_name_hash != issuer_name_hash_ ||
+        id.issuer_key_hash != issuer_key_hash_) {
+      return MakeErrorResponse(ResponseStatus::kUnauthorized).der;
+    }
+    singles.push_back(MakeSingle(id.serial, Lookup(id.serial), now));
   }
-  return StatusFor(request->cert_id.serial, now).der;
+  return Sign(singles, now, request->nonce).der;
 }
 
 }  // namespace rev::ocsp

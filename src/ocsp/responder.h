@@ -2,10 +2,17 @@
 //
 // One Responder instance serves one issuing CA certificate (matching how a
 // CA operates a responder per issuer key). The CA module wires Responder
-// instances to simulated HTTP endpoints.
+// instances to simulated HTTP endpoints — since PR 2 through the
+// `serve::Frontend` fast path, which mirrors this database into a sharded
+// read-mostly index (see docs/serving.md). The Responder stays the single
+// writer: every mutation is forwarded to an optional observer so the
+// serving layer can invalidate precomputed responses.
 #pragma once
 
+#include <functional>
 #include <map>
+#include <optional>
+#include <vector>
 
 #include "crypto/signer.h"
 #include "ocsp/ocsp.h"
@@ -17,6 +24,18 @@ namespace rev::ocsp {
 
 class Responder {
  public:
+  // One status record, as stored and as exported to the serving layer.
+  struct RecordView {
+    CertStatus status = CertStatus::kGood;
+    util::Timestamp revocation_time = 0;
+    x509::ReasonCode reason = x509::ReasonCode::kNoReasonCode;
+  };
+
+  // Mutation callback: fired after AddCertificate/Revoke/Remove with the new
+  // record (nullopt = removed). Runs on the mutating thread.
+  using MutationObserver =
+      std::function<void(const x509::Serial&, const std::optional<RecordView>&)>;
+
   // `issuer` is the CA certificate whose issued certs this responder covers;
   // `key` signs responses (the CA key itself in this library). `validity`
   // controls SingleResponse nextUpdate; the paper notes OCSP responses are
@@ -35,29 +54,55 @@ class Responder {
   // test suite to generate unknown-status responses (§6.1).
   void Remove(const x509::Serial& serial);
 
-  // Handles a DER OCSP request, producing a DER response. Serials the
-  // responder has never seen yield status `unknown`.
+  // Handles a DER OCSP request, producing a DER response. A request listing
+  // N certificates yields N SingleResponses in request order; a request
+  // nonce is echoed in responseExtensions. Serials the responder has never
+  // seen yield status `unknown`.
   Bytes Handle(BytesView request_der, util::Timestamp now) const;
 
   // Produces a response for a specific serial without a request (used for
   // OCSP stapling, where the server fetches its own status).
   OcspResponse StatusFor(const x509::Serial& serial, util::Timestamp now) const;
 
+  // --- building blocks shared with the serving layer ----------------------
+
+  // The raw record for `serial`, nullopt if never seen / removed.
+  std::optional<RecordView> Lookup(const x509::Serial& serial) const;
+
+  // All records, in serial order (bulk load for the serving index).
+  std::vector<std::pair<x509::Serial, RecordView>> SnapshotRecords() const;
+
+  // Builds the SingleResponse for `serial` given `record` (which may come
+  // from this responder's database or from a serving-layer index). Applies
+  // the scheduled-revocation rule: a revocation whose time is still in the
+  // future reads `good` as of `now`.
+  SingleResponse MakeSingle(const x509::Serial& serial,
+                            const std::optional<RecordView>& record,
+                            util::Timestamp now) const;
+
+  // Signs a response over `singles` (request order), echoing `nonce`.
+  OcspResponse Sign(const std::vector<SingleResponse>& singles,
+                    util::Timestamp produced_at, BytesView nonce = {}) const;
+
+  // Installs (or clears, with nullptr semantics via default-constructed
+  // function) the mutation observer. At most one observer is supported —
+  // enough for the serving frontend.
+  void SetObserver(MutationObserver observer);
+
   const Bytes& issuer_name_hash() const { return issuer_name_hash_; }
   const Bytes& issuer_key_hash() const { return issuer_key_hash_; }
+  std::int64_t validity_seconds() const { return validity_seconds_; }
+  std::size_t record_count() const { return records_.size(); }
 
  private:
-  struct StatusRecord {
-    CertStatus status = CertStatus::kGood;
-    util::Timestamp revocation_time = 0;
-    x509::ReasonCode reason = x509::ReasonCode::kNoReasonCode;
-  };
+  void Notify(const x509::Serial& serial) const;
 
   Bytes issuer_name_hash_;
   Bytes issuer_key_hash_;
   crypto::KeyPair key_;
   std::int64_t validity_seconds_;
-  std::map<x509::Serial, StatusRecord> records_;
+  std::map<x509::Serial, RecordView> records_;
+  MutationObserver observer_;
 };
 
 }  // namespace rev::ocsp

@@ -1,0 +1,350 @@
+#include "serve/frontend.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace rev::serve {
+
+struct Frontend::CountersAtomic {
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> cache_expired{0};
+  std::atomic<std::uint64_t> signed_on_demand{0};
+  std::atomic<std::uint64_t> batch_signed{0};
+  std::atomic<std::uint64_t> refreshed{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> malformed{0};
+  std::atomic<std::uint64_t> unauthorized{0};
+  std::atomic<std::uint64_t> staples{0};
+  std::atomic<std::uint64_t> status_updates{0};
+};
+
+Frontend::Frontend(FrontendOptions options)
+    : options_(options),
+      index_(options.num_shards),
+      cache_(options.num_shards),
+      inflight_(new std::atomic<std::size_t>[index_.num_shards()]),
+      counters_(std::make_unique<CountersAtomic>()) {
+  for (std::size_t s = 0; s < index_.num_shards(); ++s) inflight_[s] = 0;
+  try_later_der_ = std::make_shared<const Bytes>(
+      ocsp::MakeErrorResponse(ocsp::ResponseStatus::kTryLater).der);
+  malformed_der_ = std::make_shared<const Bytes>(
+      ocsp::MakeErrorResponse(ocsp::ResponseStatus::kMalformedRequest).der);
+  unauthorized_der_ = std::make_shared<const Bytes>(
+      ocsp::MakeErrorResponse(ocsp::ResponseStatus::kUnauthorized).der);
+}
+
+Frontend::~Frontend() {
+  for (auto& [hash, responder] : responders_) responder->SetObserver({});
+}
+
+void Frontend::AttachResponder(ocsp::Responder* responder) {
+  responders_[responder->issuer_key_hash()] = responder;
+  responder->SetObserver(
+      [this, responder](const x509::Serial& serial,
+                        const std::optional<ocsp::Responder::RecordView>& record) {
+        OnMutation(*responder, serial, record);
+      });
+  // Bulk-load the existing records through the same pending path so the
+  // first request (or an explicit Flush) applies them as one batch.
+  std::lock_guard lock(pending_mu_);
+  for (auto& [serial, record] : responder->SnapshotRecords()) {
+    pending_.push_back(
+        {MakeStatusKey(responder->issuer_key_hash(), serial), record});
+  }
+  has_pending_.store(!pending_.empty(), std::memory_order_release);
+}
+
+const ocsp::Responder* Frontend::FindResponder(
+    BytesView issuer_key_hash) const {
+  // Transparent heterogeneous lookup would avoid this copy, but routing is
+  // once per request and the key is 32 bytes.
+  auto it = responders_.find(Bytes(issuer_key_hash.begin(), issuer_key_hash.end()));
+  return it == responders_.end() ? nullptr : it->second;
+}
+
+void Frontend::OnMutation(
+    const ocsp::Responder& responder, const x509::Serial& serial,
+    const std::optional<ocsp::Responder::RecordView>& record) {
+  std::lock_guard lock(pending_mu_);
+  pending_.push_back(
+      {MakeStatusKey(responder.issuer_key_hash(), serial), record});
+  has_pending_.store(true, std::memory_order_release);
+}
+
+void Frontend::MaybeFlush() {
+  if (has_pending_.load(std::memory_order_acquire)) Flush();
+}
+
+void Frontend::Flush() {
+  std::vector<StatusIndex::Update> batch;
+  {
+    std::lock_guard lock(pending_mu_);
+    batch.swap(pending_);
+    has_pending_.store(false, std::memory_order_release);
+  }
+  if (batch.empty()) return;
+  index_.Apply(batch);
+  // Any precomputed response for a touched key is now suspect.
+  for (const StatusIndex::Update& update : batch) cache_.Invalidate(update.key);
+  counters_->status_updates.fetch_add(batch.size(), std::memory_order_relaxed);
+}
+
+ResponseCache::Entry Frontend::SignEntry(const ocsp::Responder& responder,
+                                         const StatusKey& key,
+                                         util::Timestamp now) {
+  const auto record = index_.Lookup(key);
+  const x509::Serial serial = SerialOfKey(key);
+  const ocsp::SingleResponse single = responder.MakeSingle(serial, record, now);
+  ocsp::OcspResponse response = responder.Sign({single}, now);
+
+  ResponseCache::Entry entry;
+  entry.der = std::make_shared<const Bytes>(std::move(response.der));
+  entry.signed_at = now;
+  entry.serve_until = single.next_update;
+  // A pre-signed "good" must not outlive a scheduled revocation: clamp the
+  // serving window to the moment the status changes.
+  if (record && record->status == ocsp::CertStatus::kRevoked &&
+      record->revocation_time > now) {
+    entry.serve_until = std::min(entry.serve_until, record->revocation_time);
+  }
+  return entry;
+}
+
+void Frontend::RecordLatency(double seconds) {
+  std::lock_guard lock(latency_mu_);
+  latency_.Add(seconds);
+}
+
+std::size_t Frontend::ShardOf(BytesView issuer_key_hash,
+                              const x509::Serial& serial) const {
+  return index_.ShardOf(MakeStatusKey(issuer_key_hash, serial));
+}
+
+bool Frontend::TryEnterShard(std::size_t shard) {
+  auto& slot = inflight_[shard];
+  if (slot.fetch_add(1, std::memory_order_acq_rel) >= options_.per_shard_queue) {
+    slot.fetch_sub(1, std::memory_order_acq_rel);
+    return false;
+  }
+  return true;
+}
+
+void Frontend::ExitShard(std::size_t shard) {
+  inflight_[shard].fetch_sub(1, std::memory_order_acq_rel);
+}
+
+Frontend::ServeResult Frontend::Serve(BytesView request_der,
+                                      util::Timestamp now) {
+  counters_->requests.fetch_add(1, std::memory_order_relaxed);
+  auto request = ocsp::ParseOcspRequest(request_der);
+  if (!request) {
+    counters_->malformed.fetch_add(1, std::memory_order_relaxed);
+    return {200, malformed_der_, 0, false};
+  }
+  return ServeParsed(*request, now);
+}
+
+Frontend::ServeResult Frontend::ServeGetPath(std::string_view path,
+                                             util::Timestamp now) {
+  counters_->requests.fetch_add(1, std::memory_order_relaxed);
+  auto request = ocsp::ParseOcspGetPath(path);
+  if (!request) {
+    counters_->malformed.fetch_add(1, std::memory_order_relaxed);
+    return {200, malformed_der_, 0, false};
+  }
+  return ServeParsed(*request, now);
+}
+
+Frontend::ServeResult Frontend::ServeParsed(const ocsp::OcspRequest& request,
+                                            util::Timestamp now) {
+  const auto start = options_.record_latency
+                         ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
+
+  const ocsp::Responder* responder =
+      FindResponder(request.cert_ids.front().issuer_key_hash);
+  if (responder == nullptr) {
+    counters_->unauthorized.fetch_add(1, std::memory_order_relaxed);
+    return {200, unauthorized_der_, 0, false};
+  }
+  for (const ocsp::CertId& id : request.cert_ids) {
+    if (id.issuer_name_hash != responder->issuer_name_hash() ||
+        id.issuer_key_hash != responder->issuer_key_hash()) {
+      counters_->unauthorized.fetch_add(1, std::memory_order_relaxed);
+      return {200, unauthorized_der_, 0, false};
+    }
+  }
+
+  MaybeFlush();
+
+  const StatusKey key = MakeStatusKey(responder->issuer_key_hash(),
+                                      request.cert_ids.front().serial);
+  const std::size_t shard = index_.ShardOf(key);
+  if (!TryEnterShard(shard)) {
+    counters_->shed.fetch_add(1, std::memory_order_relaxed);
+    return {503, try_later_der_, options_.retry_after_seconds, false};
+  }
+
+  ServeResult result;
+  if (request.cert_ids.size() == 1 && request.nonce.empty()) {
+    // Hot path: precomputed response, hash lookup + pointer copy.
+    const ResponseCache::LookupResult cached = cache_.Get(key, now);
+    if (cached.outcome == ResponseCache::Outcome::kHit) {
+      counters_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+      result = {200, cached.der, 0, true};
+    } else {
+      (cached.outcome == ResponseCache::Outcome::kExpired
+           ? counters_->cache_expired
+           : counters_->cache_misses)
+          .fetch_add(1, std::memory_order_relaxed);
+      ResponseCache::Entry entry = SignEntry(*responder, key, now);
+      counters_->signed_on_demand.fetch_add(1, std::memory_order_relaxed);
+      result = {200, entry.der, 0, false};
+      // Only known serials enter the cache: caching `unknown` answers would
+      // let arbitrary query strings grow the cache without bound.
+      if (index_.Lookup(key)) cache_.Put(key, std::move(entry));
+    }
+  } else {
+    // Multi-cert or nonced requests are signed per request (a nonce makes
+    // the response unique by construction; RFC 6960 notes pre-produced
+    // responses cannot carry one).
+    std::vector<ocsp::SingleResponse> singles;
+    singles.reserve(request.cert_ids.size());
+    for (const ocsp::CertId& id : request.cert_ids) {
+      const StatusKey id_key =
+          MakeStatusKey(responder->issuer_key_hash(), id.serial);
+      singles.push_back(
+          responder->MakeSingle(id.serial, index_.Lookup(id_key), now));
+    }
+    ocsp::OcspResponse response =
+        responder->Sign(singles, now, request.nonce);
+    counters_->signed_on_demand.fetch_add(1, std::memory_order_relaxed);
+    result = {200, std::make_shared<const Bytes>(std::move(response.der)), 0,
+              false};
+  }
+  ExitShard(shard);
+
+  if (options_.record_latency) {
+    RecordLatency(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
+  }
+  return result;
+}
+
+net::HttpResponse Frontend::HandleHttp(const net::HttpRequest& request,
+                                       util::Timestamp now) {
+  const ServeResult result = request.method == "GET"
+                                 ? ServeGetPath(request.path, now)
+                                 : Serve(request.body, now);
+  net::HttpResponse response;
+  response.status = result.http_status;
+  if (result.body) response.body = *result.body;
+  response.retry_after = result.retry_after;
+  return response;
+}
+
+std::shared_ptr<const Bytes> Frontend::Staple(BytesView issuer_key_hash,
+                                              const x509::Serial& serial,
+                                              util::Timestamp now) {
+  const ocsp::Responder* responder = FindResponder(issuer_key_hash);
+  if (responder == nullptr) return nullptr;
+  counters_->staples.fetch_add(1, std::memory_order_relaxed);
+  MaybeFlush();
+
+  const StatusKey key = MakeStatusKey(issuer_key_hash, serial);
+  const ResponseCache::LookupResult cached = cache_.Get(key, now);
+  if (cached.outcome == ResponseCache::Outcome::kHit) {
+    counters_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return cached.der;
+  }
+  (cached.outcome == ResponseCache::Outcome::kExpired
+       ? counters_->cache_expired
+       : counters_->cache_misses)
+      .fetch_add(1, std::memory_order_relaxed);
+  ResponseCache::Entry entry = SignEntry(*responder, key, now);
+  counters_->signed_on_demand.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const Bytes> der = entry.der;
+  if (index_.Lookup(key)) cache_.Put(key, std::move(entry));
+  return der;
+}
+
+void Frontend::EnsurePool() {
+  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+}
+
+std::size_t Frontend::RebuildAll(util::Timestamp now) {
+  std::lock_guard maintenance(maintenance_mu_);
+  Flush();
+  const std::vector<StatusKey> keys = index_.SortedKeys();
+  if (keys.empty()) return 0;
+  EnsurePool();
+
+  std::vector<std::pair<StatusKey, ResponseCache::Entry>> slots(keys.size());
+  pool_->ParallelFor(keys.size(), [&](std::size_t i) {
+    const ocsp::Responder* responder =
+        FindResponder(IssuerHashOfKey(keys[i]));
+    slots[i] = {keys[i], SignEntry(*responder, keys[i], now)};
+  });
+  cache_.PutBatch(std::move(slots));
+  counters_->batch_signed.fetch_add(keys.size(), std::memory_order_relaxed);
+  return keys.size();
+}
+
+std::size_t Frontend::RefreshStale(util::Timestamp now) {
+  std::lock_guard maintenance(maintenance_mu_);
+  Flush();
+  const std::vector<StatusKey> stale =
+      cache_.KeysStaleBy(now + options_.refresh_headroom_seconds);
+  if (stale.empty()) return 0;
+  EnsurePool();
+
+  std::vector<std::pair<StatusKey, ResponseCache::Entry>> slots(stale.size());
+  std::atomic<std::size_t> dropped{0};
+  pool_->ParallelFor(stale.size(), [&](std::size_t i) {
+    // An entry may have left the index since it was cached (Remove()):
+    // refresh would pin an `unknown` forever, so drop it instead.
+    if (!index_.Lookup(stale[i])) {
+      ++dropped;
+      return;
+    }
+    const ocsp::Responder* responder =
+        FindResponder(IssuerHashOfKey(stale[i]));
+    slots[i] = {stale[i], SignEntry(*responder, stale[i], now)};
+  });
+  std::erase_if(slots, [](const auto& slot) { return slot.second.der == nullptr; });
+  for (const StatusKey& key : stale)
+    if (!index_.Lookup(key)) cache_.Invalidate(key);
+  cache_.PutBatch(std::move(slots));
+  const std::size_t refreshed = stale.size() - dropped;
+  counters_->refreshed.fetch_add(refreshed, std::memory_order_relaxed);
+  return refreshed;
+}
+
+Frontend::Counters Frontend::counters() const {
+  Counters out;
+  out.requests = counters_->requests.load(std::memory_order_relaxed);
+  out.cache_hits = counters_->cache_hits.load(std::memory_order_relaxed);
+  out.cache_misses = counters_->cache_misses.load(std::memory_order_relaxed);
+  out.cache_expired = counters_->cache_expired.load(std::memory_order_relaxed);
+  out.signed_on_demand =
+      counters_->signed_on_demand.load(std::memory_order_relaxed);
+  out.batch_signed = counters_->batch_signed.load(std::memory_order_relaxed);
+  out.refreshed = counters_->refreshed.load(std::memory_order_relaxed);
+  out.shed = counters_->shed.load(std::memory_order_relaxed);
+  out.malformed = counters_->malformed.load(std::memory_order_relaxed);
+  out.unauthorized = counters_->unauthorized.load(std::memory_order_relaxed);
+  out.staples = counters_->staples.load(std::memory_order_relaxed);
+  out.status_updates =
+      counters_->status_updates.load(std::memory_order_relaxed);
+  return out;
+}
+
+util::Accumulator Frontend::latency() const {
+  std::lock_guard lock(latency_mu_);
+  return latency_;
+}
+
+}  // namespace rev::serve

@@ -1,0 +1,175 @@
+// The revocation-status serving frontend: turns per-CA `ocsp::Responder`
+// state into a service that sustains heavy query load.
+//
+//   request ──► admission (bounded per-shard in-flight budget; 503 +
+//   Retry-After when over capacity) ──► ResponseCache (precomputed,
+//   batch-signed DER; hit = hash lookup + shared_ptr copy) ──► on miss,
+//   sign-on-demand from the sharded StatusIndex snapshot.
+//
+// The index is fed by Responder mutation observers through a pending
+// buffer that is flushed as one epoch-swap batch, so a burst of
+// revocations costs one snapshot rebuild per shard instead of one per
+// record. Responses are deterministic: signing is a pure function of
+// (record, now), so cache contents are byte-identical no matter how many
+// threads batch-signed them. See docs/serving.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "net/simnet.h"
+#include "ocsp/responder.h"
+#include "serve/response_cache.h"
+#include "serve/status_index.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace rev::serve {
+
+struct FrontendOptions {
+  std::size_t num_shards = 16;
+  // Admission budget: maximum requests in flight per shard before the
+  // frontend sheds load. Generous by default; benches/tests tighten it.
+  std::size_t per_shard_queue = 128;
+  // Retry-After hint attached to 503 responses, seconds.
+  std::int64_t retry_after_seconds = 2;
+  // RefreshStale() re-signs entries going stale within this window.
+  std::int64_t refresh_headroom_seconds = util::kSecondsPerDay;
+  // Worker threads for batch signing (RebuildAll/RefreshStale); 1 = inline
+  // serial execution (no worker threads spawned), 0 = hardware concurrency.
+  unsigned threads = 1;
+  // Per-request latency accounting (steady_clock); disable to shave the
+  // last nanoseconds off the hot path.
+  bool record_latency = true;
+};
+
+class Frontend {
+ public:
+  explicit Frontend(FrontendOptions options = {});
+  ~Frontend();
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  // Attaches an issuing CA's responder: bulk-loads its records into the
+  // index and installs a mutation observer so later Revoke()/Remove()/
+  // AddCertificate() calls invalidate the affected cache entry. The
+  // responder must outlive this frontend, and attachment must finish
+  // before serving starts (the routing table is not locked).
+  void AttachResponder(ocsp::Responder* responder);
+
+  struct ServeResult {
+    int http_status = 200;
+    std::shared_ptr<const Bytes> body;
+    std::int64_t retry_after = 0;  // seconds, set iff shed (503)
+    bool cache_hit = false;
+  };
+
+  // POST form: a DER OCSP request. Thread-safe.
+  ServeResult Serve(BytesView request_der, util::Timestamp now);
+
+  // RFC 6960 Appendix A GET form: "/{base64(request)}". Thread-safe.
+  ServeResult ServeGetPath(std::string_view path, util::Timestamp now);
+
+  // Adapter for net::SimNet host handlers (GET and POST).
+  net::HttpResponse HandleHttp(const net::HttpRequest& request,
+                               util::Timestamp now);
+
+  // Direct in-process API (OCSP stapling, benches): the precomputed or
+  // freshly signed response DER for one serial. Bypasses admission — the
+  // caller is in-process, not a queued network client. Returns nullptr if
+  // no responder is attached for `issuer_key_hash`.
+  std::shared_ptr<const Bytes> Staple(BytesView issuer_key_hash,
+                                      const x509::Serial& serial,
+                                      util::Timestamp now);
+
+  // Batch-signs a response for every record in the index (thread-pool
+  // fan-out, deterministic output). Returns the number signed.
+  std::size_t RebuildAll(util::Timestamp now);
+
+  // Staleness-driven refresh: re-signs cached responses whose validity
+  // window ends within `refresh_headroom_seconds` of `now`. Returns the
+  // number re-signed. Intended to run from a maintenance tick so the hot
+  // path never pays for re-signing.
+  std::size_t RefreshStale(util::Timestamp now);
+
+  // Applies buffered responder mutations to the index now (normally done
+  // lazily on the next request).
+  void Flush();
+
+  struct Counters {
+    std::uint64_t requests = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;    // absent from cache
+    std::uint64_t cache_expired = 0;   // present but past serve_until
+    std::uint64_t signed_on_demand = 0;
+    std::uint64_t batch_signed = 0;
+    std::uint64_t refreshed = 0;
+    std::uint64_t shed = 0;            // 503s
+    std::uint64_t malformed = 0;
+    std::uint64_t unauthorized = 0;
+    std::uint64_t staples = 0;
+    std::uint64_t status_updates = 0;  // observer events applied
+  };
+  Counters counters() const;
+
+  // Latency of served requests in seconds (count/mean/min/max); empty when
+  // record_latency is off.
+  util::Accumulator latency() const;
+
+  const StatusIndex& index() const { return index_; }
+  const ResponseCache& cache() const { return cache_; }
+  const FrontendOptions& options() const { return options_; }
+
+  // --- admission introspection (tests saturate queues deterministically) --
+  std::size_t ShardOf(BytesView issuer_key_hash,
+                      const x509::Serial& serial) const;
+  bool TryEnterShard(std::size_t shard);  // occupies one admission slot
+  void ExitShard(std::size_t shard);      // releases it
+
+ private:
+  struct CountersAtomic;
+
+  const ocsp::Responder* FindResponder(BytesView issuer_key_hash) const;
+  void OnMutation(const ocsp::Responder& responder, const x509::Serial& serial,
+                  const std::optional<ocsp::Responder::RecordView>& record);
+  void FlushLocked();
+  void MaybeFlush();
+  ResponseCache::Entry SignEntry(const ocsp::Responder& responder,
+                                 const StatusKey& key, util::Timestamp now);
+  ServeResult ServeParsed(const ocsp::OcspRequest& request,
+                          util::Timestamp now);
+  void EnsurePool();
+  void RecordLatency(double seconds);
+
+  FrontendOptions options_;
+  StatusIndex index_;
+  ResponseCache cache_;
+  std::unordered_map<Bytes, ocsp::Responder*, StatusKeyHash> responders_;
+
+  // Buffered observer events, applied as one Apply() batch.
+  std::mutex pending_mu_;
+  std::vector<StatusIndex::Update> pending_;
+  std::atomic<bool> has_pending_{false};
+
+  // Admission state: in-flight request count per shard.
+  std::unique_ptr<std::atomic<std::size_t>[]> inflight_;
+
+  // Batch-signing pool, created on first use; maintenance calls serialized.
+  std::mutex maintenance_mu_;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  std::unique_ptr<CountersAtomic> counters_;
+  mutable std::mutex latency_mu_;
+  util::Accumulator latency_;
+
+  std::shared_ptr<const Bytes> try_later_der_;
+  std::shared_ptr<const Bytes> malformed_der_;
+  std::shared_ptr<const Bytes> unauthorized_der_;
+};
+
+}  // namespace rev::serve

@@ -1,0 +1,77 @@
+#include "serve/response_cache.h"
+
+#include <algorithm>
+
+namespace rev::serve {
+
+ResponseCache::ResponseCache(std::size_t num_shards)
+    : shards_(num_shards == 0 ? 1 : num_shards) {}
+
+ResponseCache::LookupResult ResponseCache::Get(const StatusKey& key,
+                                               util::Timestamp now) const {
+  const Shard& shard = shards_[ShardOf(key)];
+  std::shared_lock lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return {Outcome::kMiss, nullptr};
+  if (now >= it->second.serve_until) return {Outcome::kExpired, nullptr};
+  return {Outcome::kHit, it->second.der};
+}
+
+void ResponseCache::Put(const StatusKey& key, Entry entry) {
+  Shard& shard = shards_[ShardOf(key)];
+  std::unique_lock lock(shard.mu);
+  shard.map[key] = std::move(entry);
+}
+
+void ResponseCache::PutBatch(std::vector<std::pair<StatusKey, Entry>> entries) {
+  // One lock acquisition per affected shard, not per entry.
+  std::vector<std::vector<std::pair<StatusKey, Entry>*>> by_shard(
+      shards_.size());
+  for (auto& entry : entries) by_shard[ShardOf(entry.first)].push_back(&entry);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    std::unique_lock lock(shards_[s].mu);
+    for (auto* entry : by_shard[s])
+      shards_[s].map[entry->first] = std::move(entry->second);
+  }
+}
+
+void ResponseCache::Invalidate(const StatusKey& key) {
+  Shard& shard = shards_[ShardOf(key)];
+  std::unique_lock lock(shard.mu);
+  shard.map.erase(key);
+}
+
+void ResponseCache::InvalidateBatch(const std::vector<StatusKey>& keys) {
+  for (const StatusKey& key : keys) Invalidate(key);
+}
+
+void ResponseCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::unique_lock lock(shard.mu);
+    shard.map.clear();
+  }
+}
+
+std::vector<StatusKey> ResponseCache::KeysStaleBy(
+    util::Timestamp deadline) const {
+  std::vector<StatusKey> keys;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    for (const auto& [key, entry] : shard.map)
+      if (entry.serve_until <= deadline) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::size_t ResponseCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+}  // namespace rev::serve

@@ -1,0 +1,72 @@
+// Precomputed-response cache: maps a StatusKey to a batch-signed DER OCSP
+// response so the serving hot path is a hash lookup plus a shared_ptr copy
+// instead of a per-request signature (production responders pre-generate
+// responses the same way; the paper's §6.2 bandwidth argument assumes it).
+//
+// Entries expire at `serve_until` — the response's nextUpdate, tightened to
+// any scheduled revocation time so a pre-signed "good" is never served past
+// the moment the revocation takes effect.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serve/status_index.h"
+#include "util/bytes.h"
+#include "util/time.h"
+
+namespace rev::serve {
+
+class ResponseCache {
+ public:
+  struct Entry {
+    std::shared_ptr<const Bytes> der;  // full signed OCSPResponse
+    util::Timestamp signed_at = 0;
+    util::Timestamp serve_until = 0;  // exclusive: stale once now >= this
+  };
+
+  enum class Outcome { kHit, kMiss, kExpired };
+
+  struct LookupResult {
+    Outcome outcome = Outcome::kMiss;
+    std::shared_ptr<const Bytes> der;  // set iff kHit
+  };
+
+  explicit ResponseCache(std::size_t num_shards = 16);
+
+  LookupResult Get(const StatusKey& key, util::Timestamp now) const;
+
+  void Put(const StatusKey& key, Entry entry);
+  void PutBatch(std::vector<std::pair<StatusKey, Entry>> entries);
+
+  void Invalidate(const StatusKey& key);
+  void InvalidateBatch(const std::vector<StatusKey>& keys);
+  void Clear();
+
+  // Keys whose entry goes stale at or before `deadline` — the refresh
+  // candidates. Sorted for deterministic batch re-signing.
+  std::vector<StatusKey> KeysStaleBy(util::Timestamp deadline) const;
+
+  std::size_t size() const;
+
+ private:
+  using Map = std::unordered_map<StatusKey, Entry, StatusKeyHash>;
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    Map map;
+  };
+
+  std::size_t ShardOf(const StatusKey& key) const {
+    return StatusKeyHash{}(key) % shards_.size();
+  }
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace rev::serve

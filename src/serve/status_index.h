@@ -1,0 +1,96 @@
+// A sharded, read-mostly status index over (issuer-key-hash, serial) →
+// revocation record, the lookup structure behind the serving frontend.
+//
+// Readers never block writers and writers never corrupt readers: each shard
+// publishes an immutable snapshot map behind a shared_ptr. A batch update
+// builds the replacement map *outside* the reader-visible critical section
+// and swaps the pointer in one step (the "epoch swap"); a reader that
+// grabbed the old snapshot keeps reading a consistent — merely slightly
+// stale — view. See docs/serving.md for the invariants.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "ocsp/responder.h"
+#include "util/bytes.h"
+#include "x509/certificate.h"
+
+namespace rev::serve {
+
+// Flat lookup key: issuer key hash (32 bytes) followed by the serial.
+// Serials are length-prefixed implicitly by the fixed-size hash prefix, so
+// distinct (issuer, serial) pairs never collide.
+using StatusKey = Bytes;
+
+StatusKey MakeStatusKey(BytesView issuer_key_hash, const x509::Serial& serial);
+
+// Splits a key back into its serial half (the issuer hash is the first 32
+// bytes).
+x509::Serial SerialOfKey(const StatusKey& key);
+BytesView IssuerHashOfKey(const StatusKey& key);
+
+struct StatusKeyHash {
+  std::size_t operator()(const StatusKey& key) const noexcept {
+    // FNV-1a; keys already contain a cryptographic hash prefix, so simple
+    // mixing is plenty.
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::uint8_t b : key) h = (h ^ b) * 1099511628211ull;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class StatusIndex {
+ public:
+  using Record = ocsp::Responder::RecordView;
+
+  struct Update {
+    StatusKey key;
+    std::optional<Record> record;  // nullopt = erase (serve `unknown`)
+  };
+
+  explicit StatusIndex(std::size_t num_shards = 16);
+
+  // Applies a batch of upserts/erases. Per shard the whole sub-batch
+  // becomes visible atomically (snapshot swap); the epoch is bumped once
+  // after every affected shard has swapped. Writers are serialized.
+  void Apply(const std::vector<Update>& updates);
+
+  // Point read: the record for `key`, or nullopt. Wait-free apart from a
+  // brief shared lock taken to copy the shard's snapshot pointer.
+  std::optional<Record> Lookup(const StatusKey& key) const;
+
+  // All keys currently present, sorted (deterministic rebuild order).
+  std::vector<StatusKey> SortedKeys() const;
+
+  std::size_t size() const;
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t ShardOf(const StatusKey& key) const {
+    return StatusKeyHash{}(key) % shards_.size();
+  }
+
+ private:
+  using Map = std::unordered_map<StatusKey, Record, StatusKeyHash>;
+  using Snapshot = std::shared_ptr<const Map>;
+
+  struct Shard {
+    mutable std::shared_mutex mu;  // guards `snap` pointer, not map contents
+    Snapshot snap = std::make_shared<Map>();
+  };
+
+  Snapshot SnapshotOf(std::size_t shard) const;
+
+  std::vector<Shard> shards_;
+  std::mutex writer_mu_;  // serializes Apply so no batch is lost
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace rev::serve

@@ -245,7 +245,7 @@ TEST(Ca, HttpEndpoints) {
 
   // OCSP over "HTTP".
   ocsp::OcspRequest request;
-  request.cert_id = ocsp::MakeCertId(*root->cert(), leaf->tbs.serial);
+  request.cert_ids = {ocsp::MakeCertId(*root->cert(), leaf->tbs.serial)};
   const net::FetchResult ocsp_fetch =
       net.Post(root->OcspUrl(), ocsp::EncodeOcspRequest(request), kNow + 1);
   ASSERT_TRUE(ocsp_fetch.ok());
@@ -265,7 +265,7 @@ TEST(Ca, OcspGetEndpoint) {
   const x509::CertPtr leaf = root->Issue(issue, rng);
 
   ocsp::OcspRequest request;
-  request.cert_id = ocsp::MakeCertId(*root->cert(), leaf->tbs.serial);
+  request.cert_ids = {ocsp::MakeCertId(*root->cert(), leaf->tbs.serial)};
   std::string url = root->OcspUrl();
   url.pop_back();  // drop trailing '/'
   const net::FetchResult fetch =

@@ -30,19 +30,19 @@ x509::Certificate MakeIssuerCert() {
 TEST(Ocsp, RequestRoundTrip) {
   const x509::Certificate issuer = MakeIssuerCert();
   OcspRequest request;
-  request.cert_id = MakeCertId(issuer, x509::Serial{0xAA, 0xBB});
+  request.cert_ids = {MakeCertId(issuer, x509::Serial{0xAA, 0xBB})};
   request.nonce = Bytes{1, 2, 3, 4};
   const Bytes der = EncodeOcspRequest(request);
   auto parsed = ParseOcspRequest(der);
   ASSERT_TRUE(parsed);
-  EXPECT_EQ(parsed->cert_id, request.cert_id);
+  EXPECT_EQ(parsed->cert_ids, request.cert_ids);
   EXPECT_EQ(parsed->nonce, request.nonce);
 }
 
 TEST(Ocsp, RequestWithoutNonce) {
   const x509::Certificate issuer = MakeIssuerCert();
   OcspRequest request;
-  request.cert_id = MakeCertId(issuer, x509::Serial{0x01});
+  request.cert_ids = {MakeCertId(issuer, x509::Serial{0x01})};
   auto parsed = ParseOcspRequest(EncodeOcspRequest(request));
   ASSERT_TRUE(parsed);
   EXPECT_TRUE(parsed->nonce.empty());
@@ -51,13 +51,13 @@ TEST(Ocsp, RequestWithoutNonce) {
 TEST(Ocsp, GetFormRoundTrip) {
   const x509::Certificate issuer = MakeIssuerCert();
   OcspRequest request;
-  request.cert_id = MakeCertId(issuer, x509::Serial{0xAA, 0xBB, 0xCC});
+  request.cert_ids = {MakeCertId(issuer, x509::Serial{0xAA, 0xBB, 0xCC})};
   const std::string path = OcspGetPath(request);
   ASSERT_FALSE(path.empty());
   EXPECT_EQ(path.front(), '/');
   auto parsed = ParseOcspGetPath(path);
   ASSERT_TRUE(parsed);
-  EXPECT_EQ(parsed->cert_id, request.cert_id);
+  EXPECT_EQ(parsed->cert_ids, request.cert_ids);
 }
 
 TEST(Ocsp, GetFormRejectsGarbage) {
@@ -166,7 +166,7 @@ TEST_F(OcspResponseTest, SmallWireSize) {
   const OcspResponse response = SignOcspResponse(single, kNow, key_);
   EXPECT_LT(response.der.size(), 1024u);
   OcspRequest request;
-  request.cert_id = single.cert_id;
+  request.cert_ids = {single.cert_id};
   EXPECT_LT(EncodeOcspRequest(request).size(), 1024u);
 }
 
@@ -196,7 +196,7 @@ class ResponderTest : public ::testing::Test {
 
   Bytes Query(const x509::Serial& serial) {
     OcspRequest request;
-    request.cert_id = MakeCertId(issuer_, serial);
+    request.cert_ids = {MakeCertId(issuer_, serial)};
     return responder_.Handle(EncodeOcspRequest(request), kNow);
   }
 
@@ -257,7 +257,7 @@ TEST_F(ResponderTest, WrongIssuerUnauthorized) {
       x509::SignCertificate(other_tbs, TestKey("other"));
 
   OcspRequest request;
-  request.cert_id = MakeCertId(other, x509::Serial{0x01});
+  request.cert_ids = {MakeCertId(other, x509::Serial{0x01})};
   auto parsed = ParseOcspResponse(
       responder_.Handle(EncodeOcspRequest(request), kNow));
   ASSERT_TRUE(parsed);
@@ -271,6 +271,46 @@ TEST_F(ResponderTest, StatusForStapling) {
   EXPECT_EQ(staple.single.status, CertStatus::kGood);
   auto parsed = ParseOcspResponse(staple.der);
   ASSERT_TRUE(parsed);
+  EXPECT_TRUE(VerifyOcspSignature(*parsed, TestKey("issuer").Public()));
+}
+
+TEST_F(ResponderTest, MultiCertRequestOrderPreserved) {
+  // RFC 6960: a request listing N certificates yields N SingleResponses in
+  // request order. Regression: Handle() used to answer only the first.
+  responder_.AddCertificate(x509::Serial{0x0A});
+  responder_.AddCertificate(x509::Serial{0x0B});
+  responder_.Revoke(x509::Serial{0x0B}, kNow - 200,
+                    x509::ReasonCode::kSuperseded);
+  // 0x0C was never registered -> unknown.
+  OcspRequest request;
+  request.cert_ids = {MakeCertId(issuer_, x509::Serial{0x0B}),
+                      MakeCertId(issuer_, x509::Serial{0x0C}),
+                      MakeCertId(issuer_, x509::Serial{0x0A})};
+  auto parsed =
+      ParseOcspResponse(responder_.Handle(EncodeOcspRequest(request), kNow));
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->singles.size(), 3u);
+  EXPECT_EQ(parsed->singles[0].cert_id, request.cert_ids[0]);
+  EXPECT_EQ(parsed->singles[0].status, CertStatus::kRevoked);
+  EXPECT_EQ(parsed->singles[0].reason, x509::ReasonCode::kSuperseded);
+  EXPECT_EQ(parsed->singles[1].cert_id, request.cert_ids[1]);
+  EXPECT_EQ(parsed->singles[1].status, CertStatus::kUnknown);
+  EXPECT_EQ(parsed->singles[2].cert_id, request.cert_ids[2]);
+  EXPECT_EQ(parsed->singles[2].status, CertStatus::kGood);
+  EXPECT_EQ(parsed->single.cert_id, request.cert_ids[0]);  // front alias
+  EXPECT_TRUE(VerifyOcspSignature(*parsed, TestKey("issuer").Public()));
+}
+
+TEST_F(ResponderTest, NonceEchoedInResponse) {
+  responder_.AddCertificate(x509::Serial{0x0D});
+  OcspRequest request;
+  request.cert_ids = {MakeCertId(issuer_, x509::Serial{0x0D})};
+  request.nonce = Bytes{9, 8, 7, 6, 5};
+  auto parsed =
+      ParseOcspResponse(responder_.Handle(EncodeOcspRequest(request), kNow));
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->nonce, request.nonce);
+  EXPECT_EQ(parsed->single.status, CertStatus::kGood);
   EXPECT_TRUE(VerifyOcspSignature(*parsed, TestKey("issuer").Public()));
 }
 

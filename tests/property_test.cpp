@@ -206,14 +206,14 @@ TEST_P(OcspRoundTrip, RandomResponses) {
 
   // Requests round-trip too.
   ocsp::OcspRequest request;
-  request.cert_id = single.cert_id;
+  request.cert_ids = {single.cert_id};
   if (rng_.Chance(0.5)) {
     request.nonce.resize(16);
     rng_.Fill(request.nonce.data(), 16);
   }
   auto parsed_request = ocsp::ParseOcspRequest(ocsp::EncodeOcspRequest(request));
   ASSERT_TRUE(parsed_request);
-  EXPECT_EQ(parsed_request->cert_id, request.cert_id);
+  EXPECT_EQ(parsed_request->cert_ids, request.cert_ids);
   EXPECT_EQ(parsed_request->nonce, request.nonce);
 }
 

@@ -1,0 +1,443 @@
+// Serving-frontend tests: epoch-swap index semantics, precomputed-response
+// cache expiry, GET/POST handling, admission control (503, never a wrong
+// status), determinism across thread counts, and a TSan stress loop
+// (`ServeStress.*` is the target scripts/ci.sh runs under ThreadSanitizer).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/simnet.h"
+#include "ocsp/ocsp.h"
+#include "ocsp/responder.h"
+#include "serve/frontend.h"
+#include "serve/response_cache.h"
+#include "serve/status_index.h"
+#include "x509/name.h"
+
+namespace rev::serve {
+namespace {
+
+constexpr util::Timestamp kNow = 1'412'208'000;  // 2014-10-02
+
+crypto::KeyPair TestKey(std::string_view label) {
+  return crypto::SimKeyFromLabel(label);
+}
+
+x509::Certificate MakeIssuerCert(std::string_view key_label = "serve-issuer") {
+  x509::TbsCertificate tbs;
+  tbs.serial = x509::Serial{0x21};
+  tbs.issuer = tbs.subject = x509::Name::Make("Serve Test CA", "Test");
+  tbs.not_before = 0;
+  tbs.not_after = kNow + 100'000'000;
+  tbs.public_key = TestKey(key_label).Public();
+  tbs.basic_constraints = {true, -1};
+  return x509::SignCertificate(tbs, TestKey(key_label));
+}
+
+// ---------------------------------------------------------- StatusIndex ----
+
+TEST(StatusIndex, ApplyLookupEraseBumpEpoch) {
+  StatusIndex index(4);
+  const Bytes hash(32, 0xAB);
+  const StatusKey a = MakeStatusKey(hash, x509::Serial{0x01});
+  const StatusKey b = MakeStatusKey(hash, x509::Serial{0x02});
+  EXPECT_EQ(index.epoch(), 0u);
+
+  index.Apply({{a, StatusIndex::Record{ocsp::CertStatus::kGood, 0,
+                                       x509::ReasonCode::kNoReasonCode}},
+               {b, StatusIndex::Record{ocsp::CertStatus::kRevoked, kNow - 5,
+                                       x509::ReasonCode::kKeyCompromise}}});
+  EXPECT_EQ(index.epoch(), 1u);  // one batch = one epoch, not one per record
+  EXPECT_EQ(index.size(), 2u);
+  const auto got = index.Lookup(b);
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got->status, ocsp::CertStatus::kRevoked);
+  EXPECT_EQ(got->revocation_time, kNow - 5);
+
+  index.Apply({{a, std::nullopt}});  // erase -> serve `unknown`
+  EXPECT_EQ(index.epoch(), 2u);
+  EXPECT_FALSE(index.Lookup(a));
+  EXPECT_EQ(index.size(), 1u);
+
+  const auto keys = index.SortedKeys();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], b);
+  EXPECT_EQ(SerialOfKey(b), (x509::Serial{0x02}));
+  EXPECT_EQ(Bytes(IssuerHashOfKey(b).begin(), IssuerHashOfKey(b).end()), hash);
+}
+
+// -------------------------------------------------------- ResponseCache ----
+
+TEST(ResponseCache, ServeUntilIsExclusive) {
+  ResponseCache cache(2);
+  const Bytes hash(32, 0x01);
+  const StatusKey key = MakeStatusKey(hash, x509::Serial{0x09});
+  ResponseCache::Entry entry;
+  entry.der = std::make_shared<const Bytes>(Bytes{1, 2, 3});
+  entry.signed_at = kNow;
+  entry.serve_until = kNow + 100;
+  cache.Put(key, entry);
+
+  EXPECT_EQ(cache.Get(key, kNow).outcome, ResponseCache::Outcome::kHit);
+  EXPECT_EQ(cache.Get(key, kNow + 99).outcome, ResponseCache::Outcome::kHit);
+  EXPECT_EQ(cache.Get(key, kNow + 100).outcome,
+            ResponseCache::Outcome::kExpired);
+
+  EXPECT_TRUE(cache.KeysStaleBy(kNow + 99).empty());
+  EXPECT_EQ(cache.KeysStaleBy(kNow + 100).size(), 1u);
+
+  cache.Invalidate(key);
+  EXPECT_EQ(cache.Get(key, kNow).outcome, ResponseCache::Outcome::kMiss);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ------------------------------------------------------------- Frontend ----
+
+class FrontendTest : public ::testing::Test {
+ protected:
+  FrontendTest()
+      : issuer_(MakeIssuerCert()),
+        responder_(issuer_, TestKey("serve-issuer"), 4 * util::kSecondsPerDay) {
+    frontend_.AttachResponder(&responder_);
+  }
+
+  ocsp::OcspRequest RequestFor(const x509::Serial& serial) {
+    ocsp::OcspRequest request;
+    request.cert_ids = {ocsp::MakeCertId(issuer_, serial)};
+    return request;
+  }
+
+  Frontend::ServeResult Post(const x509::Serial& serial,
+                             util::Timestamp now = kNow) {
+    return frontend_.Serve(ocsp::EncodeOcspRequest(RequestFor(serial)), now);
+  }
+
+  ocsp::CertStatus StatusOf(const Frontend::ServeResult& result) {
+    EXPECT_TRUE(result.body);
+    auto parsed = ocsp::ParseOcspResponse(*result.body);
+    EXPECT_TRUE(parsed);
+    return parsed ? parsed->single.status : ocsp::CertStatus::kUnknown;
+  }
+
+  x509::Certificate issuer_;
+  ocsp::Responder responder_;
+  // Declared after responder_ so the frontend detaches its observer first.
+  Frontend frontend_;
+};
+
+TEST_F(FrontendTest, MissThenHitServesIdenticalBytes) {
+  responder_.AddCertificate(x509::Serial{0x42});
+  const auto first = Post(x509::Serial{0x42});
+  EXPECT_EQ(first.http_status, 200);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(StatusOf(first), ocsp::CertStatus::kGood);
+
+  const auto second = Post(x509::Serial{0x42});
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(*first.body, *second.body);
+
+  const Frontend::Counters counters = frontend_.counters();
+  EXPECT_EQ(counters.requests, 2u);
+  EXPECT_EQ(counters.cache_misses, 1u);
+  EXPECT_EQ(counters.cache_hits, 1u);
+  EXPECT_EQ(counters.signed_on_demand, 1u);
+}
+
+TEST_F(FrontendTest, RemoveYieldsUnknownAndIsNeverCached) {
+  responder_.AddCertificate(x509::Serial{0x50});
+  EXPECT_EQ(StatusOf(Post(x509::Serial{0x50})), ocsp::CertStatus::kGood);
+
+  responder_.Remove(x509::Serial{0x50});
+  const auto after = Post(x509::Serial{0x50});
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(StatusOf(after), ocsp::CertStatus::kUnknown);
+
+  // Unknowns never enter the cache (unbounded-growth guard): a repeat query
+  // is still a miss, not a hit.
+  const auto repeat = Post(x509::Serial{0x50});
+  EXPECT_FALSE(repeat.cache_hit);
+  EXPECT_EQ(StatusOf(repeat), ocsp::CertStatus::kUnknown);
+  EXPECT_EQ(frontend_.cache().size(), 0u);
+}
+
+TEST_F(FrontendTest, RevokedWithReasonCode) {
+  responder_.AddCertificate(x509::Serial{0x51});
+  responder_.Revoke(x509::Serial{0x51}, kNow - 3600,
+                    x509::ReasonCode::kAffiliationChanged);
+  const auto result = Post(x509::Serial{0x51});
+  auto parsed = ocsp::ParseOcspResponse(*result.body);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->single.status, ocsp::CertStatus::kRevoked);
+  EXPECT_EQ(parsed->single.revocation_time, kNow - 3600);
+  EXPECT_EQ(parsed->single.reason, x509::ReasonCode::kAffiliationChanged);
+  EXPECT_TRUE(
+      ocsp::VerifyOcspSignature(*parsed, TestKey("serve-issuer").Public()));
+}
+
+TEST_F(FrontendTest, GetFormRoundTripThroughHttp) {
+  // RFC 6960 Appendix A: base64(request DER) in the GET path — the form
+  // browsers favor (§6.2).
+  responder_.AddCertificate(x509::Serial{0x52});
+  net::HttpRequest http;
+  http.method = "GET";
+  http.host = "ocsp.serve.test";
+  http.path = ocsp::OcspGetPath(RequestFor(x509::Serial{0x52}));
+  const net::HttpResponse response = frontend_.HandleHttp(http, kNow);
+  EXPECT_EQ(response.status, 200);
+  auto parsed = ocsp::ParseOcspResponse(response.body);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->single.status, ocsp::CertStatus::kGood);
+
+  // A garbage path is malformed, still HTTP 200 per OCSP-over-HTTP.
+  http.path = "/not-base64!!";
+  const net::HttpResponse bad = frontend_.HandleHttp(http, kNow);
+  EXPECT_EQ(bad.status, 200);
+  auto bad_parsed = ocsp::ParseOcspResponse(bad.body);
+  ASSERT_TRUE(bad_parsed);
+  EXPECT_EQ(bad_parsed->status, ocsp::ResponseStatus::kMalformedRequest);
+}
+
+TEST_F(FrontendTest, NoncedRequestBypassesCacheAndEchoesNonce) {
+  responder_.AddCertificate(x509::Serial{0x53});
+  ocsp::OcspRequest request = RequestFor(x509::Serial{0x53});
+  request.nonce = Bytes{0xDE, 0xAD, 0xBE, 0xEF};
+  const Bytes der = ocsp::EncodeOcspRequest(request);
+
+  for (int i = 0; i < 2; ++i) {
+    const auto result = frontend_.Serve(der, kNow);
+    EXPECT_FALSE(result.cache_hit);  // a nonce makes the response unique
+    auto parsed = ocsp::ParseOcspResponse(*result.body);
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->nonce, request.nonce);
+    EXPECT_EQ(parsed->single.status, ocsp::CertStatus::kGood);
+  }
+  EXPECT_EQ(frontend_.counters().cache_hits, 0u);
+}
+
+TEST_F(FrontendTest, MultiCertRequestAnswersAllInOrder) {
+  responder_.AddCertificate(x509::Serial{0x54});
+  responder_.Revoke(x509::Serial{0x54}, kNow - 10,
+                    x509::ReasonCode::kKeyCompromise);
+  responder_.AddCertificate(x509::Serial{0x55});
+  ocsp::OcspRequest request;
+  request.cert_ids = {ocsp::MakeCertId(issuer_, x509::Serial{0x54}),
+                      ocsp::MakeCertId(issuer_, x509::Serial{0x55})};
+  const auto result = frontend_.Serve(ocsp::EncodeOcspRequest(request), kNow);
+  auto parsed = ocsp::ParseOcspResponse(*result.body);
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->singles.size(), 2u);
+  EXPECT_EQ(parsed->singles[0].status, ocsp::CertStatus::kRevoked);
+  EXPECT_EQ(parsed->singles[1].status, ocsp::CertStatus::kGood);
+}
+
+TEST_F(FrontendTest, ForeignIssuerIsUnauthorized) {
+  const x509::Certificate other = MakeIssuerCert("other-issuer");
+  ocsp::OcspRequest request;
+  request.cert_ids = {ocsp::MakeCertId(other, x509::Serial{0x01})};
+  const auto result = frontend_.Serve(ocsp::EncodeOcspRequest(request), kNow);
+  EXPECT_EQ(result.http_status, 200);
+  auto parsed = ocsp::ParseOcspResponse(*result.body);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->status, ocsp::ResponseStatus::kUnauthorized);
+  EXPECT_EQ(frontend_.counters().unauthorized, 1u);
+}
+
+TEST_F(FrontendTest, CachedGoodNeverOutlivesScheduledRevocation) {
+  // A revocation scheduled for the future must cap the serving window of
+  // the pre-signed "good" response (the SignEntry serve_until clamp).
+  responder_.AddCertificate(x509::Serial{0x56});
+  EXPECT_EQ(StatusOf(Post(x509::Serial{0x56})), ocsp::CertStatus::kGood);
+
+  const util::Timestamp effect = kNow + 500;
+  responder_.Revoke(x509::Serial{0x56}, effect, x509::ReasonCode::kSuperseded);
+
+  // Before the revocation takes effect the status still reads good...
+  EXPECT_EQ(StatusOf(Post(x509::Serial{0x56}, kNow + 1)),
+            ocsp::CertStatus::kGood);
+  const auto still_good = Post(x509::Serial{0x56}, effect - 1);
+  EXPECT_TRUE(still_good.cache_hit);
+  EXPECT_EQ(StatusOf(still_good), ocsp::CertStatus::kGood);
+
+  // ...and at the effect instant the cached entry has expired: the serve
+  // path re-signs and answers revoked. Never a stale good.
+  const auto revoked = Post(x509::Serial{0x56}, effect);
+  EXPECT_FALSE(revoked.cache_hit);
+  EXPECT_EQ(StatusOf(revoked), ocsp::CertStatus::kRevoked);
+}
+
+TEST_F(FrontendTest, StapleServesFromCacheAndRejectsForeignIssuer) {
+  responder_.AddCertificate(x509::Serial{0x57});
+  frontend_.RebuildAll(kNow);
+  const auto der =
+      frontend_.Staple(responder_.issuer_key_hash(), x509::Serial{0x57}, kNow);
+  ASSERT_TRUE(der);
+  auto parsed = ocsp::ParseOcspResponse(*der);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->single.status, ocsp::CertStatus::kGood);
+  EXPECT_GE(frontend_.counters().cache_hits, 1u);
+
+  const Bytes foreign(32, 0x77);
+  EXPECT_EQ(frontend_.Staple(foreign, x509::Serial{0x57}, kNow), nullptr);
+}
+
+TEST_F(FrontendTest, RefreshStaleResignsAndDropsRemoved) {
+  responder_.AddCertificate(x509::Serial{0x58});
+  responder_.AddCertificate(x509::Serial{0x59});
+  Post(x509::Serial{0x58});
+  Post(x509::Serial{0x59});
+  // Fresh entries (4-day validity) are outside the 1-day refresh headroom.
+  EXPECT_EQ(frontend_.RefreshStale(kNow), 0u);
+
+  responder_.Remove(x509::Serial{0x59});
+  const util::Timestamp later = kNow + 3 * util::kSecondsPerDay + 1;
+  // 0x58 is re-signed; 0x59 left the index and must not be refreshed.
+  EXPECT_EQ(frontend_.RefreshStale(later), 1u);
+  EXPECT_EQ(frontend_.counters().refreshed, 1u);
+
+  const auto hit = Post(x509::Serial{0x58}, later);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(StatusOf(hit), ocsp::CertStatus::kGood);
+  const auto unknown = Post(x509::Serial{0x59}, later);
+  EXPECT_FALSE(unknown.cache_hit);
+  EXPECT_EQ(StatusOf(unknown), ocsp::CertStatus::kUnknown);
+}
+
+// ------------------------------------------------- admission / shedding ----
+
+TEST(FrontendAdmission, ShedsWith503AndNeverAWrongStatus) {
+  x509::Certificate issuer = MakeIssuerCert("shed-issuer");
+  ocsp::Responder responder(issuer, TestKey("shed-issuer"));
+  FrontendOptions options;
+  options.num_shards = 1;
+  options.per_shard_queue = 1;
+  options.retry_after_seconds = 7;
+  Frontend frontend(options);
+  frontend.AttachResponder(&responder);
+  responder.AddCertificate(x509::Serial{0x01});
+
+  ocsp::OcspRequest request;
+  request.cert_ids = {ocsp::MakeCertId(issuer, x509::Serial{0x01})};
+  const Bytes der = ocsp::EncodeOcspRequest(request);
+
+  ASSERT_TRUE(frontend.TryEnterShard(0));   // saturate the only slot
+  EXPECT_FALSE(frontend.TryEnterShard(0));  // budget of 1 is exhausted
+
+  const auto shed = frontend.Serve(der, kNow);
+  EXPECT_EQ(shed.http_status, 503);
+  EXPECT_EQ(shed.retry_after, 7);
+  auto parsed = ocsp::ParseOcspResponse(*shed.body);
+  ASSERT_TRUE(parsed);
+  // Overload answers tryLater — never a definitive (possibly wrong) status.
+  EXPECT_EQ(parsed->status, ocsp::ResponseStatus::kTryLater);
+  EXPECT_EQ(frontend.counters().shed, 1u);
+
+  // The 503 carries Retry-After through the HTTP adapter too.
+  net::HttpRequest http;
+  http.method = "POST";
+  http.body = der;
+  const net::HttpResponse http_response = frontend.HandleHttp(http, kNow);
+  EXPECT_EQ(http_response.status, 503);
+  EXPECT_EQ(http_response.retry_after, 7);
+
+  frontend.ExitShard(0);
+  const auto ok = frontend.Serve(der, kNow);
+  EXPECT_EQ(ok.http_status, 200);
+  auto ok_parsed = ocsp::ParseOcspResponse(*ok.body);
+  ASSERT_TRUE(ok_parsed);
+  EXPECT_EQ(ok_parsed->single.status, ocsp::CertStatus::kGood);
+}
+
+// ---------------------------------------------------------- determinism ----
+
+TEST(FrontendDeterminism, RebuildByteIdenticalAcrossThreadCounts) {
+  const x509::Certificate issuer = MakeIssuerCert("det-issuer");
+  ocsp::Responder r_serial(issuer, TestKey("det-issuer"));
+  ocsp::Responder r_parallel(issuer, TestKey("det-issuer"));
+  const auto seed = [&](ocsp::Responder& r) {
+    for (int i = 1; i <= 64; ++i) {
+      const x509::Serial serial{static_cast<std::uint8_t>(i), 0x5A};
+      r.AddCertificate(serial);
+      if (i % 3 == 0)
+        r.Revoke(serial, kNow - i, x509::ReasonCode::kSuperseded);
+      if (i % 7 == 0) r.Remove(serial);
+    }
+  };
+  seed(r_serial);
+  seed(r_parallel);
+
+  FrontendOptions serial_options;
+  serial_options.threads = 1;
+  FrontendOptions parallel_options;
+  parallel_options.threads = 4;
+  Frontend f_serial(serial_options);
+  Frontend f_parallel(parallel_options);
+  f_serial.AttachResponder(&r_serial);
+  f_parallel.AttachResponder(&r_parallel);
+
+  const std::size_t n_serial = f_serial.RebuildAll(kNow);
+  const std::size_t n_parallel = f_parallel.RebuildAll(kNow);
+  EXPECT_EQ(n_serial, n_parallel);
+  EXPECT_GT(n_serial, 0u);
+
+  for (int i = 1; i <= 64; ++i) {
+    const x509::Serial serial{static_cast<std::uint8_t>(i), 0x5A};
+    const auto a = f_serial.Staple(r_serial.issuer_key_hash(), serial, kNow);
+    const auto b =
+        f_parallel.Staple(r_parallel.issuer_key_hash(), serial, kNow);
+    ASSERT_TRUE(a);
+    ASSERT_TRUE(b);
+    EXPECT_EQ(*a, *b) << "divergent response for serial " << i;
+  }
+}
+
+// --------------------------------------------------------------- stress ----
+
+TEST(ServeStress, ConcurrentServeMutateRefresh) {
+  const x509::Certificate issuer = MakeIssuerCert("stress-issuer");
+  ocsp::Responder responder(issuer, TestKey("stress-issuer"));
+  FrontendOptions options;
+  options.num_shards = 4;
+  Frontend frontend(options);
+  frontend.AttachResponder(&responder);
+
+  constexpr int kSerials = 32;
+  for (int i = 1; i <= kSerials; ++i)
+    responder.AddCertificate(x509::Serial{static_cast<std::uint8_t>(i)});
+  frontend.RebuildAll(kNow);
+
+  // Fixed per-reader iteration counts keep the test deterministic on a
+  // single core, where a stop-flag loop can end before readers ever run.
+  constexpr int kIterations = 200;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = t; i < t + kIterations; ++i) {
+        ocsp::OcspRequest request;
+        request.cert_ids = {ocsp::MakeCertId(
+            issuer, x509::Serial{static_cast<std::uint8_t>(i % kSerials + 1)})};
+        const auto result =
+            frontend.Serve(ocsp::EncodeOcspRequest(request), kNow + i % 100);
+        EXPECT_TRUE(result.http_status == 200 || result.http_status == 503);
+        if (result.http_status == 200) EXPECT_TRUE(result.body);
+      }
+    });
+  }
+
+  // Mutate and refresh while the readers hammer the serve path.
+  for (int i = 1; i <= kSerials; ++i) {
+    responder.Revoke(x509::Serial{static_cast<std::uint8_t>(i)}, kNow + i,
+                     x509::ReasonCode::kCessationOfOperation);
+    if (i % 8 == 0) frontend.RefreshStale(kNow + i);
+  }
+  frontend.RebuildAll(kNow + kSerials);
+
+  for (auto& reader : readers) reader.join();
+
+  const Frontend::Counters counters = frontend.counters();
+  EXPECT_EQ(counters.requests, 4u * kIterations);
+  EXPECT_EQ(counters.malformed, 0u);
+  EXPECT_EQ(counters.unauthorized, 0u);
+}
+
+}  // namespace
+}  // namespace rev::serve
