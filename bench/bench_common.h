@@ -5,10 +5,13 @@
 // stable across scales, absolute counts shrink linearly.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/ca_audit.h"
 #include "core/crawler.h"
@@ -18,6 +21,8 @@
 #include "core/report.h"
 #include "core/stapling_audit.h"
 #include "core/timeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scan/scanner.h"
 
 namespace rev::bench {
@@ -49,6 +54,100 @@ inline void PrintHeader(const char* experiment, const char* paper_result) {
   std::printf("==============================================================\n\n");
 }
 
+// Uniform bench reporting (docs/observability.md): declare one BenchRun at
+// the top of main and every bench emits the same BENCH_<name>.json shape —
+// wall-time phases, the bench's own results payload, and a snapshot of the
+// global metrics registry — and honors REV_TRACE=<file> by exporting the
+// Chrome trace at exit. Phases are recorded by the RAII Phase below (World::
+// Build opens its own), so a bench only adds phases for its analysis steps.
+class BenchRun {
+ public:
+  explicit BenchRun(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+    current_ = this;
+  }
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  ~BenchRun() {
+    if (current_ == this) current_ = nullptr;
+    WriteJson();
+    obs::TraceCollector::Global().ExportFromEnv();
+  }
+
+  static BenchRun* Current() { return current_; }
+
+  // Bench-specific payload, inserted verbatim as the "results" value. Must
+  // already be valid JSON (object or array).
+  void SetResults(std::string json) { results_ = std::move(json); }
+
+  void RecordPhase(const char* name, double seconds) {
+    phases_.emplace_back(name, seconds);
+  }
+
+  const std::string& json_path() const { return json_path_; }
+
+  // RAII phase: wall time into the enclosing BenchRun (if any) plus an
+  // obs::Span so the phase shows up on the REV_TRACE timeline. `name` must
+  // be a string literal.
+  class Phase {
+   public:
+    explicit Phase(const char* name)
+        : name_(name), span_(name), start_(std::chrono::steady_clock::now()) {}
+
+    Phase(const Phase&) = delete;
+    Phase& operator=(const Phase&) = delete;
+
+    ~Phase() {
+      if (BenchRun* run = BenchRun::Current()) {
+        run->RecordPhase(
+            name_, std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count());
+      }
+    }
+
+   private:
+    const char* name_;
+    obs::Span span_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+ private:
+  void WriteJson() {
+    json_path_ = "BENCH_" + name_ + ".json";
+    FILE* json = std::fopen(json_path_.c_str(), "w");
+    if (json == nullptr) return;
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+    std::fprintf(json, "{\n  \"bench\": \"%s\",\n", name_.c_str());
+    std::fprintf(json, "  \"wall_seconds\": %.6f,\n", wall);
+    std::fprintf(json, "  \"phases\": [");
+    for (std::size_t i = 0; i < phases_.size(); ++i) {
+      std::fprintf(json, "%s\n    {\"name\": \"%s\", \"seconds\": %.6f}",
+                   i == 0 ? "" : ",", phases_[i].first,
+                   phases_[i].second);
+    }
+    std::fprintf(json, "%s],\n", phases_.empty() ? "" : "\n  ");
+    std::fprintf(json, "  \"results\": %s,\n",
+                 results_.empty() ? "null" : results_.c_str());
+    std::fprintf(json, "  \"metrics\": %s\n}\n",
+                 obs::MetricsRegistry::Global().DumpJson().c_str());
+    std::fclose(json);
+    std::printf("wrote %s\n", json_path_.c_str());
+  }
+
+  inline static BenchRun* current_ = nullptr;
+
+  std::string name_;
+  std::string json_path_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<const char*, double>> phases_;
+  std::string results_;
+};
+
 // The full measurement world: ecosystem + weekly scans + daily CRL crawl.
 struct World {
   core::EcosystemConfig config;
@@ -64,8 +163,12 @@ struct World {
                      bool run_crawl = true, int crawl_step_days = 1) {
     World world;
     world.config.scale = scale;
-    std::fprintf(stderr, "[world] building ecosystem at scale %.4f ...\n", scale);
-    world.eco = core::Ecosystem::Build(world.config);
+    {
+      BenchRun::Phase phase("world.build_ecosystem");
+      std::fprintf(stderr, "[world] building ecosystem at scale %.4f ...\n",
+                   scale);
+      world.eco = core::Ecosystem::Build(world.config);
+    }
     const core::EcosystemConfig& c = world.eco->config();
     std::fprintf(stderr, "[world] %zu certs, %zu servers, %zu CAs\n",
                  world.eco->total_issued(), world.eco->internet().size(),
@@ -75,6 +178,7 @@ struct World {
     world.pipeline =
         std::make_unique<core::Pipeline>(world.eco->roots(), threads);
     if (run_scans) {
+      BenchRun::Phase phase("world.scans");
       for (util::Timestamp t = c.study_start; t <= c.study_end;
            t += 7 * util::kSecondsPerDay) {
         world.pipeline->IngestScan(scan::RunCertScan(world.eco->internet(), t));
@@ -93,6 +197,7 @@ struct World {
     world.crawler =
         std::make_unique<core::RevocationCrawler>(&world.eco->net(), threads);
     if (run_crawl) {
+      BenchRun::Phase phase("world.crawl");
       world.crawler->CollectUrls(*world.pipeline);
       for (util::Timestamp t = c.crawl_start; t <= c.study_end;
            t += crawl_step_days * util::kSecondsPerDay) {

@@ -7,6 +7,7 @@
 using namespace rev;
 
 int main() {
+  bench::BenchRun run("dataset_stats");
   bench::PrintHeader(
       "Dataset statistics (paper §3.1/§3.2)",
       "38.5M certs -> 1,946 intermediates, 5.07M leaves (45.2% still "
@@ -16,6 +17,7 @@ int main() {
   bench::World world = bench::World::Build(bench::ScaleFromEnv(),
                                            /*run_scans=*/true,
                                            /*run_crawl=*/false);
+  bench::BenchRun::Phase analysis_phase("analysis");
 
   const core::DatasetStats stats = core::ComputeDatasetStats(*world.pipeline);
   auto pct = [](std::size_t num, std::size_t den) {

@@ -5,6 +5,7 @@
 using namespace rev;
 
 int main() {
+  bench::BenchRun run("fig10_vuln_windows");
   bench::PrintHeader(
       "Fig. 10 — CRLSet windows of vulnerability",
       "60% of revocations appear in the CRLSet within 1 day, >90% within 2; "
@@ -14,6 +15,7 @@ int main() {
   bench::World world = bench::World::Build(bench::ScaleFromEnv(),
                                            /*run_scans=*/false,
                                            /*run_crawl=*/false);
+  bench::BenchRun::Phase analysis_phase("analysis");
   const core::EcosystemConfig& c = world.eco->config();
 
   core::CrlsetAuditor auditor(world.eco.get(),

@@ -43,6 +43,7 @@ BENCHMARK(BM_BloomQuery);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchRun run("fig11_bloom_tradeoff");
   bench::PrintHeader(
       "Fig. 11 — Bloom filter capacity/false-positive trade-off vs CRLSet",
       "a 256 KB filter holds an order of magnitude more revocations than "

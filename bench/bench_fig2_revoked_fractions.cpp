@@ -5,12 +5,14 @@
 using namespace rev;
 
 int main() {
+  bench::BenchRun run("fig2_revoked_fractions");
   bench::PrintHeader(
       "Fig. 2 — fraction of fresh/alive certificates that are revoked",
       ">8% of fresh and ~0.6-1% of alive certs revoked by Mar 2015; spike "
       "from Heartbleed (Apr 2014); >1% fresh revoked even pre-Heartbleed");
 
   bench::World world = bench::World::Build(bench::ScaleFromEnv());
+  bench::BenchRun::Phase analysis_phase("analysis");
   const core::EcosystemConfig& c = world.eco->config();
 
   const auto points = core::ComputeRevocationTimeline(

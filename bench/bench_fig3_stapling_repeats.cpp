@@ -5,6 +5,7 @@
 using namespace rev;
 
 int main() {
+  bench::BenchRun run("fig3_stapling_repeats");
   bench::PrintHeader(
       "Fig. 3 / §4.3 — OCSP Stapling adoption",
       "2.60% of servers staple; 5.19% of certs served by >=1 stapling "
@@ -14,6 +15,7 @@ int main() {
   bench::World world = bench::World::Build(bench::ScaleFromEnv(),
                                            /*run_scans=*/false,
                                            /*run_crawl=*/false);
+  bench::BenchRun::Phase analysis_phase("analysis");
   const util::Timestamp scan_time = util::MakeDate(2015, 3, 28);
 
   // §4.3 statistics from one handshake scan.

@@ -5,6 +5,7 @@
 using namespace rev;
 
 int main() {
+  bench::BenchRun run("fig4_revinfo_adoption");
   bench::PrintHeader(
       "Fig. 4 — revocation information in new certificates over time",
       "CRLs near-universal since 2011; OCSP lower early, jumping to ~100% "
@@ -13,6 +14,7 @@ int main() {
   bench::World world = bench::World::Build(bench::ScaleFromEnv(),
                                            /*run_scans=*/true,
                                            /*run_crawl=*/false);
+  bench::BenchRun::Phase analysis_phase("analysis");
 
   const auto points = core::ComputeRevinfoAdoption(*world.pipeline);
   core::TextTable table({"month", "issued", "with CRL", "with OCSP"});

@@ -7,12 +7,14 @@
 using namespace rev;
 
 int main() {
+  bench::BenchRun run("fig5_crl_size_scatter");
   bench::PrintHeader(
       "Fig. 5 — CRL size vs number of entries",
       "strong linear correlation, ~38 bytes/entry on average; variance from "
       "per-CA serial-number length policies (up to 49 decimal digits)");
 
   bench::World world = bench::World::Build(bench::ScaleFromEnv());
+  bench::BenchRun::Phase analysis_phase("analysis");
   const auto samples =
       core::CollectCrlSizes(*world.crawler, *world.pipeline, *world.eco);
 

@@ -5,12 +5,14 @@
 using namespace rev;
 
 int main() {
+  bench::BenchRun run("fig6_crl_size_cdf");
   bench::PrintHeader(
       "Fig. 6 — CDF of CRL sizes, raw vs certificate-weighted",
       "raw median <1 KB (most CRLs are tiny), but the median *certificate* "
       "has a 51 KB CRL; sizes range up to 76 MB (Apple WWDR)");
 
   bench::World world = bench::World::Build(bench::ScaleFromEnv());
+  bench::BenchRun::Phase analysis_phase("analysis");
   const auto samples =
       core::CollectCrlSizes(*world.crawler, *world.pipeline, *world.eco);
   const core::CrlSizeDistributions dist = core::BuildCrlSizeDistributions(samples);

@@ -5,6 +5,7 @@
 using namespace rev;
 
 int main() {
+  bench::BenchRun run("fig7_crlset_coverage");
   bench::PrintHeader(
       "Fig. 7 / §7.2 — CRLSet coverage of CRL entries",
       "CRLSets cover 0.35% of all revocations; 62 parents = 3.9% of CA "
@@ -13,6 +14,7 @@ int main() {
       "3.9% covered, top-1k 10.4%");
 
   bench::World world = bench::World::Build(bench::ScaleFromEnv());
+  bench::BenchRun::Phase analysis_phase("analysis");
   const core::EcosystemConfig& c = world.eco->config();
 
   core::CrlsetAuditor auditor(world.eco.get(),

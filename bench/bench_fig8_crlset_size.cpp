@@ -5,6 +5,7 @@
 using namespace rev;
 
 int main() {
+  bench::BenchRun run("fig8_crlset_size");
   bench::PrintHeader(
       "Fig. 8 — CRLSet entry count over time",
       "15,922–24,904 entries; peak at Heartbleed (Apr 2014); sharp drop "
@@ -14,6 +15,7 @@ int main() {
   bench::World world = bench::World::Build(bench::ScaleFromEnv(),
                                            /*run_scans=*/false,
                                            /*run_crawl=*/false);
+  bench::BenchRun::Phase analysis_phase("analysis");
   const core::EcosystemConfig& c = world.eco->config();
 
   core::CrlsetAuditor auditor(world.eco.get(),

@@ -5,6 +5,7 @@
 using namespace rev;
 
 int main() {
+  bench::BenchRun run("fig9_daily_additions");
   bench::PrintHeader(
       "Fig. 9 — daily additions to CRLs vs CRLSets",
       "CRL additions show weekly patterns and dwarf CRLSet additions; a "
@@ -13,6 +14,7 @@ int main() {
   bench::World world = bench::World::Build(bench::ScaleFromEnv(),
                                            /*run_scans=*/false,
                                            /*run_crawl=*/false);
+  bench::BenchRun::Phase analysis_phase("analysis");
   const core::EcosystemConfig& c = world.eco->config();
 
   core::CrlsetAuditor auditor(world.eco.get(),

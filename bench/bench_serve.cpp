@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
+#include "net/simnet.h"
 #include "ocsp/ocsp.h"
 #include "ocsp/responder.h"
 #include "serve/frontend.h"
@@ -115,9 +117,10 @@ SweepPoint RunOnce(unsigned clients, std::size_t num_certs,
   serve::FrontendOptions options;
   options.per_shard_queue = shed_budget;
   options.threads = clients;
-  // The bench measures its own latency distribution; the frontend's
-  // accumulator would only add a mutex acquisition to the hot path.
-  options.record_latency = false;
+  // Server-side accounting stays on: since the lock-free histogram replaced
+  // the mutex-guarded accumulator it no longer serializes the hot path, and
+  // the bench doubles as its overhead regression check.
+  options.record_latency = true;
   serve::Frontend frontend(options);
   frontend.AttachResponder(&responder);
   frontend.RebuildAll(kNow);  // precompute: steady-state responder
@@ -183,6 +186,45 @@ SweepPoint RunOnce(unsigned clients, std::size_t num_certs,
   return point;
 }
 
+// Smoke-check the observability exposition end to end: a frontend behind a
+// SimNet host must answer `GET /metrics` with a text dump that contains its
+// own labelled request counter. Returns true on success and prints the line
+// scripts/ci.sh greps for.
+bool MetricsEndpointSmoke() {
+  const x509::Certificate issuer = MakeIssuerCert();
+  ocsp::Responder responder(issuer, crypto::SimKeyFromLabel("serve-bench"));
+  responder.AddCertificate(SerialOf(0));
+
+  serve::Frontend frontend;
+  frontend.AttachResponder(&responder);
+
+  net::SimNet net;
+  net.AddHost("metrics.bench", [&](const net::HttpRequest& request,
+                                   util::Timestamp now) {
+    return frontend.HandleHttp(request, now);
+  });
+
+  // One real OCSP request through the host first, so the counter the
+  // exposition must carry is nonzero.
+  ocsp::OcspRequest request;
+  request.cert_ids = {ocsp::MakeCertId(issuer, SerialOf(0))};
+  const net::FetchResult served = net.Post(
+      "http://metrics.bench/", ocsp::EncodeOcspRequest(request), kNow);
+  if (!served.ok()) return false;
+
+  const net::FetchResult fetched =
+      net.Get("http://metrics.bench/metrics", kNow);
+  if (!fetched.ok()) return false;
+  const std::string text(fetched.response.body.begin(),
+                         fetched.response.body.end());
+  const std::string want =
+      "serve.requests{" + frontend.metrics_label() + "} 1";
+  if (text.find(want) == std::string::npos) return false;
+  std::printf("metrics endpoint: ok (%zu bytes, has \"%s\")\n", text.size(),
+              want.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main() {
@@ -190,6 +232,8 @@ int main() {
   const std::size_t ops = SizeFromEnv("REV_SERVE_OPS", 50'000);
   const std::size_t shed_budget = SizeFromEnv("REV_SERVE_SHED", 128);
   const std::vector<unsigned> sweep = ThreadSweepFromEnv();
+
+  bench::BenchRun run("serve");
 
   std::printf("==============================================================\n");
   std::printf("bench_serve — closed-loop load on the serving frontend\n");
@@ -200,37 +244,41 @@ int main() {
   std::printf("%8s %12s %10s %10s %10s %10s %9s %8s\n", "clients", "QPS",
               "p50(us)", "p95(us)", "p99(us)", "hit-rate", "requests", "shed");
   std::vector<SweepPoint> points;
-  for (unsigned clients : sweep) {
-    const SweepPoint point = RunOnce(clients, num_certs, ops, shed_budget);
-    points.push_back(point);
-    std::printf("%8u %12.0f %10.2f %10.2f %10.2f %9.1f%% %9llu %8llu\n",
-                point.clients, point.qps, point.p50_us, point.p95_us,
-                point.p99_us, point.hit_rate * 100,
-                static_cast<unsigned long long>(point.requests),
-                static_cast<unsigned long long>(point.shed));
+  {
+    bench::BenchRun::Phase phase("serve.sweep");
+    for (unsigned clients : sweep) {
+      const SweepPoint point = RunOnce(clients, num_certs, ops, shed_budget);
+      points.push_back(point);
+      std::printf("%8u %12.0f %10.2f %10.2f %10.2f %9.1f%% %9llu %8llu\n",
+                  point.clients, point.qps, point.p50_us, point.p95_us,
+                  point.p99_us, point.hit_rate * 100,
+                  static_cast<unsigned long long>(point.requests),
+                  static_cast<unsigned long long>(point.shed));
+    }
   }
 
-  FILE* json = std::fopen("BENCH_serve.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json, "{\n  \"bench\": \"serve\",\n");
-    std::fprintf(json, "  \"certs\": %zu,\n  \"ops_per_client\": %zu,\n",
-                 num_certs, ops);
-    std::fprintf(json, "  \"sweep\": [\n");
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      const SweepPoint& p = points[i];
-      std::fprintf(json,
-                   "    {\"clients\": %u, \"qps\": %.0f, \"p50_us\": %.2f, "
-                   "\"p95_us\": %.2f, \"p99_us\": %.2f, \"hit_rate\": %.4f, "
-                   "\"requests\": %llu, \"shed\": %llu}%s\n",
-                   p.clients, p.qps, p.p50_us, p.p95_us, p.p99_us, p.hit_rate,
-                   static_cast<unsigned long long>(p.requests),
-                   static_cast<unsigned long long>(p.shed),
-                   i + 1 < points.size() ? "," : "");
-    }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
-    std::printf("\nwrote BENCH_serve.json (%zu sweep points)\n", points.size());
+  std::string results = "{\"certs\": " + std::to_string(num_certs) +
+                        ", \"ops_per_client\": " + std::to_string(ops) +
+                        ", \"sweep\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    char buffer[256];
+    std::snprintf(buffer, sizeof buffer,
+                  "%s{\"clients\": %u, \"qps\": %.0f, \"p50_us\": %.2f, "
+                  "\"p95_us\": %.2f, \"p99_us\": %.2f, \"hit_rate\": %.4f, "
+                  "\"requests\": %llu, \"shed\": %llu}",
+                  i == 0 ? "" : ", ", p.clients, p.qps, p.p50_us, p.p95_us,
+                  p.p99_us, p.hit_rate,
+                  static_cast<unsigned long long>(p.requests),
+                  static_cast<unsigned long long>(p.shed));
+    results += buffer;
   }
+  results += "]}";
+  run.SetResults(std::move(results));
+
+  std::printf("\n");
+  const bool metrics_ok = MetricsEndpointSmoke();
+  if (!metrics_ok) std::printf("metrics endpoint: FAILED\n");
 
   // The acceptance floor for the precomputed hot path: >=100k lookups/sec
   // at some point of the sweep (sanitizer builds disable it).
@@ -240,5 +288,5 @@ int main() {
   for (const SweepPoint& p : points) best = std::max(best, p.qps);
   std::printf("peak QPS %.0f (floor %.0f/s: %s)\n", best, floor,
               best >= floor ? "meets" : "BELOW");
-  return best >= floor ? 0 : 1;
+  return best >= floor && metrics_ok ? 0 : 1;
 }

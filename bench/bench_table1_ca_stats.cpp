@@ -5,6 +5,7 @@
 using namespace rev;
 
 int main() {
+  bench::BenchRun run("table1_ca_stats");
   bench::PrintHeader(
       "Table 1 — CRLs, certificates, and average CRL size per CA",
       "GoDaddy 322 CRLs / 1.05M certs / 277.5k revoked / 1,184 KB avg; "
@@ -12,6 +13,7 @@ int main() {
       "1.8k / 240.5 KB (one 22 MB CRL)");
 
   bench::World world = bench::World::Build(bench::ScaleFromEnv());
+  bench::BenchRun::Phase analysis_phase("analysis");
   const auto samples =
       core::CollectCrlSizes(*world.crawler, *world.pipeline, *world.eco);
   const auto rows =

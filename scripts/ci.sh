@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: Release-mode tier-1 (full build + every ctest suite),
 # then a ThreadSanitizer pass over the concurrency-sensitive targets —
-# the thread pool, the parallel pipeline/crawler, and the serving
-# frontend (tests + a small bench_serve load). Fails on any ctest
+# the thread pool, the parallel pipeline/crawler, the serving frontend,
+# and the metrics/trace instruments (tests + a small bench_serve load) —
+# then an observability smoke: bench_serve must answer GET /metrics and
+# land the registry snapshot in BENCH_serve.json. Fails on any ctest
 # regression or TSan report.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,16 +14,33 @@ cmake -B build -S .
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
-echo "== TSan: thread pool, parallel pipeline, serving frontend =="
+echo "== TSan: thread pool, parallel pipeline, serving frontend, obs =="
 cmake -B build-tsan -S . -DREV_SANITIZE_THREAD=ON
-cmake --build build-tsan -j"$(nproc)" --target util_test core_test serve_test bench_serve
+cmake --build build-tsan -j"$(nproc)" --target util_test core_test serve_test obs_test bench_serve
 ./build-tsan/tests/util_test --gtest_filter='ThreadPool.*'
 ./build-tsan/tests/core_test --gtest_filter='Parallelism.*'
 ./build-tsan/tests/serve_test
+# The whole obs suite runs under TSan: sharded counters, the lock-free
+# histogram, trace ring buffers, and the 8-thread exposition stress.
+./build-tsan/tests/obs_test
 # Small closed-loop load under TSan: races between concurrent Serve(),
-# observer-driven invalidation, and batch refresh surface here.
+# observer-driven invalidation, batch refresh, and the lock-free latency
+# histogram surface here.
 REV_SERVE_CERTS=2000 REV_SERVE_OPS=2000 REV_SERVE_THREADS=4 \
   REV_SERVE_FLOOR=0 ./build-tsan/bench/bench_serve > /dev/null || {
     echo "bench_serve under TSan failed" >&2; exit 1; }
 
-echo "ci OK (tier-1 + TSan: unit suites, serve stress, bench_serve load)"
+echo "== observability smoke: /metrics endpoint + BENCH json metrics block =="
+smoke_dir=$(mktemp -d)
+( cd "$smoke_dir" &&
+  REV_SERVE_CERTS=2000 REV_SERVE_OPS=2000 REV_SERVE_THREADS=2 \
+    REV_SERVE_FLOOR=0 "$OLDPWD"/build/bench/bench_serve > bench_serve.out )
+grep -q "metrics endpoint: ok" "$smoke_dir"/bench_serve.out || {
+  echo "bench_serve did not serve GET /metrics" >&2; exit 1; }
+grep -q '"metrics": {"counters":' "$smoke_dir"/BENCH_serve.json || {
+  echo "BENCH_serve.json is missing the metrics block" >&2; exit 1; }
+grep -q '"serve.latency_ns{frontend=' "$smoke_dir"/BENCH_serve.json || {
+  echo "BENCH_serve.json is missing the latency histogram" >&2; exit 1; }
+rm -rf "$smoke_dir"
+
+echo "ci OK (tier-1 + TSan: unit suites, obs suite, serve stress, bench_serve load + /metrics smoke)"

@@ -3,8 +3,44 @@
 #include <chrono>
 
 #include "net/url.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rev::core {
+
+namespace {
+
+// Crawler-wide instruments (docs/observability.md): fetch outcome counters
+// plus a latency histogram over the *real* wall time of each fetch+parse
+// (the simulated network cost stays in seconds_spent()). Aggregated across
+// crawler instances; the per-instance accessors remain exact.
+struct CrawlMetrics {
+  obs::Counter& fetch_ok;
+  obs::Counter& fetch_fail;
+  obs::Counter& cache_hits;
+  obs::Counter& bytes_downloaded;
+  obs::Counter& revocations;
+  obs::Counter& ocsp_queries;
+  obs::Histogram& fetch_ns;
+
+  static CrawlMetrics& Get() {
+    static CrawlMetrics* metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return new CrawlMetrics{
+          registry.GetCounter("crawl.fetch_ok"),
+          registry.GetCounter("crawl.fetch_fail"),
+          registry.GetCounter("crawl.cache_hits"),
+          registry.GetCounter("crawl.bytes_downloaded"),
+          registry.GetCounter("crawl.revocations_discovered"),
+          registry.GetCounter("crawl.ocsp_queries"),
+          registry.GetHistogram("crawl.fetch_ns"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 RevocationCrawler::RevocationCrawler(net::SimNet* net, unsigned threads)
     : net_(net), client_(net), threads_(threads) {}
@@ -30,6 +66,7 @@ void RevocationCrawler::AddUrl(const std::string& url) {
 }
 
 std::size_t RevocationCrawler::CrawlAll(util::Timestamp now) {
+  obs::Span visit_span("crawl.visit");
   const auto wall_start = std::chrono::steady_clock::now();
 
   // Phase 1 — fan out: fetch + parse every URL, one slot per URL. Workers
@@ -44,10 +81,16 @@ std::size_t RevocationCrawler::CrawlAll(util::Timestamp now) {
   std::vector<Outcome> outcomes(urls.size());
   if (!pool_) pool_ = std::make_unique<util::ThreadPool>(threads_);
   pool_->ParallelFor(urls.size(), [&](std::size_t i) {
+    obs::Span fetch_span("crawl.fetch");
+    const auto fetch_start = std::chrono::steady_clock::now();
     Outcome& out = outcomes[i];
     out.result = client_.Get(urls[i], now);
     if (out.result.fetch.ok())
       out.parsed = crl::ParseCrl(out.result.fetch.response.body);
+    CrawlMetrics::Get().fetch_ns.RecordSeconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      fetch_start)
+            .count());
   });
 
   // Phase 2 — deterministic merge in URL-sorted order (the order the old
@@ -55,21 +98,29 @@ std::size_t RevocationCrawler::CrawlAll(util::Timestamp now) {
   // seconds sum) and revocation-DB insertion are byte-identical to the
   // serial run at any thread count.
   std::size_t new_entries = 0;
+  CrawlMetrics& metrics = CrawlMetrics::Get();
   for (std::size_t i = 0; i < urls.size(); ++i) {
     const std::string& url = urls[i];
     Outcome& out = outcomes[i];
     seconds_spent_ += out.result.fetch.elapsed_seconds;
     if (!out.result.fetch.ok()) {
       ++fetch_failures_;
+      metrics.fetch_fail.Increment();
       continue;
     }
-    if (!out.result.from_cache)
+    if (out.result.from_cache) {
+      metrics.cache_hits.Increment();
+    } else {
       bytes_downloaded_ += out.result.fetch.response.body.size();
+      metrics.bytes_downloaded.Add(out.result.fetch.response.body.size());
+    }
 
     if (!out.parsed) {
       ++fetch_failures_;
+      metrics.fetch_fail.Increment();
       continue;
     }
+    metrics.fetch_ok.Increment();
     crl::Crl& parsed = *out.parsed;
 
     CrawledCrl& crawled = crawled_[url];
@@ -92,6 +143,7 @@ std::size_t RevocationCrawler::CrawlAll(util::Timestamp now) {
     }
     crawled.crl = std::move(parsed);
   }
+  metrics.revocations.Add(new_entries);
   crawl_wall_seconds_ += std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - wall_start)
                              .count();
@@ -101,8 +153,10 @@ std::size_t RevocationCrawler::CrawlAll(util::Timestamp now) {
 std::optional<ocsp::CertStatus> RevocationCrawler::QueryOcsp(
     const x509::Certificate& cert, const x509::Certificate& issuer,
     util::Timestamp now) {
+  obs::Span span("crawl.ocsp_query");
   for (const std::string& url : cert.tbs.ocsp_urls) {
     if (!net::IsFetchable(url)) continue;
+    CrawlMetrics::Get().ocsp_queries.Increment();
     ocsp::OcspRequest request;
     request.cert_ids = {ocsp::MakeCertId(issuer, cert.tbs.serial)};
     const net::FetchResult fetch =

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace rev::core {
@@ -16,9 +18,32 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// Pipeline-wide instruments (docs/observability.md). Aggregates across
+// pipeline instances; the per-instance wall-second accessors below remain
+// the exact per-run numbers.
+obs::Counter& ScansCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("pipeline.scans_ingested");
+  return counter;
+}
+
+obs::Counter& LeavesCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("pipeline.leaves_verified");
+  return counter;
+}
+
+obs::Histogram& VerifyHistogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram("pipeline.verify_ns");
+  return histogram;
+}
+
 }  // namespace
 
 void Pipeline::IngestScan(const scan::CertScanSnapshot& snapshot) {
+  obs::Span span("pipeline.ingest_scan");
+  ScansCounter().Increment();
   finalized_ = false;
   // Only a strictly newer snapshot starts a new latest-scan view; a second
   // snapshot at the same timestamp merges into the current view (clearing
@@ -59,20 +84,24 @@ void Pipeline::IngestScan(const scan::CertScanSnapshot& snapshot) {
 void Pipeline::Finalize() {
   if (finalized_) return;
   finalized_ = true;
+  obs::Span finalize_span("pipeline.finalize");
   const auto start = std::chrono::steady_clock::now();
 
   // Candidate intermediates: every CA certificate observed.
-  std::vector<x509::CertPtr> candidates;
-  for (const auto& [fp, record] : records_) {
-    if (record.cert->IsCa()) candidates.push_back(record.cert);
-  }
-  intermediate_set_ = x509::BuildIntermediateSet(candidates, roots_);
-
   x509::CertPool intermediates;
   std::set<Bytes> intermediate_fps;
-  for (const x509::CertPtr& cert : intermediate_set_) {
-    intermediates.Add(cert);
-    intermediate_fps.insert(cert->Fingerprint());
+  {
+    obs::Span intermediates_span("pipeline.intermediates");
+    std::vector<x509::CertPtr> candidates;
+    for (const auto& [fp, record] : records_) {
+      if (record.cert->IsCa()) candidates.push_back(record.cert);
+    }
+    intermediate_set_ = x509::BuildIntermediateSet(candidates, roots_);
+
+    for (const x509::CertPtr& cert : intermediate_set_) {
+      intermediates.Add(cert);
+      intermediate_fps.insert(cert->Fingerprint());
+    }
   }
   intermediate_wall_seconds_ = SecondsSince(start);
 
@@ -94,12 +123,18 @@ void Pipeline::Finalize() {
     }
   }
   const auto verify_start = std::chrono::steady_clock::now();
-  util::ThreadPool pool(threads_);
-  pool.ParallelFor(leaves.size(), [&](std::size_t i) {
-    CertRecord& record = *leaves[i];
-    record.valid =
-        x509::VerifyChain(record.cert, intermediates, roots_, options).ok();
-  });
+  {
+    obs::Span verify_span("pipeline.verify");
+    util::ThreadPool pool(threads_);
+    pool.ParallelFor(leaves.size(), [&](std::size_t i) {
+      CertRecord& record = *leaves[i];
+      const auto chain_start = std::chrono::steady_clock::now();
+      record.valid =
+          x509::VerifyChain(record.cert, intermediates, roots_, options).ok();
+      VerifyHistogram().RecordSeconds(SecondsSince(chain_start));
+    });
+    LeavesCounter().Add(leaves.size());
+  }
   verify_wall_seconds_ = SecondsSince(verify_start);
   finalize_wall_seconds_ = SecondsSince(start);
 }

@@ -2,6 +2,27 @@
 
 namespace rev::net {
 
+namespace {
+
+std::string CacheMetricName(const char* metric, std::uint64_t instance) {
+  return std::string("net.cache.") + metric + "{client=" +
+         std::to_string(instance) + "}";
+}
+
+}  // namespace
+
+CachingClient::CachingClient(SimNet* net)
+    : CachingClient(net, obs::NextInstanceId()) {}
+
+CachingClient::CachingClient(SimNet* net, std::uint64_t instance)
+    : net_(net),
+      hits_(obs::MetricsRegistry::Global().GetCounter(
+          CacheMetricName("hits", instance))),
+      misses_(obs::MetricsRegistry::Global().GetCounter(
+          CacheMetricName("misses", instance))),
+      evictions_(obs::MetricsRegistry::Global().GetCounter(
+          CacheMetricName("evictions", instance))) {}
+
 CachingClient::Result CachingClient::Get(std::string_view url,
                                          util::Timestamp now,
                                          double timeout_seconds) {
@@ -11,7 +32,7 @@ CachingClient::Result CachingClient::Get(std::string_view url,
     auto it = cache_.find(url);  // heterogeneous: no temporary string
     if (it != cache_.end()) {
       if (now < it->second.expires) {
-        ++hits_;
+        hits_.Increment();
         result.from_cache = true;
         result.fetch.error = FetchError::kOk;
         result.fetch.response = it->second.response;
@@ -21,9 +42,9 @@ CachingClient::Result CachingClient::Get(std::string_view url,
       // Stale: erase now rather than leaving a dead entry behind (the
       // refetch below may fail or come back uncacheable).
       cache_.erase(it);
-      ++evictions_;
+      evictions_.Increment();
     }
-    ++misses_;
+    misses_.Increment();
   }
   // Network I/O happens outside the lock; SimNet serializes internally.
   result.fetch = net_->Get(url, now, timeout_seconds);
@@ -48,7 +69,9 @@ std::size_t CachingClient::PruneExpired(util::Timestamp now) {
       ++it;
     }
   }
-  evictions_ += removed;
+  // Monotonic accounting: a sweep only ever *adds* to the eviction tally,
+  // exactly like the lazy erase-on-access path.
+  evictions_.Add(removed);
   return removed;
 }
 

@@ -16,12 +16,13 @@
 #include <string>
 
 #include "net/simnet.h"
+#include "obs/metrics.h"
 
 namespace rev::net {
 
 class CachingClient {
  public:
-  explicit CachingClient(SimNet* net) : net_(net) {}
+  explicit CachingClient(SimNet* net);
 
   struct Result {
     FetchResult fetch;   // elapsed is 0 for cache hits
@@ -37,25 +38,38 @@ class CachingClient {
   // entries for URLs that are never requested again.
   std::size_t PruneExpired(util::Timestamp now);
 
-  // Cache management.
-  void Clear() { cache_.clear(); }
-  std::size_t EntryCount() const { return cache_.size(); }
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  std::uint64_t evictions() const { return evictions_; }
+  // Cache management. Clear() drops entries but — like every registry
+  // counter — never rewinds the tallies: hits/misses/evictions are
+  // monotonic over the client's lifetime (tests/obs_test.cpp pins this).
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+  }
+  std::size_t EntryCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
+  std::uint64_t hits() const { return hits_.Value(); }
+  std::uint64_t misses() const { return misses_.Value(); }
+  std::uint64_t evictions() const { return evictions_.Value(); }
 
  private:
+  CachingClient(SimNet* net, std::uint64_t instance);
+
   struct Entry {
     HttpResponse response;
     util::Timestamp expires = 0;
   };
 
   SimNet* net_;
-  std::mutex mu_;  // guards cache_ and the counters during Get()
+  mutable std::mutex mu_;  // guards cache_; counters are lock-free
   std::map<std::string, Entry, std::less<>> cache_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  // Registry instruments labelled per instance ("net.cache.hits{client=N}")
+  // so several clients in one process keep exact separate tallies while
+  // still showing up in the global /metrics exposition.
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& evictions_;
 };
 
 }  // namespace rev::net

@@ -1,0 +1,236 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace rev::obs {
+
+namespace internal {
+
+std::size_t ThreadSlot() {
+  // Distinct threads get distinct slots until the counter wraps the shard
+  // count; a collision only costs contention, never correctness.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace internal
+
+std::uint64_t NextInstanceId() {
+  static std::atomic<std::uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+// ---------------------------------------------------------------- Histogram
+
+std::uint64_t HistogramSnapshot::BucketLowerBound(std::size_t i) {
+  if (i == 0) return 0;
+  return 1ull << (i - 1);
+}
+
+std::uint64_t HistogramSnapshot::BucketUpperBound(std::size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return ~0ull;
+  return (1ull << i) - 1;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count - 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (rank < static_cast<double>(cumulative)) {
+      const double lo = static_cast<double>(BucketLowerBound(i));
+      const double hi = static_cast<double>(BucketUpperBound(i));
+      const double frac = (rank - before) / static_cast<double>(buckets[i]);
+      return lo + frac * (hi - lo);
+    }
+  }
+  return static_cast<double>(max);
+}
+
+void Histogram::Record(std::uint64_t value) {
+  const auto bucket =
+      static_cast<std::size_t>(value == 0 ? 0 : std::bit_width(value));
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // min/max: optimistic load first so the steady state is CAS-free.
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = (snap.count == 0 || min == ~0ull) ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  return snap;
+}
+
+// ----------------------------------------------------------------- Registry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instruments referenced from static destructors and
+  // detached threads must outlive everything.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::size_t MetricsRegistry::InstrumentCount() const {
+  std::lock_guard lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_)
+    snap.counters.push_back({name, counter->Value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_)
+    snap.gauges.push_back({name, gauge->Value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_)
+    snap.histograms.push_back({name, histogram->Snapshot()});
+  return snap;
+}
+
+namespace {
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min<std::size_t>(static_cast<std::size_t>(n),
+                                                   sizeof(buf) - 1));
+}
+
+// Instrument names contain only [A-Za-z0-9._{}=,-]; escape defensively
+// anyway so DumpJson always emits valid JSON.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      AppendF(out, "\\u%04x", c);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::DumpText() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out;
+  for (const auto& c : snap.counters)
+    AppendF(out, "%s %" PRIu64 "\n", c.name.c_str(), c.value);
+  for (const auto& g : snap.gauges)
+    AppendF(out, "%s %" PRId64 "\n", g.name.c_str(), g.value);
+  for (const auto& h : snap.histograms) {
+    AppendF(out,
+            "%s count=%" PRIu64 " sum=%" PRIu64 " min=%" PRIu64 " max=%" PRIu64
+            " p50=%.1f p95=%.1f p99=%.1f\n",
+            h.name.c_str(), h.snapshot.count, h.snapshot.sum, h.snapshot.min,
+            h.snapshot.max, h.snapshot.Quantile(0.50), h.snapshot.Quantile(0.95),
+            h.snapshot.Quantile(0.99));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out = "{\"counters\":[";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    const auto& c = snap.counters[i];
+    AppendF(out, "%s{\"name\":\"%s\",\"value\":%" PRIu64 "}",
+            i == 0 ? "" : ",", JsonEscape(c.name).c_str(), c.value);
+  }
+  out += "],\"gauges\":[";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    const auto& g = snap.gauges[i];
+    AppendF(out, "%s{\"name\":\"%s\",\"value\":%" PRId64 "}",
+            i == 0 ? "" : ",", JsonEscape(g.name).c_str(), g.value);
+  }
+  out += "],\"histograms\":[";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    const HistogramSnapshot& s = h.snapshot;
+    AppendF(out,
+            "%s{\"name\":\"%s\",\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+            ",\"min\":%" PRIu64 ",\"max\":%" PRIu64
+            ",\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f,\"buckets\":[",
+            i == 0 ? "" : ",", JsonEscape(h.name).c_str(), s.count, s.sum,
+            s.min, s.max, s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99));
+    bool first = true;
+    for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+      if (s.buckets[b] == 0) continue;
+      AppendF(out, "%s{\"le\":%" PRIu64 ",\"count\":%" PRIu64 "}",
+              first ? "" : ",", HistogramSnapshot::BucketUpperBound(b),
+              s.buckets[b]);
+      first = false;
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rev::obs

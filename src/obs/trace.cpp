@@ -1,0 +1,234 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace rev::obs {
+
+namespace {
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Per-thread span-stack depth (Span ctor/dtor keep it balanced).
+thread_local std::uint16_t tl_depth = 0;
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min<std::size_t>(static_cast<std::size_t>(n),
+                                                   sizeof(buf) - 1));
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector() {
+  // REV_TRACE in the environment arms tracing for the whole process before
+  // any subsystem records its first span.
+  const char* env = std::getenv("REV_TRACE");
+  if (env != nullptr && env[0] != '\0') Enable();
+}
+
+TraceCollector& TraceCollector::Global() {
+  // Leaked on purpose: spans may fire from static destructors.
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::Enable(std::size_t events_per_thread) {
+  {
+    std::lock_guard lock(mu_);
+    capacity_ = events_per_thread == 0 ? 1 : events_per_thread;
+    for (auto& buffer : buffers_) {
+      std::lock_guard ring_lock(buffer->mu);
+      buffer->capacity = capacity_;
+      if (buffer->ring.size() > capacity_) {
+        // Keep the newest events: they sit just before the write cursor.
+        std::vector<TraceEvent> kept;
+        kept.reserve(capacity_);
+        const std::size_t start = buffer->total % buffer->ring.size();
+        for (std::size_t i = 0; i < capacity_; ++i) {
+          const std::size_t at = (start + buffer->ring.size() - capacity_ + i) %
+                                 buffer->ring.size();
+          kept.push_back(buffer->ring[at]);
+        }
+        buffer->ring = std::move(kept);
+      }
+    }
+  }
+  base_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceCollector::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard lock(mu_);
+  for (auto& buffer : buffers_) {
+    std::lock_guard ring_lock(buffer->mu);
+    buffer->ring.clear();
+    buffer->total = 0;
+  }
+}
+
+std::uint64_t TraceCollector::NowNs() const {
+  const std::uint64_t base = base_ns_.load(std::memory_order_relaxed);
+  const std::uint64_t now = SteadyNowNs();
+  return now > base ? now - base : 0;
+}
+
+TraceCollector::ThreadBuffer& TraceCollector::BufferForThisThread() {
+  // One buffer per (collector, thread); buffers are never destroyed, so the
+  // cached raw pointer stays valid for the thread's lifetime.
+  thread_local ThreadBuffer* tl_buffer = nullptr;
+  if (tl_buffer == nullptr) {
+    std::lock_guard lock(mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    tl_buffer = buffers_.back().get();
+    tl_buffer->capacity = capacity_;
+    tl_buffer->tid = next_tid_++;
+  }
+  return *tl_buffer;
+}
+
+void TraceCollector::Record(const char* name, std::uint64_t start_ns,
+                            std::uint64_t dur_ns, std::uint16_t depth) {
+  ThreadBuffer& buffer = BufferForThisThread();
+  std::lock_guard lock(buffer.mu);
+  TraceEvent event{name, start_ns, dur_ns, buffer.tid, depth};
+  if (buffer.ring.size() < buffer.capacity) {
+    buffer.ring.push_back(event);
+  } else {
+    // Overwrite the oldest event; `total` keeps advancing so dropped() and
+    // the chronological unwrap in Enable()/Snapshot() stay exact.
+    buffer.ring[buffer.total % buffer.ring.size()] = event;
+  }
+  ++buffer.total;
+}
+
+std::vector<TraceEvent> TraceCollector::Snapshot() const {
+  std::vector<TraceEvent> events;
+  std::lock_guard lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard ring_lock(buffer->mu);
+    events.insert(events.end(), buffer->ring.begin(), buffer->ring.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.tid < b.tid;
+            });
+  return events;
+}
+
+std::uint64_t TraceCollector::dropped() const {
+  std::uint64_t dropped = 0;
+  std::lock_guard lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard ring_lock(buffer->mu);
+    dropped += buffer->total - buffer->ring.size();
+  }
+  return dropped;
+}
+
+std::string TraceCollector::ChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    AppendF(out,
+            "{\"name\":\"%s\",\"cat\":\"rev\",\"ph\":\"X\",\"ts\":%.3f,"
+            "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%u}}%s\n",
+            e.name, static_cast<double>(e.start_ns) / 1e3,
+            static_cast<double>(e.dur_ns) / 1e3, e.tid, e.depth,
+            i + 1 < events.size() ? "," : "");
+  }
+  AppendF(out, "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":%" PRIu64
+               "}}\n",
+          dropped());
+  return out;
+}
+
+bool TraceCollector::WriteChromeTrace(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ChromeTraceJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::string TraceCollector::TextProfile() const {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const TraceEvent& e : Snapshot()) {
+    Agg& agg = by_name[e.name];
+    ++agg.count;
+    agg.total_ns += e.dur_ns;
+    agg.max_ns = std::max(agg.max_ns, e.dur_ns);
+  }
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(), by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+
+  std::string out;
+  AppendF(out, "%-36s %10s %12s %12s %12s\n", "span", "count", "total(ms)",
+          "mean(us)", "max(us)");
+  for (const auto& [name, agg] : rows) {
+    AppendF(out, "%-36s %10" PRIu64 " %12.3f %12.2f %12.2f\n", name.c_str(),
+            agg.count, static_cast<double>(agg.total_ns) / 1e6,
+            agg.count == 0 ? 0.0
+                           : static_cast<double>(agg.total_ns) /
+                                 static_cast<double>(agg.count) / 1e3,
+            static_cast<double>(agg.max_ns) / 1e3);
+  }
+  const std::uint64_t lost = dropped();
+  if (lost > 0) AppendF(out, "(dropped %" PRIu64 " events)\n", lost);
+  return out;
+}
+
+bool TraceCollector::ExportFromEnv() const {
+  const char* path = std::getenv("REV_TRACE");
+  if (path == nullptr || path[0] == '\0') return false;
+  return WriteChromeTrace(path);
+}
+
+Span::Span(const char* name) : name_(nullptr) {
+  TraceCollector& collector = TraceCollector::Global();
+  if (!collector.enabled()) return;  // one relaxed load on the fast path
+  name_ = name;
+  depth_ = tl_depth++;
+  start_ns_ = collector.NowNs();
+}
+
+Span::~Span() {
+  if (name_ == nullptr) return;
+  TraceCollector& collector = TraceCollector::Global();
+  --tl_depth;
+  // Tracing may have been disabled mid-span; still record so the span
+  // stack stays balanced in the output.
+  const std::uint64_t end_ns = collector.NowNs();
+  collector.Record(name_, start_ns_,
+                   end_ns > start_ns_ ? end_ns - start_ns_ : 0, depth_);
+}
+
+}  // namespace rev::obs

@@ -1,0 +1,117 @@
+// Trace spans: where the time goes inside a run, across subsystems.
+//
+//   { obs::Span span("pipeline.verify"); … }   // RAII: timed on destruct
+//
+// When tracing is disabled (the default) a Span costs one relaxed atomic
+// load — cheap enough to leave on the serving hot path permanently. When
+// enabled (REV_TRACE=<path> in the environment, or Enable() in code),
+// completed spans are pushed into a bounded per-thread ring buffer; when
+// a ring fills, the *oldest* events are overwritten so a long run keeps
+// its most recent window and counts what it dropped.
+//
+// Export: Chrome trace-event JSON (open chrome://tracing or
+// https://ui.perfetto.dev and load the file) and a flat text profile
+// aggregated by span name (tools/trace2txt renders the JSON for
+// terminals). See docs/observability.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rev::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;  // static-lifetime string (literal)
+  std::uint64_t start_ns = 0;  // relative to the collector's time base
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;   // collector-assigned thread number
+  std::uint16_t depth = 0;  // span-stack depth at entry (0 = top level)
+};
+
+// Process-wide collector. Thread-safe: each thread owns a ring buffer it
+// alone writes (under that ring's private mutex, uncontended except while
+// a snapshot is being taken).
+class TraceCollector {
+ public:
+  static TraceCollector& Global();
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  // Starts collecting; rings hold `events_per_thread` completed spans.
+  // Re-enabling resets the time base but keeps prior events (Clear() to
+  // drop them).
+  void Enable(std::size_t events_per_thread = 1 << 15);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Clear();
+
+  // All buffered events, merged across threads, sorted by start time.
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Events overwritten because a ring was full.
+  std::uint64_t dropped() const;
+
+  // Chrome trace-event JSON ("X" complete events, microsecond units).
+  std::string ChromeTraceJson() const;
+  bool WriteChromeTrace(const std::string& path) const;
+
+  // Flat profile: per span name — count, total wall, mean, max — sorted by
+  // total descending.
+  std::string TextProfile() const;
+
+  // If REV_TRACE names a path, writes the Chrome trace there and returns
+  // true. Benches call this on exit so `REV_TRACE=trace.json bench_x`
+  // yields a full cross-subsystem timeline.
+  bool ExportFromEnv() const;
+
+  // Called by Span; records one completed span for the calling thread.
+  void Record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+              std::uint16_t depth);
+
+  // Monotonic nanoseconds since the collector's time base.
+  std::uint64_t NowNs() const;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;  // writer is the owning thread; readers are snapshots
+    std::vector<TraceEvent> ring;
+    std::size_t capacity = 0;
+    std::uint64_t total = 0;  // events ever recorded (total - size = dropped)
+    std::uint32_t tid = 0;
+  };
+
+  TraceCollector();
+  ThreadBuffer& BufferForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> base_ns_{0};  // steady_clock epoch of Enable()
+
+  mutable std::mutex mu_;  // guards buffers_ (the list, not ring contents)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::size_t capacity_ = 1 << 15;
+  std::uint32_t next_tid_ = 1;
+};
+
+// RAII span. `name` must be a string literal (stored by pointer). Nesting
+// is tracked per thread; the span stack depth is recorded with each event.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;        // nullptr when tracing was off at entry
+  std::uint64_t start_ns_ = 0;
+  std::uint16_t depth_ = 0;
+};
+
+}  // namespace rev::obs

@@ -3,21 +3,49 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace rev::serve {
 
-struct Frontend::CountersAtomic {
-  std::atomic<std::uint64_t> requests{0};
-  std::atomic<std::uint64_t> cache_hits{0};
-  std::atomic<std::uint64_t> cache_misses{0};
-  std::atomic<std::uint64_t> cache_expired{0};
-  std::atomic<std::uint64_t> signed_on_demand{0};
-  std::atomic<std::uint64_t> batch_signed{0};
-  std::atomic<std::uint64_t> refreshed{0};
-  std::atomic<std::uint64_t> shed{0};
-  std::atomic<std::uint64_t> malformed{0};
-  std::atomic<std::uint64_t> unauthorized{0};
-  std::atomic<std::uint64_t> staples{0};
-  std::atomic<std::uint64_t> status_updates{0};
+// Registry instruments, one set per frontend instance (label "frontend=N")
+// so counters() stays exact when several frontends coexist. References are
+// resolved once at construction; the hot path touches only lock-free
+// sharded atomics.
+struct Frontend::Instruments {
+  explicit Instruments(const std::string& label)
+      : requests(Get("serve.requests", label)),
+        cache_hits(Get("serve.cache_hits", label)),
+        cache_misses(Get("serve.cache_misses", label)),
+        cache_expired(Get("serve.cache_expired", label)),
+        signed_on_demand(Get("serve.signed_on_demand", label)),
+        batch_signed(Get("serve.batch_signed", label)),
+        refreshed(Get("serve.refreshed", label)),
+        shed(Get("serve.shed", label)),
+        malformed(Get("serve.malformed", label)),
+        unauthorized(Get("serve.unauthorized", label)),
+        staples(Get("serve.staples", label)),
+        status_updates(Get("serve.status_updates", label)),
+        latency_ns(obs::MetricsRegistry::Global().GetHistogram(
+            "serve.latency_ns{" + label + "}")) {}
+
+  static obs::Counter& Get(const char* name, const std::string& label) {
+    return obs::MetricsRegistry::Global().GetCounter(std::string(name) + "{" +
+                                                     label + "}");
+  }
+
+  obs::Counter& requests;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& cache_expired;
+  obs::Counter& signed_on_demand;
+  obs::Counter& batch_signed;
+  obs::Counter& refreshed;
+  obs::Counter& shed;
+  obs::Counter& malformed;
+  obs::Counter& unauthorized;
+  obs::Counter& staples;
+  obs::Counter& status_updates;
+  obs::Histogram& latency_ns;
 };
 
 Frontend::Frontend(FrontendOptions options)
@@ -25,7 +53,8 @@ Frontend::Frontend(FrontendOptions options)
       index_(options.num_shards),
       cache_(options.num_shards),
       inflight_(new std::atomic<std::size_t>[index_.num_shards()]),
-      counters_(std::make_unique<CountersAtomic>()) {
+      metrics_label_("frontend=" + std::to_string(obs::NextInstanceId())),
+      metrics_(std::make_unique<Instruments>(metrics_label_)) {
   for (std::size_t s = 0; s < index_.num_shards(); ++s) inflight_[s] = 0;
   try_later_der_ = std::make_shared<const Bytes>(
       ocsp::MakeErrorResponse(ocsp::ResponseStatus::kTryLater).der);
@@ -88,7 +117,7 @@ void Frontend::Flush() {
   index_.Apply(batch);
   // Any precomputed response for a touched key is now suspect.
   for (const StatusIndex::Update& update : batch) cache_.Invalidate(update.key);
-  counters_->status_updates.fetch_add(batch.size(), std::memory_order_relaxed);
+  metrics_->status_updates.Add(batch.size());
 }
 
 ResponseCache::Entry Frontend::SignEntry(const ocsp::Responder& responder,
@@ -112,11 +141,6 @@ ResponseCache::Entry Frontend::SignEntry(const ocsp::Responder& responder,
   return entry;
 }
 
-void Frontend::RecordLatency(double seconds) {
-  std::lock_guard lock(latency_mu_);
-  latency_.Add(seconds);
-}
-
 std::size_t Frontend::ShardOf(BytesView issuer_key_hash,
                               const x509::Serial& serial) const {
   return index_.ShardOf(MakeStatusKey(issuer_key_hash, serial));
@@ -137,10 +161,10 @@ void Frontend::ExitShard(std::size_t shard) {
 
 Frontend::ServeResult Frontend::Serve(BytesView request_der,
                                       util::Timestamp now) {
-  counters_->requests.fetch_add(1, std::memory_order_relaxed);
+  metrics_->requests.Increment();
   auto request = ocsp::ParseOcspRequest(request_der);
   if (!request) {
-    counters_->malformed.fetch_add(1, std::memory_order_relaxed);
+    metrics_->malformed.Increment();
     return {200, malformed_der_, 0, false};
   }
   return ServeParsed(*request, now);
@@ -148,10 +172,10 @@ Frontend::ServeResult Frontend::Serve(BytesView request_der,
 
 Frontend::ServeResult Frontend::ServeGetPath(std::string_view path,
                                              util::Timestamp now) {
-  counters_->requests.fetch_add(1, std::memory_order_relaxed);
+  metrics_->requests.Increment();
   auto request = ocsp::ParseOcspGetPath(path);
   if (!request) {
-    counters_->malformed.fetch_add(1, std::memory_order_relaxed);
+    metrics_->malformed.Increment();
     return {200, malformed_der_, 0, false};
   }
   return ServeParsed(*request, now);
@@ -159,6 +183,7 @@ Frontend::ServeResult Frontend::ServeGetPath(std::string_view path,
 
 Frontend::ServeResult Frontend::ServeParsed(const ocsp::OcspRequest& request,
                                             util::Timestamp now) {
+  obs::Span span("serve.request");
   const auto start = options_.record_latency
                          ? std::chrono::steady_clock::now()
                          : std::chrono::steady_clock::time_point{};
@@ -166,13 +191,13 @@ Frontend::ServeResult Frontend::ServeParsed(const ocsp::OcspRequest& request,
   const ocsp::Responder* responder =
       FindResponder(request.cert_ids.front().issuer_key_hash);
   if (responder == nullptr) {
-    counters_->unauthorized.fetch_add(1, std::memory_order_relaxed);
+    metrics_->unauthorized.Increment();
     return {200, unauthorized_der_, 0, false};
   }
   for (const ocsp::CertId& id : request.cert_ids) {
     if (id.issuer_name_hash != responder->issuer_name_hash() ||
         id.issuer_key_hash != responder->issuer_key_hash()) {
-      counters_->unauthorized.fetch_add(1, std::memory_order_relaxed);
+      metrics_->unauthorized.Increment();
       return {200, unauthorized_der_, 0, false};
     }
   }
@@ -183,7 +208,7 @@ Frontend::ServeResult Frontend::ServeParsed(const ocsp::OcspRequest& request,
                                       request.cert_ids.front().serial);
   const std::size_t shard = index_.ShardOf(key);
   if (!TryEnterShard(shard)) {
-    counters_->shed.fetch_add(1, std::memory_order_relaxed);
+    metrics_->shed.Increment();
     return {503, try_later_der_, options_.retry_after_seconds, false};
   }
 
@@ -192,15 +217,15 @@ Frontend::ServeResult Frontend::ServeParsed(const ocsp::OcspRequest& request,
     // Hot path: precomputed response, hash lookup + pointer copy.
     const ResponseCache::LookupResult cached = cache_.Get(key, now);
     if (cached.outcome == ResponseCache::Outcome::kHit) {
-      counters_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+      metrics_->cache_hits.Increment();
       result = {200, cached.der, 0, true};
     } else {
       (cached.outcome == ResponseCache::Outcome::kExpired
-           ? counters_->cache_expired
-           : counters_->cache_misses)
-          .fetch_add(1, std::memory_order_relaxed);
+           ? metrics_->cache_expired
+           : metrics_->cache_misses)
+          .Increment();
       ResponseCache::Entry entry = SignEntry(*responder, key, now);
-      counters_->signed_on_demand.fetch_add(1, std::memory_order_relaxed);
+      metrics_->signed_on_demand.Increment();
       result = {200, entry.der, 0, false};
       // Only known serials enter the cache: caching `unknown` answers would
       // let arbitrary query strings grow the cache without bound.
@@ -220,22 +245,34 @@ Frontend::ServeResult Frontend::ServeParsed(const ocsp::OcspRequest& request,
     }
     ocsp::OcspResponse response =
         responder->Sign(singles, now, request.nonce);
-    counters_->signed_on_demand.fetch_add(1, std::memory_order_relaxed);
+    metrics_->signed_on_demand.Increment();
     result = {200, std::make_shared<const Bytes>(std::move(response.der)), 0,
               false};
   }
   ExitShard(shard);
 
   if (options_.record_latency) {
-    RecordLatency(std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - start)
-                      .count());
+    // Lock-free histogram: the accounting no longer funnels every thread
+    // through one mutex (the old Accumulator did).
+    metrics_->latency_ns.RecordSeconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
   }
   return result;
 }
 
 net::HttpResponse Frontend::HandleHttp(const net::HttpRequest& request,
                                        util::Timestamp now) {
+  // Observability exposition, exact-path only: every other GET is an RFC
+  // 6960 Appendix A request (including malformed ones, which must still get
+  // an OCSP error response rather than a 404).
+  if (request.method == "GET" && request.path == "/metrics") {
+    net::HttpResponse response;
+    response.status = 200;
+    const std::string text = obs::MetricsRegistry::Global().DumpText();
+    response.body.assign(text.begin(), text.end());
+    return response;
+  }
   const ServeResult result = request.method == "GET"
                                  ? ServeGetPath(request.path, now)
                                  : Serve(request.body, now);
@@ -251,21 +288,21 @@ std::shared_ptr<const Bytes> Frontend::Staple(BytesView issuer_key_hash,
                                               util::Timestamp now) {
   const ocsp::Responder* responder = FindResponder(issuer_key_hash);
   if (responder == nullptr) return nullptr;
-  counters_->staples.fetch_add(1, std::memory_order_relaxed);
+  metrics_->staples.Increment();
   MaybeFlush();
 
   const StatusKey key = MakeStatusKey(issuer_key_hash, serial);
   const ResponseCache::LookupResult cached = cache_.Get(key, now);
   if (cached.outcome == ResponseCache::Outcome::kHit) {
-    counters_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+    metrics_->cache_hits.Increment();
     return cached.der;
   }
   (cached.outcome == ResponseCache::Outcome::kExpired
-       ? counters_->cache_expired
-       : counters_->cache_misses)
-      .fetch_add(1, std::memory_order_relaxed);
+       ? metrics_->cache_expired
+       : metrics_->cache_misses)
+      .Increment();
   ResponseCache::Entry entry = SignEntry(*responder, key, now);
-  counters_->signed_on_demand.fetch_add(1, std::memory_order_relaxed);
+  metrics_->signed_on_demand.Increment();
   std::shared_ptr<const Bytes> der = entry.der;
   if (index_.Lookup(key)) cache_.Put(key, std::move(entry));
   return der;
@@ -289,7 +326,7 @@ std::size_t Frontend::RebuildAll(util::Timestamp now) {
     slots[i] = {keys[i], SignEntry(*responder, keys[i], now)};
   });
   cache_.PutBatch(std::move(slots));
-  counters_->batch_signed.fetch_add(keys.size(), std::memory_order_relaxed);
+  metrics_->batch_signed.Add(keys.size());
   return keys.size();
 }
 
@@ -319,32 +356,37 @@ std::size_t Frontend::RefreshStale(util::Timestamp now) {
     if (!index_.Lookup(key)) cache_.Invalidate(key);
   cache_.PutBatch(std::move(slots));
   const std::size_t refreshed = stale.size() - dropped;
-  counters_->refreshed.fetch_add(refreshed, std::memory_order_relaxed);
+  metrics_->refreshed.Add(refreshed);
   return refreshed;
 }
 
 Frontend::Counters Frontend::counters() const {
   Counters out;
-  out.requests = counters_->requests.load(std::memory_order_relaxed);
-  out.cache_hits = counters_->cache_hits.load(std::memory_order_relaxed);
-  out.cache_misses = counters_->cache_misses.load(std::memory_order_relaxed);
-  out.cache_expired = counters_->cache_expired.load(std::memory_order_relaxed);
-  out.signed_on_demand =
-      counters_->signed_on_demand.load(std::memory_order_relaxed);
-  out.batch_signed = counters_->batch_signed.load(std::memory_order_relaxed);
-  out.refreshed = counters_->refreshed.load(std::memory_order_relaxed);
-  out.shed = counters_->shed.load(std::memory_order_relaxed);
-  out.malformed = counters_->malformed.load(std::memory_order_relaxed);
-  out.unauthorized = counters_->unauthorized.load(std::memory_order_relaxed);
-  out.staples = counters_->staples.load(std::memory_order_relaxed);
-  out.status_updates =
-      counters_->status_updates.load(std::memory_order_relaxed);
+  out.requests = metrics_->requests.Value();
+  out.cache_hits = metrics_->cache_hits.Value();
+  out.cache_misses = metrics_->cache_misses.Value();
+  out.cache_expired = metrics_->cache_expired.Value();
+  out.signed_on_demand = metrics_->signed_on_demand.Value();
+  out.batch_signed = metrics_->batch_signed.Value();
+  out.refreshed = metrics_->refreshed.Value();
+  out.shed = metrics_->shed.Value();
+  out.malformed = metrics_->malformed.Value();
+  out.unauthorized = metrics_->unauthorized.Value();
+  out.staples = metrics_->staples.Value();
+  out.status_updates = metrics_->status_updates.Value();
   return out;
 }
 
 util::Accumulator Frontend::latency() const {
-  std::lock_guard lock(latency_mu_);
-  return latency_;
+  const obs::HistogramSnapshot snap = metrics_->latency_ns.Snapshot();
+  if (snap.count == 0) return {};
+  return util::Accumulator::FromSummary(
+      snap.count, snap.Mean() / 1e9, static_cast<double>(snap.min) / 1e9,
+      static_cast<double>(snap.max) / 1e9);
+}
+
+obs::HistogramSnapshot Frontend::latency_histogram() const {
+  return metrics_->latency_ns.Snapshot();
 }
 
 }  // namespace rev::serve

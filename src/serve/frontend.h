@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "net/simnet.h"
+#include "obs/metrics.h"
 #include "ocsp/responder.h"
 #include "serve/response_cache.h"
 #include "serve/status_index.h"
@@ -42,8 +43,9 @@ struct FrontendOptions {
   // Worker threads for batch signing (RebuildAll/RefreshStale); 1 = inline
   // serial execution (no worker threads spawned), 0 = hardware concurrency.
   unsigned threads = 1;
-  // Per-request latency accounting (steady_clock); disable to shave the
-  // last nanoseconds off the hot path.
+  // Per-request latency accounting (steady_clock) into a lock-free
+  // obs::Histogram — cheap enough to leave on under full load; disable to
+  // shave the last nanoseconds off the hot path.
   bool record_latency = true;
 };
 
@@ -75,7 +77,9 @@ class Frontend {
   // RFC 6960 Appendix A GET form: "/{base64(request)}". Thread-safe.
   ServeResult ServeGetPath(std::string_view path, util::Timestamp now);
 
-  // Adapter for net::SimNet host handlers (GET and POST).
+  // Adapter for net::SimNet host handlers (GET and POST). Also serves
+  // `GET /metrics`: the global obs::MetricsRegistry text exposition (this
+  // frontend's instruments carry the metrics_label() suffix).
   net::HttpResponse HandleHttp(const net::HttpRequest& request,
                                util::Timestamp now);
 
@@ -117,9 +121,18 @@ class Frontend {
   };
   Counters counters() const;
 
-  // Latency of served requests in seconds (count/mean/min/max); empty when
-  // record_latency is off.
+  // Compatibility shim over the lock-free latency histogram: count, mean,
+  // min, and max of served-request latency in seconds (variance reports 0 —
+  // the histogram keeps moments, not samples). Empty when record_latency is
+  // off. Prefer latency_histogram() for quantiles.
   util::Accumulator latency() const;
+
+  // The per-request latency distribution in nanoseconds.
+  obs::HistogramSnapshot latency_histogram() const;
+
+  // Label suffix of this instance's registry instruments, "frontend=N"
+  // (e.g. "serve.requests{frontend=N}" in the /metrics exposition).
+  const std::string& metrics_label() const { return metrics_label_; }
 
   const StatusIndex& index() const { return index_; }
   const ResponseCache& cache() const { return cache_; }
@@ -132,7 +145,7 @@ class Frontend {
   void ExitShard(std::size_t shard);      // releases it
 
  private:
-  struct CountersAtomic;
+  struct Instruments;
 
   const ocsp::Responder* FindResponder(BytesView issuer_key_hash) const;
   void OnMutation(const ocsp::Responder& responder, const x509::Serial& serial,
@@ -144,7 +157,6 @@ class Frontend {
   ServeResult ServeParsed(const ocsp::OcspRequest& request,
                           util::Timestamp now);
   void EnsurePool();
-  void RecordLatency(double seconds);
 
   FrontendOptions options_;
   StatusIndex index_;
@@ -163,9 +175,11 @@ class Frontend {
   std::mutex maintenance_mu_;
   std::unique_ptr<util::ThreadPool> pool_;
 
-  std::unique_ptr<CountersAtomic> counters_;
-  mutable std::mutex latency_mu_;
-  util::Accumulator latency_;
+  // Registry instruments ("serve.*{frontend=N}"): sharded counters and the
+  // lock-free latency histogram that replaced the old mutex-guarded
+  // accumulator — the hot path never takes a lock for accounting.
+  std::string metrics_label_;
+  std::unique_ptr<Instruments> metrics_;
 
   std::shared_ptr<const Bytes> try_later_der_;
   std::shared_ptr<const Bytes> malformed_der_;

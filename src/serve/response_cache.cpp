@@ -1,19 +1,45 @@
 #include "serve/response_cache.h"
 
 #include <algorithm>
+#include <string>
 
 namespace rev::serve {
 
+namespace {
+
+std::string CacheMetricName(const char* metric, std::uint64_t instance) {
+  return std::string("serve.response_cache.") + metric + "{cache=" +
+         std::to_string(instance) + "}";
+}
+
+}  // namespace
+
 ResponseCache::ResponseCache(std::size_t num_shards)
-    : shards_(num_shards == 0 ? 1 : num_shards) {}
+    : ResponseCache(num_shards, obs::NextInstanceId()) {}
+
+ResponseCache::ResponseCache(std::size_t num_shards, std::uint64_t instance)
+    : shards_(num_shards == 0 ? 1 : num_shards),
+      hits_(obs::MetricsRegistry::Global().GetCounter(
+          CacheMetricName("hits", instance))),
+      misses_(obs::MetricsRegistry::Global().GetCounter(
+          CacheMetricName("misses", instance))),
+      expired_(obs::MetricsRegistry::Global().GetCounter(
+          CacheMetricName("expired", instance))) {}
 
 ResponseCache::LookupResult ResponseCache::Get(const StatusKey& key,
                                                util::Timestamp now) const {
   const Shard& shard = shards_[ShardOf(key)];
   std::shared_lock lock(shard.mu);
   auto it = shard.map.find(key);
-  if (it == shard.map.end()) return {Outcome::kMiss, nullptr};
-  if (now >= it->second.serve_until) return {Outcome::kExpired, nullptr};
+  if (it == shard.map.end()) {
+    misses_.Increment();
+    return {Outcome::kMiss, nullptr};
+  }
+  if (now >= it->second.serve_until) {
+    expired_.Increment();
+    return {Outcome::kExpired, nullptr};
+  }
+  hits_.Increment();
   return {Outcome::kHit, it->second.der};
 }
 

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/status_index.h"
 #include "util/bytes.h"
 #include "util/time.h"
@@ -54,6 +55,14 @@ class ResponseCache {
 
   std::size_t size() const;
 
+  // Registry tallies ("serve.response_cache.*{cache=N}"). Strictly
+  // monotonic: lookups only ever add, and Clear()/Invalidate()/batch
+  // re-signs never reset them — a reader sampling across a RefreshStale or
+  // an epoch swap sees the totals move forward only.
+  std::uint64_t hits() const { return hits_.Value(); }
+  std::uint64_t misses() const { return misses_.Value(); }
+  std::uint64_t expired() const { return expired_.Value(); }
+
  private:
   using Map = std::unordered_map<StatusKey, Entry, StatusKeyHash>;
 
@@ -66,7 +75,12 @@ class ResponseCache {
     return StatusKeyHash{}(key) % shards_.size();
   }
 
+  ResponseCache(std::size_t num_shards, std::uint64_t instance);
+
   std::vector<Shard> shards_;
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& expired_;
 };
 
 }  // namespace rev::serve

@@ -61,6 +61,7 @@ class ThreadPool {
   const std::function<void(std::size_t)>* fn_ = nullptr;
   std::size_t count_ = 0;
   std::atomic<std::size_t> next_{0};   // next unclaimed index
+  std::atomic<std::size_t> executed_{0};  // tasks actually run this batch
   std::atomic<bool> failed_{false};    // a task threw; skip remaining work
   std::exception_ptr error_;           // first exception, rethrown by caller
   unsigned active_ = 0;                // workers still inside RunBatch

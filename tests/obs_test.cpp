@@ -1,0 +1,620 @@
+// Observability tests: counter/gauge/histogram exactness under concurrent
+// writers, span nesting and ring-buffer overflow accounting, the DumpJson()
+// schema round-trip (parsed with a minimal JSON reader below), the
+// `GET /metrics` exposition over SimNet, and the monotonic-counter
+// regression for the caches. `ObsStress.*` is the target scripts/ci.sh runs
+// under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/cache.h"
+#include "net/simnet.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "ocsp/ocsp.h"
+#include "ocsp/responder.h"
+#include "serve/frontend.h"
+#include "x509/name.h"
+
+namespace rev::obs {
+namespace {
+
+// ------------------------------------------------- minimal JSON reader ----
+// Just enough JSON to round-trip the DumpJson()/ChromeTraceJson() schemas:
+// objects, arrays, strings with escapes, numbers, literals.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    static const JsonValue missing;
+    auto it = object.find(key);
+    return it == object.end() ? missing : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue& out) {
+    return ParseValue(out) && (SkipSpace(), pos_ == text_.size());
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue& out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"': out.type = JsonValue::Type::kString;
+                return ParseString(out.string);
+      case 't': out.type = JsonValue::Type::kBool; out.boolean = true;
+                return Literal("true");
+      case 'f': out.type = JsonValue::Type::kBool; out.boolean = false;
+                return Literal("false");
+      case 'n': out.type = JsonValue::Type::kNull; return Literal("null");
+      default:  return ParseNumber(out);
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const std::size_t n = std::string_view(lit).size();
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return false;
+    out.type = JsonValue::Type::kNumber;
+    out.number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool ParseString(std::string& out) {
+    if (!Consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': pos_ += 4; c = '?'; break;  // good enough for our ASCII
+          default: c = esc; break;
+        }
+      }
+      out.push_back(c);
+    }
+    return pos_ < text_.size() && text_[pos_++] == '"';
+  }
+
+  bool ParseArray(JsonValue& out) {
+    if (!Consume('[')) return false;
+    out.type = JsonValue::Type::kArray;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') { ++pos_; return true; }
+    while (true) {
+      JsonValue element;
+      if (!ParseValue(element)) return false;
+      out.array.push_back(std::move(element));
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  bool ParseObject(JsonValue& out) {
+    if (!Consume('{')) return false;
+    out.type = JsonValue::Type::kObject;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') { ++pos_; return true; }
+    while (true) {
+      std::string key;
+      SkipSpace();
+      if (!ParseString(key) || !Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(value)) return false;
+      out.object.emplace(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// Value of `name value` in a DumpText() exposition; dies if absent.
+std::uint64_t ExpositionValue(const std::string& text,
+                              const std::string& name) {
+  const std::string prefix = name + " ";
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line(text.data() + pos,
+                                (eol == std::string::npos ? text.size() : eol) -
+                                    pos);
+    if (line.substr(0, prefix.size()) == prefix) {
+      return std::stoull(std::string(line.substr(prefix.size())));
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  ADD_FAILURE() << "instrument not in exposition: " << name;
+  return ~0ull;
+}
+
+// ---------------------------------------------------------- instruments ----
+
+TEST(Metrics, CounterExactUnderConcurrentWriters) {
+  Counter& counter =
+      MetricsRegistry::Global().GetCounter("test.counter_exact");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kOps = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kOps; ++i) counter.Increment();
+      counter.Add(5);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * (kOps + 5));
+}
+
+TEST(Metrics, GaugeMovesBothWays) {
+  Gauge& gauge = MetricsRegistry::Global().GetGauge("test.gauge");
+  gauge.Add(10);
+  gauge.Sub(4);
+  EXPECT_EQ(gauge.Value(), 6);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < 1000; ++i) {
+        gauge.Add(3);
+        gauge.Sub(3);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(gauge.Value(), 6);  // balanced adds cancel exactly
+  gauge.Set(42);
+  EXPECT_EQ(gauge.Value(), 42);
+}
+
+TEST(Metrics, HistogramBucketsMinMaxQuantiles) {
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("test.histogram_buckets");
+  histogram.Record(0);
+  histogram.Record(1);
+  histogram.Record(7);    // bit_width 3 -> bucket 3 ([4,7])
+  histogram.Record(8);    // bit_width 4 -> bucket 4 ([8,15])
+  histogram.Record(1000);
+
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 1016u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_EQ(snap.buckets[4], 1u);
+  EXPECT_EQ(snap.buckets[10], 1u);  // 1000 in [512,1023]
+  EXPECT_DOUBLE_EQ(snap.Mean(), 1016.0 / 5.0);
+  // Quantiles are monotone and bounded by the observed range.
+  EXPECT_LE(snap.Quantile(0.5), snap.Quantile(0.99));
+  EXPECT_LE(snap.Quantile(0.99), 1024.0);
+  EXPECT_EQ(HistogramSnapshot::BucketLowerBound(4), 8u);
+  EXPECT_EQ(HistogramSnapshot::BucketUpperBound(4), 15u);
+}
+
+TEST(Metrics, HistogramExactTotalsUnderConcurrentWriters) {
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("test.histogram_threads");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kOps = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (std::uint64_t i = 0; i < kOps; ++i)
+        histogram.Record(static_cast<std::uint64_t>(t) * kOps + i);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const HistogramSnapshot snap = histogram.Snapshot();
+  constexpr std::uint64_t kTotal = kThreads * kOps;
+  EXPECT_EQ(snap.count, kTotal);
+  EXPECT_EQ(snap.sum, kTotal * (kTotal - 1) / 2);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, kTotal - 1);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kTotal);
+}
+
+TEST(Metrics, RegistryReturnsSameInstrumentForSameName) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& a = registry.GetCounter("test.same_name");
+  Counter& b = registry.GetCounter("test.same_name");
+  EXPECT_EQ(&a, &b);
+  // Labelled variants are distinct instruments.
+  Counter& labelled = registry.GetCounter("test.same_name{shard=1}");
+  EXPECT_NE(&a, &labelled);
+  const std::size_t count = registry.InstrumentCount();
+  registry.GetCounter("test.same_name");  // re-get: no new instrument
+  EXPECT_EQ(registry.InstrumentCount(), count);
+}
+
+TEST(Metrics, DumpJsonRoundTrip) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.json_counter").Add(12345);
+  registry.GetGauge("test.json_gauge").Set(-7);
+  Histogram& histogram = registry.GetHistogram("test.json_histogram");
+  histogram.Record(100);
+  histogram.Record(200);
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(registry.DumpJson()).Parse(doc))
+      << "DumpJson() is not valid JSON";
+  ASSERT_EQ(doc.type, JsonValue::Type::kObject);
+
+  bool found_counter = false;
+  for (const JsonValue& counter : doc.at("counters").array) {
+    if (counter.at("name").string == "test.json_counter") {
+      found_counter = true;
+      EXPECT_EQ(counter.at("value").number, 12345);
+    }
+  }
+  EXPECT_TRUE(found_counter);
+
+  bool found_gauge = false;
+  for (const JsonValue& gauge : doc.at("gauges").array) {
+    if (gauge.at("name").string == "test.json_gauge") {
+      found_gauge = true;
+      EXPECT_EQ(gauge.at("value").number, -7);
+    }
+  }
+  EXPECT_TRUE(found_gauge);
+
+  bool found_histogram = false;
+  for (const JsonValue& hist : doc.at("histograms").array) {
+    if (hist.at("name").string != "test.json_histogram") continue;
+    found_histogram = true;
+    EXPECT_EQ(hist.at("count").number, 2);
+    EXPECT_EQ(hist.at("sum").number, 300);
+    EXPECT_EQ(hist.at("min").number, 100);
+    EXPECT_EQ(hist.at("max").number, 200);
+    // The bucket counts must add back up to the total count.
+    double bucket_total = 0;
+    for (const JsonValue& bucket : hist.at("buckets").array)
+      bucket_total += bucket.at("count").number;
+    EXPECT_EQ(bucket_total, 2);
+  }
+  EXPECT_TRUE(found_histogram);
+}
+
+// ---------------------------------------------------------------- spans ----
+
+TEST(Trace, SpanNestingRecordsDepths) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Enable(1024);
+  collector.Clear();
+  {
+    Span outer("test.outer");
+    {
+      Span middle("test.middle");
+      Span inner("test.inner");
+    }
+  }
+  collector.Disable();
+
+  const std::vector<TraceEvent> events = collector.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  std::map<std::string, const TraceEvent*> by_name;
+  for (const TraceEvent& e : events) by_name[e.name] = &e;
+  ASSERT_TRUE(by_name.count("test.outer"));
+  ASSERT_TRUE(by_name.count("test.middle"));
+  ASSERT_TRUE(by_name.count("test.inner"));
+  EXPECT_EQ(by_name["test.outer"]->depth, 0);
+  EXPECT_EQ(by_name["test.middle"]->depth, 1);
+  EXPECT_EQ(by_name["test.inner"]->depth, 2);
+  // Children start no earlier and end no later than the parent.
+  const TraceEvent& outer = *by_name["test.outer"];
+  for (const char* child : {"test.middle", "test.inner"}) {
+    const TraceEvent& e = *by_name[child];
+    EXPECT_GE(e.start_ns, outer.start_ns);
+    EXPECT_LE(e.start_ns + e.dur_ns, outer.start_ns + outer.dur_ns);
+  }
+  collector.Clear();
+}
+
+TEST(Trace, RingOverflowKeepsNewestAndCountsDropped) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Enable(8);
+  collector.Clear();
+  for (int i = 0; i < 20; ++i) Span span("test.overflow");
+  collector.Disable();
+
+  EXPECT_EQ(collector.Snapshot().size(), 8u);
+  EXPECT_EQ(collector.dropped(), 12u);
+  collector.Clear();
+  collector.Enable(1 << 15);  // restore default capacity for later tests
+  collector.Disable();
+}
+
+TEST(Trace, ChromeTraceJsonParsesAndProfileAggregates) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Enable(1024);
+  collector.Clear();
+  { Span span("test.export"); }
+  { Span span("test.export"); }
+  collector.Disable();
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(collector.ChromeTraceJson()).Parse(doc))
+      << "ChromeTraceJson() is not valid JSON";
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_EQ(events.type, JsonValue::Type::kArray);
+  ASSERT_EQ(events.array.size(), 2u);
+  for (const JsonValue& event : events.array) {
+    EXPECT_EQ(event.at("name").string, "test.export");
+    EXPECT_EQ(event.at("ph").string, "X");
+    EXPECT_GE(event.at("dur").number, 0);
+  }
+  EXPECT_EQ(doc.at("otherData").at("dropped").number, 0);
+
+  const std::string profile = collector.TextProfile();
+  EXPECT_NE(profile.find("test.export"), std::string::npos);
+  collector.Clear();
+}
+
+TEST(Trace, DisabledSpanRecordsNothing) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Disable();
+  collector.Clear();
+  { Span span("test.disabled"); }
+  EXPECT_TRUE(collector.Snapshot().empty());
+}
+
+// ------------------------------------------------------ serve exposition ----
+
+constexpr util::Timestamp kNow = 1'412'208'000;  // 2014-10-02
+
+x509::Certificate MakeIssuerCert() {
+  x509::TbsCertificate tbs;
+  tbs.serial = x509::Serial{0x31};
+  tbs.issuer = tbs.subject = x509::Name::Make("Obs Test CA", "Test");
+  tbs.not_before = 0;
+  tbs.not_after = kNow + 100'000'000;
+  tbs.public_key = crypto::SimKeyFromLabel("obs-issuer").Public();
+  tbs.basic_constraints = {true, -1};
+  return x509::SignCertificate(tbs, crypto::SimKeyFromLabel("obs-issuer"));
+}
+
+Bytes EncodeRequestFor(const x509::Certificate& issuer,
+                       const x509::Serial& serial) {
+  ocsp::OcspRequest request;
+  request.cert_ids = {ocsp::MakeCertId(issuer, serial)};
+  return ocsp::EncodeOcspRequest(request);
+}
+
+TEST(ObsServe, MetricsEndpointOverSimNet) {
+  const x509::Certificate issuer = MakeIssuerCert();
+  ocsp::Responder responder(issuer, crypto::SimKeyFromLabel("obs-issuer"));
+  responder.AddCertificate(x509::Serial{0x01});
+
+  serve::Frontend frontend;
+  frontend.AttachResponder(&responder);
+
+  net::SimNet net;
+  net.AddHost("ocsp.obs.test",
+              [&](const net::HttpRequest& request, util::Timestamp now) {
+                return frontend.HandleHttp(request, now);
+              });
+
+  // A served request, then the exposition must carry it under this
+  // frontend's label.
+  const net::FetchResult served =
+      net.Post("http://ocsp.obs.test/",
+               EncodeRequestFor(issuer, x509::Serial{0x01}), kNow);
+  ASSERT_TRUE(served.ok());
+
+  const net::FetchResult metrics =
+      net.Get("http://ocsp.obs.test/metrics", kNow);
+  ASSERT_TRUE(metrics.ok());
+  const std::string text(metrics.response.body.begin(),
+                         metrics.response.body.end());
+  const std::string& label = frontend.metrics_label();
+  EXPECT_EQ(ExpositionValue(text, "serve.requests{" + label + "}"), 1u);
+  EXPECT_EQ(ExpositionValue(text, "serve.malformed{" + label + "}"), 0u);
+
+  // /metrics is an exact path: any other GET is still an OCSP request (the
+  // malformed ones get an OCSP error response, not a 404).
+  const net::FetchResult other = net.Get("http://ocsp.obs.test/metricsX", kNow);
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other.response.body.empty());
+  EXPECT_EQ(frontend.counters().malformed, 1u);
+}
+
+TEST(ObsStress, FrontendCountersMatchExpositionUnderLoad) {
+  const x509::Certificate issuer = MakeIssuerCert();
+  ocsp::Responder responder(issuer, crypto::SimKeyFromLabel("obs-issuer"));
+  constexpr std::size_t kCerts = 64;
+  for (std::size_t i = 0; i < kCerts; ++i)
+    responder.AddCertificate(x509::Serial{0x40, static_cast<std::uint8_t>(i)});
+
+  serve::Frontend frontend;
+  frontend.AttachResponder(&responder);
+  frontend.RebuildAll(kNow);
+
+  std::vector<Bytes> requests;
+  for (std::size_t i = 0; i < kCerts; ++i)
+    requests.push_back(EncodeRequestFor(
+        issuer, x509::Serial{0x40, static_cast<std::uint8_t>(i)}));
+
+  constexpr int kThreads = 8;
+  constexpr std::size_t kOps = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t op = 0; op < kOps; ++op) {
+        const auto result =
+            frontend.Serve(requests[(t * 31 + op) % kCerts], kNow);
+        EXPECT_TRUE(result.body != nullptr);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // The struct accessor and the /metrics exposition read the same sharded
+  // atomics; once writers have joined the two must agree exactly.
+  const serve::Frontend::Counters counters = frontend.counters();
+  EXPECT_EQ(counters.requests, kThreads * kOps);
+  const std::string text = MetricsRegistry::Global().DumpText();
+  const std::string& label = frontend.metrics_label();
+  EXPECT_EQ(ExpositionValue(text, "serve.requests{" + label + "}"),
+            counters.requests);
+  EXPECT_EQ(ExpositionValue(text, "serve.cache_hits{" + label + "}"),
+            counters.cache_hits);
+  EXPECT_EQ(ExpositionValue(text, "serve.cache_misses{" + label + "}"),
+            counters.cache_misses);
+  EXPECT_EQ(ExpositionValue(text, "serve.shed{" + label + "}"), counters.shed);
+  EXPECT_EQ(counters.cache_hits + counters.cache_misses +
+                counters.cache_expired + counters.shed,
+            counters.requests);
+
+  // The latency histogram saw every non-shed request, and the shim exposes
+  // the same count with mean within the recorded range.
+  const HistogramSnapshot latency = frontend.latency_histogram();
+  EXPECT_EQ(latency.count, counters.requests - counters.shed);
+  const util::Accumulator shim = frontend.latency();
+  EXPECT_EQ(shim.Count(), latency.count);
+  EXPECT_GE(shim.Mean() * 1e9, static_cast<double>(latency.min));
+  EXPECT_LE(shim.Mean() * 1e9, static_cast<double>(latency.max) + 1);
+}
+
+// ------------------------------------------------- monotonic regression ----
+
+TEST(Monotonic, CachingClientCountersNeverDecrease) {
+  net::SimNet net;
+  net.AddHost("crl.obs.test",
+              [](const net::HttpRequest&, util::Timestamp) {
+                net::HttpResponse response;
+                response.body = Bytes{0x01, 0x02};
+                response.max_age = 100;
+                return response;
+              });
+  net::CachingClient client(&net);
+
+  std::uint64_t last_hits = 0, last_misses = 0, last_evictions = 0;
+  const auto check_monotonic = [&] {
+    EXPECT_GE(client.hits(), last_hits);
+    EXPECT_GE(client.misses(), last_misses);
+    EXPECT_GE(client.evictions(), last_evictions);
+    last_hits = client.hits();
+    last_misses = client.misses();
+    last_evictions = client.evictions();
+  };
+
+  client.Get("http://crl.obs.test/a.crl", 1000);  // miss
+  check_monotonic();
+  EXPECT_EQ(client.misses(), 1u);
+  client.Get("http://crl.obs.test/a.crl", 1050);  // hit
+  check_monotonic();
+  EXPECT_EQ(client.hits(), 1u);
+  client.Get("http://crl.obs.test/a.crl", 2000);  // expired -> evict + miss
+  check_monotonic();
+  EXPECT_EQ(client.evictions(), 1u);
+  EXPECT_EQ(client.misses(), 2u);
+  client.PruneExpired(5000);  // sweep adds, never resets
+  check_monotonic();
+  client.Clear();  // dropping entries must not touch the tallies
+  check_monotonic();
+  EXPECT_EQ(client.misses(), 2u);
+}
+
+TEST(Monotonic, ResponseCacheCountersSurviveRefreshAndEpochSwap) {
+  const x509::Certificate issuer = MakeIssuerCert();
+  ocsp::Responder responder(issuer, crypto::SimKeyFromLabel("obs-issuer"));
+  responder.AddCertificate(x509::Serial{0x05});
+  responder.AddCertificate(x509::Serial{0x06});
+
+  serve::Frontend frontend;
+  frontend.AttachResponder(&responder);
+  frontend.RebuildAll(kNow);
+
+  const serve::ResponseCache& cache = frontend.cache();
+  std::uint64_t last_hits = 0, last_misses = 0, last_expired = 0;
+  const auto check_monotonic = [&] {
+    EXPECT_GE(cache.hits(), last_hits);
+    EXPECT_GE(cache.misses(), last_misses);
+    EXPECT_GE(cache.expired(), last_expired);
+    last_hits = cache.hits();
+    last_misses = cache.misses();
+    last_expired = cache.expired();
+  };
+
+  const Bytes request = EncodeRequestFor(issuer, x509::Serial{0x05});
+  frontend.Serve(request, kNow);  // precomputed -> hit
+  check_monotonic();
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Maintenance re-sign: tallies keep counting up across the batch swap.
+  frontend.RefreshStale(kNow + 1);
+  frontend.Serve(request, kNow + 1);
+  check_monotonic();
+  EXPECT_EQ(cache.hits(), 2u);
+
+  // An epoch swap (revocation applied through the observer) invalidates the
+  // entry — the next lookup is a miss, and nothing ever decreases.
+  responder.Revoke(x509::Serial{0x05}, kNow + 2,
+                   x509::ReasonCode::kKeyCompromise);
+  frontend.Serve(request, kNow + 3);
+  check_monotonic();
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace rev::obs

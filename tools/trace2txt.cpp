@@ -1,0 +1,160 @@
+// trace2txt: render a Chrome trace-event JSON file written by the obs
+// trace collector (REV_TRACE=<file>, or TraceCollector::WriteChromeTrace)
+// as a terminal-friendly report — a flat profile aggregated by span name
+// and, with -t, a per-thread timeline of the slowest spans.
+//
+//   trace2txt trace.json            # flat profile
+//   trace2txt -t trace.json        # + timeline of the 40 longest spans
+//
+// The parser targets the collector's own output: one complete ("ph":"X")
+// event object per line inside "traceEvents". It is not a general JSON
+// parser; feeding it traces from other producers may miss events.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Event {
+  std::string name;
+  double ts_us = 0;
+  double dur_us = 0;
+  unsigned tid = 0;
+  unsigned depth = 0;
+};
+
+// Extracts `"key":<value>` from one event line. Returns false if absent.
+bool FindRaw(const std::string& line, const char* key, std::string& out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t begin = at + needle.size();
+  std::size_t end = begin;
+  if (begin < line.size() && line[begin] == '"') {
+    ++begin;
+    end = line.find('"', begin);
+    if (end == std::string::npos) return false;
+  } else {
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  }
+  out = line.substr(begin, end - begin);
+  return true;
+}
+
+bool ParseEventLine(const std::string& line, Event& event) {
+  std::string value;
+  if (!FindRaw(line, "ph", value) || value != "X") return false;
+  if (!FindRaw(line, "name", event.name)) return false;
+  if (FindRaw(line, "ts", value)) event.ts_us = std::atof(value.c_str());
+  if (FindRaw(line, "dur", value)) event.dur_us = std::atof(value.c_str());
+  if (FindRaw(line, "tid", value))
+    event.tid = static_cast<unsigned>(std::atoi(value.c_str()));
+  if (FindRaw(line, "depth", value))
+    event.depth = static_cast<unsigned>(std::atoi(value.c_str()));
+  return true;
+}
+
+void PrintProfile(const std::vector<Event>& events) {
+  struct Agg {
+    std::uint64_t count = 0;
+    double total_us = 0;
+    double max_us = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const Event& e : events) {
+    Agg& agg = by_name[e.name];
+    ++agg.count;
+    agg.total_us += e.dur_us;
+    agg.max_us = std::max(agg.max_us, e.dur_us);
+  }
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(), by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+
+  std::printf("%-36s %10s %12s %12s %12s\n", "span", "count", "total(ms)",
+              "mean(us)", "max(us)");
+  for (const auto& [name, agg] : rows) {
+    std::printf("%-36s %10" PRIu64 " %12.3f %12.2f %12.2f\n", name.c_str(),
+                agg.count, agg.total_us / 1e3,
+                agg.count == 0 ? 0.0
+                               : agg.total_us / static_cast<double>(agg.count),
+                agg.max_us);
+  }
+}
+
+void PrintTimeline(std::vector<Event> events, std::size_t limit) {
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.dur_us > b.dur_us;
+  });
+  if (events.size() > limit) events.resize(limit);
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.ts_us < b.ts_us;
+  });
+
+  std::printf("\n%-12s %-6s %-36s %12s %12s\n", "start(ms)", "tid", "span",
+              "dur(us)", "depth");
+  for (const Event& e : events) {
+    std::printf("%-12.3f %-6u %*s%-*s %12.2f %12u\n", e.ts_us / 1e3, e.tid,
+                static_cast<int>(e.depth * 2), "",
+                static_cast<int>(36 - e.depth * 2), e.name.c_str(), e.dur_us,
+                e.depth);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool timeline = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-t") == 0) {
+      timeline = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: trace2txt [-t] <trace.json>\n");
+    return 2;
+  }
+
+  FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace2txt: cannot open %s\n", path);
+    return 1;
+  }
+
+  std::vector<Event> events;
+  std::uint64_t dropped = 0;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof buffer, f) != nullptr) {
+    const std::string line = buffer;
+    Event event;
+    if (ParseEventLine(line, event)) {
+      events.push_back(std::move(event));
+    } else {
+      std::string value;
+      if (FindRaw(line, "dropped", value))
+        dropped = std::strtoull(value.c_str(), nullptr, 10);
+    }
+  }
+  std::fclose(f);
+
+  if (events.empty()) {
+    std::fprintf(stderr, "trace2txt: no trace events in %s\n", path);
+    return 1;
+  }
+  std::printf("%s: %zu events", path, events.size());
+  if (dropped > 0)
+    std::printf(" (%" PRIu64 " dropped — oldest were overwritten)", dropped);
+  std::printf("\n\n");
+  PrintProfile(events);
+  if (timeline) PrintTimeline(events, 40);
+  return 0;
+}
