@@ -11,6 +11,11 @@
 //   REV_SERVE_SHED     per-shard admission budget     (default 128)
 //   REV_SERVE_FLOOR    QPS floor for the exit code    (default 100000;
 //                      0 disables — for sanitizer builds)
+//   REV_SERVE_FAULTS   faults mode: 0 disables        (default 1)
+//   REV_SERVE_FAULT_OPS   ops/client in faults mode   (default 2000)
+//   REV_SERVE_FAULT_SEED  FaultPlan seed              (default 0xBEEF)
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +25,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "net/fault.h"
+#include "net/retry.h"
 #include "net/simnet.h"
 #include "ocsp/ocsp.h"
 #include "ocsp/responder.h"
@@ -186,6 +193,112 @@ SweepPoint RunOnce(unsigned clients, std::size_t num_certs,
   return point;
 }
 
+// -------------------------------------------------------- faults mode ----
+
+// Faults mode (docs/fault-injection.md): the same closed loop, but routed
+// through a SimNet host so a seeded FaultPlan can batter the wire — 503
+// bursts, hung requests, corrupted response bodies — while the clients use
+// FetchWithRetry. Run once clean and once under the storm; the delta is
+// the cost of resilience: QPS/p99 degradation and the retry amplification
+// (wire requests per logical request) the storm induces.
+struct FaultsPoint {
+  double wall_seconds = 0;
+  double qps = 0;
+  double p50_us = 0, p99_us = 0;
+  std::uint64_t logical = 0;   // PostWithRetry calls
+  std::uint64_t wire = 0;      // attempts that hit the (virtual) wire
+  std::uint64_t gave_up = 0;   // logical requests that exhausted retries
+  std::uint64_t injected = 0;  // faults the plan fired
+  std::uint64_t shed = 0;
+  double amplification = 1.0;  // wire / logical
+};
+
+FaultsPoint RunFaultsOnce(unsigned clients, std::size_t num_certs,
+                          std::size_t ops_per_client, net::FaultPlan* plan) {
+  const x509::Certificate issuer = MakeIssuerCert();
+  ocsp::Responder responder(issuer, crypto::SimKeyFromLabel("serve-bench"));
+  for (std::size_t i = 0; i < num_certs; ++i)
+    responder.AddCertificate(SerialOf(i));
+
+  serve::Frontend frontend;
+  frontend.AttachResponder(&responder);
+  frontend.RebuildAll(kNow);
+
+  net::SimNet net;
+  net.AddHost("ocsp.bench",
+              [&](const net::HttpRequest& request, util::Timestamp now) {
+                return frontend.HandleHttp(request, now);
+              });
+  if (plan != nullptr) net.SetFaultPlan(plan);
+
+  std::vector<Bytes> requests(num_certs);
+  for (std::size_t i = 0; i < num_certs; ++i) {
+    ocsp::OcspRequest request;
+    request.cert_ids = {ocsp::MakeCertId(issuer, SerialOf(i))};
+    requests[i] = ocsp::EncodeOcspRequest(request);
+  }
+
+  net::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_seconds = 1;  // virtual seconds: no wall sleeping
+  policy.jitter = 0.5;
+  policy.seed = 42;
+  const auto validate = [](const net::HttpResponse& response) {
+    return ocsp::ParseOcspResponse(response.body).has_value();
+  };
+
+  std::atomic<std::uint64_t> gave_up{0};
+  std::vector<std::vector<double>> latencies(clients);
+  for (auto& samples : latencies) samples.reserve(ops_per_client);
+  std::vector<std::thread> threads;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (unsigned t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      std::size_t at = t * 7919;
+      for (std::size_t op = 0; op < ops_per_client; ++op) {
+        at = (at + 7919) % num_certs;
+        // Unique path per logical request so the plan's per-exchange coin
+        // flips are independent (and reproducible: they only depend on the
+        // URL, the virtual time, and the plan seed).
+        const std::string url = "http://ocsp.bench/q/" + std::to_string(t) +
+                                "/" + std::to_string(op);
+        const auto start = std::chrono::steady_clock::now();
+        const net::RetryResult result = net::PostWithRetry(
+            net, url, requests[at], kNow, policy, 10.0, validate);
+        latencies[t].push_back(std::chrono::duration<double, std::micro>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
+        if (result.gave_up) gave_up.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+
+  util::Distribution merged;
+  for (const std::vector<double>& samples : latencies)
+    for (double micros : samples) merged.Add(micros);
+
+  FaultsPoint point;
+  point.wall_seconds = wall;
+  point.logical = static_cast<std::uint64_t>(clients) * ops_per_client;
+  point.wire = net.total_requests();
+  point.gave_up = gave_up.load();
+  point.injected = plan != nullptr ? plan->total_injected() : 0;
+  point.shed = frontend.counters().shed;
+  point.qps =
+      wall > 0 ? static_cast<double>(point.logical) / wall : 0;
+  point.p50_us = merged.Quantile(0.50);
+  point.p99_us = merged.Quantile(0.99);
+  point.amplification =
+      point.logical > 0 ? static_cast<double>(point.wire) /
+                              static_cast<double>(point.logical)
+                        : 1.0;
+  return point;
+}
+
 // Smoke-check the observability exposition end to end: a frontend behind a
 // SimNet host must answer `GET /metrics` with a text dump that contains its
 // own labelled request counter. Returns true on success and prints the line
@@ -273,7 +386,77 @@ int main() {
                   static_cast<unsigned long long>(p.shed));
     results += buffer;
   }
-  results += "]}";
+  results += "]";
+
+  // Faults mode: clean vs storm through the same SimNet path.
+  bool faults_on = true;
+  if (const char* env = std::getenv("REV_SERVE_FAULTS"))
+    faults_on = std::atoi(env) != 0;
+  if (faults_on) {
+    const std::size_t fault_ops = SizeFromEnv("REV_SERVE_FAULT_OPS", 2'000);
+    const std::size_t fault_certs = std::min<std::size_t>(num_certs, 2'000);
+    const auto seed =
+        static_cast<std::uint64_t>(SizeFromEnv("REV_SERVE_FAULT_SEED", 0xBEEF));
+    net::FaultPlan plan(seed);
+    net::FaultRule burst;
+    burst.kind = net::FaultKind::kHttpError;
+    burst.http_status = 503;
+    burst.retry_after = 1;
+    burst.probability = 0.08;
+    plan.AddRule(burst);
+    net::FaultRule hang;
+    hang.kind = net::FaultKind::kTimeout;
+    hang.probability = 0.05;
+    plan.AddRule(hang);
+    net::FaultRule corrupt;
+    corrupt.kind = net::FaultKind::kCorrupt;
+    corrupt.probability = 0.05;
+    corrupt.corrupt_bytes = 2;
+    plan.AddRule(corrupt);
+
+    bench::BenchRun::Phase phase("serve.faults");
+    const unsigned fault_clients = 4;
+    const FaultsPoint clean =
+        RunFaultsOnce(fault_clients, fault_certs, fault_ops, nullptr);
+    const FaultsPoint storm =
+        RunFaultsOnce(fault_clients, fault_certs, fault_ops, &plan);
+    const double qps_ratio = clean.qps > 0 ? storm.qps / clean.qps : 0;
+    const double p99_ratio = clean.p99_us > 0 ? storm.p99_us / clean.p99_us : 0;
+
+    std::printf("\nfaults mode (seed %llu, %u clients x %zu ops):\n",
+                static_cast<unsigned long long>(seed), fault_clients,
+                fault_ops);
+    std::printf("  %-8s %12s %10s %10s %8s %8s %8s\n", "", "QPS", "p50(us)",
+                "p99(us)", "amplif", "gave-up", "injected");
+    std::printf("  %-8s %12.0f %10.2f %10.2f %8.3f %8llu %8llu\n", "clean",
+                clean.qps, clean.p50_us, clean.p99_us, clean.amplification,
+                static_cast<unsigned long long>(clean.gave_up),
+                static_cast<unsigned long long>(clean.injected));
+    std::printf("  %-8s %12.0f %10.2f %10.2f %8.3f %8llu %8llu\n", "storm",
+                storm.qps, storm.p50_us, storm.p99_us, storm.amplification,
+                static_cast<unsigned long long>(storm.gave_up),
+                static_cast<unsigned long long>(storm.injected));
+    std::printf("  degradation: QPS x%.3f, p99 x%.3f\n", qps_ratio, p99_ratio);
+
+    char buffer[512];
+    std::snprintf(
+        buffer, sizeof buffer,
+        ", \"faults\": {\"seed\": %llu, \"clients\": %u, "
+        "\"ops_per_client\": %zu, "
+        "\"clean\": {\"qps\": %.0f, \"p50_us\": %.2f, \"p99_us\": %.2f, "
+        "\"amplification\": %.4f}, "
+        "\"storm\": {\"qps\": %.0f, \"p50_us\": %.2f, \"p99_us\": %.2f, "
+        "\"amplification\": %.4f, \"gave_up\": %llu, \"injected\": %llu}, "
+        "\"qps_degradation\": %.4f, \"p99_inflation\": %.4f}",
+        static_cast<unsigned long long>(seed), fault_clients, fault_ops,
+        clean.qps, clean.p50_us, clean.p99_us, clean.amplification, storm.qps,
+        storm.p50_us, storm.p99_us, storm.amplification,
+        static_cast<unsigned long long>(storm.gave_up),
+        static_cast<unsigned long long>(storm.injected), qps_ratio, p99_ratio);
+    results += buffer;
+  }
+
+  results += "}";
   run.SetResults(std::move(results));
 
   std::printf("\n");

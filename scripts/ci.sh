@@ -14,15 +14,19 @@ cmake -B build -S .
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
-echo "== TSan: thread pool, parallel pipeline, serving frontend, obs =="
+echo "== TSan: thread pool, parallel pipeline, serving frontend, obs, chaos =="
 cmake -B build-tsan -S . -DREV_SANITIZE_THREAD=ON
-cmake --build build-tsan -j"$(nproc)" --target util_test core_test serve_test obs_test bench_serve
+cmake --build build-tsan -j"$(nproc)" --target util_test core_test serve_test obs_test chaos_test bench_serve
 ./build-tsan/tests/util_test --gtest_filter='ThreadPool.*'
 ./build-tsan/tests/core_test --gtest_filter='Parallelism.*'
 ./build-tsan/tests/serve_test
 # The whole obs suite runs under TSan: sharded counters, the lock-free
 # histogram, trace ring buffers, and the 8-thread exposition stress.
 ./build-tsan/tests/obs_test
+# The chaos suite under TSan: fault injection + retries drive the 8-thread
+# crawler through the shared FaultPlan tallies, the caching client, and the
+# stale-serve merge — the raciest paths in the fetch stack.
+./build-tsan/tests/chaos_test
 # Small closed-loop load under TSan: races between concurrent Serve(),
 # observer-driven invalidation, batch refresh, and the lock-free latency
 # histogram surface here.

@@ -17,4 +17,10 @@ cmake -B build-tsan -S . -DREV_SANITIZE_THREAD=ON
 cmake --build build-tsan -j"$(nproc)" --target util_test core_test
 ./build-tsan/tests/util_test --gtest_filter='ThreadPool.*'
 ./build-tsan/tests/core_test --gtest_filter='Parallelism.*'
-echo "tier-1 OK (unit suites + TSan determinism)"
+
+# Fixed-seed chaos smoke: the seeded fault storm must stay bit-reproducible
+# across thread counts (docs/fault-injection.md). The seed is pinned so a
+# failure here is replayable verbatim.
+REV_CHAOS_SEED=0xC0FFEE ./build/tests/chaos_test \
+  --gtest_filter='ChaosStorm.*:ChaosSoak.*'
+echo "tier-1 OK (unit suites + TSan determinism + chaos smoke)"

@@ -36,11 +36,15 @@ struct CheckContext {
   net::SimNet* net = nullptr;
   util::Timestamp now = 0;
   VisitOutcome* outcome = nullptr;
+  const net::RetryPolicy* retry = nullptr;
 };
 
-void Account(CheckContext& ctx, const net::FetchResult& fetch) {
-  ctx.outcome->revocation_seconds += fetch.elapsed_seconds;
-  ctx.outcome->revocation_bytes += fetch.bytes_transferred;
+void Account(CheckContext& ctx, const net::RetryResult& fetch) {
+  // The whole retry sequence — attempt costs plus backoff waits — is what
+  // the user actually waited for.
+  ctx.outcome->revocation_seconds += fetch.total_elapsed_seconds;
+  ctx.outcome->revocation_bytes += fetch.total_bytes;
+  ctx.outcome->retries += fetch.attempts - 1;
 }
 
 // Downloads and consults the CRL(s) listed in `cert`.
@@ -49,10 +53,14 @@ ElementStatus CheckViaCrl(CheckContext& ctx, const x509::Certificate& cert,
   bool any_fetched = false;
   for (const std::string& url : cert.tbs.crl_urls) {
     ++ctx.outcome->crl_fetches;
-    const net::FetchResult fetch = ctx.net->Get(url, ctx.now);
+    const net::RetryResult fetch = net::GetWithRetry(
+        *ctx.net, url, ctx.now, *ctx.retry, /*timeout_seconds=*/10.0,
+        [](const net::HttpResponse& response) {
+          return crl::ParseCrl(response.body).has_value();
+        });
     Account(ctx, fetch);
     if (!fetch.ok()) continue;
-    auto crl = crl::ParseCrl(fetch.response.body);
+    auto crl = crl::ParseCrl(fetch.fetch.response.body);
     if (!crl || !crl::VerifyCrlSignature(*crl, issuer_key)) continue;
     any_fetched = true;
     const crl::CrlIndex index(*crl);
@@ -73,10 +81,14 @@ ElementStatus CheckViaOcsp(CheckContext& ctx, const x509::Certificate& cert,
     std::string get_url = url;
     if (!get_url.empty() && get_url.back() == '/') get_url.pop_back();
     get_url += ocsp::OcspGetPath(request);
-    const net::FetchResult fetch = ctx.net->Get(get_url, ctx.now);
+    const net::RetryResult fetch = net::GetWithRetry(
+        *ctx.net, get_url, ctx.now, *ctx.retry, /*timeout_seconds=*/10.0,
+        [](const net::HttpResponse& response) {
+          return ocsp::ParseOcspResponse(response.body).has_value();
+        });
     Account(ctx, fetch);
     if (!fetch.ok()) continue;
-    auto response = ocsp::ParseOcspResponse(fetch.response.body);
+    auto response = ocsp::ParseOcspResponse(fetch.fetch.response.body);
     if (!response || response->status != ocsp::ResponseStatus::kSuccessful)
       continue;
     if (!ocsp::VerifyOcspSignature(*response, issuer_key)) continue;
@@ -230,7 +242,7 @@ VisitOutcome Client::Visit(tls::TlsServer& server, util::Timestamp now) {
     }
   }
 
-  CheckContext ctx{net_, now, &outcome};
+  CheckContext ctx{net_, now, &outcome, &retry_policy_};
   bool warn = false;
 
   for (std::size_t i = 0; i < elements; ++i) {

@@ -7,6 +7,7 @@
 #include "browser/policy.h"
 #include "crlset/crlset.h"
 #include "crlset/onecrl.h"
+#include "net/retry.h"
 #include "net/simnet.h"
 #include "tls/handshake.h"
 #include "util/time.h"
@@ -21,9 +22,12 @@ struct VisitOutcome {
   bool chain_valid = false;
   std::string reject_reason;  // human-readable, for reports
 
-  // Instrumentation for the latency/bandwidth cost analyses.
+  // Instrumentation for the latency/bandwidth cost analyses. Fetch counts
+  // are *logical* (one per URL consulted); extra attempts made by the
+  // retry policy show up in `retries` and in the elapsed/bytes totals.
   int crl_fetches = 0;
   int ocsp_fetches = 0;
+  int retries = 0;
   double revocation_seconds = 0;  // time spent fetching revocation info
   std::uint64_t revocation_bytes = 0;
   bool used_staple = false;
@@ -58,9 +62,20 @@ class Client {
 
   const Policy& policy() const { return policy_; }
 
+  // Retry policy for the client's CRL/OCSP fetches. Defaults to None()
+  // (single attempt) — the Table 2 matrix measures each browser's
+  // *decision* behavior, which must not depend on our resilience layer —
+  // but every fetch already routes through FetchWithRetry, so enabling
+  // retries is one setter call (chaos_test exercises storms this way).
+  const net::RetryPolicy& retry_policy() const { return retry_policy_; }
+  void set_retry_policy(const net::RetryPolicy& policy) {
+    retry_policy_ = policy;
+  }
+
  private:
   Policy policy_;
   net::SimNet* net_;
+  net::RetryPolicy retry_policy_ = net::RetryPolicy::None();
   x509::CertPool roots_;
   const crlset::CrlSet* crlset_ = nullptr;
   const crlset::OneCrl* onecrl_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "net/retry.h"
 #include "net/url.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -21,6 +22,8 @@ struct CrawlMetrics {
   obs::Counter& bytes_downloaded;
   obs::Counter& revocations;
   obs::Counter& ocsp_queries;
+  obs::Counter& retries;
+  obs::Counter& stale_served;
   obs::Histogram& fetch_ns;
 
   static CrawlMetrics& Get() {
@@ -33,6 +36,8 @@ struct CrawlMetrics {
           registry.GetCounter("crawl.bytes_downloaded"),
           registry.GetCounter("crawl.revocations_discovered"),
           registry.GetCounter("crawl.ocsp_queries"),
+          registry.GetCounter("crawl.retries"),
+          registry.GetCounter("crawl.stale_served"),
           registry.GetHistogram("crawl.fetch_ns"),
       };
     }();
@@ -41,6 +46,19 @@ struct CrawlMetrics {
 };
 
 }  // namespace
+
+net::RetryPolicy RevocationCrawler::DefaultRetryPolicy() {
+  // A daily crawl can afford to wait out a 5xx burst or a flap: four
+  // attempts with minutes-scale caps before falling back to the previous
+  // snapshot.
+  net::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_seconds = 5;
+  policy.backoff_multiplier = 2;
+  policy.max_backoff_seconds = 300;
+  policy.jitter = 0.5;
+  return policy;
+}
 
 RevocationCrawler::RevocationCrawler(net::SimNet* net, unsigned threads)
     : net_(net), client_(net), threads_(threads) {}
@@ -84,7 +102,12 @@ std::size_t RevocationCrawler::CrawlAll(util::Timestamp now) {
     obs::Span fetch_span("crawl.fetch");
     const auto fetch_start = std::chrono::steady_clock::now();
     Outcome& out = outcomes[i];
-    out.result = client_.Get(urls[i], now);
+    // The parse-as-validator makes truncated/bit-corrupted bodies
+    // retryable and keeps them out of the HTTP cache.
+    out.result = client_.Get(urls[i], now, retry_policy_,
+                             [](const net::HttpResponse& response) {
+                               return crl::ParseCrl(response.body).has_value();
+                             });
     if (out.result.fetch.ok())
       out.parsed = crl::ParseCrl(out.result.fetch.response.body);
     CrawlMetrics::Get().fetch_ns.RecordSeconds(
@@ -103,9 +126,28 @@ std::size_t RevocationCrawler::CrawlAll(util::Timestamp now) {
     const std::string& url = urls[i];
     Outcome& out = outcomes[i];
     seconds_spent_ += out.result.fetch.elapsed_seconds;
-    if (!out.result.fetch.ok()) {
+    if (out.result.attempts > 1) {
+      const auto extra = static_cast<std::uint64_t>(out.result.attempts - 1);
+      retries_ += extra;
+      metrics.retries.Add(extra);
+    }
+    if (!out.result.fetch.ok() || !out.parsed) {
+      // Exhausted retries (or an unparseable body that survived them):
+      // count the failure, and if a previous crawl produced a snapshot,
+      // keep serving it marked stale — revocations already learned must
+      // not vanish because an endpoint is having a bad day.
       ++fetch_failures_;
       metrics.fetch_fail.Increment();
+      ++url_failures_[url];
+      auto stale_it = crawled_.find(url);
+      if (stale_it != crawled_.end()) {
+        stale_it->second.stale = true;
+        ++stale_it->second.stale_crawls;
+        stale_it->second.stale_age_seconds =
+            now - stale_it->second.last_good_fetch;
+        ++stale_served_;
+        metrics.stale_served.Increment();
+      }
       continue;
     }
     if (out.result.from_cache) {
@@ -115,11 +157,6 @@ std::size_t RevocationCrawler::CrawlAll(util::Timestamp now) {
       metrics.bytes_downloaded.Add(out.result.fetch.response.body.size());
     }
 
-    if (!out.parsed) {
-      ++fetch_failures_;
-      metrics.fetch_fail.Increment();
-      continue;
-    }
     metrics.fetch_ok.Increment();
     crl::Crl& parsed = *out.parsed;
 
@@ -130,6 +167,9 @@ std::size_t RevocationCrawler::CrawlAll(util::Timestamp now) {
     crawled.num_entries = parsed.tbs.entries.size();
     crawled.this_update = parsed.tbs.this_update;
     crawled.next_update = parsed.tbs.next_update;
+    crawled.stale = false;
+    crawled.stale_age_seconds = 0;
+    crawled.last_good_fetch = now;
 
     for (const crl::CrlEntry& entry : parsed.tbs.entries) {
       auto [it, inserted] = revocations_.try_emplace(
@@ -159,11 +199,21 @@ std::optional<ocsp::CertStatus> RevocationCrawler::QueryOcsp(
     CrawlMetrics::Get().ocsp_queries.Increment();
     ocsp::OcspRequest request;
     request.cert_ids = {ocsp::MakeCertId(issuer, cert.tbs.serial)};
-    const net::FetchResult fetch =
-        net_->Post(url, ocsp::EncodeOcspRequest(request), now);
-    seconds_spent_ += fetch.elapsed_seconds;
+    const net::RetryResult retried = net::PostWithRetry(
+        *net_, url, ocsp::EncodeOcspRequest(request), now, retry_policy_,
+        /*timeout_seconds=*/10.0, [](const net::HttpResponse& response) {
+          return ocsp::ParseOcspResponse(response.body).has_value();
+        });
+    seconds_spent_ += retried.total_elapsed_seconds;
+    if (retried.attempts > 1) {
+      const auto extra = static_cast<std::uint64_t>(retried.attempts - 1);
+      retries_ += extra;
+      CrawlMetrics::Get().retries.Add(extra);
+    }
+    const net::FetchResult& fetch = retried.fetch;
     if (!fetch.ok()) {
       ++fetch_failures_;
+      ++url_failures_[url];
       continue;
     }
     bytes_downloaded_ += fetch.response.body.size();

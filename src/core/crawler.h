@@ -44,6 +44,15 @@ struct CrawledCrl {
   util::Timestamp next_update = 0;
   // Latest parsed body, kept for CRLSet generation.
   crl::Crl crl;
+
+  // Degradation state (docs/fault-injection.md): when a crawl exhausts its
+  // retries for this URL, the last good snapshot above keeps serving and is
+  // marked stale with honest age accounting — the per-URL staleness series
+  // feeding the Fig. 10 vulnerability-window analysis.
+  bool stale = false;
+  std::uint64_t stale_crawls = 0;        // lifetime count of stale serves
+  util::Timestamp last_good_fetch = 0;   // crawl time of the snapshot above
+  std::int64_t stale_age_seconds = 0;    // now - last_good_fetch, last crawl
 };
 
 class RevocationCrawler {
@@ -73,6 +82,12 @@ class RevocationCrawler {
                                const x509::Serial& serial) const;
 
   const std::map<std::string, CrawledCrl>& crawled() const { return crawled_; }
+  // The full revocation database, keyed (issuer name DER, serial) — exposed
+  // so determinism tests can compare two crawls byte for byte.
+  const std::map<std::pair<Bytes, x509::Serial>, RevocationInfo>& revocations()
+      const {
+    return revocations_;
+  }
   std::size_t total_revocations() const;
 
   // §4.2: histogram of CRL reason codes across all discovered revocations
@@ -85,6 +100,26 @@ class RevocationCrawler {
   std::uint64_t bytes_downloaded() const { return bytes_downloaded_; }
   double seconds_spent() const { return seconds_spent_; }
   std::uint64_t fetch_failures() const { return fetch_failures_; }
+
+  // Resilience (docs/fault-injection.md): retry policy applied to every
+  // CRL/OCSP exchange. Change it before crawling; the default retries
+  // transient failures a few times with minutes-scale caps (a daily crawl
+  // can afford to wait out a 5xx burst).
+  const net::RetryPolicy& retry_policy() const { return retry_policy_; }
+  void set_retry_policy(const net::RetryPolicy& policy) {
+    retry_policy_ = policy;
+  }
+
+  // Degradation/retry accounting, merged deterministically like the cost
+  // counters above. `retries()` counts extra attempts beyond the first;
+  // `stale_served()` counts crawls where a URL fell back to its last good
+  // snapshot; `url_failures()` is the per-URL failed-crawl series
+  // (including URLs that never produced a snapshot at all).
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t stale_served() const { return stale_served_; }
+  const std::map<std::string, std::uint64_t>& url_failures() const {
+    return url_failures_;
+  }
 
   unsigned threads() const { return threads_; }
   void set_threads(unsigned threads);
@@ -106,6 +141,12 @@ class RevocationCrawler {
   double seconds_spent_ = 0;
   std::uint64_t fetch_failures_ = 0;
   double crawl_wall_seconds_ = 0;
+  net::RetryPolicy retry_policy_ = DefaultRetryPolicy();
+  std::uint64_t retries_ = 0;
+  std::uint64_t stale_served_ = 0;
+  std::map<std::string, std::uint64_t> url_failures_;
+
+  static net::RetryPolicy DefaultRetryPolicy();
 };
 
 }  // namespace rev::core

@@ -26,6 +26,14 @@ CachingClient::CachingClient(SimNet* net, std::uint64_t instance)
 CachingClient::Result CachingClient::Get(std::string_view url,
                                          util::Timestamp now,
                                          double timeout_seconds) {
+  return Get(url, now, RetryPolicy::None(), nullptr, timeout_seconds);
+}
+
+CachingClient::Result CachingClient::Get(std::string_view url,
+                                         util::Timestamp now,
+                                         const RetryPolicy& retry,
+                                         const ResponseValidator& validate,
+                                         double timeout_seconds) {
   Result result;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -44,10 +52,19 @@ CachingClient::Result CachingClient::Get(std::string_view url,
       cache_.erase(it);
       evictions_.Increment();
     }
+    // One logical fetch = one miss: the retry loop below may hit the
+    // network several times, but the counter moves exactly once.
     misses_.Increment();
   }
   // Network I/O happens outside the lock; SimNet serializes internally.
-  result.fetch = net_->Get(url, now, timeout_seconds);
+  RetryResult fetched =
+      GetWithRetry(*net_, url, now, retry, timeout_seconds, validate);
+  result.attempts = fetched.attempts;
+  result.fetch = std::move(fetched.fetch);
+  // The caller accounts the whole sequence (attempts + backoff) as this
+  // fetch's simulated cost; per-attempt detail stays in the retry layer.
+  result.fetch.elapsed_seconds = fetched.total_elapsed_seconds;
+  result.fetch.bytes_transferred = fetched.total_bytes;
   if (result.fetch.ok() && result.fetch.response.max_age > 0) {
     std::lock_guard<std::mutex> lock(mu_);
     // The std::string is built only when actually storing a new entry.

@@ -15,6 +15,7 @@
 #include <mutex>
 #include <string>
 
+#include "net/retry.h"
 #include "net/simnet.h"
 #include "obs/metrics.h"
 
@@ -25,12 +26,26 @@ class CachingClient {
   explicit CachingClient(SimNet* net);
 
   struct Result {
-    FetchResult fetch;   // elapsed is 0 for cache hits
+    FetchResult fetch;   // elapsed is 0 for cache hits; for a retried
+                         // fetch it covers the whole sequence (attempt
+                         // costs + backoff waits)
     bool from_cache = false;
+    int attempts = 0;    // network attempts made (0 for cache hits)
   };
 
   // GETs the URL, serving from cache when a fresh entry exists. Thread-safe.
   Result Get(std::string_view url, util::Timestamp now,
+             double timeout_seconds = 10.0);
+
+  // Retrying form: on a cache miss the fetch runs under `retry` through
+  // FetchWithRetry, with `validate` vetting every 200 body before it can
+  // be cached (a corrupt CRL must never poison the cache). One *logical*
+  // fetch counts exactly one miss no matter how many attempts it took —
+  // the hit/miss/eviction counters stay meaningful under storms
+  // (tests/net_test.cpp pins this).
+  Result Get(std::string_view url, util::Timestamp now,
+             const RetryPolicy& retry,
+             const ResponseValidator& validate = nullptr,
              double timeout_seconds = 10.0);
 
   // Erases every entry whose lifetime ended at or before `now`; returns the

@@ -1,0 +1,175 @@
+#include "net/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/url.h"
+#include "obs/metrics.h"
+
+namespace rev::net {
+
+namespace {
+
+// splitmix64 finalizer, the stateless mixer used across the fault stack.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double UnitFromHash(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+struct RetryMetrics {
+  obs::Counter& retries;
+  obs::Counter& gave_up;
+  obs::Counter& corrupt_bodies;
+  obs::Histogram& backoff_ns;
+
+  static RetryMetrics& Get() {
+    static RetryMetrics* metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return new RetryMetrics{
+          registry.GetCounter("net.retries"),
+          registry.GetCounter("net.fetch_gave_up"),
+          registry.GetCounter("net.corrupt_bodies"),
+          registry.GetHistogram("net.backoff_delay_ns"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+double BackoffDelay(const RetryPolicy& policy, std::string_view key,
+                    int attempt) {
+  if (attempt <= 0) return 0;
+  if (policy.initial_backoff_seconds <= 0) return 0;
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+
+  double base = policy.initial_backoff_seconds;
+  for (int i = 1; i < attempt; ++i) {
+    // Once even the low edge of the jitter window clears the cap, every
+    // later delay is exactly the cap — stop multiplying (and never
+    // overflow).
+    if (base * (1.0 - jitter) >= policy.max_backoff_seconds)
+      return policy.max_backoff_seconds;
+    base *= policy.backoff_multiplier;
+  }
+
+  std::uint64_t h = Mix64(policy.seed ^ 0x5E77ull);
+  for (char c : key) h = Mix64(h ^ static_cast<std::uint8_t>(c));
+  h = Mix64(h ^ static_cast<std::uint64_t>(attempt));
+  const double jittered = base * (1.0 - jitter * UnitFromHash(h));
+  return std::min(jittered, policy.max_backoff_seconds);
+}
+
+bool IsRetryable(const FetchResult& result) {
+  switch (result.error) {
+    case FetchError::kTimeout:
+    case FetchError::kConnectionRefused:
+    case FetchError::kCorruptBody:
+      return true;
+    case FetchError::kDnsFailure:
+      return false;  // NXDOMAIN is definitive
+    case FetchError::kOk:
+      break;
+  }
+  return result.response.status >= 500;
+}
+
+RetryResult FetchWithRetry(SimNet& net, const HttpRequest& request,
+                           util::Timestamp now, const RetryPolicy& policy,
+                           double timeout_seconds,
+                           const ResponseValidator& validate) {
+  RetryResult out;
+  RetryMetrics& metrics = RetryMetrics::Get();
+  const std::string key = request.host + request.path;
+  const int max_attempts = std::max(1, policy.max_attempts);
+
+  double elapsed = 0;
+  std::int64_t pending_retry_after = 0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    double wait = 0;
+    if (attempt > 0) {
+      // A 503's Retry-After is a lower bound on the wait, never a
+      // replacement for the (possibly longer) computed backoff.
+      wait = std::max(BackoffDelay(policy, key, attempt),
+                      static_cast<double>(pending_retry_after));
+      elapsed += wait;
+      out.backoff_seconds += wait;
+      metrics.retries.Increment();
+      metrics.backoff_ns.RecordSeconds(wait);
+    }
+
+    // Each attempt happens on the simulated clock at `now` plus everything
+    // spent so far, so fault windows and flap phases see honest time.
+    const util::Timestamp at = now + static_cast<util::Timestamp>(elapsed);
+    FetchResult fetch = net.Fetch(request, at, timeout_seconds);
+    if (fetch.ok() && validate && !validate(fetch.response)) {
+      fetch.error = FetchError::kCorruptBody;
+      metrics.corrupt_bodies.Increment();
+    }
+    elapsed += fetch.elapsed_seconds;
+    out.total_bytes += fetch.bytes_transferred;
+    out.attempts = attempt + 1;
+    out.schedule.push_back({at, wait, fetch.elapsed_seconds, fetch.error,
+                            fetch.response.status, fetch.response.retry_after});
+
+    pending_retry_after =
+        fetch.response.status == 503 ? fetch.response.retry_after : 0;
+    const bool retryable = IsRetryable(fetch);
+    out.fetch = std::move(fetch);
+    if (!retryable) break;  // success or a definitive failure
+    if (attempt + 1 == max_attempts) {
+      out.gave_up = true;
+      metrics.gave_up.Increment();
+    }
+  }
+
+  out.total_elapsed_seconds = elapsed;
+  out.finished_at = now + static_cast<util::Timestamp>(elapsed);
+  return out;
+}
+
+RetryResult GetWithRetry(SimNet& net, std::string_view url,
+                         util::Timestamp now, const RetryPolicy& policy,
+                         double timeout_seconds,
+                         const ResponseValidator& validate) {
+  auto parsed = ParseUrl(url);
+  if (!parsed) {
+    RetryResult out;
+    out.fetch.error = FetchError::kDnsFailure;
+    out.finished_at = now;
+    return out;
+  }
+  HttpRequest request;
+  request.method = "GET";
+  request.host = parsed->host;
+  request.path = parsed->path;
+  return FetchWithRetry(net, request, now, policy, timeout_seconds, validate);
+}
+
+RetryResult PostWithRetry(SimNet& net, std::string_view url, BytesView body,
+                          util::Timestamp now, const RetryPolicy& policy,
+                          double timeout_seconds,
+                          const ResponseValidator& validate) {
+  auto parsed = ParseUrl(url);
+  if (!parsed) {
+    RetryResult out;
+    out.fetch.error = FetchError::kDnsFailure;
+    out.finished_at = now;
+    return out;
+  }
+  HttpRequest request;
+  request.method = "POST";
+  request.host = parsed->host;
+  request.path = parsed->path;
+  request.body.assign(body.begin(), body.end());
+  return FetchWithRetry(net, request, now, policy, timeout_seconds, validate);
+}
+
+}  // namespace rev::net

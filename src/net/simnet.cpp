@@ -1,5 +1,7 @@
 #include "net/simnet.h"
 
+#include "net/fault.h"
+
 namespace rev::net {
 
 const char* FetchErrorName(FetchError e) {
@@ -8,6 +10,7 @@ const char* FetchErrorName(FetchError e) {
     case FetchError::kDnsFailure: return "dns-failure";
     case FetchError::kConnectionRefused: return "connection-refused";
     case FetchError::kTimeout: return "timeout";
+    case FetchError::kCorruptBody: return "corrupt-body";
   }
   return "?";
 }
@@ -43,6 +46,16 @@ void SimNet::SetUnresponsive(std::string_view hostname, bool unresponsive) {
   if (it != hosts_.end()) it->second.unresponsive = unresponsive;
 }
 
+void SimNet::SetFaultPlan(FaultPlan* plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_plan_ = plan;
+}
+
+FaultPlan* SimNet::fault_plan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fault_plan_;
+}
+
 FetchResult SimNet::Fetch(const HttpRequest& request, util::Timestamp now,
                           double timeout_seconds) {
   // One lock spans the whole exchange: the handler may mutate CA state.
@@ -69,15 +82,31 @@ FetchResult SimNet::Fetch(const HttpRequest& request, util::Timestamp now,
     return result;
   }
 
+  // Pre-exchange faults (timeout/outage/flap-down) consume the request
+  // before the handler runs, like a connection that never forms.
+  if (fault_plan_ != nullptr &&
+      fault_plan_->ApplyBefore(request.host, request.path, now,
+                               timeout_seconds, host.profile.rtt_seconds,
+                               &result))
+    return result;
+
   result.response = host.handler(request, now);
 
   // Cost model: DNS (1 RTT) + TCP handshake (1 RTT) + request/response
   // (1 RTT) + transfer time for the response body.
-  const std::size_t wire_bytes = request.body.size() + result.response.body.size();
   const double transfer =
       static_cast<double>(result.response.body.size()) * 8.0 /
       host.profile.bandwidth_bps;
   result.elapsed_seconds = 3.0 * host.profile.rtt_seconds + transfer;
+
+  // Post-exchange faults mutate the finished response (5xx substitution,
+  // truncation, corruption) and/or inflate elapsed time; the timeout check
+  // below therefore sees the inflated value.
+  if (fault_plan_ != nullptr)
+    fault_plan_->ApplyAfter(request.host, request.path, now, &result);
+
+  const std::size_t wire_bytes =
+      request.body.size() + result.response.body.size();
   result.bytes_transferred = wire_bytes;
   total_bytes_ += wire_bytes;
 

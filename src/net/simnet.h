@@ -19,6 +19,8 @@
 
 namespace rev::net {
 
+class FaultPlan;
+
 struct HttpRequest {
   std::string method = "GET";
   std::string host;
@@ -51,6 +53,8 @@ enum class FetchError {
   kDnsFailure,        // NXDOMAIN — revocation host does not resolve
   kConnectionRefused, // host known but not listening
   kTimeout,           // host accepts but never responds
+  kCorruptBody,       // 200 whose body failed the caller's validation
+                      // (truncated/bit-flipped CRL or OCSP — retryable)
 };
 
 const char* FetchErrorName(FetchError e);
@@ -85,6 +89,13 @@ class SimNet {
   void SetDnsFailure(std::string_view hostname, bool fail);
   void SetUnresponsive(std::string_view hostname, bool unresponsive);
 
+  // Attaches a deterministic fault schedule (net/fault.h); every exchange
+  // consults it. Not owned; may be null (faults off, zero cost). Set it
+  // before serving starts — the pointer is read without synchronization
+  // beyond the per-exchange lock.
+  void SetFaultPlan(FaultPlan* plan);
+  FaultPlan* fault_plan() const;
+
   // Executes an HTTP exchange. `timeout_seconds` caps the simulated wait.
   FetchResult Fetch(const HttpRequest& request, util::Timestamp now,
                     double timeout_seconds = 10.0);
@@ -111,6 +122,7 @@ class SimNet {
 
   mutable std::mutex mu_;  // serializes exchanges, guards hosts_ + counters
   std::map<std::string, Host, std::less<>> hosts_;
+  FaultPlan* fault_plan_ = nullptr;
   std::uint64_t total_requests_ = 0;
   std::uint64_t total_bytes_ = 0;
 };

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "net/cache.h"
+#include "net/fault.h"
+#include "net/retry.h"
 #include "net/simnet.h"
 #include "net/url.h"
 
@@ -255,6 +257,244 @@ TEST(CachingClient, DistinctUrlsDistinctEntries) {
   EXPECT_EQ(client.EntryCount(), 2u);
   client.Clear();
   EXPECT_EQ(client.EntryCount(), 0u);
+}
+
+// --------------------------------------------------------------- fault ----
+
+TEST(FaultPlan, DecisionsAreDeterministicPerSeed) {
+  SimNet net;
+  net.AddHost("f.sim", Hello());
+  // Two same-seeded plans make identical decisions over the same exchange
+  // sequence; a different seed diverges.
+  auto run = [&net](std::uint64_t seed) {
+    FaultPlan plan(seed);
+    FaultRule rule;
+    rule.kind = FaultKind::kTimeout;
+    rule.probability = 0.5;
+    plan.AddRule(rule);
+    net.SetFaultPlan(&plan);
+    std::string decisions;
+    for (int i = 0; i < 64; ++i)
+      decisions.push_back(net.Get("http://f.sim/x", kNow + i).ok() ? 'o' : 'T');
+    net.SetFaultPlan(nullptr);
+    return decisions;
+  };
+  const std::string a = run(1), b = run(1), c = run(2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 2^-64 false-failure odds
+  EXPECT_NE(a.find('T'), std::string::npos);
+  EXPECT_NE(a.find('o'), std::string::npos);
+}
+
+TEST(FaultPlan, TargetAndWindowScopeTheRule) {
+  SimNet net;
+  net.AddHost("a.sim", Hello());
+  net.AddHost("b.sim", Hello());
+  FaultPlan plan(9);
+  FaultRule rule;
+  rule.kind = FaultKind::kOutage;
+  rule.target = "a.sim/crl";  // host + path prefix
+  rule.start = kNow;
+  rule.end = kNow + 100;
+  plan.AddRule(rule);
+  net.SetFaultPlan(&plan);
+
+  EXPECT_FALSE(net.Get("http://a.sim/crl0.crl", kNow).ok());   // in scope
+  EXPECT_TRUE(net.Get("http://a.sim/ocsp", kNow).ok());        // other path
+  EXPECT_TRUE(net.Get("http://b.sim/crl0.crl", kNow).ok());    // other host
+  EXPECT_TRUE(net.Get("http://a.sim/crl0.crl", kNow + 100).ok());  // past end
+  EXPECT_EQ(plan.injected(FaultKind::kOutage), 1u);
+  EXPECT_EQ(plan.total_injected(), 1u);
+}
+
+TEST(FaultPlan, FlapFollowsTheSquareWave) {
+  SimNet net;
+  net.AddHost("f.sim", Hello());
+  FaultPlan plan(5);
+  FaultRule rule;
+  rule.kind = FaultKind::kFlap;
+  rule.up_seconds = 100;
+  rule.down_seconds = 50;
+  plan.AddRule(rule);
+  net.SetFaultPlan(&plan);
+  // Phase-locked to the epoch: up on [0,100), down on [100,150), repeat.
+  EXPECT_TRUE(net.Get("http://f.sim/x", 0).ok());
+  EXPECT_TRUE(net.Get("http://f.sim/x", 99).ok());
+  EXPECT_FALSE(net.Get("http://f.sim/x", 100).ok());
+  EXPECT_FALSE(net.Get("http://f.sim/x", 149).ok());
+  EXPECT_TRUE(net.Get("http://f.sim/x", 150).ok());
+  EXPECT_FALSE(net.Get("http://f.sim/x", 150 + 120).ok());
+}
+
+TEST(FaultPlan, ResponseMutations) {
+  SimNet net;
+  net.AddHost("f.sim", Hello(3600));
+  const std::string clean = "hello:/x";
+
+  {  // 5xx substitution carries the Retry-After hint and drops the body.
+    FaultPlan plan(1);
+    FaultRule rule;
+    rule.kind = FaultKind::kHttpError;
+    rule.http_status = 503;
+    rule.retry_after = 30;
+    plan.AddRule(rule);
+    net.SetFaultPlan(&plan);
+    const FetchResult result = net.Get("http://f.sim/x", kNow);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.response.status, 503);
+    EXPECT_EQ(result.response.retry_after, 30);
+    EXPECT_TRUE(result.response.body.empty());
+    EXPECT_EQ(result.response.max_age, 0);  // never cacheable
+  }
+  {  // Truncation keeps a prefix.
+    FaultPlan plan(1);
+    FaultRule rule;
+    rule.kind = FaultKind::kTruncate;
+    rule.keep_fraction = 0.5;
+    plan.AddRule(rule);
+    net.SetFaultPlan(&plan);
+    const FetchResult result = net.Get("http://f.sim/x", kNow);
+    EXPECT_TRUE(result.ok());  // transport says OK; only a parser can tell
+    EXPECT_EQ(ToString(result.response.body), clean.substr(0, clean.size() / 2));
+  }
+  {  // Corruption flips bytes but preserves the length.
+    FaultPlan plan(1);
+    FaultRule rule;
+    rule.kind = FaultKind::kCorrupt;
+    rule.corrupt_bytes = 1;
+    plan.AddRule(rule);
+    net.SetFaultPlan(&plan);
+    const FetchResult result = net.Get("http://f.sim/x", kNow);
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.response.body.size(), clean.size());
+    EXPECT_NE(ToString(result.response.body), clean);
+  }
+  {  // Latency inflation can push a slow exchange over the timeout.
+    FaultPlan plan(1);
+    FaultRule rule;
+    rule.kind = FaultKind::kLatency;
+    rule.latency_factor = 1000.0;
+    plan.AddRule(rule);
+    net.SetFaultPlan(&plan);
+    const FetchResult result = net.Get("http://f.sim/x", kNow, 10.0);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.error, FetchError::kTimeout);
+    EXPECT_EQ(result.elapsed_seconds, 10.0);  // capped at the budget
+  }
+  net.SetFaultPlan(nullptr);
+}
+
+// --------------------------------------------------------------- retry ----
+
+TEST(Retry, TransientErrorRecovers) {
+  SimNet net;
+  int calls = 0;
+  net.AddHost("t.sim", [&](const HttpRequest&, util::Timestamp) {
+    HttpResponse response;
+    if (calls++ < 2) {
+      response.status = 500;
+    } else {
+      response.body = ToBytes("finally");
+    }
+    return response;
+  });
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_seconds = 1;
+  policy.jitter = 0;
+  const RetryResult result = GetWithRetry(net, "http://t.sim/x", kNow, policy);
+  EXPECT_TRUE(result.ok());
+  EXPECT_FALSE(result.gave_up);
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(ToString(result.fetch.response.body), "finally");
+  EXPECT_DOUBLE_EQ(result.backoff_seconds, 1 + 2);  // 1s then 2s, jitter off
+  // Each attempt hit the (virtual) wire.
+  EXPECT_EQ(net.total_requests(), 3u);
+}
+
+TEST(Retry, ExhaustionGivesUpWithLastResult) {
+  SimNet net;
+  net.AddHost("down.sim", [](const HttpRequest&, util::Timestamp) {
+    HttpResponse response;
+    response.status = 503;
+    return response;
+  });
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_seconds = 1;
+  policy.jitter = 0;
+  const RetryResult result =
+      GetWithRetry(net, "http://down.sim/x", kNow, policy);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.gave_up);
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(result.fetch.response.status, 503);
+}
+
+TEST(Retry, DnsFailureIsDefinitiveNotRetried) {
+  SimNet net;
+  net.AddHost("up.sim", Hello());
+  net.SetDnsFailure("up.sim", true);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  const RetryResult result = GetWithRetry(net, "http://up.sim/x", kNow, policy);
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.gave_up);  // not exhausted — the error is permanent
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_EQ(result.fetch.error, FetchError::kDnsFailure);
+}
+
+TEST(Retry, NonePolicyMakesExactlyOneAttempt) {
+  SimNet net;
+  net.AddHost("t.sim", [](const HttpRequest&, util::Timestamp) {
+    HttpResponse response;
+    response.status = 503;
+    return response;
+  });
+  const RetryResult result =
+      GetWithRetry(net, "http://t.sim/x", kNow, RetryPolicy::None());
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_TRUE(result.gave_up);
+  EXPECT_EQ(net.total_requests(), 1u);
+}
+
+// Regression (docs/fault-injection.md): a retried fetch is ONE logical
+// cache transaction — one miss, however many attempts the policy burns,
+// and no hit/miss inflation on top.
+TEST(CachingClient, RetriedFetchCountsExactlyOneMiss) {
+  SimNet net;
+  int calls = 0;
+  net.AddHost("r.sim", [&](const HttpRequest&, util::Timestamp) {
+    HttpResponse response;
+    if (calls++ < 2) {
+      response.status = 503;
+    } else {
+      response.body = ToBytes("fresh");
+      response.max_age = 3600;
+    }
+    return response;
+  });
+  CachingClient client(&net);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_seconds = 1;
+  policy.jitter = 0;
+
+  const CachingClient::Result result =
+      client.Get("http://r.sim/x", kNow, policy);
+  EXPECT_TRUE(result.fetch.ok());
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(client.misses(), 1u) << "retries must not inflate misses";
+  EXPECT_EQ(client.hits(), 0u);
+  // The retried result was cached normally; attempts==0 flags a cache hit.
+  const CachingClient::Result cached =
+      client.Get("http://r.sim/x", kNow + 10, policy);
+  EXPECT_TRUE(cached.from_cache);
+  EXPECT_EQ(cached.attempts, 0);
+  EXPECT_EQ(client.hits(), 1u);
+  EXPECT_EQ(client.misses(), 1u);
+  // The cumulative cost of all three attempts is reported on the result.
+  EXPECT_GT(result.fetch.elapsed_seconds, 3.0);  // two 1s+2s waits + wire
 }
 
 }  // namespace

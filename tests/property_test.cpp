@@ -4,7 +4,10 @@
 // and end-to-end CA/browser consistency under random revocation schedules.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "browser/client.h"
+#include "net/retry.h"
 #include "browser/profiles.h"
 #include "ca/ca.h"
 #include "crl/crl.h"
@@ -375,6 +378,119 @@ TEST_P(EndToEndProperty, RevokedIsCaughtExactlyWhenCheckingApplies) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndProperty, ::testing::Range(0, 8));
+
+// ----------------------------------------------- retry-policy invariants ----
+
+class RetryProperty : public Seeded {};
+
+// The deterministic-jitter schedule is non-decreasing up to the cap for any
+// seed/key, provided multiplier >= 1/(1 - jitter) (the documented bound:
+// the worst jittered step must still outgrow the best previous one), and
+// once the un-jittered base crosses the cap the delay equals the cap
+// exactly.
+TEST_P(RetryProperty, BackoffDelaysNonDecreasingUpToCap) {
+  for (int trial = 0; trial < 20; ++trial) {
+    net::RetryPolicy policy;
+    policy.jitter = rng_.Uniform(0.0, 0.6);
+    policy.backoff_multiplier =
+        std::max(1.5, 1.0 / (1.0 - policy.jitter)) + rng_.Uniform(0.0, 2.0);
+    policy.initial_backoff_seconds = rng_.Uniform(0.1, 10.0);
+    policy.max_backoff_seconds =
+        policy.initial_backoff_seconds + rng_.Uniform(0.0, 1000.0);
+    policy.seed = rng_.Next();
+    const std::string key = "http://" + RandomLabel(rng_, 24) + "/crl";
+
+    double prev = 0;
+    for (int attempt = 1; attempt <= 40; ++attempt) {
+      const double delay = net::BackoffDelay(policy, key, attempt);
+      EXPECT_GE(delay, prev) << "attempt " << attempt;
+      EXPECT_LE(delay, policy.max_backoff_seconds);
+      EXPECT_GT(delay, 0.0);
+      prev = delay;
+    }
+    // Far past the cap crossover the delay is pinned to the cap exactly.
+    EXPECT_EQ(net::BackoffDelay(policy, key, 80), policy.max_backoff_seconds);
+  }
+}
+
+// Simulated-clock accounting: the total elapsed time of a retried fetch is
+// exactly the sum of its per-attempt costs (waits + exchange times), the
+// backoff total is exactly the sum of the waits, and finished_at lands at
+// start + elapsed on the virtual clock.
+TEST_P(RetryProperty, TotalElapsedIsSumOfPerAttemptCosts) {
+  for (int trial = 0; trial < 10; ++trial) {
+    net::SimNet net;
+    const int failures = static_cast<int>(rng_.NextBelow(4));
+    int calls = 0;
+    net.AddHost("prop.sim",
+                [&](const net::HttpRequest&, util::Timestamp) {
+                  net::HttpResponse response;
+                  if (calls++ < failures) {
+                    response.status = 503;
+                  } else {
+                    response.body = ToBytes("payload-of-some-size");
+                  }
+                  return response;
+                });
+    net::RetryPolicy policy;
+    policy.max_attempts = 6;
+    policy.initial_backoff_seconds = rng_.Uniform(0.5, 3.0);
+    policy.backoff_multiplier = 2;
+    policy.jitter = rng_.Uniform(0.0, 0.5);
+    policy.seed = rng_.Next();
+
+    const net::RetryResult result =
+        net::GetWithRetry(net, "http://prop.sim/x", kNow, policy);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.attempts, failures + 1);
+    ASSERT_EQ(result.schedule.size(), static_cast<std::size_t>(failures + 1));
+
+    double total = 0, waits = 0;
+    for (const net::RetryResult::Attempt& attempt : result.schedule) {
+      total += attempt.wait_before + attempt.elapsed_seconds;
+      waits += attempt.wait_before;
+    }
+    EXPECT_DOUBLE_EQ(result.total_elapsed_seconds, total);
+    EXPECT_DOUBLE_EQ(result.backoff_seconds, waits);
+    EXPECT_EQ(result.finished_at,
+              kNow + static_cast<util::Timestamp>(result.total_elapsed_seconds));
+    EXPECT_EQ(result.schedule.front().at, kNow);
+  }
+}
+
+// A 503's Retry-After hint is always a *lower bound* on the wait before the
+// next attempt, whatever the backoff schedule says.
+TEST_P(RetryProperty, RetryAfterIsLowerBoundOnNextAttempt) {
+  net::SimNet net;
+  util::Rng& rng = rng_;
+  net.AddHost("hint.sim", [&](const net::HttpRequest&, util::Timestamp) {
+    net::HttpResponse response;
+    response.status = 503;  // always shedding
+    response.retry_after = rng.UniformInt(0, 40);
+    return response;
+  });
+  net::RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_seconds = 0.01;  // hints, when present, must win
+  policy.backoff_multiplier = 2;
+  policy.jitter = rng_.Uniform(0.0, 0.5);
+  policy.seed = rng_.Next();
+
+  const net::RetryResult result =
+      net::GetWithRetry(net, "http://hint.sim/x", kNow, policy);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.gave_up);
+  ASSERT_EQ(result.schedule.size(), 6u);
+  for (std::size_t i = 1; i < result.schedule.size(); ++i) {
+    const net::RetryResult::Attempt& before = result.schedule[i - 1];
+    EXPECT_EQ(before.http_status, 503);
+    EXPECT_GE(result.schedule[i].wait_before,
+              static_cast<double>(before.retry_after))
+        << "attempt " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetryProperty, ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace rev
