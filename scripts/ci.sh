@@ -4,8 +4,9 @@
 # the thread pool, the parallel pipeline/crawler, the serving frontend,
 # and the metrics/trace instruments (tests + a small bench_serve load) —
 # then an observability smoke: bench_serve must answer GET /metrics and
-# land the registry snapshot in BENCH_serve.json. Fails on any ctest
-# regression or TSan report.
+# land the registry snapshot in BENCH_serve.json, plus a QPS-regression
+# smoke against the baseline committed in BENCH_serve.json. Fails on any
+# ctest regression, TSan report, or QPS collapse.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,8 +18,11 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 echo "== TSan: thread pool, parallel pipeline, serving frontend, obs, chaos =="
 cmake -B build-tsan -S . -DREV_SANITIZE_THREAD=ON
 cmake --build build-tsan -j"$(nproc)" --target util_test core_test serve_test obs_test chaos_test bench_serve
-./build-tsan/tests/util_test --gtest_filter='ThreadPool.*'
+./build-tsan/tests/util_test --gtest_filter='ThreadPool.*:MpscQueue.*'
 ./build-tsan/tests/core_test --gtest_filter='Parallelism.*'
+# Full serve suite under TSan: includes the batch-vs-serial equivalence
+# tests (1 and 8 threads) and the attach-latch regression test, the two
+# raciest additions of the event-driven core.
 ./build-tsan/tests/serve_test
 # The whole obs suite runs under TSan: sharded counters, the lock-free
 # histogram, trace ring buffers, and the 8-thread exposition stress.
@@ -45,6 +49,24 @@ grep -q '"metrics": {"counters":' "$smoke_dir"/BENCH_serve.json || {
   echo "BENCH_serve.json is missing the metrics block" >&2; exit 1; }
 grep -q '"serve.latency_ns{frontend=' "$smoke_dir"/BENCH_serve.json || {
   echo "BENCH_serve.json is missing the latency histogram" >&2; exit 1; }
+
+echo "== QPS regression smoke: batch peak vs committed baseline =="
+# The smoke run above is deliberately small (2k certs, 2k ops), so compare
+# its batch peak against the PR 2 instrumented baseline recorded in the
+# committed BENCH_serve.json — a catastrophic regression (accidental
+# serialization, a lock back on the hot path) lands well below it even at
+# smoke scale, while run-to-run noise never does.
+python3 - "$smoke_dir"/BENCH_serve.json BENCH_serve.json <<'PY'
+import json, sys
+smoke = json.load(open(sys.argv[1]))["results"]
+committed = json.load(open(sys.argv[2]))["results"]
+baseline = committed["baseline_instrumented_pr2"]["qps"]
+peak = smoke["batch_peak"]["qps"]
+if peak < baseline:
+    sys.exit(f"batch peak {peak:.0f} QPS regressed below the pre-refactor "
+             f"instrumented baseline {baseline:.0f} QPS")
+print(f"batch peak {peak:.0f} QPS >= baseline {baseline:.0f} QPS: ok")
+PY
 rm -rf "$smoke_dir"
 
-echo "ci OK (tier-1 + TSan: unit suites, obs suite, serve stress, bench_serve load + /metrics smoke)"
+echo "ci OK (tier-1 + TSan: unit suites, obs suite, serve stress, bench_serve load + /metrics smoke + QPS regression)"

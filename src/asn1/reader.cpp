@@ -125,6 +125,16 @@ bool Reader::ReadIntegerUnsigned(Bytes* magnitude_be) {
   return true;
 }
 
+bool Reader::ReadIntegerUnsignedView(BytesView* magnitude_be) {
+  BytesView content;
+  if (!ReadTagged(kTagInteger, &content) || !CheckMinimalInteger(content))
+    return false;
+  if (content[0] & 0x80) return false;  // negative
+  const std::size_t skip = (content.size() > 1 && content[0] == 0x00) ? 1 : 0;
+  *magnitude_be = content.subspan(skip);
+  return true;
+}
+
 bool Reader::ReadEnumerated(std::int64_t* value) {
   BytesView content;
   return ReadTagged(kTagEnumerated, &content) && DecodeInt64(content, value);

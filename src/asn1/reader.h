@@ -48,6 +48,9 @@ class Reader {
   bool ReadInteger(std::int64_t* value);
   // INTEGER as unsigned big-endian magnitude; fails on negative values.
   bool ReadIntegerUnsigned(Bytes* magnitude_be);
+  // Zero-copy variant: a view of the magnitude (sign-padding byte stripped),
+  // aliasing the input buffer.
+  bool ReadIntegerUnsignedView(BytesView* magnitude_be);
   bool ReadEnumerated(std::int64_t* value);
   bool ReadNull();
   bool ReadOid(Oid* oid);

@@ -48,7 +48,16 @@ double BackoffDelay(const RetryPolicy& policy, std::string_view key,
                     int attempt) {
   if (attempt <= 0) return 0;
   if (policy.initial_backoff_seconds <= 0) return 0;
-  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  // jitter = 1 would make the window [0, base] and the non-decreasing
+  // invariant unsatisfiable by any finite multiplier; 0.9 keeps the
+  // required multiplier at most 10.
+  const double jitter = std::clamp(policy.jitter, 0.0, 0.9);
+  // The low edge of attempt k+1's window must clear the high edge of
+  // attempt k's: multiplier * (1 - jitter) >= 1. A config below that bound
+  // would silently produce *decreasing* backoff, so clamp up to the
+  // smallest compliant multiplier instead of honoring it.
+  const double multiplier =
+      std::max({policy.backoff_multiplier, 1.0, 1.0 / (1.0 - jitter)});
 
   double base = policy.initial_backoff_seconds;
   for (int i = 1; i < attempt; ++i) {
@@ -57,7 +66,7 @@ double BackoffDelay(const RetryPolicy& policy, std::string_view key,
     // overflow).
     if (base * (1.0 - jitter) >= policy.max_backoff_seconds)
       return policy.max_backoff_seconds;
-    base *= policy.backoff_multiplier;
+    base *= multiplier;
   }
 
   std::uint64_t h = Mix64(policy.seed ^ 0x5E77ull);

@@ -31,12 +31,17 @@ struct RetryPolicy {
   // Total attempts including the first; 1 disables retrying.
   int max_attempts = 3;
   double initial_backoff_seconds = 1.0;
-  // Delay grows by this factor per retry. Keep >= 2 so the half-open
-  // jitter window below cannot reorder delays (property_test pins the
-  // non-decreasing guarantee).
+  // Delay grows by this factor per retry. Delays are non-decreasing only
+  // when multiplier >= 1/(1 - jitter) — the low edge of the next jitter
+  // window must clear the high edge of the current one — so BackoffDelay
+  // clamps any smaller configured value up to that bound rather than
+  // silently producing decreasing backoff (property_test pins both the
+  // guarantee and the clamp).
   double backoff_multiplier = 2.0;
   double max_backoff_seconds = 60.0;
   // Delay is drawn from [(1 - jitter) * base, base]; 0 = no jitter.
+  // Effective jitter is clamped to [0, 0.9]: at 1.0 the window floor hits
+  // zero and no finite multiplier could keep delays ordered.
   double jitter = 0.5;
   // Decorrelates jitter streams between independent clients.
   std::uint64_t seed = 0;
@@ -49,8 +54,10 @@ struct RetryPolicy {
 };
 
 // The jittered backoff before retry attempt `attempt` (attempt 1 = first
-// retry). Pure function of its inputs: non-decreasing in `attempt` up to
-// the cap whenever backoff_multiplier >= 1 + jitter.
+// retry). Pure function of its inputs, and non-decreasing in `attempt` up
+// to the cap for EVERY policy: configs whose multiplier violates
+// multiplier >= 1/(1 - jitter) are clamped to the smallest compliant
+// multiplier rather than honored.
 double BackoffDelay(const RetryPolicy& policy, std::string_view key,
                     int attempt);
 

@@ -75,6 +75,23 @@ void Histogram::Record(std::uint64_t value) {
   }
 }
 
+void Histogram::RecordMany(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  const auto bucket =
+      static_cast<std::size_t>(value == 0 ? 0 : std::bit_width(value));
+  buckets_[bucket].fetch_add(count, std::memory_order_relaxed);
+  count_.fetch_add(count, std::memory_order_relaxed);
+  sum_.fetch_add(value * count, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snap;
   snap.count = count_.load(std::memory_order_relaxed);

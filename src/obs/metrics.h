@@ -135,8 +135,16 @@ struct HistogramSnapshot {
 class Histogram {
  public:
   void Record(std::uint64_t value);
+  // Records `value` `count` times with one pass over the atomics — the
+  // batched serve path reports a whole batch's amortized per-request
+  // latency without paying per-request fetch_adds.
+  void RecordMany(std::uint64_t value, std::uint64_t count);
   void RecordSeconds(double seconds) {
     Record(seconds <= 0 ? 0 : static_cast<std::uint64_t>(seconds * 1e9));
+  }
+  void RecordSecondsMany(double seconds, std::uint64_t count) {
+    RecordMany(seconds <= 0 ? 0 : static_cast<std::uint64_t>(seconds * 1e9),
+               count);
   }
 
   HistogramSnapshot Snapshot() const;

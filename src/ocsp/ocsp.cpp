@@ -112,6 +112,29 @@ std::optional<OcspRequest> ParseOcspRequest(BytesView der) {
   return out;
 }
 
+bool ParseSingleCertRequestView(BytesView der, OcspRequestView* out) {
+  asn1::Reader top(der);
+  asn1::Reader outer;
+  if (!top.ReadSequence(&outer) || !top.Empty()) return false;
+  asn1::Reader tbs;
+  if (!outer.ReadSequence(&tbs)) return false;
+  asn1::Reader request_list;
+  if (!tbs.ReadSequence(&request_list)) return false;
+  asn1::Reader req;
+  if (!request_list.ReadSequence(&req) || !request_list.Empty()) return false;
+  asn1::Reader id;
+  if (!req.ReadSequence(&id) || !req.Empty()) return false;
+  asn1::Reader alg;  // hash algorithm, assumed SHA-256 (as ParseOcspRequest)
+  if (!id.ReadSequence(&alg)) return false;
+  if (!id.ReadOctetString(&out->issuer_name_hash) ||
+      !id.ReadOctetString(&out->issuer_key_hash) ||
+      !id.ReadIntegerUnsignedView(&out->serial) || !id.Empty())
+    return false;
+  // Anything after requestList (requestExtensions — i.e. a nonce) takes the
+  // allocating path, which knows how to handle it.
+  return tbs.Empty();
+}
+
 std::string OcspGetPath(const OcspRequest& request) {
   return "/" + util::Base64Encode(EncodeOcspRequest(request));
 }

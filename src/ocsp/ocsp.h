@@ -39,6 +39,21 @@ struct OcspRequest {
 Bytes EncodeOcspRequest(const OcspRequest& request);
 std::optional<OcspRequest> ParseOcspRequest(BytesView der);
 
+// Borrowed parse of the dominant request shape — exactly one CertID, no
+// requestor name, no extensions (hence no nonce). Every field aliases the
+// input `der`, so the view is valid only while that buffer lives. Returns
+// false for anything else — malformed input included — in which case the
+// caller falls back to the allocating ParseOcspRequest for classification.
+// This is the serving frontend's hot path: it avoids the per-request heap
+// allocations (CertId vectors, hash/serial copies) that otherwise dominate
+// a cache-hit's cost.
+struct OcspRequestView {
+  BytesView issuer_name_hash;
+  BytesView issuer_key_hash;
+  BytesView serial;  // unsigned big-endian magnitude, sign padding stripped
+};
+bool ParseSingleCertRequestView(BytesView der, OcspRequestView* out);
+
 // RFC 6960 Appendix A: OCSP over HTTP GET — the request DER is base64ed
 // into the URL path ("GET {url}/{base64(request)}"). Browsers issue GETs
 // far more often than POSTs; the paper had to patch OpenSSL's responder to

@@ -1,7 +1,12 @@
 #include "serve/frontend.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "obs/trace.h"
 
@@ -26,7 +31,9 @@ struct Frontend::Instruments {
         staples(Get("serve.staples", label)),
         status_updates(Get("serve.status_updates", label)),
         latency_ns(obs::MetricsRegistry::Global().GetHistogram(
-            "serve.latency_ns{" + label + "}")) {}
+            "serve.latency_ns{" + label + "}")),
+        batch_size(obs::MetricsRegistry::Global().GetHistogram(
+            "serve.batch_size{" + label + "}")) {}
 
   static obs::Counter& Get(const char* name, const std::string& label) {
     return obs::MetricsRegistry::Global().GetCounter(std::string(name) + "{" +
@@ -46,16 +53,112 @@ struct Frontend::Instruments {
   obs::Counter& staples;
   obs::Counter& status_updates;
   obs::Histogram& latency_ns;
+  obs::Histogram& batch_size;
+};
+
+// Completion slot carried by every queued op. The notify happens while the
+// mutex is held: a waiter that has observed remaining_ == 0 can destroy
+// the gate (it lives on the caller's stack) only after Done() has released
+// the lock, so the combiner never touches a dead gate.
+class Frontend::CompletionGate {
+ public:
+  void Arm(std::size_t n) {
+    std::lock_guard lock(mu_);
+    remaining_ += n;
+  }
+
+  void Done(std::size_t n) {
+    std::lock_guard lock(mu_);
+    remaining_ -= n;
+    if (remaining_ == 0) cv_.notify_all();
+  }
+
+  bool IsDone() {
+    std::lock_guard lock(mu_);
+    return remaining_ == 0;
+  }
+
+  // True once all armed ops completed; false on timeout. The timeout is a
+  // liveness backstop for the push-after-drain window (an op published
+  // just as the previous combiner released the drain lock): the waiter
+  // wakes, wins the lock, and drains its own op.
+  bool WaitFor(std::chrono::microseconds timeout) {
+    std::unique_lock lock(mu_);
+    return cv_.wait_for(lock, timeout, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t remaining_ = 0;
+};
+
+// One queued unit of work. Ops live on the submitting caller's stack (or
+// in ServeBatch's op array); the queue carries pointers, and the gate
+// handshake guarantees the combiner is finished with an op before the
+// caller's frame unwinds.
+struct Frontend::Op {
+  const ocsp::OcspRequest* request = nullptr;
+  const ocsp::Responder* responder = nullptr;
+  // Status key storage: inline when it fits (the common case — 32-byte
+  // issuer hash plus a short serial), so the hot path never heap-allocates
+  // a key. Consumers read it through key(), a borrowed view either way.
+  std::array<std::uint8_t, 64> key_inline;
+  std::uint8_t key_len = 0;  // 0 = key lives in key_heap
+  StatusKey key_heap;
+  util::Timestamp now = 0;
+  std::size_t shard = 0;
+  bool cacheable = false;  // single-cert, no nonce: precomputed-response path
+  ServeResult result;
+  CompletionGate* gate = nullptr;
+
+  BytesView key() const {
+    return key_len != 0 ? BytesView(key_inline.data(), key_len)
+                        : BytesView(key_heap);
+  }
+  void SetKey(BytesView issuer_key_hash, BytesView serial) {
+    const std::size_t len = issuer_key_hash.size() + serial.size();
+    if (len <= key_inline.size()) {
+      std::memcpy(key_inline.data(), issuer_key_hash.data(),
+                  issuer_key_hash.size());
+      std::memcpy(key_inline.data() + issuer_key_hash.size(), serial.data(),
+                  serial.size());
+      key_len = static_cast<std::uint8_t>(len);
+    } else {
+      key_heap = MakeStatusKey(issuer_key_hash, serial);
+      key_len = 0;
+    }
+  }
+};
+
+struct Frontend::ShardState {
+  explicit ShardState(std::size_t capacity) : queue(capacity) {}
+
+  util::MpscQueue<Op*> queue;
+  // Combiner lock: whoever try-locks it drains the queue. Never held while
+  // blocking on anything, so contention resolves in bounded time.
+  std::mutex drain_mu;
+  // Admission watermark: ops admitted and not yet completed. Bounded by
+  // per_shard_queue, which also bounds ring occupancy (a cell is freed at
+  // PopBatch, before the op completes).
+  std::atomic<std::size_t> depth{0};
+  obs::Gauge* depth_gauge = nullptr;  // written only under drain_mu
 };
 
 Frontend::Frontend(FrontendOptions options)
     : options_(options),
       index_(options.num_shards),
       cache_(options.num_shards),
-      inflight_(new std::atomic<std::size_t>[index_.num_shards()]),
       metrics_label_("frontend=" + std::to_string(obs::NextInstanceId())),
       metrics_(std::make_unique<Instruments>(metrics_label_)) {
-  for (std::size_t s = 0; s < index_.num_shards(); ++s) inflight_[s] = 0;
+  shard_states_.reserve(index_.num_shards());
+  for (std::size_t s = 0; s < index_.num_shards(); ++s) {
+    auto state = std::make_unique<ShardState>(options_.per_shard_queue);
+    state->depth_gauge = &obs::MetricsRegistry::Global().GetGauge(
+        "serve.queue_depth{" + metrics_label_ + ",shard=" + std::to_string(s) +
+        "}");
+    shard_states_.push_back(std::move(state));
+  }
   try_later_der_ = std::make_shared<const Bytes>(
       ocsp::MakeErrorResponse(ocsp::ResponseStatus::kTryLater).der);
   malformed_der_ = std::make_shared<const Bytes>(
@@ -68,7 +171,26 @@ Frontend::~Frontend() {
   for (auto& [hash, responder] : responders_) responder->SetObserver({});
 }
 
+void Frontend::StartServing() {
+  if (serving_started_.load(std::memory_order_acquire)) return;
+  // First request: take the attach lock once so a still-running
+  // AttachResponder finishes (or the latch forces it to throw) before any
+  // thread reads the routing table. Every later request exits on the
+  // acquire load above.
+  std::lock_guard lock(attach_mu_);
+  serving_started_.store(true, std::memory_order_release);
+}
+
 void Frontend::AttachResponder(ocsp::Responder* responder) {
+  std::lock_guard attach(attach_mu_);
+  if (serving_started_.load(std::memory_order_acquire)) {
+    // The routing table is read lock-free on the hot path; mutating it
+    // after the first request would be a data race. Fail loudly instead of
+    // corrupting the readers.
+    throw std::logic_error(
+        "Frontend::AttachResponder: serving already started; attach every "
+        "responder before the first request");
+  }
   responders_[responder->issuer_key_hash()] = responder;
   responder->SetObserver(
       [this, responder](const x509::Serial& serial,
@@ -87,9 +209,7 @@ void Frontend::AttachResponder(ocsp::Responder* responder) {
 
 const ocsp::Responder* Frontend::FindResponder(
     BytesView issuer_key_hash) const {
-  // Transparent heterogeneous lookup would avoid this copy, but routing is
-  // once per request and the key is 32 bytes.
-  auto it = responders_.find(Bytes(issuer_key_hash.begin(), issuer_key_hash.end()));
+  const auto it = responders_.find(issuer_key_hash);
   return it == responders_.end() ? nullptr : it->second;
 }
 
@@ -120,10 +240,9 @@ void Frontend::Flush() {
   metrics_->status_updates.Add(batch.size());
 }
 
-ResponseCache::Entry Frontend::SignEntry(const ocsp::Responder& responder,
-                                         const StatusKey& key,
-                                         util::Timestamp now) {
-  const auto record = index_.Lookup(key);
+ResponseCache::Entry Frontend::SignFromRecord(
+    const ocsp::Responder& responder, BytesView key,
+    const std::optional<StatusIndex::Record>& record, util::Timestamp now) {
   const x509::Serial serial = SerialOfKey(key);
   const ocsp::SingleResponse single = responder.MakeSingle(serial, record, now);
   ocsp::OcspResponse response = responder.Sign({single}, now);
@@ -141,27 +260,53 @@ ResponseCache::Entry Frontend::SignEntry(const ocsp::Responder& responder,
   return entry;
 }
 
+ResponseCache::Entry Frontend::SignEntry(const ocsp::Responder& responder,
+                                         BytesView key, util::Timestamp now) {
+  return SignFromRecord(responder, key, index_.Lookup(key), now);
+}
+
 std::size_t Frontend::ShardOf(BytesView issuer_key_hash,
                               const x509::Serial& serial) const {
   return index_.ShardOf(MakeStatusKey(issuer_key_hash, serial));
 }
 
 bool Frontend::TryEnterShard(std::size_t shard) {
-  auto& slot = inflight_[shard];
-  if (slot.fetch_add(1, std::memory_order_acq_rel) >= options_.per_shard_queue) {
-    slot.fetch_sub(1, std::memory_order_acq_rel);
+  auto& depth = shard_states_[shard]->depth;
+  if (depth.fetch_add(1, std::memory_order_acq_rel) >=
+      options_.per_shard_queue) {
+    depth.fetch_sub(1, std::memory_order_acq_rel);
     return false;
   }
   return true;
 }
 
 void Frontend::ExitShard(std::size_t shard) {
-  inflight_[shard].fetch_sub(1, std::memory_order_acq_rel);
+  shard_states_[shard]->depth.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 Frontend::ServeResult Frontend::Serve(BytesView request_der,
                                       util::Timestamp now) {
   metrics_->requests.Increment();
+  // Zero-allocation fast path for the dominant shape (single cert, no
+  // nonce): route and build the status key straight off views into the
+  // request buffer. Anything else — including malformed input — falls back
+  // to the allocating parser for classification.
+  ocsp::OcspRequestView view;
+  if (ocsp::ParseSingleCertRequestView(request_der, &view)) {
+    obs::Span span("serve.request");
+    const auto start = options_.record_latency
+                           ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
+    StartServing();
+    const ocsp::Responder* responder = FindResponder(view.issuer_key_hash);
+    if (responder == nullptr ||
+        !std::ranges::equal(view.issuer_name_hash,
+                            responder->issuer_name_hash())) {
+      metrics_->unauthorized.Increment();
+      return {200, unauthorized_der_, 0, false};
+    }
+    return EnqueueOne(nullptr, responder, view.serial, true, now, start);
+  }
   auto request = ocsp::ParseOcspRequest(request_der);
   if (!request) {
     metrics_->malformed.Increment();
@@ -187,6 +332,7 @@ Frontend::ServeResult Frontend::ServeParsed(const ocsp::OcspRequest& request,
   const auto start = options_.record_latency
                          ? std::chrono::steady_clock::now()
                          : std::chrono::steady_clock::time_point{};
+  StartServing();
 
   const ocsp::Responder* responder =
       FindResponder(request.cert_ids.front().issuer_key_hash);
@@ -202,63 +348,323 @@ Frontend::ServeResult Frontend::ServeParsed(const ocsp::OcspRequest& request,
     }
   }
 
-  MaybeFlush();
+  return EnqueueOne(&request, responder, request.cert_ids.front().serial,
+                    request.cert_ids.size() == 1 && request.nonce.empty(), now,
+                    start);
+}
 
-  const StatusKey key = MakeStatusKey(responder->issuer_key_hash(),
-                                      request.cert_ids.front().serial);
-  const std::size_t shard = index_.ShardOf(key);
+Frontend::ServeResult Frontend::EnqueueOne(
+    const ocsp::OcspRequest* request, const ocsp::Responder* responder,
+    BytesView serial, bool cacheable, util::Timestamp now,
+    std::chrono::steady_clock::time_point start) {
+  Op op;
+  op.SetKey(responder->issuer_key_hash(), serial);
+  const std::size_t shard = index_.ShardOf(op.key());
   if (!TryEnterShard(shard)) {
     metrics_->shed.Increment();
     return {503, try_later_der_, options_.retry_after_seconds, false};
   }
 
-  ServeResult result;
-  if (request.cert_ids.size() == 1 && request.nonce.empty()) {
-    // Hot path: precomputed response, hash lookup + pointer copy.
-    const ResponseCache::LookupResult cached = cache_.Get(key, now);
-    if (cached.outcome == ResponseCache::Outcome::kHit) {
-      metrics_->cache_hits.Increment();
-      result = {200, cached.der, 0, true};
-    } else {
-      (cached.outcome == ResponseCache::Outcome::kExpired
-           ? metrics_->cache_expired
-           : metrics_->cache_misses)
-          .Increment();
-      ResponseCache::Entry entry = SignEntry(*responder, key, now);
-      metrics_->signed_on_demand.Increment();
-      result = {200, entry.der, 0, false};
-      // Only known serials enter the cache: caching `unknown` answers would
-      // let arbitrary query strings grow the cache without bound.
-      if (index_.Lookup(key)) cache_.Put(key, std::move(entry));
-    }
-  } else {
-    // Multi-cert or nonced requests are signed per request (a nonce makes
-    // the response unique by construction; RFC 6960 notes pre-produced
-    // responses cannot carry one).
-    std::vector<ocsp::SingleResponse> singles;
-    singles.reserve(request.cert_ids.size());
-    for (const ocsp::CertId& id : request.cert_ids) {
-      const StatusKey id_key =
-          MakeStatusKey(responder->issuer_key_hash(), id.serial);
-      singles.push_back(
-          responder->MakeSingle(id.serial, index_.Lookup(id_key), now));
-    }
-    ocsp::OcspResponse response =
-        responder->Sign(singles, now, request.nonce);
-    metrics_->signed_on_demand.Increment();
-    result = {200, std::make_shared<const Bytes>(std::move(response.der)), 0,
-              false};
+  CompletionGate gate;
+  gate.Arm(1);
+  op.request = request;
+  op.responder = responder;
+  op.now = now;
+  op.shard = shard;
+  op.cacheable = cacheable;
+  op.gate = &gate;
+  if (!shard_states_[shard]->queue.TryPush(&op)) {
+    // Unreachable while the admission watermark and ring capacity agree;
+    // shed defensively rather than block on a full ring.
+    ExitShard(shard);
+    metrics_->shed.Increment();
+    return {503, try_later_der_, options_.retry_after_seconds, false};
   }
-  ExitShard(shard);
+  RunUntil(gate, &shard, 1);
 
   if (options_.record_latency) {
-    // Lock-free histogram: the accounting no longer funnels every thread
-    // through one mutex (the old Accumulator did).
     metrics_->latency_ns.RecordSeconds(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count());
   }
-  return result;
+  return std::move(op.result);
+}
+
+std::vector<Frontend::ServeResult> Frontend::ServeBatch(
+    const std::vector<BytesView>& requests, util::Timestamp now) {
+  obs::Span span("serve.batch");
+  const auto start = options_.record_latency
+                         ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
+  const std::size_t n = requests.size();
+  std::vector<ServeResult> results(n);
+  if (n == 0) return results;
+  metrics_->requests.Add(n);
+  StartServing();
+
+  // Ops and parsed requests need stable addresses until their gate fires:
+  // both vectors are sized once and never reallocate.
+  std::vector<std::optional<ocsp::OcspRequest>> parsed(n);
+  std::vector<Op> ops(n);
+  CompletionGate gate;
+
+  std::size_t accepted = 0;
+  // One-entry route memo: real traffic is dominated by runs of requests
+  // for the same CA, so a 32-byte compare usually replaces the hash-map
+  // probe.
+  const ocsp::Responder* last_responder = nullptr;
+  for (std::size_t i = 0; i < n; ++i) {
+    Op& op = ops[i];
+    const ocsp::Responder* responder = nullptr;
+    const ocsp::OcspRequest* request = nullptr;
+    bool cacheable = false;
+    // Same zero-allocation fast path as Serve(); anything the view parser
+    // rejects goes through the allocating parser for classification.
+    ocsp::OcspRequestView view;
+    if (ocsp::ParseSingleCertRequestView(requests[i], &view)) {
+      responder = last_responder != nullptr &&
+                          std::ranges::equal(view.issuer_key_hash,
+                                             last_responder->issuer_key_hash())
+                      ? last_responder
+                      : FindResponder(view.issuer_key_hash);
+      if (responder == nullptr ||
+          !std::ranges::equal(view.issuer_name_hash,
+                              responder->issuer_name_hash())) {
+        metrics_->unauthorized.Increment();
+        results[i] = {200, unauthorized_der_, 0, false};
+        continue;
+      }
+      last_responder = responder;
+      op.SetKey(view.issuer_key_hash, view.serial);
+      cacheable = true;
+    } else {
+      parsed[i] = ocsp::ParseOcspRequest(requests[i]);
+      if (!parsed[i]) {
+        metrics_->malformed.Increment();
+        results[i] = {200, malformed_der_, 0, false};
+        continue;
+      }
+      request = &*parsed[i];
+      responder = FindResponder(request->cert_ids.front().issuer_key_hash);
+      bool authorized = responder != nullptr;
+      if (authorized) {
+        for (const ocsp::CertId& id : request->cert_ids) {
+          if (id.issuer_name_hash != responder->issuer_name_hash() ||
+              id.issuer_key_hash != responder->issuer_key_hash()) {
+            authorized = false;
+            break;
+          }
+        }
+      }
+      if (!authorized) {
+        metrics_->unauthorized.Increment();
+        results[i] = {200, unauthorized_der_, 0, false};
+        continue;
+      }
+      op.SetKey(responder->issuer_key_hash(),
+                request->cert_ids.front().serial);
+      cacheable =
+          request->cert_ids.size() == 1 && request->nonce.empty();
+    }
+    const std::size_t shard = index_.ShardOf(op.key());
+    if (!TryEnterShard(shard)) {
+      metrics_->shed.Increment();
+      results[i] = {503, try_later_der_, options_.retry_after_seconds, false};
+      continue;
+    }
+    op.request = request;
+    op.responder = responder;
+    op.now = now;
+    op.shard = shard;
+    op.cacheable = cacheable;
+    op.gate = &gate;
+    ++accepted;
+  }
+  if (accepted == 0) return results;
+
+  // Arm for the whole batch BEFORE the first push: a combiner completing
+  // early ops must not see the gate hit zero while pushes are in flight.
+  gate.Arm(accepted);
+  std::vector<std::size_t> touched;
+  for (std::size_t i = 0; i < n; ++i) {
+    Op& op = ops[i];
+    if (op.gate == nullptr) continue;
+    if (!shard_states_[op.shard]->queue.TryPush(&op)) {
+      ExitShard(op.shard);
+      gate.Done(1);
+      metrics_->shed.Increment();
+      results[i] = {503, try_later_der_, options_.retry_after_seconds, false};
+      op.gate = nullptr;
+      continue;
+    }
+    if (std::find(touched.begin(), touched.end(), op.shard) == touched.end())
+      touched.push_back(op.shard);
+  }
+  RunUntil(gate, touched.data(), touched.size());
+
+  for (std::size_t i = 0; i < n; ++i)
+    if (ops[i].gate != nullptr) results[i] = std::move(ops[i].result);
+
+  if (options_.record_latency) {
+    // Amortized per-request latency: the batch's wall time spread over the
+    // ops it completed — the quantity the batch path optimizes.
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    metrics_->latency_ns.RecordSecondsMany(
+        elapsed / static_cast<double>(accepted), accepted);
+  }
+  return results;
+}
+
+void Frontend::RunUntil(CompletionGate& gate, const std::size_t* touched,
+                        std::size_t count) {
+  for (;;) {
+    if (gate.IsDone()) return;
+    for (std::size_t i = 0; i < count; ++i) {
+      ShardState& state = *shard_states_[touched[i]];
+      if (state.drain_mu.try_lock()) {
+        DrainShard(touched[i]);
+        state.drain_mu.unlock();
+      }
+    }
+    if (gate.WaitFor(std::chrono::microseconds(100))) return;
+  }
+}
+
+void Frontend::DrainShard(std::size_t shard) {
+  ShardState& state = *shard_states_[shard];
+  constexpr std::size_t kMaxDrain = 256;
+  Op* ops[kMaxDrain];
+  const std::size_t cap =
+      std::clamp<std::size_t>(options_.max_batch, 1, kMaxDrain);
+  for (;;) {
+    const std::size_t popped = state.queue.PopBatch(ops, cap);
+    if (popped == 0) return;
+    ProcessBatch(shard, ops, popped);
+  }
+}
+
+void Frontend::ExecuteDirect(Op& op) {
+  // Multi-cert or nonced requests are signed per request (a nonce makes
+  // the response unique by construction; RFC 6960 notes pre-produced
+  // responses cannot carry one). Ids may hash anywhere, so these resolve
+  // through the global index, not the batch's shard view.
+  const ocsp::OcspRequest& request = *op.request;
+  std::vector<ocsp::SingleResponse> singles;
+  singles.reserve(request.cert_ids.size());
+  for (const ocsp::CertId& id : request.cert_ids) {
+    const StatusKey id_key =
+        MakeStatusKey(op.responder->issuer_key_hash(), id.serial);
+    singles.push_back(
+        op.responder->MakeSingle(id.serial, index_.Lookup(id_key), op.now));
+  }
+  ocsp::OcspResponse response =
+      op.responder->Sign(singles, op.now, request.nonce);
+  op.result = {200, std::make_shared<const Bytes>(std::move(response.der)), 0,
+               false};
+}
+
+void Frontend::ProcessBatch(std::size_t shard, Op** ops, std::size_t count) {
+  metrics_->batch_size.Record(count);
+  // The whole batch shares one pending-mutation flush, one index snapshot
+  // and one cache lock — the amortization this architecture exists for.
+  MaybeFlush();
+  const std::uint64_t epoch0 = index_.epoch();
+  const StatusIndex::ShardView view = index_.ViewOf(shard);
+
+  std::vector<BytesView> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    if (ops[i]->cacheable) keys.push_back(ops[i]->key());
+  std::vector<ResponseCache::Entry> peeked;
+  cache_.PeekBatch(keys, &peeked);
+
+  // Entries signed by THIS batch. A later op for the same key is served
+  // from here and counted as a cache hit — exactly what the serial path
+  // reports when the first miss Puts and the rest hit, which keeps the
+  // counter totals identical between ServeBatch and per-request Serve.
+  // Only known serials enter (caching `unknown` would let arbitrary query
+  // strings grow the cache without bound).
+  std::unordered_map<StatusKey, ResponseCache::Entry, StatusKeyHash,
+                     StatusKeyEq>
+      fresh;
+
+  std::uint64_t hits = 0, misses = 0, expired = 0, signed_count = 0;
+  std::size_t peek_index = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    Op& op = *ops[i];
+    if (!op.cacheable) {
+      ExecuteDirect(op);
+      ++signed_count;
+      continue;
+    }
+    const BytesView key = op.key();
+    const ResponseCache::Entry* cached = &peeked[peek_index++];
+    const auto fresh_it = fresh.empty() ? fresh.end() : fresh.find(key);
+    if (fresh_it != fresh.end()) cached = &fresh_it->second;
+    // Expiry is evaluated against each op's own `now`; `serve_until` is
+    // exclusive, so a query at exactly the scheduled revocation instant
+    // re-signs instead of serving the stale "good".
+    if (cached->der && op.now < cached->serve_until) {
+      ++hits;
+      op.result = {200, cached->der, 0, true};
+      continue;
+    }
+    ++(cached->der ? expired : misses);
+    // The caching decision and the signature come from the SAME record:
+    // the serial path's separate post-sign Lookup could observe a record
+    // added after signing and cache a stale `unknown` response.
+    const std::optional<StatusIndex::Record> record = view.Lookup(key);
+    ResponseCache::Entry entry = SignFromRecord(*op.responder, key, record,
+                                                op.now);
+    ++signed_count;
+    op.result = {200, entry.der, 0, false};
+    if (record) {
+      if (fresh_it != fresh.end())
+        fresh_it->second = std::move(entry);
+      else
+        fresh.emplace(StatusKey(key.begin(), key.end()), std::move(entry));
+    }
+  }
+
+  metrics_->cache_hits.Add(hits);
+  metrics_->cache_misses.Add(misses);
+  metrics_->cache_expired.Add(expired);
+  metrics_->signed_on_demand.Add(signed_count);
+  cache_.CountOutcome(ResponseCache::Outcome::kHit, hits);
+  cache_.CountOutcome(ResponseCache::Outcome::kMiss, misses);
+  cache_.CountOutcome(ResponseCache::Outcome::kExpired, expired);
+
+  // Install the batch's freshly signed entries unless the index moved
+  // under us — an epoch bump means some key's record may have changed
+  // since `view` was pinned, and a stale install would undo the
+  // invalidation that bump performed.
+  if (!fresh.empty() && index_.epoch() == epoch0) {
+    std::vector<std::pair<StatusKey, ResponseCache::Entry>> install;
+    install.reserve(fresh.size());
+    for (auto& [key, entry] : fresh)
+      install.emplace_back(key, std::move(entry));
+    cache_.PutBatch(std::move(install));
+  }
+
+  // Release the admission slots, then publish the new depth (single
+  // writer: the gauge is only Set under drain_mu).
+  ShardState& state = *shard_states_[shard];
+  const std::size_t depth_after =
+      state.depth.fetch_sub(count, std::memory_order_acq_rel) - count;
+  state.depth_gauge->Set(static_cast<std::int64_t>(depth_after));
+
+  // Wake the waiters last, grouping consecutive ops that share a gate into
+  // one Done call. Past this point the ops (and their gates) may be gone.
+  std::size_t run_start = 0;
+  while (run_start < count) {
+    CompletionGate* gate = ops[run_start]->gate;
+    std::size_t run_end = run_start + 1;
+    while (run_end < count && ops[run_end]->gate == gate) ++run_end;
+    gate->Done(run_end - run_start);
+    run_start = run_end;
+  }
 }
 
 net::HttpResponse Frontend::HandleHttp(const net::HttpRequest& request,
@@ -286,6 +692,7 @@ net::HttpResponse Frontend::HandleHttp(const net::HttpRequest& request,
 std::shared_ptr<const Bytes> Frontend::Staple(BytesView issuer_key_hash,
                                               const x509::Serial& serial,
                                               util::Timestamp now) {
+  StartServing();
   const ocsp::Responder* responder = FindResponder(issuer_key_hash);
   if (responder == nullptr) return nullptr;
   metrics_->staples.Increment();
@@ -301,10 +708,14 @@ std::shared_ptr<const Bytes> Frontend::Staple(BytesView issuer_key_hash,
        ? metrics_->cache_expired
        : metrics_->cache_misses)
       .Increment();
-  ResponseCache::Entry entry = SignEntry(*responder, key, now);
+  const std::uint64_t epoch0 = index_.epoch();
+  const std::optional<StatusIndex::Record> record = index_.Lookup(key);
+  ResponseCache::Entry entry = SignFromRecord(*responder, key, record, now);
   metrics_->signed_on_demand.Increment();
   std::shared_ptr<const Bytes> der = entry.der;
-  if (index_.Lookup(key)) cache_.Put(key, std::move(entry));
+  // Same record decides signature and cachability; same epoch guard as the
+  // batch path.
+  if (record && index_.epoch() == epoch0) cache_.Put(key, std::move(entry));
   return der;
 }
 
@@ -313,6 +724,7 @@ void Frontend::EnsurePool() {
 }
 
 std::size_t Frontend::RebuildAll(util::Timestamp now) {
+  StartServing();
   std::lock_guard maintenance(maintenance_mu_);
   Flush();
   const std::vector<StatusKey> keys = index_.SortedKeys();
@@ -331,6 +743,7 @@ std::size_t Frontend::RebuildAll(util::Timestamp now) {
 }
 
 std::size_t Frontend::RefreshStale(util::Timestamp now) {
+  StartServing();
   std::lock_guard maintenance(maintenance_mu_);
   Flush();
   const std::vector<StatusKey> stale =

@@ -1,20 +1,32 @@
 // The revocation-status serving frontend: turns per-CA `ocsp::Responder`
 // state into a service that sustains heavy query load.
 //
-//   request ──► admission (bounded per-shard in-flight budget; 503 +
-//   Retry-After when over capacity) ──► ResponseCache (precomputed,
-//   batch-signed DER; hit = hash lookup + shared_ptr copy) ──► on miss,
-//   sign-on-demand from the sharded StatusIndex snapshot.
+//   request ──► admission (queue-depth watermark per shard; 503 +
+//   Retry-After when over capacity) ──► lock-free MPSC enqueue onto the
+//   key's shard, carrying a completion slot ──► shard drain: whichever
+//   caller wins the shard's drain lock becomes the combiner and pops a
+//   batch, paying one pending-mutation flush, one StatusIndex snapshot
+//   copy, and one ResponseCache lock for the whole batch ──► hit = pointer
+//   copy; miss = batched re-sign that coalesces same-key misses, installed
+//   epoch-guarded.
+//
+// There are no dedicated worker threads: the run loop is flat-combining,
+// softirq-style. An uncontended caller wins its shard's drain lock
+// immediately and processes its own request inline; under contention the
+// losing callers' requests queue up and the current combiner drains them
+// as a batch — batching emerges exactly when there is load to amortize.
 //
 // The index is fed by Responder mutation observers through a pending
 // buffer that is flushed as one epoch-swap batch, so a burst of
 // revocations costs one snapshot rebuild per shard instead of one per
 // record. Responses are deterministic: signing is a pure function of
-// (record, now), so cache contents are byte-identical no matter how many
-// threads batch-signed them. See docs/serving.md.
+// (record, now), so cache contents are byte-identical no matter which
+// combiner batch-signed them. See docs/serving.md.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -26,6 +38,7 @@
 #include "ocsp/responder.h"
 #include "serve/response_cache.h"
 #include "serve/status_index.h"
+#include "util/mpsc_queue.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -33,8 +46,10 @@ namespace rev::serve {
 
 struct FrontendOptions {
   std::size_t num_shards = 16;
-  // Admission budget: maximum requests in flight per shard before the
-  // frontend sheds load. Generous by default; benches/tests tighten it.
+  // Admission watermark: maximum requests queued-or-in-flight per shard
+  // before the frontend sheds load. Also sizes the shard's MPSC ring
+  // (rounded up to a power of two), so an admitted request always finds a
+  // free cell. Generous by default; benches/tests tighten it.
   std::size_t per_shard_queue = 128;
   // Retry-After hint attached to 503 responses, seconds.
   std::int64_t retry_after_seconds = 2;
@@ -43,6 +58,10 @@ struct FrontendOptions {
   // Worker threads for batch signing (RebuildAll/RefreshStale); 1 = inline
   // serial execution (no worker threads spawned), 0 = hardware concurrency.
   unsigned threads = 1;
+  // Upper bound on ops a combiner pops per drain iteration (capped at 256,
+  // the drain loop's stack batch). Larger batches amortize better; smaller
+  // ones bound the worst-case time a caller spends combining for others.
+  std::size_t max_batch = 128;
   // Per-request latency accounting (steady_clock) into a lock-free
   // obs::Histogram — cheap enough to leave on under full load; disable to
   // shave the last nanoseconds off the hot path.
@@ -61,7 +80,9 @@ class Frontend {
   // index and installs a mutation observer so later Revoke()/Remove()/
   // AddCertificate() calls invalidate the affected cache entry. The
   // responder must outlive this frontend, and attachment must finish
-  // before serving starts (the routing table is not locked).
+  // before serving starts: the first Serve/ServeBatch/Staple/maintenance
+  // call latches the routing table read-only, and a later attach throws
+  // std::logic_error rather than racing the readers.
   void AttachResponder(ocsp::Responder* responder);
 
   struct ServeResult {
@@ -71,11 +92,20 @@ class Frontend {
     bool cache_hit = false;
   };
 
-  // POST form: a DER OCSP request. Thread-safe.
+  // POST form: a DER OCSP request. Thread-safe; blocks until a combiner
+  // (possibly this thread) has produced the response.
   ServeResult Serve(BytesView request_der, util::Timestamp now);
 
   // RFC 6960 Appendix A GET form: "/{base64(request)}". Thread-safe.
   ServeResult ServeGetPath(std::string_view path, util::Timestamp now);
+
+  // Batch entry point: admits and enqueues every request up front, then
+  // drains the touched shards until all have completed. Results line up
+  // index-for-index with `requests`. Shedding, malformed and unauthorized
+  // handling are identical to per-request Serve — the batch path yields
+  // byte-identical bodies and identical counter totals.
+  std::vector<ServeResult> ServeBatch(const std::vector<BytesView>& requests,
+                                      util::Timestamp now);
 
   // Adapter for net::SimNet host handlers (GET and POST). Also serves
   // `GET /metrics`: the global obs::MetricsRegistry text exposition (this
@@ -102,7 +132,7 @@ class Frontend {
   std::size_t RefreshStale(util::Timestamp now);
 
   // Applies buffered responder mutations to the index now (normally done
-  // lazily on the next request).
+  // lazily by the next drained batch).
   void Flush();
 
   struct Counters {
@@ -146,38 +176,80 @@ class Frontend {
 
  private:
   struct Instruments;
+  struct Op;
+  class CompletionGate;
+  struct ShardState;
+
+  // Transparent hash/eq so FindResponder can probe the routing table with
+  // a BytesView — no 32-byte heap copy per request on the hot path. Reuses
+  // the word-wise status-key mix (the routing key is the same kind of
+  // cryptographic hash).
+  using RouteHash = StatusKeyHash;
+  using RouteEq = StatusKeyEq;
 
   const ocsp::Responder* FindResponder(BytesView issuer_key_hash) const;
   void OnMutation(const ocsp::Responder& responder, const x509::Serial& serial,
                   const std::optional<ocsp::Responder::RecordView>& record);
-  void FlushLocked();
   void MaybeFlush();
+  // Latches the routing table read-only before the first read of it. The
+  // fast path after the first call is a single acquire load.
+  void StartServing();
   ResponseCache::Entry SignEntry(const ocsp::Responder& responder,
-                                 const StatusKey& key, util::Timestamp now);
+                                 BytesView key, util::Timestamp now);
+  ResponseCache::Entry SignFromRecord(
+      const ocsp::Responder& responder, BytesView key,
+      const std::optional<StatusIndex::Record>& record, util::Timestamp now);
   ServeResult ServeParsed(const ocsp::OcspRequest& request,
                           util::Timestamp now);
+  // Common tail of the single-request entry points: admission, enqueue on
+  // the key's shard, drive the combiner protocol to completion, record
+  // latency from `start`. The status key is built inline in the op from
+  // the responder's issuer hash and `serial` (no heap key on the hot
+  // path). `request` may be null iff `cacheable` (the zero-allocation
+  // single-cert fast path never needs the parsed form).
+  ServeResult EnqueueOne(const ocsp::OcspRequest* request,
+                         const ocsp::Responder* responder, BytesView serial,
+                         bool cacheable, util::Timestamp now,
+                         std::chrono::steady_clock::time_point start);
+  // Combiner: pops batches off `shard`'s queue and processes them until the
+  // queue is empty. Caller must hold the shard's drain lock.
+  void DrainShard(std::size_t shard);
+  void ProcessBatch(std::size_t shard, Op** ops, std::size_t count);
+  void ExecuteDirect(Op& op);
+  // Drives the combiner protocol until `gate` reports all ops complete:
+  // try-lock and drain each touched shard, then briefly timed-wait for
+  // another combiner to finish our ops (the timeout covers the rare
+  // push-after-drain window).
+  void RunUntil(CompletionGate& gate, const std::size_t* touched,
+                std::size_t count);
   void EnsurePool();
 
   FrontendOptions options_;
   StatusIndex index_;
   ResponseCache cache_;
-  std::unordered_map<Bytes, ocsp::Responder*, StatusKeyHash> responders_;
+  std::unordered_map<Bytes, ocsp::Responder*, RouteHash, RouteEq> responders_;
+
+  // Late-attach latch (see AttachResponder). `attach_mu_` orders the last
+  // attach against the first serve; after that, readers never lock.
+  std::mutex attach_mu_;
+  std::atomic<bool> serving_started_{false};
 
   // Buffered observer events, applied as one Apply() batch.
   std::mutex pending_mu_;
   std::vector<StatusIndex::Update> pending_;
   std::atomic<bool> has_pending_{false};
 
-  // Admission state: in-flight request count per shard.
-  std::unique_ptr<std::atomic<std::size_t>[]> inflight_;
+  // Per-shard run-loop state: MPSC ring, drain (combiner) lock, and the
+  // admission depth watermark.
+  std::vector<std::unique_ptr<ShardState>> shard_states_;
 
   // Batch-signing pool, created on first use; maintenance calls serialized.
   std::mutex maintenance_mu_;
   std::unique_ptr<util::ThreadPool> pool_;
 
-  // Registry instruments ("serve.*{frontend=N}"): sharded counters and the
-  // lock-free latency histogram that replaced the old mutex-guarded
-  // accumulator — the hot path never takes a lock for accounting.
+  // Registry instruments ("serve.*{frontend=N}"): sharded counters, the
+  // lock-free latency histogram, and the per-drain batch-size histogram —
+  // the hot path never takes a lock for accounting.
   std::string metrics_label_;
   std::unique_ptr<Instruments> metrics_;
 

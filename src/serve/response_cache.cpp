@@ -43,6 +43,34 @@ ResponseCache::LookupResult ResponseCache::Get(const StatusKey& key,
   return {Outcome::kHit, it->second.der};
 }
 
+void ResponseCache::PeekBatch(const std::vector<BytesView>& keys,
+                              std::vector<Entry>* out) const {
+  out->clear();
+  out->resize(keys.size());
+  if (keys.empty()) return;
+  const Shard& shard = shards_[ShardOf(keys.front())];
+  std::shared_lock lock(shard.mu);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto it = shard.map.find(keys[i]);
+    if (it != shard.map.end()) (*out)[i] = it->second;
+  }
+}
+
+void ResponseCache::CountOutcome(Outcome outcome, std::uint64_t n) {
+  if (n == 0) return;
+  switch (outcome) {
+    case Outcome::kHit:
+      hits_.Add(n);
+      break;
+    case Outcome::kMiss:
+      misses_.Add(n);
+      break;
+    case Outcome::kExpired:
+      expired_.Add(n);
+      break;
+  }
+}
+
 void ResponseCache::Put(const StatusKey& key, Entry entry) {
   Shard& shard = shards_[ShardOf(key)];
   std::unique_lock lock(shard.mu);

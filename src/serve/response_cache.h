@@ -40,7 +40,32 @@ class ResponseCache {
 
   explicit ResponseCache(std::size_t num_shards = 16);
 
+  // Expiry boundary (audited for ISSUE 6): `serve_until` is exclusive.
+  // A query at exactly `serve_until` — e.g. a revocation scheduled at t,
+  // queried at t — must observe kExpired, never a hit; both Get and
+  // PeekBatch callers compare with `now >= serve_until`, and KeysStaleBy
+  // uses `serve_until <= deadline` so an entry is a refresh candidate at
+  // the first instant it can no longer be served.
   LookupResult Get(const StatusKey& key, util::Timestamp now) const;
+
+  // Batched raw lookup for the serve run loop: copies the entry (or leaves
+  // a null-der Entry) for every key under ONE shared-lock acquisition.
+  // Keys are borrowed views (heterogeneous find — no heap key per lookup).
+  // Precondition: all keys map to the same shard — the run loop drains one
+  // shard's queue per iteration and the cache shares the index's shard
+  // function, so this holds by construction. No expiry classification and
+  // no tallying happen here: the caller evaluates `serve_until` against
+  // each request's own `now` and reports the per-request outcomes back
+  // through CountOutcome so the monotonic tallies stay exact.
+  void PeekBatch(const std::vector<BytesView>& keys,
+                 std::vector<Entry>* out) const;
+
+  // Tallies outcomes classified outside Get (the batched path). Keeps
+  // hits()/misses()/expired() strictly monotonic and consistent with the
+  // per-request path: a batch-coalesced request — served from the entry
+  // the same batch just signed — counts as a hit, exactly as it would had
+  // the requests arrived one at a time.
+  void CountOutcome(Outcome outcome, std::uint64_t n = 1);
 
   void Put(const StatusKey& key, Entry entry);
   void PutBatch(std::vector<std::pair<StatusKey, Entry>> entries);
@@ -64,14 +89,14 @@ class ResponseCache {
   std::uint64_t expired() const { return expired_.Value(); }
 
  private:
-  using Map = std::unordered_map<StatusKey, Entry, StatusKeyHash>;
+  using Map = std::unordered_map<StatusKey, Entry, StatusKeyHash, StatusKeyEq>;
 
   struct Shard {
     mutable std::shared_mutex mu;
     Map map;
   };
 
-  std::size_t ShardOf(const StatusKey& key) const {
+  std::size_t ShardOf(BytesView key) const {
     return StatusKeyHash{}(key) % shards_.size();
   }
 

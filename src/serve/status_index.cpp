@@ -4,20 +4,20 @@
 
 namespace rev::serve {
 
-StatusKey MakeStatusKey(BytesView issuer_key_hash, const x509::Serial& serial) {
+StatusKey MakeStatusKey(BytesView issuer_key_hash, BytesView serial_be) {
   StatusKey key;
-  key.reserve(issuer_key_hash.size() + serial.size());
+  key.reserve(issuer_key_hash.size() + serial_be.size());
   Append(key, issuer_key_hash);
-  Append(key, BytesView(serial));
+  Append(key, serial_be);
   return key;
 }
 
-x509::Serial SerialOfKey(const StatusKey& key) {
+x509::Serial SerialOfKey(BytesView key) {
   return x509::Serial(key.begin() + 32, key.end());
 }
 
-BytesView IssuerHashOfKey(const StatusKey& key) {
-  return BytesView(key).subspan(0, 32);
+BytesView IssuerHashOfKey(BytesView key) {
+  return key.subspan(0, 32);
 }
 
 StatusIndex::StatusIndex(std::size_t num_shards)
@@ -53,8 +53,11 @@ void StatusIndex::Apply(const std::vector<Update>& updates) {
   epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
-std::optional<StatusIndex::Record> StatusIndex::Lookup(
-    const StatusKey& key) const {
+StatusIndex::ShardView StatusIndex::ViewOf(std::size_t shard) const {
+  return ShardView(SnapshotOf(shard));
+}
+
+std::optional<StatusIndex::Record> StatusIndex::Lookup(BytesView key) const {
   const Snapshot snap = SnapshotOf(ShardOf(key));
   auto it = snap->find(key);
   if (it == snap->end()) return std::nullopt;

@@ -1,0 +1,114 @@
+// A bounded lock-free multi-producer queue with batched single-consumer
+// drain, the handoff structure under the serving frontend's per-shard run
+// loops (docs/serving.md). Producers enqueue with one CAS on the tail
+// ticket; the consumer claims a contiguous run of published cells in one
+// PopBatch call — the "drain a batch per iteration" primitive that lets the
+// serve path amortize snapshot and cache-lock acquisition across requests.
+//
+// The cell/sequence protocol is Vyukov's bounded MPMC ring: each cell
+// carries a sequence number that encodes whether it is free for the
+// producer of ticket `pos` (seq == pos), published for the consumer
+// (seq == pos + 1), or still owned by a lagging party. All handoff is
+// acquire/release on the cell sequence, so the structure is clean under
+// ThreadSanitizer with no fences beyond the atomics themselves.
+//
+// Single-consumer discipline is the caller's contract (the frontend
+// enforces it with a per-shard drain lock); producers may be any number of
+// threads. TryPush never blocks: a full ring returns false, which the serve
+// layer maps to load shedding.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace rev::util {
+
+template <typename T>
+class MpscQueue {
+ public:
+  // Capacity is rounded up to the next power of two (minimum 2) so slot
+  // selection is a mask, not a division.
+  explicit MpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  // Multi-producer enqueue. Returns false when the ring is full (the
+  // admission layer above sheds instead of blocking).
+  bool TryPush(T value) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        // The cell is free for ticket `pos`: claim it with one CAS.
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // a full lap behind: the ring is full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);  // lost the race
+      }
+    }
+  }
+
+  // Single-consumer batched drain: moves up to `max` published values into
+  // `out`, in enqueue order, without ever waiting for a slow producer (an
+  // unpublished cell ends the batch). Returns the number drained. Must not
+  // be called concurrently with itself.
+  std::size_t PopBatch(T* out, std::size_t max) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    std::size_t n = 0;
+    while (n < max) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      if (static_cast<std::intptr_t>(seq) !=
+          static_cast<std::intptr_t>(pos + 1))
+        break;  // not yet published: the batch ends here
+      out[n++] = std::move(cell.value);
+      // Recycle the cell for the producer one lap ahead.
+      cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+      ++pos;
+    }
+    head_.store(pos, std::memory_order_relaxed);
+    return n;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Approximate occupancy (exact once producers and the consumer quiesce).
+  std::size_t SizeApprox() const {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producers' ticket
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+};
+
+}  // namespace rev::util

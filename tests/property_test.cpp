@@ -413,6 +413,65 @@ TEST_P(RetryProperty, BackoffDelaysNonDecreasingUpToCap) {
   }
 }
 
+// The bad-config region: multiplier below 1/(1 - jitter) (including
+// multipliers under 1, and jitter past the 0.9 effective ceiling) used to
+// silently produce *decreasing* backoff — the next window's floor undercut
+// the previous window's ceiling. BackoffDelay clamps such configs up to
+// the smallest compliant multiplier, so every invariant of the good region
+// must now hold over the whole config space.
+TEST_P(RetryProperty, BadConfigsAreClampedToNonDecreasing) {
+  for (int trial = 0; trial < 20; ++trial) {
+    net::RetryPolicy policy;
+    // Jitter from well inside the valid range to past the 0.9 effective
+    // ceiling; kept off zero so the clamped multiplier (>= 1/(1 - jitter)
+    // > 1.33) still grows past the cap for the pin check below.
+    policy.jitter = rng_.Uniform(0.25, 1.2);
+    // Deliberately below the documented bound for any jitter.
+    policy.backoff_multiplier = rng_.Uniform(0.0, 1.0);
+    policy.initial_backoff_seconds = rng_.Uniform(0.1, 10.0);
+    policy.max_backoff_seconds =
+        policy.initial_backoff_seconds + rng_.Uniform(0.0, 1000.0);
+    policy.seed = rng_.Next();
+    const std::string key = "http://" + RandomLabel(rng_, 24) + "/crl";
+
+    double prev = 0;
+    for (int attempt = 1; attempt <= 40; ++attempt) {
+      const double delay = net::BackoffDelay(policy, key, attempt);
+      EXPECT_GE(delay, prev) << "attempt " << attempt << " jitter "
+                             << policy.jitter << " multiplier "
+                             << policy.backoff_multiplier;
+      EXPECT_LE(delay, policy.max_backoff_seconds);
+      EXPECT_GT(delay, 0.0);
+      prev = delay;
+    }
+    // The clamped multiplier still outgrows the cap eventually (it is at
+    // least 1/(1 - 0.9) > 1), so the cap-pin property holds too.
+    EXPECT_EQ(net::BackoffDelay(policy, key, 500),
+              policy.max_backoff_seconds);
+  }
+}
+
+// Pinned worst case of the old bug: multiplier 1 with 50% jitter produced
+// a schedule that oscillated with the jitter draw instead of growing.
+TEST_P(RetryProperty, UnityMultiplierIsLiftedToJitterBound) {
+  net::RetryPolicy policy;
+  policy.jitter = 0.5;
+  policy.backoff_multiplier = 1.0;  // bound requires >= 2
+  policy.initial_backoff_seconds = 1.0;
+  policy.max_backoff_seconds = 1e9;
+  policy.seed = rng_.Next();
+
+  double prev = 0;
+  for (int attempt = 1; attempt <= 20; ++attempt) {
+    const double delay = net::BackoffDelay(policy, "http://clamp.sim/", attempt);
+    EXPECT_GE(delay, prev);
+    prev = delay;
+  }
+  // Growth is real, not merely non-decreasing: with the clamped multiplier
+  // of 2, attempt 20's floor (2^19 / 2) dwarfs attempt 1's ceiling (1).
+  EXPECT_GT(prev, 1000.0);
+}
+
 // Simulated-clock accounting: the total elapsed time of a retried fetch is
 // exactly the sum of its per-attempt costs (waits + exchange times), the
 // backoff total is exactly the sum of the waits, and finished_at lands at

@@ -4,7 +4,12 @@
 // (`ServeStress.*` is the target scripts/ci.sh runs under ThreadSanitizer).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "net/simnet.h"
 #include "ocsp/ocsp.h"
@@ -437,6 +442,342 @@ TEST(ServeStress, ConcurrentServeMutateRefresh) {
   EXPECT_EQ(counters.requests, 4u * kIterations);
   EXPECT_EQ(counters.malformed, 0u);
   EXPECT_EQ(counters.unauthorized, 0u);
+}
+
+// ------------------------------------------------------ attach latching ----
+
+TEST(FrontendAttach, LateAttachThrowsAfterServingStarts) {
+  x509::Certificate first = MakeIssuerCert("latch-issuer-a");
+  x509::Certificate second = MakeIssuerCert("latch-issuer-b");
+  ocsp::Responder responder_a(first, TestKey("latch-issuer-a"));
+  ocsp::Responder responder_b(second, TestKey("latch-issuer-b"));
+  Frontend frontend;
+  frontend.AttachResponder(&responder_a);
+  responder_a.AddCertificate(x509::Serial{0x01});
+
+  // The first request latches the routing table read-only...
+  ocsp::OcspRequest request;
+  request.cert_ids = {ocsp::MakeCertId(first, x509::Serial{0x01})};
+  const auto result = frontend.Serve(ocsp::EncodeOcspRequest(request), kNow);
+  EXPECT_EQ(result.http_status, 200);
+
+  // ...so a late attach fails loudly instead of racing the lock-free
+  // readers.
+  EXPECT_THROW(frontend.AttachResponder(&responder_b), std::logic_error);
+}
+
+TEST(FrontendAttach, StapleAndMaintenanceAlsoLatch) {
+  x509::Certificate issuer = MakeIssuerCert("latch-issuer-c");
+  x509::Certificate other = MakeIssuerCert("latch-issuer-d");
+  ocsp::Responder responder(issuer, TestKey("latch-issuer-c"));
+  ocsp::Responder late(other, TestKey("latch-issuer-d"));
+
+  {
+    Frontend frontend;
+    frontend.AttachResponder(&responder);
+    frontend.Staple(responder.issuer_key_hash(), x509::Serial{0x01}, kNow);
+    EXPECT_THROW(frontend.AttachResponder(&late), std::logic_error);
+  }
+  {
+    Frontend frontend;
+    frontend.AttachResponder(&responder);
+    frontend.RebuildAll(kNow);
+    EXPECT_THROW(frontend.AttachResponder(&late), std::logic_error);
+  }
+}
+
+// TSan regression for the original bug: AttachResponder used to mutate the
+// routing table with no synchronization, so an attach racing the serve
+// path was a data race. Now the latch forces the late attach onto the
+// throwing path while readers keep serving lock-free — this test runs
+// under ThreadSanitizer in scripts/ci.sh.
+TEST(FrontendAttach, ConcurrentLateAttachIsRejectedRaceFree) {
+  x509::Certificate issuer = MakeIssuerCert("latch-issuer-e");
+  x509::Certificate other = MakeIssuerCert("latch-issuer-f");
+  ocsp::Responder responder(issuer, TestKey("latch-issuer-e"));
+  ocsp::Responder late(other, TestKey("latch-issuer-f"));
+  Frontend frontend;
+  frontend.AttachResponder(&responder);
+  responder.AddCertificate(x509::Serial{0x02});
+
+  ocsp::OcspRequest request;
+  request.cert_ids = {ocsp::MakeCertId(issuer, x509::Serial{0x02})};
+  const Bytes der = ocsp::EncodeOcspRequest(request);
+  ASSERT_EQ(frontend.Serve(der, kNow).http_status, 200);  // latch is set
+
+  constexpr int kServesPerThread = 200;
+  std::vector<std::thread> servers;
+  for (int t = 0; t < 3; ++t) {
+    servers.emplace_back([&] {
+      for (int i = 0; i < kServesPerThread; ++i)
+        EXPECT_EQ(frontend.Serve(der, kNow + i).http_status, 200);
+    });
+  }
+  std::atomic<int> rejected{0};
+  std::thread attacher([&] {
+    for (int i = 0; i < 50; ++i) {
+      try {
+        frontend.AttachResponder(&late);
+      } catch (const std::logic_error&) {
+        rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (auto& server : servers) server.join();
+  attacher.join();
+  EXPECT_EQ(rejected.load(), 50);  // every late attach was rejected
+}
+
+// ------------------------------------------------------ expiry boundary ----
+
+TEST_F(FrontendTest, ExactBoundaryRevocationScheduledAtTQueriedAtT) {
+  // Cache a "good" whose serving window is clamped to a revocation
+  // scheduled exactly at t; a query at exactly t must re-sign and answer
+  // revoked — serve_until is exclusive, with no off-by-one at the boundary.
+  responder_.AddCertificate(x509::Serial{0x60});
+  const util::Timestamp t = kNow + 250;
+  responder_.Revoke(x509::Serial{0x60}, t, x509::ReasonCode::kSuperseded);
+
+  const auto before = Post(x509::Serial{0x60}, kNow);
+  EXPECT_EQ(StatusOf(before), ocsp::CertStatus::kGood);
+  EXPECT_TRUE(Post(x509::Serial{0x60}, t - 1).cache_hit);
+
+  const auto at_boundary = Post(x509::Serial{0x60}, t);
+  EXPECT_FALSE(at_boundary.cache_hit);
+  EXPECT_EQ(StatusOf(at_boundary), ocsp::CertStatus::kRevoked);
+  EXPECT_GE(frontend_.counters().cache_expired, 1u);
+}
+
+TEST_F(FrontendTest, ExactBoundaryNextUpdateIsNeverServed) {
+  // The other edge of the window: a response must not be served at or past
+  // its own nextUpdate (validity is 4 days in this fixture).
+  responder_.AddCertificate(x509::Serial{0x61});
+  const auto first = Post(x509::Serial{0x61}, kNow);
+  EXPECT_EQ(StatusOf(first), ocsp::CertStatus::kGood);
+  const util::Timestamp next_update = kNow + 4 * util::kSecondsPerDay;
+
+  EXPECT_TRUE(Post(x509::Serial{0x61}, next_update - 1).cache_hit);
+  const auto at_boundary = Post(x509::Serial{0x61}, next_update);
+  EXPECT_FALSE(at_boundary.cache_hit);
+  EXPECT_EQ(StatusOf(at_boundary), ocsp::CertStatus::kGood);  // re-signed
+}
+
+TEST(FrontendBatchBoundary, BatchPathRespectsScheduledRevocationInstant) {
+  x509::Certificate issuer = MakeIssuerCert("boundary-issuer");
+  ocsp::Responder responder(issuer, TestKey("boundary-issuer"));
+  Frontend frontend;
+  frontend.AttachResponder(&responder);
+  responder.AddCertificate(x509::Serial{0x62});
+  const util::Timestamp t = kNow + 777;
+  responder.Revoke(x509::Serial{0x62}, t, x509::ReasonCode::kKeyCompromise);
+
+  ocsp::OcspRequest request;
+  request.cert_ids = {ocsp::MakeCertId(issuer, x509::Serial{0x62})};
+  const Bytes der = ocsp::EncodeOcspRequest(request);
+  const std::vector<BytesView> batch{BytesView(der), BytesView(der)};
+
+  const auto before = frontend.ServeBatch(batch, kNow);
+  ASSERT_EQ(before.size(), 2u);
+  for (const auto& result : before) {
+    ASSERT_TRUE(result.body);
+    auto parsed = ocsp::ParseOcspResponse(*result.body);
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->single.status, ocsp::CertStatus::kGood);
+  }
+  // First is the signing miss, second coalesces into a hit.
+  EXPECT_FALSE(before[0].cache_hit);
+  EXPECT_TRUE(before[1].cache_hit);
+
+  const auto at_boundary = frontend.ServeBatch(batch, t);
+  ASSERT_EQ(at_boundary.size(), 2u);
+  EXPECT_FALSE(at_boundary[0].cache_hit);  // expired at exactly t
+  for (const auto& result : at_boundary) {
+    auto parsed = ocsp::ParseOcspResponse(*result.body);
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->single.status, ocsp::CertStatus::kRevoked);
+  }
+}
+
+// ------------------------------------------------------- batch admission ----
+
+TEST(FrontendBatchAdmission, WatermarkShedsExcessOpsWithRetryAfter) {
+  x509::Certificate issuer = MakeIssuerCert("batch-shed-issuer");
+  ocsp::Responder responder(issuer, TestKey("batch-shed-issuer"));
+  FrontendOptions options;
+  options.num_shards = 1;
+  options.per_shard_queue = 1;
+  options.retry_after_seconds = 9;
+  Frontend frontend(options);
+  frontend.AttachResponder(&responder);
+  responder.AddCertificate(x509::Serial{0x03});
+
+  ocsp::OcspRequest request;
+  request.cert_ids = {ocsp::MakeCertId(issuer, x509::Serial{0x03})};
+  const Bytes der = ocsp::EncodeOcspRequest(request);
+
+  // A batch wider than the shard watermark: one op is admitted, the rest
+  // shed with the same 503 + Retry-After contract as the serial path.
+  const std::vector<BytesView> batch{BytesView(der), BytesView(der),
+                                     BytesView(der)};
+  const auto results = frontend.ServeBatch(batch, kNow);
+  ASSERT_EQ(results.size(), 3u);
+  int served = 0, shed = 0;
+  for (const auto& result : results) {
+    if (result.http_status == 200) {
+      ++served;
+      auto parsed = ocsp::ParseOcspResponse(*result.body);
+      ASSERT_TRUE(parsed);
+      EXPECT_EQ(parsed->single.status, ocsp::CertStatus::kGood);
+    } else {
+      ++shed;
+      EXPECT_EQ(result.http_status, 503);
+      EXPECT_EQ(result.retry_after, 9);
+      auto parsed = ocsp::ParseOcspResponse(*result.body);
+      ASSERT_TRUE(parsed);
+      EXPECT_EQ(parsed->status, ocsp::ResponseStatus::kTryLater);
+    }
+  }
+  EXPECT_EQ(served, 1);
+  EXPECT_EQ(shed, 2);
+  EXPECT_EQ(frontend.counters().shed, 2u);
+
+  // With externally saturated admission the whole batch sheds.
+  ASSERT_TRUE(frontend.TryEnterShard(0));
+  const auto all_shed = frontend.ServeBatch(batch, kNow);
+  for (const auto& result : all_shed) EXPECT_EQ(result.http_status, 503);
+  frontend.ExitShard(0);
+}
+
+// -------------------------------------------- batch/serial equivalence ----
+
+// The equivalence fixture drives the SAME deterministic request mix —
+// duplicates, revoked, unknown, nonced, multi-cert, malformed, foreign
+// issuer — through per-request Serve on one frontend and ServeBatch on an
+// identically seeded second one, then insists on byte-identical bodies and
+// identical counter totals. Runs at 1 and at 8 client threads (the
+// threaded variant is a ci.sh TSan target).
+class BatchEquivalence : public ::testing::Test {
+ protected:
+  static constexpr int kSerials = 20;
+
+  void SeedResponder(ocsp::Responder& responder) {
+    for (int i = 1; i <= kSerials; ++i) {
+      const x509::Serial serial{static_cast<std::uint8_t>(i)};
+      responder.AddCertificate(serial);
+      if (i % 6 == 3)
+        responder.Revoke(serial, kNow - i, x509::ReasonCode::kKeyCompromise);
+      if (i % 7 == 0) responder.Remove(serial);  // served as `unknown`
+    }
+  }
+
+  std::vector<Bytes> BuildMix(const x509::Certificate& issuer,
+                              const x509::Certificate& foreign) {
+    std::vector<Bytes> mix;
+    for (int i = 0; i < 60; ++i) {
+      ocsp::OcspRequest request;
+      request.cert_ids = {ocsp::MakeCertId(
+          issuer,
+          x509::Serial{static_cast<std::uint8_t>((i * 7) % kSerials + 1)})};
+      if (i % 17 == 5) request.nonce = Bytes{0xAA, static_cast<std::uint8_t>(i)};
+      if (i % 13 == 4)
+        request.cert_ids.push_back(
+            ocsp::MakeCertId(issuer, x509::Serial{0x02}));
+      mix.push_back(ocsp::EncodeOcspRequest(request));
+    }
+    mix.push_back(Bytes{0xFF, 0x00, 0x13});  // malformed
+    ocsp::OcspRequest alien;
+    alien.cert_ids = {ocsp::MakeCertId(foreign, x509::Serial{0x01})};
+    mix.push_back(ocsp::EncodeOcspRequest(alien));  // unauthorized
+    return mix;
+  }
+
+  static FrontendOptions Options() {
+    FrontendOptions options;
+    options.num_shards = 4;
+    options.per_shard_queue = 1024;  // wide enough that nothing sheds
+    return options;
+  }
+
+  static void ExpectSameCounters(const Frontend::Counters& serial,
+                                 const Frontend::Counters& batch) {
+    EXPECT_EQ(serial.requests, batch.requests);
+    EXPECT_EQ(serial.cache_hits, batch.cache_hits);
+    EXPECT_EQ(serial.cache_misses, batch.cache_misses);
+    EXPECT_EQ(serial.cache_expired, batch.cache_expired);
+    EXPECT_EQ(serial.signed_on_demand, batch.signed_on_demand);
+    EXPECT_EQ(serial.shed, batch.shed);
+    EXPECT_EQ(serial.malformed, batch.malformed);
+    EXPECT_EQ(serial.unauthorized, batch.unauthorized);
+    EXPECT_EQ(serial.status_updates, batch.status_updates);
+  }
+
+  void RunAtThreadCount(int threads) {
+    const x509::Certificate issuer = MakeIssuerCert("equiv-issuer");
+    const x509::Certificate foreign = MakeIssuerCert("equiv-foreign");
+    ocsp::Responder r_serial(issuer, TestKey("equiv-issuer"),
+                             4 * util::kSecondsPerDay);
+    ocsp::Responder r_batch(issuer, TestKey("equiv-issuer"),
+                            4 * util::kSecondsPerDay);
+    SeedResponder(r_serial);
+    SeedResponder(r_batch);
+
+    Frontend f_serial(Options());
+    Frontend f_batch(Options());
+    f_serial.AttachResponder(&r_serial);
+    f_batch.AttachResponder(&r_batch);
+    // Apply the bulk load up front so the index epoch is quiescent during
+    // the run — hit/miss totals are then a pure function of the mix.
+    f_serial.Flush();
+    f_batch.Flush();
+
+    const std::vector<Bytes> mix = BuildMix(issuer, foreign);
+    const std::size_t n = mix.size();
+    std::vector<std::shared_ptr<const Bytes>> serial_bodies(n);
+    std::vector<std::shared_ptr<const Bytes>> batch_bodies(n);
+
+    // Contiguous slice per thread; thread t serves [t*stride, ...).
+    const std::size_t stride = (n + threads - 1) / threads;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        const std::size_t begin = t * stride;
+        const std::size_t end = std::min(n, begin + stride);
+        for (std::size_t i = begin; i < end; ++i)
+          serial_bodies[i] = f_serial.Serve(mix[i], kNow).body;
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    workers.clear();
+
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        const std::size_t begin = t * stride;
+        const std::size_t end = std::min(n, begin + stride);
+        if (begin >= end) return;
+        std::vector<BytesView> slice(mix.begin() + begin, mix.begin() + end);
+        const auto results = f_batch.ServeBatch(slice, kNow);
+        for (std::size_t i = 0; i < results.size(); ++i)
+          batch_bodies[begin + i] = results[i].body;
+      });
+    }
+    for (auto& worker : workers) worker.join();
+
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(serial_bodies[i]) << "serial index " << i;
+      ASSERT_TRUE(batch_bodies[i]) << "batch index " << i;
+      EXPECT_EQ(*serial_bodies[i], *batch_bodies[i])
+          << "divergent body at index " << i;
+    }
+    ExpectSameCounters(f_serial.counters(), f_batch.counters());
+  }
+};
+
+TEST_F(BatchEquivalence, SingleThreadByteIdenticalAndSameCounters) {
+  RunAtThreadCount(1);
+}
+
+TEST_F(BatchEquivalence, EightThreadsByteIdenticalAndSameCounters) {
+  RunAtThreadCount(8);
 }
 
 }  // namespace
