@@ -1,0 +1,384 @@
+// End-to-end cascade distribution bench (ROADMAP item 3): builds the
+// measurement world, replays its crawler revocation DB into daily
+// Publisher builds served through a serve::Frontend route table, and runs
+// a Fleet of >=10k simulated clients on heterogeneous cadences pulling
+// deltas over SimNet while a FaultPlan storm batters the distribution
+// host. Reports aggregate bandwidth (delta channel vs naive
+// snapshot-every-poll), client staleness CDFs, vulnerability-window
+// distributions, and the effective-window shrinkage against the CRLSet
+// baseline of Fig. 7/10 — with every applied update sample-verified
+// against publisher ground truth (wrong answers must be zero).
+//
+// Knobs: REV_SCALE (world size), REV_CASCADE_CLIENTS (default 12000),
+// REV_CASCADE_DAYS (default 12), REV_SEED.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cascade/cascade.h"
+#include "cascade/fleet.h"
+#include "cascade/publisher.h"
+#include "net/fault.h"
+#include "net/simnet.h"
+#include "serve/frontend.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace rev {
+namespace {
+
+std::size_t SizeFromEnv(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env != nullptr) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+std::uint64_t SeedFromEnv() {
+  const char* env = std::getenv("REV_SEED");
+  if (env != nullptr) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return 42;
+}
+
+// One crawler revocation mapped into cascade-key space.
+struct Replayed {
+  util::Timestamp first_seen = 0;
+  util::Timestamp expiry = 0;  // not_after of the revoked cert
+  Bytes key;
+};
+
+double Days(double seconds) { return seconds / util::kSecondsPerDay; }
+
+std::string CdfJson(const util::Distribution& d, std::size_t points) {
+  std::string out = "[";
+  for (const auto& [value, fraction] : d.CdfSeries(points)) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%s[%.1f, %.4f]",
+                  out.size() > 1 ? ", " : "", value, fraction);
+    out += buffer;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+int Main() {
+  bench::BenchRun run("cascade");
+  const double scale = bench::ScaleFromEnv();
+  const std::uint64_t seed = SeedFromEnv();
+  const std::size_t num_clients = SizeFromEnv("REV_CASCADE_CLIENTS", 12'000);
+  const std::size_t num_days = SizeFromEnv("REV_CASCADE_DAYS", 12);
+
+  bench::PrintHeader(
+      "cascade distribution: publisher + >=10k-client fleet under a storm",
+      "CRLite-style cascades cover 100% of known revocations in ~10x less "
+      "space than CRLs; deltas make daily updates cheap (Fig. 11 context)");
+
+  bench::World world = bench::World::Build(scale);
+  const core::EcosystemConfig& config = world.eco->config();
+
+  // ---- universe + revocation replay from the crawler DB ----------------
+  // Universe = every certificate the measurement pipeline ever observed;
+  // the cascade is exact against exactly this set. Crawler revocations
+  // outside it (the hidden population: CRL entries for certs no scan ever
+  // saw) cannot be cascade members by construction and are excluded.
+  auto universe = std::make_shared<std::vector<Bytes>>();
+  std::map<Bytes, util::Timestamp> expiry_by_key;
+  for (const auto& [fingerprint, record] : world.pipeline->records()) {
+    if (record.cert == nullptr) continue;
+    Bytes key =
+        cascade::CertKey(record.cert->tbs.issuer.Encode(), record.cert->tbs.serial);
+    expiry_by_key.emplace(key, record.cert->tbs.not_after);
+    universe->push_back(std::move(key));
+  }
+  std::sort(universe->begin(), universe->end());
+  universe->erase(std::unique(universe->begin(), universe->end()),
+                  universe->end());
+  const auto shared_universe =
+      std::shared_ptr<const std::vector<Bytes>>(universe);
+
+  std::vector<Replayed> replay;
+  std::size_t hidden_revocations = 0;
+  for (const auto& [id, info] : world.crawler->revocations()) {
+    if (info.first_seen_in_crl == 0) continue;
+    Bytes key = cascade::CertKey(id.first, id.second);
+    const auto expiry = expiry_by_key.find(key);
+    if (expiry == expiry_by_key.end()) {
+      ++hidden_revocations;  // revoked but never scanned: outside the universe
+      continue;
+    }
+    replay.push_back(Replayed{info.first_seen_in_crl, expiry->second,
+                              std::move(key)});
+  }
+  std::sort(replay.begin(), replay.end(),
+            [](const Replayed& a, const Replayed& b) {
+              return std::tie(a.first_seen, a.key) <
+                     std::tie(b.first_seen, b.key);
+            });
+  std::printf("universe: %zu certs; crawler revocations in-universe %zu, "
+              "hidden %zu\n\n",
+              shared_universe->size(), replay.size(), hidden_revocations);
+
+  // ---- publisher behind a serve::Frontend on a stormy SimNet -----------
+  cascade::PublisherOptions publisher_options;
+  publisher_options.max_delta_history = num_days + 2;
+  // Deltas serve while not larger than the snapshot itself. At paper scale
+  // snapshots are hundreds of KB and the default 0.5 fraction is already
+  // generous; at bench scale the snapshot is a few KB, so 1.0 keeps the
+  // delta channel exercised without ever costing more than a snapshot.
+  publisher_options.snapshot_fallback_fraction = 1.0;
+  publisher_options.cascade.threads = bench::ThreadsFromEnv();
+  cascade::Publisher publisher(publisher_options);
+
+  serve::FrontendOptions frontend_options;
+  frontend_options.num_shards = 4;
+  serve::Frontend frontend(frontend_options);
+  publisher.ServeThrough(frontend);
+
+  net::SimNet dist_net;
+  dist_net.AddHost("cascade.dist.sim",
+                   [&frontend](const net::HttpRequest& request,
+                               util::Timestamp now) {
+                     return frontend.HandleHttp(request, now);
+                   });
+
+  const util::Timestamp day0 =
+      config.study_end -
+      static_cast<util::Timestamp>(num_days - 1) * util::kSecondsPerDay;
+
+  net::FaultPlan storm(seed);
+  {
+    // Background flakiness for the whole run...
+    net::FaultRule rule;
+    rule.target = "cascade.dist.sim";
+    rule.kind = net::FaultKind::kCorrupt;
+    rule.probability = 0.08;
+    storm.AddRule(rule);
+    rule.kind = net::FaultKind::kHttpError;
+    rule.http_status = 503;
+    rule.retry_after = 30;
+    rule.probability = 0.05;
+    storm.AddRule(rule);
+    // ...plus a day-long timeout storm mid-run.
+    rule.kind = net::FaultKind::kTimeout;
+    rule.probability = 0.5;
+    rule.start = day0 + static_cast<util::Timestamp>(num_days / 2) *
+                            util::kSecondsPerDay;
+    rule.end = rule.start + util::kSecondsPerDay;
+    storm.AddRule(rule);
+  }
+  dist_net.SetFaultPlan(&storm);
+
+  cascade::FleetOptions fleet_options;
+  fleet_options.num_clients = num_clients;
+  fleet_options.seed = seed;
+  cascade::Fleet fleet(&dist_net, &publisher, fleet_options);
+
+  // ---- replay: one publish per day, fleet polls in between -------------
+  std::size_t snapshot_bytes_last = 0;
+  std::size_t levels_last = 0;
+  std::uint64_t delta_bytes_total = 0;
+  std::size_t revoked_final = 0;
+  {
+    bench::BenchRun::Phase phase("cascade.replay");
+    fleet.StepTo(day0);  // primes per-client poll phases
+    std::size_t next_replay = 0;
+    std::vector<Bytes> revoked;
+    for (std::size_t day = 0; day < num_days; ++day) {
+      const util::Timestamp at =
+          day0 + static_cast<util::Timestamp>(day) * util::kSecondsPerDay;
+      while (next_replay < replay.size() &&
+             replay[next_replay].first_seen <= at)
+        revoked.push_back(replay[next_replay++].key);
+      const cascade::PublishStats stats =
+          publisher.Publish(shared_universe, revoked, at);
+      snapshot_bytes_last = stats.snapshot_bytes;
+      levels_last = stats.levels;
+      delta_bytes_total += stats.delta_bytes;
+      revoked_final = stats.revoked;
+      std::printf("day %2zu: revoked %6zu (+%zu/-%zu)  levels %zu  "
+                  "snapshot %s  delta %s\n",
+                  day, stats.revoked, stats.added, stats.removed, stats.levels,
+                  util::HumanBytes(static_cast<double>(stats.snapshot_bytes))
+                      .c_str(),
+                  util::HumanBytes(static_cast<double>(stats.delta_bytes))
+                      .c_str());
+      fleet.StepTo(at + util::kSecondsPerDay);
+    }
+  }
+
+  const cascade::Fleet::Totals& totals = fleet.totals();
+  const cascade::Publisher::Counters& served = publisher.counters();
+  const util::Distribution& staleness = fleet.staleness();
+  const util::Distribution& windows = fleet.vulnerability_windows();
+  const util::Distribution end_staleness = fleet.EndStaleness();
+
+  const double sim_days = static_cast<double>(num_days);
+  const double bytes_per_client_day =
+      static_cast<double>(totals.bytes_downloaded) /
+      (static_cast<double>(num_clients) * sim_days);
+  // The counterfactual a cascade-without-deltas publisher would pay: every
+  // poll that moved a client forward ships the full snapshot.
+  const double naive_bytes =
+      static_cast<double>(totals.delta_updates + totals.snapshot_updates) *
+      static_cast<double>(snapshot_bytes_last);
+  const double delta_savings =
+      totals.bytes_downloaded > 0
+          ? naive_bytes / static_cast<double>(totals.bytes_downloaded)
+          : 0;
+
+  std::printf("\nfleet (%zu clients, %zu days, seed %" PRIu64 "):\n",
+              num_clients, num_days, seed);
+  std::printf("  polls %" PRIu64 " (failed %" PRIu64 ", retries %" PRIu64
+              ", up-to-date %" PRIu64 ")\n",
+              totals.polls, totals.failed_polls, totals.retries,
+              totals.up_to_date_polls);
+  std::printf("  updates: %" PRIu64 " delta, %" PRIu64 " snapshot "
+              "(publisher served %" PRIu64 "/%" PRIu64 "/%" PRIu64
+              " delta/snapshot/up-to-date)\n",
+              totals.delta_updates, totals.snapshot_updates,
+              served.delta_serves, served.snapshot_serves,
+              served.up_to_date_serves);
+  std::printf("  bandwidth: %s total, %s/client/day, %.2fx cheaper than "
+              "snapshot-every-update\n",
+              util::HumanBytes(static_cast<double>(totals.bytes_downloaded))
+                  .c_str(),
+              util::HumanBytes(bytes_per_client_day).c_str(), delta_savings);
+  std::printf("  storm: %" PRIu64 " faults injected\n",
+              storm.total_injected());
+  std::printf("  ground truth: %" PRIu64 " lookups verified, %" PRIu64
+              " wrong answers\n",
+              totals.verified_lookups, totals.wrong_answers);
+  std::printf("  staleness at poll: p50 %.2fh  p90 %.2fh  p99 %.2fh\n",
+              staleness.Quantile(0.5) / 3600, staleness.Quantile(0.9) / 3600,
+              staleness.Quantile(0.99) / 3600);
+  std::printf("  staleness at end:  p50 %.2fh  p90 %.2fh  p99 %.2fh\n",
+              end_staleness.Quantile(0.5) / 3600,
+              end_staleness.Quantile(0.9) / 3600,
+              end_staleness.Quantile(0.99) / 3600);
+  std::printf("  vulnerability window: mean %.2fd  p50 %.2fd  p90 %.2fd\n",
+              Days(windows.Mean()), Days(windows.Quantile(0.5)),
+              Days(windows.Quantile(0.9)));
+
+  // ---- CRLSet baseline: coverage-weighted effective window -------------
+  double crlset_coverage = 0;
+  std::size_t crlset_entries = 0, crlset_bytes = 0;
+  std::size_t crlset_total_revocations = 0;
+  double uncovered_window_days = 0;
+  double crlset_effective_days = 0, cascade_effective_days = 0;
+  {
+    bench::BenchRun::Phase phase("cascade.crlset_baseline");
+    core::CrlsetAuditor auditor(world.eco.get(),
+                                bench::ScaledCrlsetConfig(scale));
+    auditor.RunDaily(config.crawl_start, config.study_end);
+    const core::CrlsetAuditor::CoverageStats coverage = auditor.ComputeCoverage(
+        config.study_end, *world.pipeline, *world.crawler);
+    crlset_entries = coverage.crlset_entries;
+    crlset_total_revocations = coverage.total_revocations;
+    crlset_bytes = auditor.latest().SerializedSize();
+    crlset_coverage =
+        coverage.total_revocations > 0
+            ? static_cast<double>(coverage.crlset_entries) /
+                  static_cast<double>(coverage.total_revocations)
+            : 0;
+
+    // A revocation missing from the client-side set stays exploitable
+    // until the certificate expires: mean remaining lifetime at
+    // revocation, over the replayed population.
+    util::Distribution uncovered;
+    for (const Replayed& r : replay) {
+      uncovered.Add(static_cast<double>(
+          std::max<util::Timestamp>(0, r.expiry - r.first_seen)));
+    }
+    uncovered_window_days = Days(uncovered.Mean());
+
+    // Both channels ride the same update pipeline, so covered revocations
+    // see the fleet's measured update lag; the channels differ in how much
+    // of the revocation population is covered at all. The cascade covers
+    // the full known universe by construction.
+    const double update_lag_days = Days(windows.Mean());
+    cascade_effective_days = update_lag_days;
+    crlset_effective_days = crlset_coverage * update_lag_days +
+                            (1 - crlset_coverage) * uncovered_window_days;
+  }
+  const double shrinkage =
+      cascade_effective_days > 0 ? crlset_effective_days / cascade_effective_days
+                                 : 0;
+
+  std::printf("\ncrlset baseline:\n");
+  std::printf("  covers %zu of %zu crawler revocations (%.1f%%), %s\n",
+              crlset_entries, crlset_total_revocations, 100 * crlset_coverage,
+              util::HumanBytes(static_cast<double>(crlset_bytes)).c_str());
+  std::printf("  cascade covers %zu of %zu in-universe revocations (100%%), "
+              "%s snapshot, %zu levels\n",
+              revoked_final, revoked_final,
+              util::HumanBytes(static_cast<double>(snapshot_bytes_last))
+                  .c_str(),
+              levels_last);
+  std::printf("  effective vulnerability window: crlset %.1fd vs cascade "
+              "%.2fd -> %.0fx shrinkage\n",
+              crlset_effective_days, cascade_effective_days, shrinkage);
+
+  const bool exact = totals.wrong_answers == 0 && totals.verified_lookups > 0;
+  std::printf("\nexactness under storm: %s\n", exact ? "OK" : "FAILED");
+
+  char buffer[2048];
+  std::snprintf(
+      buffer, sizeof buffer,
+      "{\"scale\": %.4f, \"seed\": %" PRIu64 ", \"clients\": %zu, "
+      "\"days\": %zu, \"universe\": %zu, \"revoked\": %zu, "
+      "\"hidden_revocations\": %zu, "
+      "\"publisher\": {\"levels\": %zu, \"snapshot_bytes\": %zu, "
+      "\"delta_bytes_total\": %" PRIu64 "}, "
+      "\"fleet\": {\"polls\": %" PRIu64 ", \"failed_polls\": %" PRIu64 ", "
+      "\"retries\": %" PRIu64 ", \"delta_updates\": %" PRIu64 ", "
+      "\"snapshot_updates\": %" PRIu64 ", \"up_to_date_polls\": %" PRIu64 ", "
+      "\"bytes_downloaded\": %" PRIu64 ", \"bytes_per_client_day\": %.1f, "
+      "\"snapshot_every_update_ratio\": %.3f, "
+      "\"faults_injected\": %" PRIu64 ", "
+      "\"verified_lookups\": %" PRIu64 ", \"wrong_answers\": %" PRIu64 "}, "
+      "\"staleness_seconds\": {\"p50\": %.0f, \"p90\": %.0f, \"p99\": %.0f, "
+      "\"mean\": %.0f, \"end_p50\": %.0f, \"end_p99\": %.0f}, "
+      "\"vuln_window_days\": {\"mean\": %.3f, \"p50\": %.3f, \"p90\": %.3f}, "
+      "\"crlset\": {\"entries\": %zu, \"total_revocations\": %zu, "
+      "\"coverage\": %.4f, \"bytes\": %zu, "
+      "\"uncovered_window_days\": %.1f, \"effective_window_days\": %.2f}, "
+      "\"cascade_effective_window_days\": %.3f, "
+      "\"window_shrinkage\": %.1f, \"exact\": %s",
+      scale, seed, num_clients, num_days, shared_universe->size(),
+      revoked_final, hidden_revocations, levels_last, snapshot_bytes_last,
+      delta_bytes_total, totals.polls, totals.failed_polls, totals.retries,
+      totals.delta_updates, totals.snapshot_updates, totals.up_to_date_polls,
+      totals.bytes_downloaded, bytes_per_client_day, delta_savings,
+      storm.total_injected(), totals.verified_lookups, totals.wrong_answers,
+      staleness.Quantile(0.5), staleness.Quantile(0.9),
+      staleness.Quantile(0.99), staleness.Mean(), end_staleness.Quantile(0.5),
+      end_staleness.Quantile(0.99), Days(windows.Mean()),
+      Days(windows.Quantile(0.5)), Days(windows.Quantile(0.9)),
+      crlset_entries, crlset_total_revocations, crlset_coverage, crlset_bytes,
+      uncovered_window_days, crlset_effective_days, cascade_effective_days,
+      shrinkage, exact ? "true" : "false");
+  std::string results = buffer;
+  results += ", \"staleness_cdf_seconds\": " + CdfJson(staleness, 20);
+  results += ", \"vuln_window_cdf_seconds\": " + CdfJson(windows, 20);
+  results += "}";
+  run.SetResults(std::move(results));
+
+  return exact ? 0 : 1;
+}
+
+}  // namespace rev
+
+int main() { return rev::Main(); }

@@ -17,7 +17,7 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 echo "== TSan: thread pool, parallel pipeline, serving frontend, obs, chaos =="
 cmake -B build-tsan -S . -DREV_SANITIZE_THREAD=ON
-cmake --build build-tsan -j"$(nproc)" --target util_test core_test serve_test obs_test chaos_test bench_serve
+cmake --build build-tsan -j"$(nproc)" --target util_test core_test serve_test obs_test chaos_test cascade_test bench_serve
 ./build-tsan/tests/util_test --gtest_filter='ThreadPool.*:MpscQueue.*'
 ./build-tsan/tests/core_test --gtest_filter='Parallelism.*'
 # Full serve suite under TSan: includes the batch-vs-serial equivalence
@@ -31,6 +31,10 @@ cmake --build build-tsan -j"$(nproc)" --target util_test core_test serve_test ob
 # crawler through the shared FaultPlan tallies, the caching client, and the
 # stale-serve merge — the raciest paths in the fetch stack.
 ./build-tsan/tests/chaos_test
+# The cascade suite under TSan: the ThreadPool-parallel cascade build
+# (bit-identical at 1 vs 8 threads) plus the publisher/fleet storm, whose
+# polls cross the SimNet mutex and the shared FaultPlan tallies.
+./build-tsan/tests/cascade_test
 # Small closed-loop load under TSan: races between concurrent Serve(),
 # observer-driven invalidation, batch refresh, and the lock-free latency
 # histogram surface here.

@@ -23,4 +23,18 @@ cmake --build build-tsan -j"$(nproc)" --target util_test core_test
 # failure here is replayable verbatim.
 REV_CHAOS_SEED=0xC0FFEE ./build/tests/chaos_test \
   --gtest_filter='ChaosStorm.*:ChaosSoak.*'
-echo "tier-1 OK (unit suites + TSan determinism + chaos smoke)"
+
+# Cascade distribution smoke: a scaled-down publisher + fleet run under a
+# FaultPlan storm (docs/distribution.md). Exits non-zero if any client
+# ever gets a wrong revocation answer, so exactness-under-storm is part of
+# the tier-1 bar; the small knobs keep it a smoke, not a bench.
+smoke_dir=$(mktemp -d)
+( cd "$smoke_dir" &&
+  REV_SCALE=0.001 REV_CASCADE_CLIENTS=1500 REV_CASCADE_DAYS=6 \
+    "$OLDPWD"/build/bench/bench_cascade > bench_cascade.out )
+grep -q "exactness under storm: OK" "$smoke_dir"/bench_cascade.out || {
+  echo "bench_cascade smoke failed exactness-under-storm" >&2; exit 1; }
+grep -q '"wrong_answers": 0' "$smoke_dir"/BENCH_cascade.json || {
+  echo "BENCH_cascade.json records wrong answers" >&2; exit 1; }
+rm -rf "$smoke_dir"
+echo "tier-1 OK (unit suites + TSan determinism + chaos smoke + cascade smoke)"

@@ -1,0 +1,247 @@
+#include "cascade/cascade.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cascade/wire.h"
+#include "crypto/sha256.h"
+#include "util/thread_pool.h"
+
+namespace rev::cascade {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x52434631;  // "RCF1"
+constexpr std::uint16_t kVersion = 1;
+// Deserialize sanity caps: far above anything a real build produces, low
+// enough that a fuzzed header can never trigger a giant allocation beyond
+// what the blob itself already pays for.
+constexpr std::uint64_t kMaxLevels = 4096;
+constexpr std::uint32_t kMaxHashes = 64;
+
+std::uint64_t Splitmix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+struct HashPair {
+  std::uint64_t h1;
+  std::uint64_t h2;
+};
+
+// Keys are already cryptographic digests (CertKey is a SHA-256), so a fast
+// word-wise mix keyed by the level salt gives independent, well-distributed
+// bit positions per level — g_i = h1 + i*h2 (Kirsch–Mitzenmacher).
+HashPair LevelHash(std::uint64_t salt, BytesView key) {
+  std::uint64_t a = Splitmix(salt ^ 0x243F6A8885A308D3ull);
+  std::uint64_t b = Splitmix(~salt ^ 0x13198A2E03707344ull);
+  std::size_t i = 0;
+  while (i + 8 <= key.size()) {
+    std::uint64_t word = 0;
+    for (int j = 0; j < 8; ++j) word = (word << 8) | key[i + static_cast<std::size_t>(j)];
+    a = Splitmix(a ^ word);
+    b = Splitmix(b + word);
+    i += 8;
+  }
+  std::uint64_t tail = key.size();  // fold the length so prefixes differ
+  for (; i < key.size(); ++i) tail = (tail << 8) | key[i];
+  a = Splitmix(a ^ tail);
+  b = Splitmix(b + tail);
+  if (b == 0) b = 0x9E3779B97F4A7C15ull;
+  return {a, b};
+}
+
+void InsertKey(CascadeLevel& level, BytesView key) {
+  const HashPair h = LevelHash(level.salt, key);
+  for (std::uint32_t i = 0; i < level.k; ++i) {
+    const std::uint64_t bit = (h.h1 + i * h.h2) % level.m_bits;
+    level.bits[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+// Bloom sizing for `n` keys at false-positive rate `p`.
+CascadeLevel SizeLevel(std::size_t n, double p, std::uint64_t salt) {
+  CascadeLevel level;
+  level.salt = salt;
+  level.num_keys = n;
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(n == 0 ? 1 : n) * std::log(p) / (ln2 * ln2);
+  level.m_bits = std::max<std::uint64_t>(64, static_cast<std::uint64_t>(std::ceil(m)));
+  const double k = std::round(static_cast<double>(level.m_bits) /
+                              static_cast<double>(n == 0 ? 1 : n) * ln2);
+  level.k = static_cast<std::uint32_t>(std::clamp(k, 1.0, 30.0));
+  level.bits.assign((level.m_bits + 7) / 8, 0);
+  return level;
+}
+
+}  // namespace
+
+Bytes CertKey(BytesView issuer_name_der, BytesView serial) {
+  Bytes buffer;
+  buffer.reserve(8 + issuer_name_der.size() + serial.size());
+  wire::PutU32(buffer, static_cast<std::uint32_t>(issuer_name_der.size()));
+  Append(buffer, issuer_name_der);
+  wire::PutU32(buffer, static_cast<std::uint32_t>(serial.size()));
+  Append(buffer, serial);
+  const crypto::Sha256Digest d = crypto::Sha256::Hash(buffer);
+  return Bytes(d.begin(), d.end());
+}
+
+bool CascadeLevel::MayContain(BytesView key) const {
+  if (m_bits == 0) return false;
+  const HashPair h = LevelHash(salt, key);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const std::uint64_t bit = (h.h1 + i * h.h2) % m_bits;
+    if ((bits[bit / 8] & (1u << (bit % 8))) == 0) return false;
+  }
+  return true;
+}
+
+FilterCascade FilterCascade::Build(const std::vector<Bytes>& revoked,
+                                   const std::vector<Bytes>& not_revoked,
+                                   const CascadeOptions& options) {
+  FilterCascade cascade;
+  cascade.num_revoked_ = revoked.size();
+  if (revoked.empty()) return cascade;  // zero levels: everything answers no
+
+  const double r = static_cast<double>(revoked.size());
+  const double s = static_cast<double>(std::max<std::size_t>(1, not_revoked.size()));
+  double p0 = options.level0_fpr;
+  if (p0 <= 0) p0 = r / (std::sqrt(2.0) * s);
+  p0 = std::clamp(p0, 1e-9, 0.5);
+
+  util::ThreadPool pool(options.threads);
+
+  // `include` is inserted into the level's filter; `exclude` is probed
+  // against it and its hits become the next level's include. The sides swap
+  // each level. Pointers avoid copying the big input vectors for level 0.
+  const std::vector<Bytes>* include = &revoked;
+  const std::vector<Bytes>* exclude = &not_revoked;
+  std::vector<Bytes> carried_include, carried_exclude;
+
+  while (!include->empty()) {
+    if (cascade.levels_.size() >= options.max_levels)
+      throw std::runtime_error("FilterCascade::Build: cascade did not converge");
+    const std::size_t index = cascade.levels_.size();
+    const double p = index == 0 ? p0 : 0.5;
+    // Salt is a pure function of the level index so rebuilds of the same
+    // inputs serialize identically.
+    CascadeLevel level = SizeLevel(include->size(), p, Splitmix(0xCA5CADEull + index));
+    for (const Bytes& key : *include) InsertKey(level, key);
+
+    // Probe the exclude side in fixed chunks; per-chunk hit lists merged in
+    // chunk order keep the next level's build set identical at any thread
+    // count (the filter itself is read-only here).
+    constexpr std::size_t kChunk = 4096;
+    const std::size_t num_chunks = (exclude->size() + kChunk - 1) / kChunk;
+    std::vector<std::vector<Bytes>> hits(num_chunks);
+    pool.ParallelFor(num_chunks, [&](std::size_t c) {
+      const std::size_t begin = c * kChunk;
+      const std::size_t end = std::min(begin + kChunk, exclude->size());
+      for (std::size_t i = begin; i < end; ++i) {
+        if (level.MayContain((*exclude)[i])) hits[c].push_back((*exclude)[i]);
+      }
+    });
+    std::vector<Bytes> next_include;
+    for (std::vector<Bytes>& chunk : hits)
+      for (Bytes& key : chunk) next_include.push_back(std::move(key));
+
+    // The side we just inserted becomes the next exclude set; its false
+    // positives become the next include set.
+    carried_exclude = (index == 0) ? revoked : std::move(carried_include);
+    carried_include = std::move(next_include);
+    include = &carried_include;
+    exclude = &carried_exclude;
+    cascade.levels_.push_back(std::move(level));
+  }
+  return cascade;
+}
+
+bool FilterCascade::IsRevoked(BytesView key) const {
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (!levels_[i].MayContain(key)) {
+      // The key sits on level i's exclude side: not-revoked for even i,
+      // revoked for odd i.
+      return (i % 2) == 1;
+    }
+  }
+  // Contained through the last level: it belongs to that level's build
+  // set — revoked iff the last level holds revoked keys (even index).
+  return !levels_.empty() && (levels_.size() - 1) % 2 == 0;
+}
+
+std::size_t FilterCascade::FilterBytes() const {
+  std::size_t total = 0;
+  for (const CascadeLevel& level : levels_) total += level.bits.size();
+  return total;
+}
+
+Bytes FilterCascade::Serialize() const {
+  Bytes out;
+  wire::PutU32(out, kMagic);
+  wire::PutU16(out, kVersion);
+  wire::PutU64(out, sequence);
+  wire::PutU64(out, num_revoked_);
+  wire::PutU32(out, static_cast<std::uint32_t>(levels_.size()));
+  for (const CascadeLevel& level : levels_) {
+    wire::PutU64(out, level.salt);
+    wire::PutU64(out, level.m_bits);
+    wire::PutU32(out, level.k);
+    wire::PutU64(out, level.num_keys);
+    Append(out, level.bits);
+  }
+  wire::SealChecksum(out);
+  return out;
+}
+
+std::optional<FilterCascade> FilterCascade::Deserialize(BytesView data) {
+  BytesView payload;
+  if (!wire::CheckChecksum(data, &payload)) return std::nullopt;
+  std::size_t pos = 0;
+  std::uint32_t magic, num_levels;
+  std::uint16_t version;
+  FilterCascade cascade;
+  if (!wire::GetU32(payload, pos, &magic) || magic != kMagic) return std::nullopt;
+  if (!wire::GetU16(payload, pos, &version) || version != kVersion)
+    return std::nullopt;
+  if (!wire::GetU64(payload, pos, &cascade.sequence)) return std::nullopt;
+  if (!wire::GetU64(payload, pos, &cascade.num_revoked_)) return std::nullopt;
+  if (!wire::GetU32(payload, pos, &num_levels) || num_levels > kMaxLevels)
+    return std::nullopt;
+  cascade.levels_.reserve(num_levels);
+  for (std::uint32_t i = 0; i < num_levels; ++i) {
+    CascadeLevel level;
+    if (!wire::GetU64(payload, pos, &level.salt)) return std::nullopt;
+    if (!wire::GetU64(payload, pos, &level.m_bits)) return std::nullopt;
+    if (!wire::GetU32(payload, pos, &level.k) || level.k == 0 ||
+        level.k > kMaxHashes)
+      return std::nullopt;
+    if (!wire::GetU64(payload, pos, &level.num_keys)) return std::nullopt;
+    // The bit array must actually be present: bound m_bits by the bytes
+    // remaining before allocating anything.
+    if (level.m_bits == 0) return std::nullopt;
+    const std::uint64_t num_bytes = level.m_bits / 8 + (level.m_bits % 8 != 0);
+    if (num_bytes > payload.size() - pos) return std::nullopt;
+    level.bits.assign(payload.begin() + static_cast<std::ptrdiff_t>(pos),
+                      payload.begin() + static_cast<std::ptrdiff_t>(pos + num_bytes));
+    pos += num_bytes;
+    cascade.levels_.push_back(std::move(level));
+  }
+  if (pos != payload.size()) return std::nullopt;
+  return cascade;
+}
+
+bool operator==(const CascadeLevel& a, const CascadeLevel& b) {
+  return a.salt == b.salt && a.m_bits == b.m_bits && a.k == b.k &&
+         a.num_keys == b.num_keys && a.bits == b.bits;
+}
+
+bool operator==(const FilterCascade& a, const FilterCascade& b) {
+  return a.sequence == b.sequence && a.num_revoked_ == b.num_revoked_ &&
+         a.levels_ == b.levels_;
+}
+
+}  // namespace rev::cascade

@@ -1,0 +1,159 @@
+#include "cascade/delta.h"
+
+#include "cascade/wire.h"
+
+namespace rev::cascade {
+
+namespace {
+
+constexpr std::uint32_t kDeltaMagic = 0x52434431;     // "RCD1"
+constexpr std::uint32_t kResponseMagic = 0x52435531;  // "RCU1"
+constexpr std::uint16_t kVersion = 1;
+// A key list longer than the blob itself is structurally impossible; the
+// cap keeps a fuzzed count from reserving gigabytes.
+constexpr std::uint32_t kMaxDeltasPerResponse = 1 << 16;
+
+bool GetKeyList(BytesView payload, std::size_t& pos, std::vector<Bytes>* out) {
+  std::uint32_t count;
+  if (!wire::GetU32(payload, pos, &count)) return false;
+  if (count > payload.size() - pos) return false;  // ≥1 byte per key
+  out->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Bytes key;
+    if (!wire::GetBlob(payload, pos, &key)) return false;
+    out->push_back(std::move(key));
+  }
+  return true;
+}
+
+void PutKeyList(Bytes& out, const std::vector<Bytes>& keys) {
+  wire::PutU32(out, static_cast<std::uint32_t>(keys.size()));
+  for (const Bytes& key : keys) wire::PutBlob(out, key);
+}
+
+}  // namespace
+
+Bytes CascadeDelta::Serialize() const {
+  Bytes out;
+  wire::PutU32(out, kDeltaMagic);
+  wire::PutU16(out, kVersion);
+  wire::PutU64(out, from_sequence);
+  wire::PutU64(out, to_sequence);
+  PutKeyList(out, added);
+  PutKeyList(out, removed);
+  wire::SealChecksum(out);
+  return out;
+}
+
+std::optional<CascadeDelta> CascadeDelta::Deserialize(BytesView data) {
+  BytesView payload;
+  if (!wire::CheckChecksum(data, &payload)) return std::nullopt;
+  std::size_t pos = 0;
+  std::uint32_t magic;
+  std::uint16_t version;
+  CascadeDelta delta;
+  if (!wire::GetU32(payload, pos, &magic) || magic != kDeltaMagic)
+    return std::nullopt;
+  if (!wire::GetU16(payload, pos, &version) || version != kVersion)
+    return std::nullopt;
+  if (!wire::GetU64(payload, pos, &delta.from_sequence)) return std::nullopt;
+  if (!wire::GetU64(payload, pos, &delta.to_sequence)) return std::nullopt;
+  if (delta.to_sequence <= delta.from_sequence) return std::nullopt;
+  if (!GetKeyList(payload, pos, &delta.added)) return std::nullopt;
+  if (!GetKeyList(payload, pos, &delta.removed)) return std::nullopt;
+  if (pos != payload.size()) return std::nullopt;
+  return delta;
+}
+
+Bytes UpdateResponse::Serialize() const {
+  Bytes out;
+  wire::PutU32(out, kResponseMagic);
+  wire::PutU16(out, kVersion);
+  out.push_back(static_cast<std::uint8_t>(kind));
+  switch (kind) {
+    case Kind::kUpToDate:
+      break;
+    case Kind::kDeltas:
+      wire::PutU32(out, static_cast<std::uint32_t>(deltas.size()));
+      for (const CascadeDelta& delta : deltas) wire::PutBlob(out, delta.Serialize());
+      break;
+    case Kind::kSnapshot:
+      wire::PutBlob(out, snapshot);
+      break;
+  }
+  wire::SealChecksum(out);
+  return out;
+}
+
+std::optional<UpdateResponse> UpdateResponse::Deserialize(BytesView data) {
+  BytesView payload;
+  if (!wire::CheckChecksum(data, &payload)) return std::nullopt;
+  std::size_t pos = 0;
+  std::uint32_t magic;
+  std::uint16_t version;
+  if (!wire::GetU32(payload, pos, &magic) || magic != kResponseMagic)
+    return std::nullopt;
+  if (!wire::GetU16(payload, pos, &version) || version != kVersion)
+    return std::nullopt;
+  if (pos >= payload.size()) return std::nullopt;
+  UpdateResponse response;
+  const std::uint8_t kind = payload[pos++];
+  switch (kind) {
+    case 0:
+      response.kind = Kind::kUpToDate;
+      break;
+    case 1: {
+      response.kind = Kind::kDeltas;
+      std::uint32_t count;
+      if (!wire::GetU32(payload, pos, &count) || count > kMaxDeltasPerResponse)
+        return std::nullopt;
+      response.deltas.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Bytes blob;
+        if (!wire::GetBlob(payload, pos, &blob)) return std::nullopt;
+        auto delta = CascadeDelta::Deserialize(blob);
+        if (!delta) return std::nullopt;
+        response.deltas.push_back(std::move(*delta));
+      }
+      // Deltas must chain contiguously — a response that skips a sequence
+      // would desynchronize the client's overlay.
+      for (std::size_t i = 1; i < response.deltas.size(); ++i) {
+        if (response.deltas[i].from_sequence != response.deltas[i - 1].to_sequence)
+          return std::nullopt;
+      }
+      break;
+    }
+    case 2: {
+      response.kind = Kind::kSnapshot;
+      if (!wire::GetBlob(payload, pos, &response.snapshot)) return std::nullopt;
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (pos != payload.size()) return std::nullopt;
+  return response;
+}
+
+void ClientCascade::ResetTo(std::shared_ptr<const FilterCascade> snapshot) {
+  sequence_ = snapshot ? snapshot->sequence : 0;
+  base_ = std::move(snapshot);
+  overlay_.clear();
+}
+
+bool ClientCascade::ApplyDelta(const CascadeDelta& delta) {
+  if (base_ == nullptr || delta.from_sequence != sequence_) return false;
+  for (const Bytes& key : delta.added) overlay_[key] = true;
+  for (const Bytes& key : delta.removed) overlay_[key] = false;
+  sequence_ = delta.to_sequence;
+  return true;
+}
+
+bool ClientCascade::IsRevoked(BytesView key) const {
+  if (base_ == nullptr) return false;
+  const auto it = overlay_.find(Bytes(key.begin(), key.end()));
+  if (it != overlay_.end()) return it->second;
+  return base_->IsRevoked(key);
+}
+
+}  // namespace rev::cascade

@@ -1,0 +1,96 @@
+// Shared wire-format primitives for the cascade distribution channel:
+// big-endian integer put/get, length-prefixed blobs, and the FNV-1a
+// trailer checksum every cascade/delta blob carries. The checksum is the
+// load-bearing piece: a client applies downloaded filters directly to
+// revocation decisions, so a truncated or bit-flipped blob must fail
+// Deserialize() rather than silently answer "revoked" for the wrong
+// certificates (tests/fuzz_test.cpp pins this).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace rev::cascade::wire {
+
+inline void PutU16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void PutU32(Bytes& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void PutU64(Bytes& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline bool GetU16(BytesView data, std::size_t& pos, std::uint16_t* v) {
+  if (pos + 2 > data.size()) return false;
+  *v = static_cast<std::uint16_t>((data[pos] << 8) | data[pos + 1]);
+  pos += 2;
+  return true;
+}
+
+inline bool GetU32(BytesView data, std::size_t& pos, std::uint32_t* v) {
+  if (pos + 4 > data.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v = (*v << 8) | data[pos++];
+  return true;
+}
+
+inline bool GetU64(BytesView data, std::size_t& pos, std::uint64_t* v) {
+  if (pos + 8 > data.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v = (*v << 8) | data[pos++];
+  return true;
+}
+
+inline void PutBlob(Bytes& out, BytesView blob) {
+  PutU32(out, static_cast<std::uint32_t>(blob.size()));
+  Append(out, blob);
+}
+
+inline bool GetBlob(BytesView data, std::size_t& pos, Bytes* blob) {
+  std::uint32_t len;
+  if (!GetU32(data, pos, &len) || len > data.size() - pos) return false;
+  blob->assign(data.begin() + static_cast<std::ptrdiff_t>(pos),
+               data.begin() + static_cast<std::ptrdiff_t>(pos + len));
+  pos += len;
+  return true;
+}
+
+// FNV-1a over `data` — the integrity trailer. Not cryptographic (the
+// channel is simulated); it exists to make accidental corruption fail
+// closed, which is all the fuzz invariant needs.
+inline std::uint64_t Fnv1a(BytesView data) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+// Appends the checksum of everything serialized so far.
+inline void SealChecksum(Bytes& out) {
+  PutU64(out, Fnv1a(BytesView(out.data(), out.size())));
+}
+
+// Verifies and strips the trailer; on success `payload` is the blob minus
+// its checksum.
+inline bool CheckChecksum(BytesView data, BytesView* payload) {
+  if (data.size() < 8) return false;
+  const BytesView body = data.first(data.size() - 8);
+  std::size_t pos = data.size() - 8;
+  std::uint64_t stored;
+  if (!GetU64(data, pos, &stored)) return false;
+  if (Fnv1a(body) != stored) return false;
+  *payload = body;
+  return true;
+}
+
+}  // namespace rev::cascade::wire

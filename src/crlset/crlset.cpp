@@ -61,6 +61,20 @@ std::size_t CrlSet::NumEntries() const {
   return n;
 }
 
+std::size_t CrlSet::SerializedSize() const {
+  // Mirrors Serialize() field-for-field: u32 sequence, u32 parent count,
+  // per parent a length-prefixed blob + u32 serial count + length-prefixed
+  // serials, then u32 blocked count + length-prefixed SPKIs.
+  std::size_t size = 4 + 4;
+  for (const auto& [parent, serials] : parents_) {
+    size += 4 + parent.size() + 4;
+    for (const x509::Serial& serial : serials) size += 4 + serial.size();
+  }
+  size += 4;
+  for (const Bytes& spki : blocked_spkis_) size += 4 + spki.size();
+  return size;
+}
+
 Bytes CrlSet::Serialize() const {
   Bytes out;
   PutU32(out, static_cast<std::uint32_t>(sequence));

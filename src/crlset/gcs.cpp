@@ -81,25 +81,32 @@ std::uint64_t GolombCompressedSet::HashToRange(BytesView key) const {
 GolombCompressedSet GolombCompressedSet::Build(const std::vector<Bytes>& keys,
                                                int log2_inverse_fpr) {
   GolombCompressedSet set;
-  set.rice_param_ = log2_inverse_fpr;
+  // 1ull << p is UB outside [0, 63]; a shift that overflows range_ would
+  // silently wrap. 56 keeps keys.size() << p exact for any realistic set.
+  set.rice_param_ = std::clamp(log2_inverse_fpr, 0, 56);
   set.num_keys_ = keys.size();
-  set.range_ = static_cast<std::uint64_t>(keys.size())
-               << log2_inverse_fpr;
+  set.range_ = static_cast<std::uint64_t>(keys.size()) << set.rice_param_;
   if (keys.empty()) return set;
 
   std::vector<std::uint64_t> values;
   values.reserve(keys.size());
   for (const Bytes& key : keys) values.push_back(set.HashToRange(key));
   std::sort(values.begin(), values.end());
+  // Duplicate keys (or colliding hashes) would otherwise encode as delta-0
+  // entries: harmless to queries but wasted bits, and num_keys_ would
+  // overstate the set. MayContain's decode loop runs num_keys_ entries, so
+  // the count must match what is actually encoded.
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  set.num_keys_ = values.size();
 
   BitWriter writer;
   std::uint64_t previous = 0;
   for (std::uint64_t v : values) {
     const std::uint64_t delta = v - previous;
     previous = v;
-    writer.WriteUnary(delta >> log2_inverse_fpr);
-    writer.WriteBits(delta & ((1ull << log2_inverse_fpr) - 1),
-                     log2_inverse_fpr);
+    writer.WriteUnary(delta >> set.rice_param_);
+    writer.WriteBits(delta & ((1ull << set.rice_param_) - 1),
+                     set.rice_param_);
   }
   set.data_ = writer.Take();
   return set;

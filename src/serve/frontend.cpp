@@ -207,6 +207,18 @@ void Frontend::AttachResponder(ocsp::Responder* responder) {
   has_pending_.store(!pending_.empty(), std::memory_order_release);
 }
 
+void Frontend::AddRoute(std::string path_prefix, net::HttpHandler handler) {
+  std::lock_guard attach(attach_mu_);
+  if (serving_started_.load(std::memory_order_acquire)) {
+    // routes_ is scanned lock-free by HandleHttp once serving starts —
+    // same discipline as the responder routing table.
+    throw std::logic_error(
+        "Frontend::AddRoute: serving already started; register every route "
+        "before the first request");
+  }
+  routes_.emplace_back(std::move(path_prefix), std::move(handler));
+}
+
 const ocsp::Responder* Frontend::FindResponder(
     BytesView issuer_key_hash) const {
   const auto it = responders_.find(issuer_key_hash);
@@ -669,15 +681,20 @@ void Frontend::ProcessBatch(std::size_t shard, Op** ops, std::size_t count) {
 
 net::HttpResponse Frontend::HandleHttp(const net::HttpRequest& request,
                                        util::Timestamp now) {
-  // Observability exposition, exact-path only: every other GET is an RFC
-  // 6960 Appendix A request (including malformed ones, which must still get
-  // an OCSP error response rather than a 404).
+  StartServing();  // latches routes_ (and the routing table) read-only
+  // Observability exposition, exact-path only: every other GET that no
+  // auxiliary route claims is an RFC 6960 Appendix A request (including
+  // malformed ones, which must still get an OCSP error response rather
+  // than a 404).
   if (request.method == "GET" && request.path == "/metrics") {
     net::HttpResponse response;
     response.status = 200;
     const std::string text = obs::MetricsRegistry::Global().DumpText();
     response.body.assign(text.begin(), text.end());
     return response;
+  }
+  for (const auto& [prefix, handler] : routes_) {
+    if (request.path.rfind(prefix, 0) == 0) return handler(request, now);
   }
   const ServeResult result = request.method == "GET"
                                  ? ServeGetPath(request.path, now)

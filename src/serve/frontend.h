@@ -113,6 +113,15 @@ class Frontend {
   net::HttpResponse HandleHttp(const net::HttpRequest& request,
                                util::Timestamp now);
 
+  // Registers an auxiliary HTTP route: a request whose path starts with
+  // `path_prefix` is handed to `handler` instead of the OCSP dispatch —
+  // how the cascade publisher rides this frontend (/cascade/*, see
+  // docs/distribution.md). Routes are scanned in registration order after
+  // the /metrics check. Same latch rules as AttachResponder: register
+  // every route before the first request or get std::logic_error; the
+  // handler must stay valid for the frontend's lifetime.
+  void AddRoute(std::string path_prefix, net::HttpHandler handler);
+
   // Direct in-process API (OCSP stapling, benches): the precomputed or
   // freshly signed response DER for one serial. Bypasses admission — the
   // caller is in-process, not a queued network client. Returns nullptr if
@@ -228,6 +237,8 @@ class Frontend {
   StatusIndex index_;
   ResponseCache cache_;
   std::unordered_map<Bytes, ocsp::Responder*, RouteHash, RouteEq> responders_;
+  // Auxiliary prefix routes (AddRoute); latched read-only with the table.
+  std::vector<std::pair<std::string, net::HttpHandler>> routes_;
 
   // Late-attach latch (see AttachResponder). `attach_mu_` orders the last
   // attach against the first serve; after that, readers never lock.

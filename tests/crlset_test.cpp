@@ -97,6 +97,27 @@ TEST(CrlSet, DeserializeRejectsGarbage) {
   EXPECT_FALSE(CrlSet::Deserialize(blob));
 }
 
+TEST(CrlSet, SerializedSizeMatchesSerialize) {
+  // SerializedSize() is computed arithmetically (no serialization pass);
+  // it must track Serialize().size() exactly through every kind of growth.
+  util::Rng rng(40);
+  CrlSet set;
+  EXPECT_EQ(set.SerializedSize(), set.Serialize().size());  // empty
+  set.sequence = 12;
+  for (int p = 0; p < 7; ++p) {
+    const Bytes parent = RandomParent(rng);
+    for (int s = 0; s < p + 1; ++s) {
+      // Variable-length serials so the size math can't pass by accident.
+      set.AddEntry(parent, RandomSerial(rng, 4 + 3 * s));
+      EXPECT_EQ(set.SerializedSize(), set.Serialize().size());
+    }
+  }
+  for (int b = 0; b < 3; ++b) {
+    set.AddBlockedSpki(RandomParent(rng));
+    EXPECT_EQ(set.SerializedSize(), set.Serialize().size());
+  }
+}
+
 // ----------------------------------------------------------- generator ----
 
 crl::Crl MakeCrl(util::Rng& rng, std::size_t entries,
@@ -311,6 +332,52 @@ TEST(Gcs, EmptySet) {
   const GolombCompressedSet set = GolombCompressedSet::Build({}, 10);
   EXPECT_FALSE(set.MayContain(Bytes{1, 2, 3}));
   EXPECT_EQ(set.NumKeys(), 0u);
+}
+
+TEST(Gcs, SingleKey) {
+  util::Rng rng(17);
+  const Bytes key = RevocationKey(RandomParent(rng), RandomSerial(rng));
+  const GolombCompressedSet set = GolombCompressedSet::Build({key}, 10);
+  EXPECT_EQ(set.NumKeys(), 1u);
+  EXPECT_TRUE(set.MayContain(key));
+  std::size_t hits = 0;
+  for (int i = 0; i < 1'000; ++i)
+    if (set.MayContain(RandomSerial(rng, 24))) ++hits;
+  EXPECT_LT(hits, 20u);
+}
+
+TEST(Gcs, DuplicateKeysCollapse) {
+  // Duplicates at build must not inflate the encoded set or break lookups
+  // (delta-0 entries would waste bits and desync the decode count).
+  util::Rng rng(18);
+  std::vector<Bytes> keys;
+  for (int i = 0; i < 500; ++i)
+    keys.push_back(RevocationKey(RandomParent(rng), RandomSerial(rng)));
+  std::vector<Bytes> duplicated = keys;
+  duplicated.insert(duplicated.end(), keys.begin(), keys.end());
+  duplicated.insert(duplicated.end(), keys.begin(), keys.end());
+  const GolombCompressedSet dedup = GolombCompressedSet::Build(duplicated, 10);
+  for (const Bytes& key : keys) EXPECT_TRUE(dedup.MayContain(key));
+  // Tripling the input must not triple the encoding.
+  const GolombCompressedSet plain = GolombCompressedSet::Build(keys, 10);
+  EXPECT_LT(dedup.SizeBytes(), 2 * plain.SizeBytes());
+}
+
+TEST(Gcs, ZeroRangeAndDegenerateParams) {
+  // range_ == 0 (empty set) must not divide by zero in HashToRange, and
+  // out-of-range Rice parameters must not shift by >= 64 bits (UB).
+  const GolombCompressedSet empty = GolombCompressedSet::Build({}, 0);
+  EXPECT_FALSE(empty.MayContain(Bytes{}));
+  EXPECT_FALSE(empty.MayContain(Bytes{0xFF}));
+
+  util::Rng rng(19);
+  std::vector<Bytes> keys;
+  for (int i = 0; i < 50; ++i)
+    keys.push_back(RevocationKey(RandomParent(rng), RandomSerial(rng)));
+  for (int p : {0, -5, 64, 1000}) {
+    const GolombCompressedSet set = GolombCompressedSet::Build(keys, p);
+    for (const Bytes& key : keys) EXPECT_TRUE(set.MayContain(key)) << p;
+  }
 }
 
 }  // namespace
