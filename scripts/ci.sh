@@ -17,7 +17,7 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 echo "== TSan: thread pool, parallel pipeline, serving frontend, obs, chaos =="
 cmake -B build-tsan -S . -DREV_SANITIZE_THREAD=ON
-cmake --build build-tsan -j"$(nproc)" --target util_test core_test serve_test obs_test chaos_test cascade_test bench_serve
+cmake --build build-tsan -j"$(nproc)" --target util_test core_test serve_test obs_test chaos_test cascade_test fleet_test bench_serve bench_fleet
 ./build-tsan/tests/util_test --gtest_filter='ThreadPool.*:MpscQueue.*'
 ./build-tsan/tests/core_test --gtest_filter='Parallelism.*'
 # Full serve suite under TSan: includes the batch-vs-serial equivalence
@@ -35,6 +35,20 @@ cmake --build build-tsan -j"$(nproc)" --target util_test core_test serve_test ob
 # (bit-identical at 1 vs 8 threads) plus the publisher/fleet storm, whose
 # polls cross the SimNet mutex and the shared FaultPlan tallies.
 ./build-tsan/tests/cascade_test
+# The fleet suite under TSan: replication pushes, health probes, and the
+# soak's threaded clients all cross the SimNet mutex, the ring's enable
+# atomics, and the replicas' import locks concurrently.
+./build-tsan/tests/fleet_test
+# Small fleet soak under TSan: 4 threads of clients against 3 replicas
+# through the full storm (outage + latency + shed + corruption), gates on
+# (strict mode: zero wrong answers, availability, p99, determinism).
+fleet_tsan_dir=$(mktemp -d)
+( cd "$fleet_tsan_dir" &&
+  REV_FLEET_CERTS=500 REV_FLEET_CLIENTS=4 REV_FLEET_TICKS=12 \
+    REV_FLEET_QPT=6 REV_FLEET_FACTORS=2,3 REV_THREADS=4 \
+    "$OLDPWD"/build-tsan/bench/bench_fleet > /dev/null ) || {
+      echo "bench_fleet soak under TSan failed" >&2; exit 1; }
+rm -rf "$fleet_tsan_dir"
 # Small closed-loop load under TSan: races between concurrent Serve(),
 # observer-driven invalidation, batch refresh, and the lock-free latency
 # histogram surface here.
@@ -73,4 +87,24 @@ print(f"batch peak {peak:.0f} QPS >= baseline {baseline:.0f} QPS: ok")
 PY
 rm -rf "$smoke_dir"
 
-echo "ci OK (tier-1 + TSan: unit suites, obs suite, serve stress, bench_serve load + /metrics smoke + QPS regression)"
+echo "== fleet smoke: BENCH_fleet.json baseline + zero wrong answers =="
+# The committed baseline must exist and must record a clean sweep, and a
+# fresh small strict run must reproduce it: zero wrong revocation answers
+# under the storm is part of the CI bar, like the cascade channel's
+# exactness gate.
+test -f BENCH_fleet.json || {
+  echo "BENCH_fleet.json baseline is missing" >&2; exit 1; }
+grep -q '"total_wrong_answers": 0' BENCH_fleet.json || {
+  echo "committed BENCH_fleet.json records wrong answers" >&2; exit 1; }
+fleet_dir=$(mktemp -d)
+( cd "$fleet_dir" &&
+  REV_FLEET_CERTS=500 REV_FLEET_CLIENTS=4 REV_FLEET_TICKS=12 \
+    REV_FLEET_QPT=6 REV_FLEET_FACTORS=2,3 \
+    "$OLDPWD"/build/bench/bench_fleet > bench_fleet.out )
+grep -q "OK bench_fleet overall" "$fleet_dir"/bench_fleet.out || {
+  echo "bench_fleet smoke failed its gates" >&2; exit 1; }
+grep -q '"total_wrong_answers": 0' "$fleet_dir"/BENCH_fleet.json || {
+  echo "fleet smoke produced wrong revocation answers" >&2; exit 1; }
+rm -rf "$fleet_dir"
+
+echo "ci OK (tier-1 + TSan: unit suites, obs suite, serve stress, fleet suite + soak, bench_serve load + /metrics smoke + QPS regression + fleet zero-wrong-answers)"

@@ -37,4 +37,11 @@ grep -q "exactness under storm: OK" "$smoke_dir"/bench_cascade.out || {
 grep -q '"wrong_answers": 0' "$smoke_dir"/BENCH_cascade.json || {
   echo "BENCH_cascade.json records wrong answers" >&2; exit 1; }
 rm -rf "$smoke_dir"
-echo "tier-1 OK (unit suites + TSan determinism + chaos smoke + cascade smoke)"
+
+# Fixed-seed fleet-failover smoke: the replicated serving layer's client
+# failover, hedging, and storm soak at the pinned chaos seed — zero wrong
+# answers and bit-identity across thread counts (docs/fleet.md).
+REV_CHAOS_SEED=0xC0FFEE ./build/tests/fleet_test \
+  --gtest_filter='FleetClient.*:FleetSoak.*'
+
+echo "tier-1 OK (unit suites + TSan determinism + chaos smoke + cascade smoke + fleet failover smoke)"

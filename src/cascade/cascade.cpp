@@ -4,11 +4,13 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "cascade/wire.h"
 #include "crypto/sha256.h"
 #include "util/thread_pool.h"
+#include "util/wire.h"
 
 namespace rev::cascade {
+
+namespace wire = util::wire;
 
 namespace {
 

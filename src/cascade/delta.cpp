@@ -1,8 +1,10 @@
 #include "cascade/delta.h"
 
-#include "cascade/wire.h"
+#include "util/wire.h"
 
 namespace rev::cascade {
+
+namespace wire = util::wire;
 
 namespace {
 

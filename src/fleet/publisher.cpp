@@ -1,0 +1,122 @@
+#include "fleet/publisher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "fleet/replica.h"
+#include "fleet/snapshot.h"
+
+namespace rev::fleet {
+
+namespace {
+
+std::string PublisherMetric(const char* metric, const std::string& label) {
+  return std::string("fleet.publisher.") + metric + "{publisher=" + label +
+         "}";
+}
+
+}  // namespace
+
+Publisher::Publisher(serve::Frontend* authority, PublisherOptions options)
+    : authority_(authority),
+      options_(options),
+      metrics_label_(std::to_string(obs::NextInstanceId())),
+      pushes_ok_(obs::MetricsRegistry::Global().GetCounter(
+          PublisherMetric("pushes_ok", metrics_label_))),
+      pushes_failed_(obs::MetricsRegistry::Global().GetCounter(
+          PublisherMetric("pushes_failed", metrics_label_))),
+      bytes_pushed_(obs::MetricsRegistry::Global().GetCounter(
+          PublisherMetric("bytes_pushed", metrics_label_))),
+      max_lag_(obs::MetricsRegistry::Global().GetGauge(
+          PublisherMetric("max_lag_epochs", metrics_label_))) {}
+
+Publisher::~Publisher() = default;
+
+void Publisher::AddReplica(std::string host) {
+  if (std::find(replicas_.begin(), replicas_.end(), host) != replicas_.end())
+    return;
+  acked_.emplace(host, 0);
+  replicas_.push_back(std::move(host));
+}
+
+Publisher::PushStats Publisher::Publish(net::SimNet& net,
+                                        util::Timestamp now) {
+  PushStats stats;
+  stats.epoch = ++epoch_;
+  publish_times_[stats.epoch] = now;
+
+  // Export once; the same serialized blobs go to every replica, so the
+  // bytes any two replicas applied for one epoch are identical.
+  authority_->Flush();
+  StatusSnapshot snapshot;
+  snapshot.epoch = stats.epoch;
+  snapshot.published_at = now;
+  snapshot.records = authority_->index().ExportRecords();
+  const Bytes snapshot_blob = snapshot.Serialize();
+  stats.snapshot_bytes = snapshot_blob.size();
+
+  Bytes batch_blob;
+  if (options_.push_responses) {
+    ResponseBatch batch;
+    batch.epoch = stats.epoch;
+    batch.published_at = now;
+    batch.entries = authority_->cache().ExportEntries(now);
+    batch_blob = batch.Serialize();
+    stats.response_bytes = batch_blob.size();
+  }
+
+  const std::uint64_t epoch = stats.epoch;
+  const auto ack_validator = [epoch](const net::HttpResponse& response) {
+    const std::string body(response.body.begin(), response.body.end());
+    return body.rfind("ok epoch=", 0) == 0 &&
+           body.find("epoch=" + std::to_string(epoch)) != std::string::npos;
+  };
+
+  for (const std::string& host : replicas_) {
+    const std::string base = "http://" + host;
+    net::RetryResult pushed = net::PostWithRetry(
+        net, base + Replica::kSnapshotPath, snapshot_blob, now,
+        options_.retry, options_.timeout_seconds, ack_validator);
+    stats.elapsed_seconds += pushed.total_elapsed_seconds;
+    bytes_pushed_.Add(pushed.total_bytes);
+    bool ok = pushed.ok();
+    if (ok && options_.push_responses) {
+      net::RetryResult responses = net::PostWithRetry(
+          net, base + Replica::kResponsesPath, batch_blob, pushed.finished_at,
+          options_.retry, options_.timeout_seconds, ack_validator);
+      stats.elapsed_seconds += responses.total_elapsed_seconds;
+      bytes_pushed_.Add(responses.total_bytes);
+      // The snapshot landed either way; a failed response push only costs
+      // the replica cache warmth, not correctness.
+    }
+    if (ok) {
+      acked_[host] = epoch;
+      ++stats.replicas_ok;
+      pushes_ok_.Increment();
+    } else {
+      ++stats.replicas_failed;
+      pushes_failed_.Increment();
+    }
+  }
+  max_lag_.Set(static_cast<std::int64_t>(MaxLagEpochs()));
+  return stats;
+}
+
+std::uint64_t Publisher::AckedEpoch(const std::string& host) const {
+  const auto it = acked_.find(host);
+  return it == acked_.end() ? 0 : it->second;
+}
+
+std::uint64_t Publisher::MaxLagEpochs() const {
+  std::uint64_t min_acked = epoch_;
+  for (const auto& [host, acked] : acked_)
+    min_acked = std::min(min_acked, acked);
+  return epoch_ - min_acked;
+}
+
+util::Timestamp Publisher::PublishTimeOf(std::uint64_t epoch) const {
+  const auto it = publish_times_.find(epoch);
+  return it == publish_times_.end() ? 0 : it->second;
+}
+
+}  // namespace rev::fleet

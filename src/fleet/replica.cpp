@@ -1,0 +1,129 @@
+#include "fleet/replica.h"
+
+#include <utility>
+
+#include "fleet/snapshot.h"
+#include "obs/metrics.h"
+
+namespace rev::fleet {
+
+namespace {
+
+obs::Counter& ReplicaCounter(const char* metric, const std::string& label) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      std::string("fleet.replica.") + metric + "{replica=" + label + "}");
+}
+
+net::HttpResponse TextResponse(int status, std::string body) {
+  net::HttpResponse response;
+  response.status = status;
+  response.body.assign(body.begin(), body.end());
+  return response;
+}
+
+std::string AckBody(std::uint64_t epoch) {
+  return "ok epoch=" + std::to_string(epoch);
+}
+
+}  // namespace
+
+Replica::Replica(std::string name, const x509::Certificate& issuer,
+                 crypto::KeyPair key, ReplicaOptions options)
+    : name_(std::move(name)),
+      responder_(issuer, std::move(key)),
+      frontend_(options.frontend),
+      metrics_label_(name_ + "#" + std::to_string(obs::NextInstanceId())),
+      snapshots_applied_(ReplicaCounter("snapshots_applied", metrics_label_)),
+      snapshots_rejected_(ReplicaCounter("snapshots_rejected", metrics_label_)),
+      snapshots_stale_(ReplicaCounter("snapshots_stale", metrics_label_)),
+      batches_applied_(ReplicaCounter("batches_applied", metrics_label_)),
+      batches_rejected_(ReplicaCounter("batches_rejected", metrics_label_)) {
+  frontend_.AttachResponder(&responder_);
+  frontend_.AddRoute(kSnapshotPath,
+                     [this](const net::HttpRequest& request,
+                            util::Timestamp now) {
+                       return HandleSnapshot(request, now);
+                     });
+  frontend_.AddRoute(kResponsesPath,
+                     [this](const net::HttpRequest& request,
+                            util::Timestamp now) {
+                       return HandleResponses(request, now);
+                     });
+  frontend_.AddRoute(kHealthPath,
+                     [this](const net::HttpRequest&, util::Timestamp now) {
+                       return HandleHealth(now);
+                     });
+}
+
+void Replica::Install(net::SimNet& net, net::HostProfile profile) {
+  net.AddHost(
+      name_,
+      [this](const net::HttpRequest& request, util::Timestamp now) {
+        return frontend_.HandleHttp(request, now);
+      },
+      profile);
+}
+
+net::HttpResponse Replica::HandleSnapshot(const net::HttpRequest& request,
+                                          util::Timestamp) {
+  auto snapshot = StatusSnapshot::Deserialize(request.body);
+  if (!snapshot) {
+    // Fail closed: the previous state keeps serving, the publisher retries.
+    snapshots_rejected_.Increment();
+    return TextResponse(400, "bad snapshot blob");
+  }
+  std::lock_guard lock(import_mu_);
+  const std::uint64_t applied = applied_epoch_.load(std::memory_order_acquire);
+  if (snapshot->epoch <= applied) {
+    // Replayed push of an epoch we already hold — idempotent ack so a
+    // retried POST whose first ack was lost still converges.
+    snapshots_stale_.Increment();
+    return TextResponse(200, AckBody(applied));
+  }
+  frontend_.ImportStatusRecords(snapshot->records);
+  applied_published_at_.store(snapshot->published_at,
+                              std::memory_order_release);
+  applied_epoch_.store(snapshot->epoch, std::memory_order_release);
+  snapshots_applied_.Increment();
+  return TextResponse(200, AckBody(snapshot->epoch));
+}
+
+net::HttpResponse Replica::HandleResponses(const net::HttpRequest& request,
+                                           util::Timestamp) {
+  auto batch = ResponseBatch::Deserialize(request.body);
+  if (!batch) {
+    batches_rejected_.Increment();
+    return TextResponse(400, "bad response batch blob");
+  }
+  std::lock_guard lock(import_mu_);
+  const std::uint64_t applied = applied_epoch_.load(std::memory_order_acquire);
+  if (batch->epoch != applied) {
+    // Pre-signed responses are only valid against the index they were
+    // signed with; a batch for any other epoch is refused outright.
+    batches_rejected_.Increment();
+    return TextResponse(409, "epoch mismatch: batch " +
+                                 std::to_string(batch->epoch) + ", applied " +
+                                 std::to_string(applied));
+  }
+  frontend_.ImportResponseEntries(std::move(batch->entries));
+  batches_applied_.Increment();
+  return TextResponse(200, AckBody(applied));
+}
+
+net::HttpResponse Replica::HandleHealth(util::Timestamp) const {
+  const std::uint64_t epoch = applied_epoch();
+  return TextResponse(200, AckBody(epoch) +
+                               " warmed=" + (epoch != 0 ? "1" : "0"));
+}
+
+Replica::Counters Replica::counters() const {
+  Counters counters;
+  counters.snapshots_applied = snapshots_applied_.Value();
+  counters.snapshots_rejected = snapshots_rejected_.Value();
+  counters.snapshots_stale = snapshots_stale_.Value();
+  counters.batches_applied = batches_applied_.Value();
+  counters.batches_rejected = batches_rejected_.Value();
+  return counters;
+}
+
+}  // namespace rev::fleet

@@ -1,0 +1,132 @@
+#include "fleet/snapshot.h"
+
+#include <memory>
+
+#include "util/wire.h"
+
+namespace rev::fleet {
+
+namespace wire = util::wire;
+
+namespace {
+
+bool ValidStatusByte(std::uint8_t b) { return b <= 2; }
+
+// ReasonCode rides as the two's-complement byte of its int8 value; 0xFF is
+// kNoReasonCode (-1), 7 is the RFC 5280 hole.
+bool ValidReasonByte(std::uint8_t b) {
+  return b == 0xFF || b <= 6 || b == 8 || b == 9 || b == 10;
+}
+
+}  // namespace
+
+Bytes StatusSnapshot::Serialize() const {
+  Bytes out;
+  wire::PutU16(out, kStatusSnapshotFormat);
+  wire::PutU64(out, epoch);
+  wire::PutU64(out, static_cast<std::uint64_t>(published_at));
+  wire::PutU32(out, static_cast<std::uint32_t>(records.size()));
+  for (const auto& [key, record] : records) {
+    wire::PutBlob(out, key);
+    out.push_back(static_cast<std::uint8_t>(record.status));
+    wire::PutU64(out, static_cast<std::uint64_t>(record.revocation_time));
+    out.push_back(static_cast<std::uint8_t>(record.reason));
+  }
+  wire::SealChecksum(out);
+  return out;
+}
+
+std::optional<StatusSnapshot> StatusSnapshot::Deserialize(BytesView blob) {
+  BytesView payload;
+  if (!wire::CheckChecksum(blob, &payload)) return std::nullopt;
+  std::size_t pos = 0;
+  std::uint16_t format;
+  if (!wire::GetU16(payload, pos, &format) || format != kStatusSnapshotFormat)
+    return std::nullopt;
+  StatusSnapshot snapshot;
+  std::uint64_t published_at;
+  std::uint32_t count;
+  if (!wire::GetU64(payload, pos, &snapshot.epoch) ||
+      !wire::GetU64(payload, pos, &published_at) ||
+      !wire::GetU32(payload, pos, &count))
+    return std::nullopt;
+  snapshot.published_at = static_cast<util::Timestamp>(published_at);
+  snapshot.records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    serve::StatusKey key;
+    if (!wire::GetBlob(payload, pos, &key)) return std::nullopt;
+    // Strictly increasing keys: sorted, no duplicates.
+    if (!snapshot.records.empty() && !(snapshot.records.back().first < key))
+      return std::nullopt;
+    if (pos + 1 + 8 + 1 > payload.size()) return std::nullopt;
+    const std::uint8_t status_byte = payload[pos++];
+    std::uint64_t revocation_time;
+    if (!wire::GetU64(payload, pos, &revocation_time)) return std::nullopt;
+    const std::uint8_t reason_byte = payload[pos++];
+    if (!ValidStatusByte(status_byte) || !ValidReasonByte(reason_byte))
+      return std::nullopt;
+    serve::StatusIndex::Record record;
+    record.status = static_cast<ocsp::CertStatus>(status_byte);
+    record.revocation_time = static_cast<util::Timestamp>(revocation_time);
+    record.reason =
+        static_cast<x509::ReasonCode>(static_cast<std::int8_t>(reason_byte));
+    snapshot.records.emplace_back(std::move(key), record);
+  }
+  if (pos != payload.size()) return std::nullopt;
+  return snapshot;
+}
+
+Bytes ResponseBatch::Serialize() const {
+  Bytes out;
+  wire::PutU16(out, kResponseBatchFormat);
+  wire::PutU64(out, epoch);
+  wire::PutU64(out, static_cast<std::uint64_t>(published_at));
+  wire::PutU32(out, static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [key, entry] : entries) {
+    wire::PutBlob(out, key);
+    wire::PutBlob(out, entry.der ? BytesView(*entry.der) : BytesView());
+    wire::PutU64(out, static_cast<std::uint64_t>(entry.signed_at));
+    wire::PutU64(out, static_cast<std::uint64_t>(entry.serve_until));
+  }
+  wire::SealChecksum(out);
+  return out;
+}
+
+std::optional<ResponseBatch> ResponseBatch::Deserialize(BytesView blob) {
+  BytesView payload;
+  if (!wire::CheckChecksum(blob, &payload)) return std::nullopt;
+  std::size_t pos = 0;
+  std::uint16_t format;
+  if (!wire::GetU16(payload, pos, &format) || format != kResponseBatchFormat)
+    return std::nullopt;
+  ResponseBatch batch;
+  std::uint64_t published_at;
+  std::uint32_t count;
+  if (!wire::GetU64(payload, pos, &batch.epoch) ||
+      !wire::GetU64(payload, pos, &published_at) ||
+      !wire::GetU32(payload, pos, &count))
+    return std::nullopt;
+  batch.published_at = static_cast<util::Timestamp>(published_at);
+  batch.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    serve::StatusKey key;
+    Bytes der;
+    if (!wire::GetBlob(payload, pos, &key)) return std::nullopt;
+    if (!batch.entries.empty() && !(batch.entries.back().first < key))
+      return std::nullopt;
+    if (!wire::GetBlob(payload, pos, &der) || der.empty()) return std::nullopt;
+    std::uint64_t signed_at, serve_until;
+    if (!wire::GetU64(payload, pos, &signed_at) ||
+        !wire::GetU64(payload, pos, &serve_until))
+      return std::nullopt;
+    serve::ResponseCache::Entry entry;
+    entry.der = std::make_shared<const Bytes>(std::move(der));
+    entry.signed_at = static_cast<util::Timestamp>(signed_at);
+    entry.serve_until = static_cast<util::Timestamp>(serve_until);
+    batch.entries.emplace_back(std::move(key), std::move(entry));
+  }
+  if (pos != payload.size()) return std::nullopt;
+  return batch;
+}
+
+}  // namespace rev::fleet

@@ -1,0 +1,73 @@
+// Replication wire format for the serving fleet (docs/fleet.md).
+//
+// The publisher ships two blob kinds per replication epoch: a
+// StatusSnapshot — the authoritative StatusIndex's full (key, record)
+// state — and a ResponseBatch — the pre-signed DER responses backing the
+// same epoch, so a replica admits to the ring already warm. Both blobs are
+// sorted by key (byte-identical no matter which thread exported them) and
+// carry the shared FNV-1a trailer from util/wire.h: a truncated or
+// bit-flipped push must fail Deserialize() and leave the replica's state
+// untouched rather than silently answer "good" for a revoked certificate
+// (tests/fleet_test.cpp pins the fail-closed property).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "serve/response_cache.h"
+#include "serve/status_index.h"
+#include "util/bytes.h"
+#include "util/time.h"
+
+namespace rev::fleet {
+
+// Format tags: the first u16 of every blob names its kind AND version, so
+// a ResponseBatch posted to the snapshot route (or vice versa) is rejected
+// as firmly as a corrupt one.
+inline constexpr std::uint16_t kStatusSnapshotFormat = 0xA101;
+inline constexpr std::uint16_t kResponseBatchFormat = 0xB101;
+
+// Full status state at one replication epoch.
+//
+// Wire layout (big-endian, util::wire):
+//   u16 format (kStatusSnapshotFormat)
+//   u64 epoch
+//   u64 published_at
+//   u32 count
+//   count * { blob key | u8 status | u64 revocation_time | u8 reason }
+//   u64 FNV-1a over everything above
+// Records are strictly increasing by key; Deserialize rejects unsorted or
+// duplicate keys, unknown status/reason bytes, and trailing garbage.
+struct StatusSnapshot {
+  std::uint64_t epoch = 0;
+  util::Timestamp published_at = 0;
+  std::vector<std::pair<serve::StatusKey, serve::StatusIndex::Record>> records;
+
+  Bytes Serialize() const;
+  static std::optional<StatusSnapshot> Deserialize(BytesView blob);
+};
+
+// Pre-signed responses for the same epoch.
+//
+// Wire layout:
+//   u16 format (kResponseBatchFormat)
+//   u64 epoch
+//   u64 published_at
+//   u32 count
+//   count * { blob key | blob der | u64 signed_at | u64 serve_until }
+//   u64 FNV-1a trailer
+// Entries keep their own serve_until expiry, so a replayed batch can never
+// out-serve a scheduled revocation the publisher already clamped for.
+struct ResponseBatch {
+  std::uint64_t epoch = 0;
+  util::Timestamp published_at = 0;
+  std::vector<std::pair<serve::StatusKey, serve::ResponseCache::Entry>>
+      entries;
+
+  Bytes Serialize() const;
+  static std::optional<ResponseBatch> Deserialize(BytesView blob);
+};
+
+}  // namespace rev::fleet

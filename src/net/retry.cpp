@@ -87,7 +87,13 @@ bool IsRetryable(const FetchResult& result) {
     case FetchError::kOk:
       break;
   }
-  return result.response.status >= 500;
+  // 5xx is transient in general, but 501 Not Implemented and 505 HTTP
+  // Version Not Supported are the server saying "this request shape will
+  // never work here" — retrying the identical request cannot help, so they
+  // are terminal like 4xx (tests/net_test.cpp pins both).
+  const int status = result.response.status;
+  if (status == 501 || status == 505) return false;
+  return status >= 500;
 }
 
 RetryResult FetchWithRetry(SimNet& net, const HttpRequest& request,

@@ -6,7 +6,9 @@
 // clients of the serving frontend — routes its exchanges through
 // FetchWithRetry(). Retries happen on *transient* failures (timeouts,
 // refused connections, 5xx, and caller-detected corrupt bodies); NXDOMAIN
-// is definitive and never retried. A 503's Retry-After hint is honored as
+// is definitive and never retried, and so are 501 Not Implemented and 505
+// HTTP Version Not Supported — 5xx codes that condemn the request shape,
+// not the moment. A 503's Retry-After hint is honored as
 // a lower bound on the next attempt (the client side of the serve
 // frontend's load shedding).
 //

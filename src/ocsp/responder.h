@@ -29,6 +29,10 @@ class Responder {
     CertStatus status = CertStatus::kGood;
     util::Timestamp revocation_time = 0;
     x509::ReasonCode reason = x509::ReasonCode::kNoReasonCode;
+
+    // Replication compares records field-for-field to diff a pushed
+    // snapshot against the local index (src/fleet).
+    friend bool operator==(const RecordView&, const RecordView&) = default;
   };
 
   // Mutation callback: fired after AddCertificate/Revoke/Remove with the new

@@ -211,10 +211,13 @@ void Frontend::AddRoute(std::string path_prefix, net::HttpHandler handler) {
   std::lock_guard attach(attach_mu_);
   if (serving_started_.load(std::memory_order_acquire)) {
     // routes_ is scanned lock-free by HandleHttp once serving starts —
-    // same discipline as the responder routing table.
+    // same discipline as the responder routing table. Name the offending
+    // route: with several subsystems registering routes (cascade publisher,
+    // fleet replication) the path is what identifies the late caller.
     throw std::logic_error(
-        "Frontend::AddRoute: serving already started; register every route "
-        "before the first request");
+        "Frontend::AddRoute(\"" + path_prefix +
+        "\"): serving already started; register every route before the "
+        "first request");
   }
   routes_.emplace_back(std::move(path_prefix), std::move(handler));
 }
@@ -250,6 +253,55 @@ void Frontend::Flush() {
   // Any precomputed response for a touched key is now suspect.
   for (const StatusIndex::Update& update : batch) cache_.Invalidate(update.key);
   metrics_->status_updates.Add(batch.size());
+}
+
+std::size_t Frontend::ImportStatusRecords(
+    const std::vector<std::pair<StatusKey, StatusIndex::Record>>& records) {
+  // Apply anything pending first so the diff runs against current state
+  // (on a replica the importer is the only writer, so this is exact).
+  Flush();
+  const std::vector<std::pair<StatusKey, StatusIndex::Record>> local =
+      index_.ExportRecords();
+
+  // Both sides are sorted by key: one merge pass yields exactly the delta.
+  std::vector<StatusIndex::Update> updates;
+  std::size_t i = 0, j = 0;
+  while (i < records.size() || j < local.size()) {
+    if (j == local.size() ||
+        (i < records.size() && records[i].first < local[j].first)) {
+      updates.push_back({records[i].first, records[i].second});  // new key
+      ++i;
+    } else if (i == records.size() || local[j].first < records[i].first) {
+      updates.push_back({local[j].first, std::nullopt});  // dropped key
+      ++j;
+    } else {
+      if (!(records[i].second == local[j].second))
+        updates.push_back({records[i].first, records[i].second});  // changed
+      ++i;
+      ++j;
+    }
+  }
+  if (updates.empty()) return 0;
+
+  const std::size_t changed = updates.size();
+  {
+    std::lock_guard lock(pending_mu_);
+    for (StatusIndex::Update& update : updates)
+      pending_.push_back(std::move(update));
+    has_pending_.store(true, std::memory_order_release);
+  }
+  // Flush now: replication lag accounting wants the epoch visible the
+  // moment the push is acknowledged, and Flush invalidates the cache
+  // entries the diff touched.
+  Flush();
+  return changed;
+}
+
+std::size_t Frontend::ImportResponseEntries(
+    std::vector<std::pair<StatusKey, ResponseCache::Entry>> entries) {
+  const std::size_t count = entries.size();
+  if (count != 0) cache_.PutBatch(std::move(entries));
+  return count;
 }
 
 ResponseCache::Entry Frontend::SignFromRecord(

@@ -144,6 +144,26 @@ class Frontend {
   // lazily by the next drained batch).
   void Flush();
 
+  // --- replication hooks (src/fleet) --------------------------------------
+  // Full-state import of a replicated status snapshot: diffs `records`
+  // (sorted by key, as StatusIndex::ExportRecords and the fleet snapshot
+  // wire format both guarantee) against the local index and applies exactly
+  // the changed keys — upserts for new or changed records, erases for keys
+  // the snapshot no longer contains — through the same pending/flush path
+  // the mutation observers use, so the affected ResponseCache entries are
+  // invalidated together with the index swap. Returns the number of keys
+  // changed. Safe against concurrent serving; concurrent importers must be
+  // serialized externally (a frontend has one replication channel).
+  std::size_t ImportStatusRecords(
+      const std::vector<std::pair<StatusKey, StatusIndex::Record>>& records);
+
+  // Installs pre-signed responses pushed by the authoritative publisher in
+  // one PutBatch. Entries carry their own serve_until expiry, so a stale
+  // batch can never out-serve a scheduled revocation the publisher already
+  // clamped for. Returns the number installed.
+  std::size_t ImportResponseEntries(
+      std::vector<std::pair<StatusKey, ResponseCache::Entry>> entries);
+
   struct Counters {
     std::uint64_t requests = 0;
     std::uint64_t cache_hits = 0;

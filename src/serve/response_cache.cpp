@@ -119,6 +119,19 @@ std::vector<StatusKey> ResponseCache::KeysStaleBy(
   return keys;
 }
 
+std::vector<std::pair<StatusKey, ResponseCache::Entry>>
+ResponseCache::ExportEntries(util::Timestamp now) const {
+  std::vector<std::pair<StatusKey, Entry>> entries;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    for (const auto& [key, entry] : shard.map)
+      if (now < entry.serve_until) entries.emplace_back(key, entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
 std::size_t ResponseCache::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {

@@ -78,6 +78,13 @@ class ResponseCache {
   // candidates. Sorted for deterministic batch re-signing.
   std::vector<StatusKey> KeysStaleBy(util::Timestamp deadline) const;
 
+  // Full-state export for the replication channel (src/fleet): every
+  // cached entry still servable at `now` (expired entries are dead weight
+  // on the wire), sorted by key for a deterministic blob. Entry `der`
+  // pointers are shared, not copied.
+  std::vector<std::pair<StatusKey, Entry>> ExportEntries(
+      util::Timestamp now) const;
+
   std::size_t size() const;
 
   // Registry tallies ("serve.response_cache.*{cache=N}"). Strictly

@@ -74,6 +74,18 @@ std::vector<StatusKey> StatusIndex::SortedKeys() const {
   return keys;
 }
 
+std::vector<std::pair<StatusKey, StatusIndex::Record>>
+StatusIndex::ExportRecords() const {
+  std::vector<std::pair<StatusKey, Record>> records;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Snapshot snap = SnapshotOf(s);
+    for (const auto& [key, record] : *snap) records.emplace_back(key, record);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return records;
+}
+
 std::size_t StatusIndex::size() const {
   std::size_t total = 0;
   for (std::size_t s = 0; s < shards_.size(); ++s) total += SnapshotOf(s)->size();

@@ -125,6 +125,14 @@ class StatusIndex {
   // All keys currently present, sorted (deterministic rebuild order).
   std::vector<StatusKey> SortedKeys() const;
 
+  // Full-state export for the replication channel (src/fleet): every
+  // (key, record) pair, sorted by key so the serialized snapshot is
+  // byte-identical no matter which thread exported it. Each shard's
+  // snapshot is pinned once; the result is consistent per shard and at
+  // worst one in-flight Apply() stale overall — exactly the guarantee a
+  // lag-tracked replica needs.
+  std::vector<std::pair<StatusKey, Record>> ExportRecords() const;
+
   std::size_t size() const;
   std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
   std::size_t num_shards() const { return shards_.size(); }

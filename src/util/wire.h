@@ -1,17 +1,18 @@
-// Shared wire-format primitives for the cascade distribution channel:
-// big-endian integer put/get, length-prefixed blobs, and the FNV-1a
-// trailer checksum every cascade/delta blob carries. The checksum is the
-// load-bearing piece: a client applies downloaded filters directly to
+// Shared wire-format primitives for the distribution and replication
+// channels: big-endian integer put/get, length-prefixed blobs, and the
+// FNV-1a trailer checksum every cascade/delta/fleet-snapshot blob carries.
+// The checksum is the load-bearing piece: a client applies downloaded
+// filters (and a replica applies pushed status snapshots) directly to
 // revocation decisions, so a truncated or bit-flipped blob must fail
 // Deserialize() rather than silently answer "revoked" for the wrong
-// certificates (tests/fuzz_test.cpp pins this).
+// certificates (tests/fuzz_test.cpp and tests/fleet_test.cpp pin this).
 #pragma once
 
 #include <cstdint>
 
 #include "util/bytes.h"
 
-namespace rev::cascade::wire {
+namespace rev::util::wire {
 
 inline void PutU16(Bytes& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 8));
@@ -93,4 +94,4 @@ inline bool CheckChecksum(BytesView data, BytesView* payload) {
   return true;
 }
 
-}  // namespace rev::cascade::wire
+}  // namespace rev::util::wire

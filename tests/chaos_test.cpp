@@ -16,6 +16,8 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "ca/ca.h"
 #include "core/crawler.h"
@@ -465,6 +467,133 @@ TEST(ChaosServe, RetryAfterRidesOutShedding) {
   EXPECT_EQ(parsed->status, ocsp::ResponseStatus::kSuccessful);
   EXPECT_EQ(parsed->single.status, ocsp::CertStatus::kGood);
   EXPECT_EQ(frontend.counters().shed, 1u);
+}
+
+// --------------------------------------------- rule interaction order ----
+
+// Three rules on the SAME url in the SAME window: outage + corruption +
+// latency. The precedence contract (docs/fault-injection.md):
+//   1. Pre-exchange kinds (timeout/outage/flap) are checked first, in
+//      registration order; the FIRST one that fires consumes the exchange
+//      — the handler never runs and no post-exchange rule applies.
+//   2. If no pre-exchange rule fires, EVERY firing post-exchange rule
+//      (http-error/truncate/corrupt/latency) applies, in registration
+//      order.
+// Registration order is deliberately corrupt -> latency -> outage here:
+// precedence comes from the kind, not from AddRule order.
+TEST(ChaosPrecedence, OutageCorruptLatencySameUrlSameWindow) {
+  const auto make_plan = [](net::FaultPlan& plan) {
+    net::FaultRule corrupt;
+    corrupt.target = "triple.sim";
+    corrupt.kind = net::FaultKind::kCorrupt;
+    corrupt.corrupt_bytes = 4;
+    corrupt.start = kNow;
+    corrupt.end = kNow + 300;
+    plan.AddRule(corrupt);
+    net::FaultRule slow;
+    slow.target = "triple.sim";
+    slow.kind = net::FaultKind::kLatency;
+    slow.latency_factor = 20.0;
+    slow.start = kNow;
+    slow.end = kNow + 300;
+    plan.AddRule(slow);
+    net::FaultRule outage;
+    outage.target = "triple.sim";
+    outage.kind = net::FaultKind::kOutage;
+    outage.start = kNow;
+    outage.end = kNow + 100;  // lifts before the other two
+    plan.AddRule(outage);
+  };
+  const auto make_net = [](net::SimNet& net) {
+    net.AddHost("triple.sim", [](const net::HttpRequest&, util::Timestamp) {
+      net::HttpResponse response;
+      response.body.assign(64, 0xAB);
+      return response;
+    });
+  };
+
+  // Clean baseline for body and elapsed.
+  net::SimNet clean;
+  make_net(clean);
+  const auto baseline = clean.Get("http://triple.sim/x", kNow);
+  ASSERT_TRUE(baseline.ok());
+
+  net::SimNet net;
+  make_net(net);
+  net::FaultPlan plan(StormSeed());
+  make_plan(plan);
+  net.SetFaultPlan(&plan);
+
+  // Inside the overlap, the outage wins although it was registered LAST:
+  // connection refused, fast, and neither corruption nor latency is even
+  // tallied — the exchange they would act on never happened.
+  const auto refused = net.Get("http://triple.sim/x", kNow + 50);
+  EXPECT_EQ(refused.error, net::FetchError::kConnectionRefused);
+  EXPECT_LT(refused.elapsed_seconds, baseline.elapsed_seconds);
+  EXPECT_EQ(plan.injected(net::FaultKind::kOutage), 1u);
+  EXPECT_EQ(plan.injected(net::FaultKind::kCorrupt), 0u);
+  EXPECT_EQ(plan.injected(net::FaultKind::kLatency), 0u);
+
+  // After the outage lifts, BOTH survivors apply to the one exchange:
+  // the body is corrupted and the elapsed time is inflated 20x.
+  const auto mangled = net.Get("http://triple.sim/x", kNow + 150);
+  ASSERT_EQ(mangled.error, net::FetchError::kOk);
+  EXPECT_NE(mangled.response.body, baseline.response.body);
+  EXPECT_EQ(mangled.response.body.size(), baseline.response.body.size());
+  EXPECT_DOUBLE_EQ(mangled.elapsed_seconds,
+                   baseline.elapsed_seconds * 20.0);
+  EXPECT_EQ(plan.injected(net::FaultKind::kCorrupt), 1u);
+  EXPECT_EQ(plan.injected(net::FaultKind::kLatency), 1u);
+
+  // Bit-identity of the interaction: the same (url, timestamp) grid of
+  // exchanges produces identical outcomes and tallies at 1 and 8 threads.
+  const auto sweep = [&](unsigned threads) {
+    net::SimNet storm_net;
+    make_net(storm_net);
+    auto storm = std::make_unique<net::FaultPlan>(StormSeed());
+    make_plan(*storm);
+    storm_net.SetFaultPlan(storm.get());
+    constexpr int kProbes = 64;
+    std::vector<std::uint8_t> outcomes(kProbes);
+    std::vector<double> elapsed(kProbes);
+    auto probe = [&](int p) {
+      const auto result =
+          storm_net.Get("http://triple.sim/x", kNow + 5 * p);
+      outcomes[static_cast<std::size_t>(p)] =
+          result.error == net::FetchError::kConnectionRefused
+              ? 0xEE
+              : result.response.body[0];
+      elapsed[static_cast<std::size_t>(p)] = result.elapsed_seconds;
+    };
+    if (threads <= 1) {
+      for (int p = 0; p < kProbes; ++p) probe(p);
+    } else {
+      std::vector<std::thread> workers;
+      for (unsigned t = 0; t < threads; ++t)
+        workers.emplace_back([&, t] {
+          for (int p = static_cast<int>(t); p < kProbes;
+               p += static_cast<int>(threads))
+            probe(p);
+        });
+      for (auto& worker : workers) worker.join();
+    }
+    struct Tally {
+      std::vector<std::uint8_t> outcomes;
+      std::vector<double> elapsed;
+      std::uint64_t outages, corrupts, latencies;
+    };
+    return Tally{outcomes, elapsed,
+                 storm->injected(net::FaultKind::kOutage),
+                 storm->injected(net::FaultKind::kCorrupt),
+                 storm->injected(net::FaultKind::kLatency)};
+  };
+  const auto serial_sweep = sweep(1);
+  const auto threaded_sweep = sweep(8);
+  EXPECT_EQ(serial_sweep.outcomes, threaded_sweep.outcomes);
+  EXPECT_EQ(serial_sweep.elapsed, threaded_sweep.elapsed);
+  EXPECT_EQ(serial_sweep.outages, threaded_sweep.outages);
+  EXPECT_EQ(serial_sweep.corrupts, threaded_sweep.corrupts);
+  EXPECT_EQ(serial_sweep.latencies, threaded_sweep.latencies);
 }
 
 }  // namespace

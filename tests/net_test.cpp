@@ -444,6 +444,48 @@ TEST(Retry, DnsFailureIsDefinitiveNotRetried) {
   EXPECT_EQ(result.fetch.error, FetchError::kDnsFailure);
 }
 
+// Regression: 501 Not Implemented and 505 HTTP Version Not Supported are
+// 5xx codes that condemn the request *shape*, not the moment — retrying
+// the identical request can never help. They must be terminal like 4xx,
+// while their neighbors (500, 503) stay retryable.
+TEST(Retry, NotImplementedAndVersionNotSupportedAreTerminal) {
+  for (const int status : {501, 505}) {
+    SimNet net;
+    net.AddHost("shape.sim", [status](const HttpRequest&, util::Timestamp) {
+      HttpResponse response;
+      response.status = status;
+      return response;
+    });
+    RetryPolicy policy;
+    policy.max_attempts = 5;
+    const RetryResult result =
+        GetWithRetry(net, "http://shape.sim/x", kNow, policy);
+    EXPECT_FALSE(result.ok());
+    EXPECT_FALSE(result.gave_up) << status;  // definitive, not exhausted
+    EXPECT_EQ(result.attempts, 1) << status;
+    EXPECT_EQ(result.fetch.response.status, status);
+    EXPECT_EQ(net.total_requests(), 1u) << status;
+  }
+  // The neighboring 5xx codes keep retrying as before.
+  for (const int status : {500, 502, 503, 504}) {
+    SimNet net;
+    net.AddHost("busy.sim", [status](const HttpRequest&, util::Timestamp) {
+      HttpResponse response;
+      response.status = status;
+      return response;
+    });
+    RetryPolicy policy;
+    policy.max_attempts = 3;
+    policy.initial_backoff_seconds = 1;
+    policy.jitter = 0;
+    const RetryResult result =
+        GetWithRetry(net, "http://busy.sim/x", kNow, policy);
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(result.gave_up) << status;
+    EXPECT_EQ(result.attempts, 3) << status;
+  }
+}
+
 TEST(Retry, NonePolicyMakesExactlyOneAttempt) {
   SimNet net;
   net.AddHost("t.sim", [](const HttpRequest&, util::Timestamp) {

@@ -486,6 +486,36 @@ TEST(FrontendAttach, StapleAndMaintenanceAlsoLatch) {
   }
 }
 
+// Regression: a route registered after the first ServeBatch must fail
+// loudly, and the error must NAME the offending path — with several
+// subsystems registering routes (cascade distribution, fleet replication)
+// an anonymous "serving already started" left the caller unidentifiable.
+TEST(FrontendAttach, LateAddRouteAfterServeBatchNamesThePath) {
+  x509::Certificate issuer = MakeIssuerCert("latch-issuer-g");
+  ocsp::Responder responder(issuer, TestKey("latch-issuer-g"));
+  Frontend frontend;
+  frontend.AttachResponder(&responder);
+  responder.AddCertificate(x509::Serial{0x31});
+
+  ocsp::OcspRequest request;
+  request.cert_ids = {ocsp::MakeCertId(issuer, x509::Serial{0x31})};
+  const Bytes der = ocsp::EncodeOcspRequest(request);
+  const std::vector<BytesView> batch{BytesView(der)};
+  ASSERT_EQ(frontend.ServeBatch(batch, kNow).size(), 1u);
+
+  try {
+    frontend.AddRoute("/fleet/snapshot",
+                      [](const net::HttpRequest&, util::Timestamp) {
+                        return net::HttpResponse{};
+                      });
+    FAIL() << "late AddRoute must throw";
+  } catch (const std::logic_error& error) {
+    EXPECT_NE(std::string(error.what()).find("/fleet/snapshot"),
+              std::string::npos)
+        << "error must name the offending route: " << error.what();
+  }
+}
+
 // TSan regression for the original bug: AttachResponder used to mutate the
 // routing table with no synchronization, so an attach racing the serve
 // path was a data race. Now the latch forces the late attach onto the
