@@ -13,6 +13,7 @@
 // REV_CASCADE_DAYS (default 12), REV_SEED.
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -25,7 +26,10 @@
 #include "cascade/fleet.h"
 #include "cascade/publisher.h"
 #include "net/fault.h"
+#include "net/retry.h"
 #include "net/simnet.h"
+#include "obs/distrace.h"
+#include "obs/slo.h"
 #include "serve/frontend.h"
 #include "util/stats.h"
 #include "util/time.h"
@@ -187,6 +191,19 @@ int Main() {
   cascade::Fleet fleet(&dist_net, &publisher, fleet_options);
 
   // ---- replay: one publish per day, fleet polls in between -------------
+  // Per-day poll outcomes feed the burn-rate engine: one SLO window per
+  // simulated day, so the mid-run timeout storm must page and the
+  // background-flakiness days must stay quiet.
+  obs::SloMonitor slo;
+  slo.AddObjective({.name = "poll_success",
+                    .objective = 0.99,
+                    .window_seconds = util::kSecondsPerDay,
+                    .short_windows = 1,
+                    .long_windows = 2,
+                    .burn_threshold = 4.0});
+  const util::Timestamp storm_day_start =
+      day0 +
+      static_cast<util::Timestamp>(num_days / 2) * util::kSecondsPerDay;
   std::size_t snapshot_bytes_last = 0;
   std::size_t levels_last = 0;
   std::uint64_t delta_bytes_total = 0;
@@ -215,7 +232,13 @@ int Main() {
                       .c_str(),
                   util::HumanBytes(static_cast<double>(stats.delta_bytes))
                       .c_str());
+      const cascade::Fleet::Totals before = fleet.totals();
       fleet.StepTo(at + util::kSecondsPerDay);
+      const cascade::Fleet::Totals& after = fleet.totals();
+      const std::uint64_t day_polls = after.polls - before.polls;
+      const std::uint64_t day_failed =
+          after.failed_polls - before.failed_polls;
+      slo.Record("poll_success", at, day_polls - day_failed, day_polls);
     }
   }
 
@@ -334,6 +357,91 @@ int Main() {
   const bool exact = totals.wrong_answers == 0 && totals.verified_lookups > 0;
   std::printf("\nexactness under storm: %s\n", exact ? "OK" : "FAILED");
 
+  // ---- SLO burn-rate timeline + traced storm probe ---------------------
+  std::uint64_t slo_alerts = 0, slo_storm_alerts = 0;
+  for (const auto& alert : slo.AlertTimeline()) {
+    ++slo_alerts;
+    if (alert.window_start >= storm_day_start &&
+        alert.window_start < storm_day_start + util::kSecondsPerDay)
+      ++slo_storm_alerts;
+  }
+  const bool slo_ok = slo_storm_alerts > 0 && slo_alerts == slo_storm_alerts;
+  std::printf("slo: %" PRIu64 " alert windows, %" PRIu64
+              " in the storm day: %s\n",
+              slo_alerts, slo_storm_alerts, slo_ok ? "OK" : "FAIL");
+
+  // One distribution poll, traced end to end through the storm: the
+  // stitched trace's critical path must tile the measured retry-ladder
+  // latency (same 1% gate as bench_fleet's showcase trace).
+  auto& collector = obs::DistTraceCollector::Global();
+  collector.Clear();
+  collector.Enable();
+  bool probe_ok = false;
+  std::uint64_t probe_attempts = 0;
+  double probe_elapsed = 0;
+  std::string probe_trace_hex;
+  std::string probe_hops_json;
+  {
+    net::RetryPolicy probe_policy;
+    probe_policy.max_attempts = 4;
+    probe_policy.initial_backoff_seconds = 30;
+    probe_policy.jitter = 0.5;
+    probe_policy.seed = seed;
+    for (std::uint64_t i = 0; i < 50 && !probe_ok; ++i) {
+      collector.Clear();
+      const util::Timestamp at_probe =
+          storm_day_start + static_cast<util::Timestamp>(7 * i + 1);
+      const obs::TraceId trace = obs::MakeTraceId(seed, 3'000 + i);
+      const obs::SpanContext root{trace, obs::RootSpanId(trace)};
+      net::HttpRequest request;
+      request.method = "GET";
+      request.host = "cascade.dist.sim";
+      request.path = cascade::Publisher::kSnapshotPath;
+      request.headers[obs::kTraceparentHeader] = obs::FormatTraceparent(root);
+      const auto result =
+          net::FetchWithRetry(dist_net, request, at_probe, probe_policy, 600.0);
+      if (!result.ok() || result.attempts < 2) continue;
+      obs::DistSpan root_span;
+      root_span.trace = trace;
+      root_span.span = root.span;
+      root_span.parent = 0;
+      root_span.name = "cascade.poll";
+      root_span.node = "probe";
+      root_span.kind = obs::SpanKind::kInternal;
+      root_span.status = result.fetch.response.status;
+      root_span.start_ns = obs::VirtualNs(at_probe, 0);
+      root_span.end_ns = obs::VirtualNs(at_probe, result.total_elapsed_seconds);
+      collector.Record(root_span);
+      const auto spans = collector.SnapshotTrace(trace);
+      const auto path = obs::CriticalPath(spans);
+      std::uint64_t path_ns = 0;
+      for (const auto& segment : path) path_ns += segment.dur_ns();
+      const double measured_ns = result.total_elapsed_seconds * 1e9;
+      if (measured_ns <= 0 ||
+          std::fabs(static_cast<double>(path_ns) - measured_ns) >
+              0.01 * measured_ns)
+        continue;
+      probe_ok = true;
+      probe_attempts = result.attempts;
+      probe_elapsed = result.total_elapsed_seconds;
+      probe_trace_hex = trace.Hex();
+      for (const auto& segment : path) {
+        char hop[256];
+        std::snprintf(hop, sizeof hop,
+                      "%s{\"name\": \"%s\", \"node\": \"%s\", "
+                      "\"start_ns\": %" PRIu64 ", \"dur_ns\": %" PRIu64 "}",
+                      probe_hops_json.empty() ? "" : ", ", segment.name,
+                      segment.node, segment.start_ns, segment.dur_ns());
+        probe_hops_json += hop;
+      }
+    }
+  }
+  collector.ExportFromEnv();
+  collector.Disable();
+  std::printf("traced probe: %s (attempts %" PRIu64 ", %.1fs, trace %s)\n",
+              probe_ok ? "OK" : "FAIL", probe_attempts, probe_elapsed,
+              probe_trace_hex.empty() ? "-" : probe_trace_hex.c_str());
+
   char buffer[2048];
   std::snprintf(
       buffer, sizeof buffer,
@@ -373,10 +481,27 @@ int Main() {
   std::string results = buffer;
   results += ", \"staleness_cdf_seconds\": " + CdfJson(staleness, 20);
   results += ", \"vuln_window_cdf_seconds\": " + CdfJson(windows, 20);
-  results += "}";
+  std::snprintf(buffer, sizeof buffer,
+                ", \"slo\": {\"alerts\": %" PRIu64
+                ", \"storm_day_alerts\": %" PRIu64
+                ", \"clean_phase_alerts\": %" PRIu64 ", \"timeline\": ",
+                slo_alerts, slo_storm_alerts, slo_alerts - slo_storm_alerts);
+  results += buffer;
+  results += slo.TimelineJson();
+  std::snprintf(buffer, sizeof buffer,
+                "}, \"traced_probe\": {\"ok\": %s, \"trace\": \"%s\", "
+                "\"attempts\": %" PRIu64 ", \"elapsed_seconds\": %.3f, "
+                "\"critical_path\": [",
+                probe_ok ? "true" : "false", probe_trace_hex.c_str(),
+                probe_attempts, probe_elapsed);
+  results += buffer;
+  results += probe_hops_json;
+  results += "]}}";
   run.SetResults(std::move(results));
 
-  return exact ? 0 : 1;
+  if (!slo_ok || !probe_ok)
+    std::printf("observability gates: FAILED\n");
+  return exact && slo_ok && probe_ok ? 0 : 1;
 }
 
 }  // namespace rev

@@ -13,9 +13,21 @@
 //   wrong answers (MUST be 0), availability, shed rate, failover/hedge
 //   counts, max snapshot lag (epochs and seconds), staleness CDF
 //   (p50/p90/p99 over stale answers), latency p50/p99 clean vs storm.
+//
+// Observability artifacts (docs/observability.md), all gated:
+//   - An SLO burn-rate timeline (availability / latency_fast / freshness
+//     objectives over 60s virtual windows) that must fire during the storm
+//     and stay silent through the clean phase — zero clean-phase alerts.
+//   - A showcase phase re-runs a small soak with the distributed-trace
+//     collector enabled, stitches the first hedged + failed-over query's
+//     cross-node trace, and requires its critical path to sum to the
+//     measured end-to-end latency within 1% — plus a trace-id exemplar on
+//     the fleet-merged serve.latency_ns p99 bucket (scraped per replica
+//     over GET /metrics.json and label-strip merged).
 // A determinism phase re-runs N=3 at 1 thread and at the sweep maximum and
-// compares per-client outcome checksums — results are bit-identical at a
-// fixed REV_CHAOS_SEED, or the bench exits nonzero.
+// compares per-client outcome checksums AND the serialized SLO timeline
+// byte-for-byte — results are bit-identical at a fixed REV_CHAOS_SEED, or
+// the bench exits nonzero.
 //
 // Environment knobs:
 //   REV_FLEET_CERTS     population size            (default 4000)
@@ -27,11 +39,14 @@
 //   REV_THREADS         client fan-out threads     (default hardware)
 //   REV_CHAOS_SEED      storm seed                 (default 0xC0FFEE)
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,11 +54,15 @@
 #include "bench_common.h"
 #include "fleet/client.h"
 #include "fleet/health.h"
+#include "fleet/metricsview.h"
 #include "fleet/publisher.h"
 #include "fleet/replica.h"
 #include "fleet/ring.h"
 #include "net/fault.h"
 #include "net/simnet.h"
+#include "obs/distrace.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
 #include "ocsp/ocsp.h"
 #include "ocsp/responder.h"
 #include "serve/frontend.h"
@@ -227,6 +246,40 @@ void AddStormRules(net::FaultPlan& plan, const Fleet& fleet,
 
 // ------------------------------------------------------------- soak run ----
 
+// Latency SLI threshold: an answered query slower than this (virtual
+// seconds) spends error budget. Matches the client hedge budget, so any
+// query that needed a hedge or failover is "slow" by construction.
+constexpr double kFastSeconds = 0.25;
+
+// The declared objectives. One window = one tick (kTick seconds), so the
+// per-tick tallies the merge step records land in exactly one window each.
+obs::SloMonitor MakeSloMonitor() {
+  obs::SloMonitor slo;
+  // 99.9% of queries produce a validated answer.
+  slo.AddObjective({.name = "availability",
+                    .objective = 0.999,
+                    .window_seconds = kTick,
+                    .short_windows = 1,
+                    .long_windows = 3,
+                    .burn_threshold = 4.0});
+  // 99% of queries finish within the hedge budget (failures count as
+  // slow — an unanswered query is the slowest possible outcome).
+  slo.AddObjective({.name = "latency_fast",
+                    .objective = 0.99,
+                    .window_seconds = kTick,
+                    .short_windows = 1,
+                    .long_windows = 3,
+                    .burn_threshold = 4.0});
+  // 99.5% of *answers* reflect every published revocation (not stale).
+  slo.AddObjective({.name = "freshness",
+                    .objective = 0.995,
+                    .window_seconds = kTick,
+                    .short_windows = 1,
+                    .long_windows = 3,
+                    .burn_threshold = 4.0});
+  return slo;
+}
+
 struct RunResult {
   std::uint64_t queries = 0;
   std::uint64_t answered = 0;
@@ -243,6 +296,20 @@ struct RunResult {
   util::Distribution storm_latency;
   util::Distribution staleness_seconds;
   std::uint64_t outcome_checksum = 0;  // FNV over per-client outcome bytes
+  // SLO burn-rate timeline over the run's virtual windows (slo.h).
+  std::string slo_json;
+  std::uint64_t slo_alerts = 0;
+  std::uint64_t clean_phase_alerts = 0;  // MUST stay 0 (false positives)
+  // Showcase candidate: the first answered query (client order, then query
+  // order) that both hedged and failed over — the trace worth stitching.
+  bool has_showcase = false;
+  obs::TraceId showcase_trace;
+  double showcase_elapsed_seconds = 0;
+  // Fleet-wide metrics view: every replica's GET /metrics.json scraped
+  // over SimNet at run end, label-stripped and merged.
+  obs::MetricsSnapshot fleet_metrics;
+  std::size_t scrape_hosts_ok = 0;
+  std::uint64_t scrape_bytes = 0;
 };
 
 struct RunConfig {
@@ -289,6 +356,10 @@ RunResult RunSoak(const RunConfig& config) {
   for (std::size_t c = 0; c < config.clients; ++c) {
     fleet::FleetClientOptions options;
     options.responder_key = crypto::SimKeyFromLabel("fleet-bench").Public();
+    // Trace ids derive from (run seed, client index), never from global
+    // instance counters, so the trace tree is bit-identical at any thread
+    // count and across the phases of one bench invocation.
+    options.trace_seed = config.seed ^ (0x51D5EEDull * (c + 1));
     clients.push_back(std::make_unique<fleet::FleetClient>(
         &fleet.net, &fleet.ring, options));
   }
@@ -298,6 +369,7 @@ RunResult RunSoak(const RunConfig& config) {
     by_name[replica->name()] = replica.get();
 
   RunResult result;
+  obs::SloMonitor slo = MakeSloMonitor();
   // Per-client accumulators, merged in client order after every tick so
   // totals are bit-identical at any thread count.
   struct ClientLocal {
@@ -305,6 +377,11 @@ RunResult RunSoak(const RunConfig& config) {
     std::vector<std::uint8_t> outcomes;
     std::vector<double> staleness;
     std::uint64_t wrong = 0, stale = 0;
+    // Per-tick SLI tallies (one tick = one SLO window).
+    std::uint64_t n = 0, ok = 0, fast = 0, fresh = 0;
+    bool has_showcase = false;
+    obs::TraceId showcase_trace;
+    double showcase_elapsed = 0;
   };
 
   for (std::size_t tick = 0; tick < config.ticks; ++tick) {
@@ -349,14 +426,24 @@ RunResult RunSoak(const RunConfig& config) {
             1 + rng.NextBelow(static_cast<std::uint64_t>(config.certs));
         const auto answer = clients[c]->Query(fleet.Request(serial),
                                               fleet.Key(serial), now);
+        ++local.n;
         if (!answer.ok) {
           local.outcomes.push_back(0xFF);
           continue;
+        }
+        ++local.ok;
+        if (answer.elapsed_seconds <= kFastSeconds) ++local.fast;
+        if (!local.has_showcase && answer.hedged && answer.failed_over &&
+            answer.trace_id.valid()) {
+          local.has_showcase = true;
+          local.showcase_trace = answer.trace_id;
+          local.showcase_elapsed = answer.elapsed_seconds;
         }
         local.outcomes.push_back(static_cast<std::uint8_t>(answer.status));
         local.latencies.push_back(answer.elapsed_seconds);
         const auto it = fleet.revoked_epoch.find(serial);
         const bool truly_revoked = it != fleet.revoked_epoch.end();
+        bool stale_answer = false;
         if (answer.status == ocsp::CertStatus::kRevoked) {
           if (!truly_revoked) ++local.wrong;
         } else if (truly_revoked) {
@@ -367,10 +454,12 @@ RunResult RunSoak(const RunConfig& config) {
             ++local.wrong;
           } else {
             ++local.stale;
+            stale_answer = true;
             local.staleness.push_back(static_cast<double>(
                 now - fleet.publisher.PublishTimeOf(it->second)));
           }
         }
+        if (!stale_answer) ++local.fresh;
       }
     };
     if (config.threads <= 1) {
@@ -401,10 +490,20 @@ RunResult RunSoak(const RunConfig& config) {
     }
 
     // Deterministic merge, client order.
+    std::uint64_t tick_n = 0, tick_ok = 0, tick_fast = 0, tick_fresh = 0;
     for (std::size_t c = 0; c < config.clients; ++c) {
       const ClientLocal& local = locals[c];
       result.wrong += local.wrong;
       result.stale += local.stale;
+      tick_n += local.n;
+      tick_ok += local.ok;
+      tick_fast += local.fast;
+      tick_fresh += local.fresh;
+      if (!result.has_showcase && local.has_showcase) {
+        result.has_showcase = true;
+        result.showcase_trace = local.showcase_trace;
+        result.showcase_elapsed_seconds = local.showcase_elapsed;
+      }
       for (const double latency : local.latencies)
         (storm ? result.storm_latency : result.clean_latency).Add(latency);
       for (const double seconds : local.staleness)
@@ -414,7 +513,34 @@ RunResult RunSoak(const RunConfig& config) {
                                      local.outcomes.size())) +
                                  0x9E3779B97F4A7C15ull * (c + 1);
     }
+    // SLI tallies recorded once per tick from the merged totals — pure
+    // integers off the virtual clock, so the timeline below is a function
+    // of outcomes only, not of thread interleaving.
+    slo.Record("availability", now, tick_ok, tick_n);
+    slo.Record("latency_fast", now, tick_fast, tick_n);
+    slo.Record("freshness", now, tick_fresh, tick_ok);
   }
+
+  result.slo_json = slo.TimelineJson();
+  const util::Timestamp storm_start =
+      kNow + static_cast<util::Timestamp>(schedule.clean_ticks) * kTick;
+  for (const auto& alert : slo.AlertTimeline()) {
+    ++result.slo_alerts;
+    if (alert.window_start < storm_start) ++result.clean_phase_alerts;
+  }
+
+  // Fleet-wide metrics view: scrape every replica's /metrics.json after
+  // the last tick, with the fault plan detached so the scrape itself can't
+  // be storm-damaged (the instruments already recorded the storm).
+  fleet.net.SetFaultPlan(nullptr);
+  std::vector<std::string> hosts;
+  hosts.reserve(fleet.replicas.size());
+  for (const auto& replica : fleet.replicas) hosts.push_back(replica->name());
+  fleet::FleetMetricsView view =
+      fleet::ScrapeFleetMetrics(fleet.net, hosts, now + kTick);
+  result.fleet_metrics = std::move(view.merged);
+  result.scrape_hosts_ok = view.hosts_ok;
+  result.scrape_bytes = view.scrape_bytes;
 
   for (const auto& client : clients) {
     const auto& counters = client->counters();
@@ -459,6 +585,11 @@ int main() {
   bool all_gates_passed = true;
   std::string results_json = "{\n    \"sweep\": [";
   double clean_p99_baseline = 0;
+  // SLO block for the BENCH json: taken from the largest swept N (the
+  // configuration the fleet docs describe), captured as the sweep runs.
+  std::string slo_block_json;
+  std::uint64_t slo_block_alerts = 0, slo_block_clean = 0;
+  std::size_t slo_block_n = 0;
 
   for (std::size_t i = 0; i < factors.size(); ++i) {
     const std::size_t n = factors[i];
@@ -506,21 +637,41 @@ int main() {
         result.staleness_seconds.Quantile(0.99),
         static_cast<unsigned long long>(result.stale));
 
+    std::printf("      slo alerts=%llu (clean-phase %llu)  scrape %zu hosts "
+                "%llu bytes\n",
+                static_cast<unsigned long long>(result.slo_alerts),
+                static_cast<unsigned long long>(result.clean_phase_alerts),
+                result.scrape_hosts_ok,
+                static_cast<unsigned long long>(result.scrape_bytes));
+
     // Acceptance gates: zero wrong answers at EVERY N; with replication
     // (N >= 2) the regional outage must not dent availability or blow the
-    // latency tail.
+    // latency tail. SLO gates at every N: the burn-rate engine must stay
+    // silent through the clean phase (no false positives) and, once the
+    // storm can actually be survived-but-felt (N >= 2), must page during
+    // it; the end-of-run scrape must reach every replica.
     bool gates = result.wrong == 0;
+    gates = gates && result.clean_phase_alerts == 0;
+    gates = gates && result.scrape_hosts_ok == n;
     if (n >= 2) {
       gates = gates && availability >= 0.999;
       gates = gates && (clean_p99 <= 0 || storm_p99 < 10 * clean_p99);
       gates = gates && result.failovers > 0;
+      gates = gates && result.slo_alerts > 0;
     }
     std::printf("%s fleet N=%zu wrong_answers=%llu availability=%.4f "
-                "p99_ratio=%.2f\n\n",
+                "p99_ratio=%.2f slo_alerts=%llu\n\n",
                 gates ? "OK" : "FAIL", n,
                 static_cast<unsigned long long>(result.wrong), availability,
-                p99_ratio);
+                p99_ratio,
+                static_cast<unsigned long long>(result.slo_alerts));
     all_gates_passed = all_gates_passed && gates;
+    if (n >= slo_block_n) {
+      slo_block_n = n;
+      slo_block_json = result.slo_json;
+      slo_block_alerts = result.slo_alerts;
+      slo_block_clean = result.clean_phase_alerts;
+    }
 
     char entry[1024];
     std::snprintf(
@@ -552,6 +703,146 @@ int main() {
   }
   results_json += "\n    ],\n";
 
+  // SLO burn-rate block (largest swept N). `clean_phase_alerts` MUST be 0
+  // — scripts/ci.sh greps for exactly that.
+  {
+    char slo_head[256];
+    std::snprintf(slo_head, sizeof slo_head,
+                  "    \"slo\": {\"replicas\": %zu, \"alerts\": %llu, "
+                  "\"storm_phase_alerts\": %llu, \"clean_phase_alerts\": "
+                  "%llu,\n      \"timeline\": ",
+                  slo_block_n,
+                  static_cast<unsigned long long>(slo_block_alerts),
+                  static_cast<unsigned long long>(slo_block_alerts -
+                                                  slo_block_clean),
+                  static_cast<unsigned long long>(slo_block_clean));
+    results_json += slo_head;
+    results_json += slo_block_json.empty() ? "{}" : slo_block_json;
+    results_json += "},\n";
+  }
+
+  // Showcase: a small soak re-run with the distributed-trace collector
+  // enabled. Stitch the first hedged + failed-over query's cross-node
+  // trace, extract its critical path, and require the tiles to sum to the
+  // client-measured latency within 1%; require a trace-id exemplar on the
+  // fleet-merged serve.latency_ns p99 bucket.
+  bool showcase_ok = true;
+  {
+    bench::BenchRun::Phase phase("fleet.showcase");
+    obs::DistTraceCollector& collector = obs::DistTraceCollector::Global();
+    collector.Clear();
+    collector.Enable();
+    RunConfig config;
+    config.replicas = 3;
+    config.certs = std::min<std::size_t>(certs, 1000);
+    config.clients = num_clients;
+    config.ticks = std::min<std::size_t>(ticks, 12);
+    config.queries_per_tick = qpt;
+    config.seed = seed;
+    config.threads = 1;
+    const RunResult traced = RunSoak(config);
+
+    std::vector<obs::DistSpan> spans;
+    std::vector<obs::PathSegment> path;
+    std::uint64_t path_sum_ns = 0;
+    double measured_ns = 0;
+    bool within_1pct = false, crosses_nodes = false, has_hedge_leg = false;
+    std::set<std::string> nodes;
+    if (traced.has_showcase) {
+      spans = collector.SnapshotTrace(traced.showcase_trace);
+      path = obs::CriticalPath(spans);
+      for (const auto& segment : path) path_sum_ns += segment.dur_ns();
+      for (const auto& span : spans) {
+        nodes.insert(span.node);
+        if (std::strcmp(span.name, "fleet.hedge") == 0) has_hedge_leg = true;
+      }
+      crosses_nodes = nodes.size() >= 2;
+      measured_ns = traced.showcase_elapsed_seconds * 1e9;
+      within_1pct = measured_ns > 0 &&
+                    std::fabs(static_cast<double>(path_sum_ns) - measured_ns) <=
+                        0.01 * measured_ns;
+    }
+
+    // Exemplar gate: the p99 bucket of the merged serve.latency_ns must
+    // carry the trace id of the last traced request that landed in it.
+    bool exemplar_ok = false;
+    std::string exemplar_hex;
+    for (const auto& histogram : traced.fleet_metrics.histograms) {
+      if (histogram.name != "serve.latency_ns") continue;
+      const obs::HistogramSnapshot& snapshot = histogram.snapshot;
+      if (snapshot.count == 0) break;
+      const std::uint64_t target = (snapshot.count * 99 + 99) / 100;
+      std::uint64_t cumulative = 0;
+      std::size_t p99_bucket = 0;
+      for (std::size_t b = 0; b < snapshot.buckets.size(); ++b) {
+        cumulative += snapshot.buckets[b];
+        if (cumulative >= target) {
+          p99_bucket = b;
+          break;
+        }
+      }
+      exemplar_ok = snapshot.exemplars[p99_bucket].valid();
+      exemplar_hex = snapshot.exemplars[p99_bucket].Hex();
+      break;
+    }
+
+    showcase_ok = traced.has_showcase && within_1pct && crosses_nodes &&
+                  has_hedge_leg && exemplar_ok;
+    std::printf(
+        "%s showcase trace=%s spans=%zu nodes=%zu hops=%zu\n"
+        "      critical path %.0fns vs measured %.0fns (%s1%%)  hedge "
+        "leg=%d  p99 exemplar=%s\n\n",
+        showcase_ok ? "OK" : "FAIL",
+        traced.has_showcase ? traced.showcase_trace.Hex().c_str() : "(none)",
+        spans.size(), nodes.size(), path.size(),
+        static_cast<double>(path_sum_ns), measured_ns,
+        within_1pct ? "within " : "OUTSIDE ", has_hedge_leg ? 1 : 0,
+        exemplar_ok ? exemplar_hex.c_str() : "(missing)");
+    all_gates_passed = all_gates_passed && showcase_ok;
+
+    // Per-hop critical path for the BENCH json (and the tier-1 smoke).
+    results_json += "    \"showcase_trace\": {";
+    char head[512];
+    std::snprintf(
+        head, sizeof head,
+        "\"trace\": \"%s\", \"spans\": %zu, \"nodes\": %zu,\n      "
+        "\"measured_ns\": %.0f, \"critical_path_ns\": %llu, "
+        "\"within_1pct\": %s, \"hedged\": true, \"failed_over\": true,\n"
+        "      \"p99_exemplar\": \"%s\",\n      \"critical_path\": [",
+        traced.has_showcase ? traced.showcase_trace.Hex().c_str() : "",
+        spans.size(), nodes.size(), measured_ns,
+        static_cast<unsigned long long>(path_sum_ns),
+        within_1pct ? "true" : "false", exemplar_hex.c_str());
+    results_json += head;
+    for (std::size_t s = 0; s < path.size(); ++s) {
+      char hop[256];
+      std::snprintf(hop, sizeof hop,
+                    "%s\n        {\"name\": \"%s\", \"node\": \"%s\", "
+                    "\"start_ns\": %llu, \"dur_ns\": %llu}",
+                    s == 0 ? "" : ",", path[s].name, path[s].node,
+                    static_cast<unsigned long long>(path[s].start_ns),
+                    static_cast<unsigned long long>(path[s].dur_ns()));
+      results_json += hop;
+    }
+    results_json += "]},\n";
+
+    char fleet_metrics_entry[256];
+    std::snprintf(fleet_metrics_entry, sizeof fleet_metrics_entry,
+                  "    \"fleet_metrics\": {\"hosts_ok\": %zu, "
+                  "\"scrape_bytes\": %llu, \"counters\": %zu, "
+                  "\"histograms\": %zu},\n",
+                  traced.scrape_hosts_ok,
+                  static_cast<unsigned long long>(traced.scrape_bytes),
+                  traced.fleet_metrics.counters.size(),
+                  traced.fleet_metrics.histograms.size());
+    results_json += fleet_metrics_entry;
+
+    // REV_DIST_TRACE=<path> exports the raw showcase spans for
+    // tools/trace2txt -d (the tier-1 stitched-trace smoke drives this).
+    collector.ExportFromEnv();
+    collector.Disable();
+  }
+
   // Determinism gate: the same soak at 1 thread and at the sweep's thread
   // count must produce identical per-client outcomes and counters.
   bool deterministic = true;
@@ -577,9 +868,13 @@ int main() {
                     serial_run.failovers == threaded_run.failovers &&
                     serial_run.hedges == threaded_run.hedges &&
                     serial_run.wrong == threaded_run.wrong &&
-                    serial_run.stale == threaded_run.stale;
+                    serial_run.stale == threaded_run.stale &&
+                    // The serialized SLO timeline is part of the contract:
+                    // byte-identical alerts at any thread count.
+                    serial_run.slo_json == threaded_run.slo_json;
   }
-  std::printf("%s determinism threads 1 vs %u: checksum %016llX vs %016llX\n",
+  std::printf("%s determinism threads 1 vs %u: checksum %016llX vs %016llX "
+              "(slo timeline byte-compared)\n",
               deterministic ? "OK" : "FAIL", std::max(2u, threads),
               static_cast<unsigned long long>(checksum_serial),
               static_cast<unsigned long long>(checksum_threaded));

@@ -30,6 +30,7 @@
 //   REV_SERVE_FAULT_SEED  FaultPlan seed              (default 0xBEEF)
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +45,8 @@
 #include "net/fault.h"
 #include "net/retry.h"
 #include "net/simnet.h"
+#include "obs/distrace.h"
+#include "obs/slo.h"
 #include "ocsp/ocsp.h"
 #include "ocsp/responder.h"
 #include "serve/frontend.h"
@@ -456,8 +459,20 @@ struct FaultsPoint {
   double amplification = 1.0;  // wire / logical
 };
 
+// SLO windows in faults mode: the closed loop runs at one fixed virtual
+// instant, so windows are synthesized from op progress instead — each
+// client's op stream is cut into kSloWindows equal slices, slice w of
+// every client mapping to virtual window `window_base + w`. The tallies
+// are merged in client order, so the timeline is thread-count-invariant.
+constexpr std::size_t kSloWindows = 8;
+
+// When non-null, per-window (requests, answered, fast) tallies are
+// recorded into `slo` — "fast" meaning the whole retry ladder resolved
+// within 2 virtual seconds.
 FaultsPoint RunFaultsOnce(unsigned clients, std::size_t num_certs,
-                          std::size_t ops_per_client, net::FaultPlan* plan) {
+                          std::size_t ops_per_client, net::FaultPlan* plan,
+                          obs::SloMonitor* slo = nullptr,
+                          std::int64_t window_base = 0) {
   const x509::Certificate issuer = MakeIssuerCert();
   ocsp::Responder responder(issuer, crypto::SimKeyFromLabel("serve-bench"));
   for (std::size_t i = 0; i < num_certs; ++i)
@@ -490,8 +505,16 @@ FaultsPoint RunFaultsOnce(unsigned clients, std::size_t num_certs,
     return ocsp::ParseOcspResponse(response.body).has_value();
   };
 
+  struct WindowTally {
+    std::uint64_t n = 0, ok = 0, fast = 0;
+  };
+  const std::size_t ops_per_window =
+      std::max<std::size_t>(1, ops_per_client / kSloWindows);
+
   std::atomic<std::uint64_t> gave_up{0};
   std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::vector<WindowTally>> tallies(
+      clients, std::vector<WindowTally>(kSloWindows));
   for (auto& samples : latencies) samples.reserve(ops_per_client);
   std::vector<std::thread> threads;
   const auto wall_start = std::chrono::steady_clock::now();
@@ -512,6 +535,12 @@ FaultsPoint RunFaultsOnce(unsigned clients, std::size_t num_certs,
                                    std::chrono::steady_clock::now() - start)
                                    .count());
         if (result.gave_up) gave_up.fetch_add(1, std::memory_order_relaxed);
+        WindowTally& window =
+            tallies[t][std::min(op / ops_per_window, kSloWindows - 1)];
+        ++window.n;
+        if (!result.gave_up) ++window.ok;
+        if (!result.gave_up && result.total_elapsed_seconds <= 2.0)
+          ++window.fast;
       }
     });
   }
@@ -523,6 +552,22 @@ FaultsPoint RunFaultsOnce(unsigned clients, std::size_t num_certs,
   util::Distribution merged;
   for (const std::vector<double>& samples : latencies)
     for (double micros : samples) merged.Add(micros);
+
+  if (slo != nullptr) {
+    // Client-order merge, one Record per synthesized window.
+    for (std::size_t w = 0; w < kSloWindows; ++w) {
+      WindowTally total;
+      for (unsigned t = 0; t < clients; ++t) {
+        total.n += tallies[t][w].n;
+        total.ok += tallies[t][w].ok;
+        total.fast += tallies[t][w].fast;
+      }
+      const auto when = static_cast<util::Timestamp>(
+          (window_base + static_cast<std::int64_t>(w)) * 60);
+      slo->Record("availability", when, total.ok, total.n);
+      slo->Record("latency_fast", when, total.fast, total.n);
+    }
+  }
 
   FaultsPoint point;
   point.wall_seconds = wall;
@@ -740,6 +785,7 @@ int main() {
   }
 
   // Faults mode: clean vs storm through the same SimNet path.
+  bool faults_ok = true;
   bool faults_on = true;
   if (const char* env = std::getenv("REV_SERVE_FAULTS"))
     faults_on = std::atoi(env) != 0;
@@ -767,12 +813,36 @@ int main() {
 
     bench::BenchRun::Phase phase("serve.faults");
     const unsigned fault_clients = 4;
-    const FaultsPoint clean =
-        RunFaultsOnce(fault_clients, fault_certs, fault_ops, nullptr);
-    const FaultsPoint storm =
-        RunFaultsOnce(fault_clients, fault_certs, fault_ops, &plan);
+    // Both runs feed one SLO monitor: clean windows at virtual offset 0,
+    // storm windows far later — the burn-rate engine must page only in
+    // the storm range.
+    obs::SloMonitor slo;
+    slo.AddObjective({.name = "availability",
+                      .objective = 0.999,
+                      .window_seconds = 60,
+                      .short_windows = 1,
+                      .long_windows = 3,
+                      .burn_threshold = 4.0});
+    slo.AddObjective({.name = "latency_fast",
+                      .objective = 0.99,
+                      .window_seconds = 60,
+                      .short_windows = 1,
+                      .long_windows = 3,
+                      .burn_threshold = 4.0});
+    constexpr std::int64_t kStormWindowBase = 10'000;
+    const FaultsPoint clean = RunFaultsOnce(fault_clients, fault_certs,
+                                            fault_ops, nullptr, &slo, 0);
+    const FaultsPoint storm = RunFaultsOnce(
+        fault_clients, fault_certs, fault_ops, &plan, &slo, kStormWindowBase);
     const double qps_ratio = clean.qps > 0 ? storm.qps / clean.qps : 0;
     const double p99_ratio = clean.p99_us > 0 ? storm.p99_us / clean.p99_us : 0;
+
+    std::uint64_t slo_alerts = 0, slo_clean_alerts = 0;
+    for (const auto& alert : slo.AlertTimeline()) {
+      ++slo_alerts;
+      if (alert.window_start < kStormWindowBase * 60) ++slo_clean_alerts;
+    }
+    const bool slo_ok = slo_clean_alerts == 0 && slo_alerts > 0;
 
     std::printf("\nfaults mode (seed %llu, %u clients x %zu ops):\n",
                 static_cast<unsigned long long>(seed), fault_clients,
@@ -788,6 +858,114 @@ int main() {
                 static_cast<unsigned long long>(storm.gave_up),
                 static_cast<unsigned long long>(storm.injected));
     std::printf("  degradation: QPS x%.3f, p99 x%.3f\n", qps_ratio, p99_ratio);
+    std::printf("  slo: %llu alert windows (clean-phase %llu): %s\n",
+                static_cast<unsigned long long>(slo_alerts),
+                static_cast<unsigned long long>(slo_clean_alerts),
+                slo_ok ? "OK" : "FAIL");
+
+    // Traced retry probe: one storm-phase request rendered as a stitched
+    // trace whose critical path must tile the measured end-to-end latency.
+    auto& collector = obs::DistTraceCollector::Global();
+    collector.Clear();
+    collector.Enable();
+    bool probe_ok = false;
+    std::uint64_t probe_attempts = 0;
+    double probe_elapsed = 0;
+    std::size_t probe_hops = 0;
+    std::string probe_trace_hex;
+    std::string probe_hops_json;
+    {
+      const x509::Certificate issuer = MakeIssuerCert();
+      ocsp::Responder responder(issuer, crypto::SimKeyFromLabel("serve-bench"));
+      responder.AddCertificate(SerialOf(0));
+      serve::Frontend frontend;
+      frontend.AttachResponder(&responder);
+      frontend.RebuildAll(kNow);
+      net::SimNet probe_net;
+      probe_net.AddHost("ocsp.bench",
+                        [&](const net::HttpRequest& request,
+                            util::Timestamp now) {
+                          return frontend.HandleHttp(request, now);
+                        });
+      net::FaultPlan probe_plan(seed ^ 0x9E3779B97F4A7C15ull);
+      net::FaultRule probe_burst;
+      probe_burst.kind = net::FaultKind::kHttpError;
+      probe_burst.http_status = 503;
+      probe_burst.retry_after = 1;
+      probe_burst.probability = 0.45;
+      probe_plan.AddRule(probe_burst);
+      probe_net.SetFaultPlan(&probe_plan);
+
+      ocsp::OcspRequest ocsp_request;
+      ocsp_request.cert_ids = {ocsp::MakeCertId(issuer, SerialOf(0))};
+      const Bytes probe_body = ocsp::EncodeOcspRequest(ocsp_request);
+
+      net::RetryPolicy probe_policy;
+      probe_policy.max_attempts = 5;
+      probe_policy.initial_backoff_seconds = 1;
+      probe_policy.jitter = 0.5;
+      probe_policy.seed = 42;
+      for (std::uint64_t i = 0; i < 50 && !probe_ok; ++i) {
+        collector.Clear();
+        const obs::TraceId trace = obs::MakeTraceId(seed, 2'000 + i);
+        const obs::SpanContext root{trace, obs::RootSpanId(trace)};
+        net::HttpRequest request;
+        request.method = "POST";
+        request.host = "ocsp.bench";
+        request.path = "/probe/" + std::to_string(i);
+        request.body = probe_body;
+        request.headers[obs::kTraceparentHeader] = obs::FormatTraceparent(root);
+        const auto result =
+            net::FetchWithRetry(probe_net, request, kNow, probe_policy, 30.0);
+        if (!result.ok() || result.attempts < 2) continue;
+        obs::DistSpan root_span;
+        root_span.trace = root.trace;
+        root_span.span = root.span;
+        root_span.parent = 0;
+        root_span.name = "probe.check";
+        root_span.node = "probe";
+        root_span.kind = obs::SpanKind::kInternal;
+        root_span.status = result.fetch.response.status;
+        root_span.start_ns = obs::VirtualNs(kNow, 0);
+        root_span.end_ns = obs::VirtualNs(kNow, result.total_elapsed_seconds);
+        collector.Record(root_span);
+        const auto spans = collector.SnapshotTrace(root.trace);
+        const auto path = obs::CriticalPath(spans);
+        std::uint64_t path_ns = 0;
+        for (const auto& segment : path) path_ns += segment.dur_ns();
+        const double measured_ns = result.total_elapsed_seconds * 1e9;
+        if (measured_ns <= 0 ||
+            std::fabs(static_cast<double>(path_ns) - measured_ns) >
+                0.01 * measured_ns)
+          continue;
+        probe_ok = true;
+        probe_attempts = result.attempts;
+        probe_elapsed = result.total_elapsed_seconds;
+        probe_hops = path.size();
+        probe_trace_hex = root.trace.Hex();
+        for (const auto& segment : path) {
+          char hop[256];
+          std::snprintf(hop, sizeof hop,
+                        "%s{\"name\": \"%s\", \"node\": \"%s\", "
+                        "\"start_ns\": %llu, \"dur_ns\": %llu}",
+                        probe_hops_json.empty() ? "" : ", ", segment.name,
+                        segment.node,
+                        static_cast<unsigned long long>(segment.start_ns),
+                        static_cast<unsigned long long>(segment.dur_ns()));
+          probe_hops_json += hop;
+        }
+      }
+      probe_net.SetFaultPlan(nullptr);
+    }
+    collector.ExportFromEnv();
+    collector.Disable();
+    std::printf("  traced probe: %s (attempts %llu, %.3fs, critical path %zu "
+                "hop%s, trace %s)\n",
+                probe_ok ? "OK" : "FAIL",
+                static_cast<unsigned long long>(probe_attempts), probe_elapsed,
+                probe_hops, probe_hops == 1 ? "" : "s",
+                probe_trace_hex.empty() ? "-" : probe_trace_hex.c_str());
+    faults_ok = slo_ok && probe_ok;
 
     char buffer[512];
     std::snprintf(
@@ -798,13 +976,32 @@ int main() {
         "\"amplification\": %.4f}, "
         "\"storm\": {\"qps\": %.0f, \"p50_us\": %.2f, \"p99_us\": %.2f, "
         "\"amplification\": %.4f, \"gave_up\": %llu, \"injected\": %llu}, "
-        "\"qps_degradation\": %.4f, \"p99_inflation\": %.4f}",
+        "\"qps_degradation\": %.4f, \"p99_inflation\": %.4f, ",
         static_cast<unsigned long long>(seed), fault_clients, fault_ops,
         clean.qps, clean.p50_us, clean.p99_us, clean.amplification, storm.qps,
         storm.p50_us, storm.p99_us, storm.amplification,
         static_cast<unsigned long long>(storm.gave_up),
         static_cast<unsigned long long>(storm.injected), qps_ratio, p99_ratio);
     results += buffer;
+    std::snprintf(
+        buffer, sizeof buffer,
+        "\"slo\": {\"alerts\": %llu, \"storm_phase_alerts\": %llu, "
+        "\"clean_phase_alerts\": %llu, \"timeline\": ",
+        static_cast<unsigned long long>(slo_alerts),
+        static_cast<unsigned long long>(slo_alerts - slo_clean_alerts),
+        static_cast<unsigned long long>(slo_clean_alerts));
+    results += buffer;
+    results += slo.TimelineJson();
+    std::snprintf(
+        buffer, sizeof buffer,
+        "}, \"traced_probe\": {\"ok\": %s, \"trace\": \"%s\", "
+        "\"attempts\": %llu, \"elapsed_seconds\": %.6f, "
+        "\"critical_path\": [",
+        probe_ok ? "true" : "false", probe_trace_hex.c_str(),
+        static_cast<unsigned long long>(probe_attempts), probe_elapsed);
+    results += buffer;
+    results += probe_hops_json;
+    results += "]}}";
   }
 
   results += "}";
@@ -830,5 +1027,6 @@ int main() {
       speedup_peak, kPreRefactorPeakQps, batch_peak_p50, p99_p50);
   std::printf("peak QPS %.0f (floor %.0f/s: %s)\n", best, floor,
               best >= floor ? "meets" : "BELOW");
-  return best >= floor && metrics_ok ? 0 : 1;
+  if (!faults_ok) std::printf("faults-mode observability gates: FAILED\n");
+  return best >= floor && metrics_ok && faults_ok ? 0 : 1;
 }

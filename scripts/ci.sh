@@ -105,6 +105,21 @@ grep -q "OK bench_fleet overall" "$fleet_dir"/bench_fleet.out || {
   echo "bench_fleet smoke failed its gates" >&2; exit 1; }
 grep -q '"total_wrong_answers": 0' "$fleet_dir"/BENCH_fleet.json || {
   echo "fleet smoke produced wrong revocation answers" >&2; exit 1; }
+# The SLO burn-rate engine is part of the CI bar: the smoke's BENCH json
+# must carry a non-empty alert timeline whose alerts all land in the storm
+# phase — a clean-phase alert is a false page and fails CI outright.
+grep -q '"slo": {' "$fleet_dir"/BENCH_fleet.json || {
+  echo "BENCH_fleet.json is missing the slo block" >&2; exit 1; }
+grep -q '"clean_phase_alerts": 0' "$fleet_dir"/BENCH_fleet.json || {
+  echo "fleet smoke paged during the clean phase (false positive)" >&2
+  exit 1; }
+python3 - "$fleet_dir"/BENCH_fleet.json <<'PY'
+import json, sys
+slo = json.load(open(sys.argv[1]))["results"]["slo"]
+if slo["alerts"] <= 0:
+    sys.exit("fleet smoke fired no SLO alerts under the storm")
+print(f"slo: {slo['alerts']} alerts, all in the storm phase: ok")
+PY
 rm -rf "$fleet_dir"
 
-echo "ci OK (tier-1 + TSan: unit suites, obs suite, serve stress, fleet suite + soak, bench_serve load + /metrics smoke + QPS regression + fleet zero-wrong-answers)"
+echo "ci OK (tier-1 + TSan: unit suites, obs suite, serve stress, fleet suite + soak, bench_serve load + /metrics smoke + QPS regression + fleet zero-wrong-answers + slo burn-rate gates)"

@@ -7,6 +7,15 @@
 
 namespace rev::fleet {
 
+namespace {
+
+// Span-id salt for per-replica legs (failover attempts, hedges, panic
+// re-walks); combined with a per-query leg counter so no two legs of one
+// query collide.
+constexpr std::uint64_t kLegSalt = 0xF1EE7A77ull;
+
+}  // namespace
+
 FleetClient::FleetClient(net::SimNet* net, const HashRing* ring,
                          FleetClientOptions options)
     : net_(net), ring_(ring), options_(options) {
@@ -15,13 +24,16 @@ FleetClient::FleetClient(net::SimNet* net, const HashRing* ring,
 
 FleetClient::Attempt FleetClient::TryReplica(const std::string& host,
                                              BytesView request_der,
-                                             BytesView key,
-                                             util::Timestamp now) {
+                                             BytesView key, util::Timestamp now,
+                                             const obs::SpanContext* ctx) {
   net::HttpRequest request;
   request.method = "POST";
   request.host = host;
   request.path = "/";
   request.body.assign(request_der.begin(), request_der.end());
+  if (ctx != nullptr) {
+    request.headers[obs::kTraceparentHeader] = obs::FormatTraceparent(*ctx);
+  }
   const net::FetchResult result =
       net_->Fetch(request, now, options_.timeout_seconds);
 
@@ -68,6 +80,64 @@ FleetClient::QueryResult FleetClient::Query(BytesView request_der,
   counters_.queries++;
   QueryResult qr;
 
+  obs::DistTraceCollector& collector = obs::DistTraceCollector::Global();
+  const bool traced = collector.enabled();
+  obs::SpanContext root_ctx;
+  std::uint64_t leg_counter = 0;
+  if (traced) {
+    // One trace per query, seeded deterministically; every failover and
+    // hedge leg below shares it.
+    qr.trace_id = obs::MakeTraceId(options_.trace_seed, ++trace_counter_);
+    root_ctx = obs::SpanContext{qr.trace_id, obs::RootSpanId(qr.trace_id)};
+  }
+  // Emits the root "fleet.query" span on every exit path, once
+  // qr.elapsed_seconds holds the client-observed latency — the span the
+  // critical-path extractor tiles against that latency.
+  struct RootSpanGuard {
+    bool traced;
+    obs::DistTraceCollector& collector;
+    const obs::SpanContext& ctx;
+    util::Timestamp now;
+    const QueryResult& qr;
+    ~RootSpanGuard() {
+      if (!traced) return;
+      obs::DistSpan span;
+      span.trace = ctx.trace;
+      span.span = ctx.span;
+      span.parent = 0;
+      span.name = "fleet.query";
+      span.node = "client";
+      span.kind = obs::SpanKind::kInternal;
+      span.status = qr.ok ? 200 : 0;
+      span.start_ns = obs::VirtualNs(now, 0);
+      span.end_ns = obs::VirtualNs(now, qr.elapsed_seconds);
+      collector.Record(span);
+    }
+  } root_guard{traced, collector, root_ctx, now, qr};
+  // One leg = one replica attempt. The leg span covers the attempt on the
+  // continuous virtual clock (`offset` = elapsed seconds since the query
+  // started), and its context rides the wire so the exchange and server
+  // spans stitch under it.
+  const auto try_leg = [&](const std::string& host, util::Timestamp at,
+                           double offset, const char* name) {
+    if (!traced) return TryReplica(host, request_der, key, at, nullptr);
+    const obs::SpanContext leg{
+        root_ctx.trace, obs::DeriveSpanId(root_ctx, kLegSalt + leg_counter++)};
+    const Attempt attempt = TryReplica(host, request_der, key, at, &leg);
+    obs::DistSpan span;
+    span.trace = root_ctx.trace;
+    span.span = leg.span;
+    span.parent = root_ctx.span;
+    span.name = name;
+    span.node = obs::InternName(host);
+    span.kind = obs::SpanKind::kInternal;
+    span.status = attempt.valid ? 200 : 0;
+    span.start_ns = obs::VirtualNs(now, offset);
+    span.end_ns = obs::VirtualNs(now, offset + attempt.elapsed_seconds);
+    collector.Record(span);
+    return attempt;
+  };
+
   auto prefs = ring_->PreferenceList(key, options_.max_replicas);
   // The ring can offer nothing (health marked everything down); fall
   // straight through to last-resort routing below with an empty walk.
@@ -104,7 +174,7 @@ FleetClient::QueryResult FleetClient::Query(BytesView request_der,
     const auto at = now + static_cast<util::Timestamp>(elapsed);
     if (i > 0) counters_.failovers++;
     tried.push_back(candidates[i]);
-    const Attempt first = TryReplica(host, request_der, key, at);
+    const Attempt first = try_leg(host, at, elapsed, "fleet.attempt");
     qr.replicas_tried++;
 
     if (first.valid && !first.slow) {
@@ -127,8 +197,9 @@ FleetClient::QueryResult FleetClient::Query(BytesView request_der,
       const auto hedge_at =
           now + static_cast<util::Timestamp>(
                     elapsed + options_.hedge_budget_seconds);
-      const Attempt second = TryReplica(hedge_host, request_der, key,
-                                        hedge_at);
+      const Attempt second =
+          try_leg(hedge_host, hedge_at, elapsed + options_.hedge_budget_seconds,
+                  "fleet.hedge");
       qr.replicas_tried++;
       const double first_done = first.elapsed_seconds;
       const double second_done =
@@ -169,7 +240,7 @@ FleetClient::QueryResult FleetClient::Query(BytesView request_der,
     counters_.last_resort++;
     counters_.failovers++;
     const auto at = now + static_cast<util::Timestamp>(elapsed);
-    const Attempt attempt = TryReplica(*host, request_der, key, at);
+    const Attempt attempt = try_leg(*host, at, elapsed, "fleet.attempt");
     qr.replicas_tried++;
     if (attempt.valid) {
       accept(*host, attempt, elapsed + attempt.elapsed_seconds);

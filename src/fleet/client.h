@@ -39,6 +39,7 @@
 #include "crypto/signer.h"
 #include "fleet/ring.h"
 #include "net/simnet.h"
+#include "obs/distrace.h"
 #include "ocsp/ocsp.h"
 #include "util/time.h"
 
@@ -57,6 +58,11 @@ struct FleetClientOptions {
   // When set, every accepted answer must verify against this key; corrupt
   // bodies then fail over instead of being believed.
   std::optional<crypto::PublicKey> responder_key;
+  // Seed for distributed-trace ids (used only while the collector is
+  // enabled). Queries mint TraceId(trace_seed, query#) — benches derive
+  // this from (run seed, client index) so traces are bit-identical at any
+  // thread count.
+  std::uint64_t trace_seed = 0;
 };
 
 class FleetClient {
@@ -76,6 +82,9 @@ class FleetClient {
     bool failed_over = false;     // answer came from a non-primary replica
     std::string served_by;        // replica that produced the answer
     util::Timestamp produced_at = 0;  // the response's producedAt
+    // Distributed-trace id of this query (zero unless the collector was
+    // enabled): failover and hedge legs all share it, distinct spans each.
+    obs::TraceId trace_id;
   };
 
   // `request_der` must be a single-cert OCSP request for the certificate
@@ -107,8 +116,12 @@ class FleetClient {
     bool slow = false;  // ran past the hedge budget (or timed out)
   };
 
+  // `ctx` (may be null) is this attempt's span context; it rides the
+  // traceparent header so the exchange and the replica's server span
+  // stitch under it.
   Attempt TryReplica(const std::string& host, BytesView request_der,
-                     BytesView key, util::Timestamp now);
+                     BytesView key, util::Timestamp now,
+                     const obs::SpanContext* ctx);
 
   net::SimNet* net_;
   const HashRing* ring_;
@@ -116,6 +129,7 @@ class FleetClient {
   // Client-side 503 mark-downs: host -> virtual time the mark expires.
   std::map<std::string, util::Timestamp> marked_down_until_;
   Counters counters_;
+  std::uint64_t trace_counter_ = 0;  // queries minted (trace-id sequence)
 };
 
 }  // namespace rev::fleet

@@ -1,0 +1,35 @@
+#include "fleet/metricsview.h"
+
+namespace rev::fleet {
+
+FleetMetricsView ScrapeFleetMetrics(net::SimNet& net,
+                                    const std::vector<std::string>& hosts,
+                                    util::Timestamp now,
+                                    double timeout_seconds) {
+  FleetMetricsView view;
+  for (const std::string& host : hosts) {
+    net::HttpRequest request;
+    request.method = "GET";
+    request.host = host;
+    request.path = "/metrics.json";
+    const net::FetchResult result = net.Fetch(request, now, timeout_seconds);
+    view.scrape_bytes += result.bytes_transferred;
+    if (result.error != net::FetchError::kOk ||
+        result.response.status != 200) {
+      ++view.hosts_failed;
+      continue;
+    }
+    const std::string body(result.response.body.begin(),
+                           result.response.body.end());
+    obs::MetricsSnapshot snapshot;
+    if (!obs::ParseMetricsJson(body, &snapshot)) {
+      ++view.hosts_failed;
+      continue;
+    }
+    ++view.hosts_ok;
+    obs::MergeSnapshot(&view.merged, obs::StripLabels(snapshot));
+  }
+  return view;
+}
+
+}  // namespace rev::fleet

@@ -1,0 +1,44 @@
+// Fleet-wide metrics aggregation: scrape every frontend's GET
+// /metrics.json over SimNet, parse each snapshot, strip the per-instance
+// labels, and merge into one fleet view (docs/observability.md).
+//
+// Each frontend exposes only its own instance-labeled instruments on
+// /metrics.json (serve.latency_ns{frontend=N}, fleet.replica.*{replica=X}
+// ...), so merging scrapes from several simulated nodes inside one process
+// never double-counts process-global counters like net.fetch. Label
+// stripping happens here, after the per-host parse: stripped names from
+// different hosts collide on purpose — that collision IS the aggregation
+// (counters sum, histogram buckets sum, min/max widen).
+//
+// This lives in fleet/, not obs/, because scraping needs net::SimNet and
+// the obs layer must stay network-free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/simnet.h"
+#include "obs/metrics.h"
+#include "util/time.h"
+
+namespace rev::fleet {
+
+struct FleetMetricsView {
+  // Label-stripped union of every successfully scraped host's snapshot.
+  obs::MetricsSnapshot merged;
+  std::size_t hosts_ok = 0;      // scrapes that returned parseable JSON
+  std::size_t hosts_failed = 0;  // fetch errors, non-200s, parse failures
+  std::uint64_t scrape_bytes = 0;  // wire bytes moved by the scrapes
+};
+
+// Scrapes GET http://<host>/metrics.json from each host at virtual time
+// `now` (hosts in the given order; deterministic). A host that fails to
+// answer or to parse is counted in hosts_failed and skipped — aggregation
+// is best-effort, like any scrape-based pipeline.
+FleetMetricsView ScrapeFleetMetrics(net::SimNet& net,
+                                    const std::vector<std::string>& hosts,
+                                    util::Timestamp now,
+                                    double timeout_seconds = 5.0);
+
+}  // namespace rev::fleet

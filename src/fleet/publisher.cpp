@@ -5,6 +5,7 @@
 
 #include "fleet/replica.h"
 #include "fleet/snapshot.h"
+#include "obs/distrace.h"
 
 namespace rev::fleet {
 
@@ -14,6 +15,11 @@ std::string PublisherMetric(const char* metric, const std::string& label) {
   return std::string("fleet.publisher.") + metric + "{publisher=" + label +
          "}";
 }
+
+// Span-id salt for per-replica push legs; combined with a per-publish leg
+// counter so the snapshot and response pushes to every replica get
+// distinct span ids under one "fleet.publish" root.
+constexpr std::uint64_t kPushSalt = 0x9B1D5EEDull;
 
 }  // namespace
 
@@ -72,18 +78,59 @@ Publisher::PushStats Publisher::Publish(net::SimNet& net,
            body.find("epoch=" + std::to_string(epoch)) != std::string::npos;
   };
 
+  obs::DistTraceCollector& collector = obs::DistTraceCollector::Global();
+  const bool traced = collector.enabled();
+  obs::SpanContext root_ctx;
+  std::uint64_t leg_counter = 0;
+  if (traced) {
+    // One trace per epoch push, minted from the epoch number alone, so the
+    // fan-out tree is bit-identical run to run.
+    const obs::TraceId trace = obs::MakeTraceId(0xF1EE7ull, stats.epoch);
+    root_ctx = obs::SpanContext{trace, obs::RootSpanId(trace)};
+  }
+  // One leg = one POST (snapshot or response batch) to one replica, routed
+  // through FetchWithRetry so the leg's retry attempts and exchanges
+  // stitch underneath it.
+  const auto push = [&](const std::string& host, const std::string& path,
+                        const Bytes& blob, util::Timestamp at) {
+    net::HttpRequest request;
+    request.method = "POST";
+    request.host = host;
+    request.path = path;
+    request.body = blob;
+    if (!traced) {
+      return net::FetchWithRetry(net, request, at, options_.retry,
+                                 options_.timeout_seconds, ack_validator);
+    }
+    const obs::SpanContext leg{
+        root_ctx.trace, obs::DeriveSpanId(root_ctx, kPushSalt + leg_counter++)};
+    request.headers[obs::kTraceparentHeader] = obs::FormatTraceparent(leg);
+    net::RetryResult result =
+        net::FetchWithRetry(net, request, at, options_.retry,
+                            options_.timeout_seconds, ack_validator);
+    obs::DistSpan span;
+    span.trace = root_ctx.trace;
+    span.span = leg.span;
+    span.parent = root_ctx.span;
+    span.name = "fleet.push";
+    span.node = obs::InternName(host);
+    span.kind = obs::SpanKind::kInternal;
+    span.status = result.ok() ? result.fetch.response.status : 0;
+    span.start_ns = obs::VirtualNs(at, 0);
+    span.end_ns = obs::VirtualNs(at, result.total_elapsed_seconds);
+    collector.Record(span);
+    return result;
+  };
+
   for (const std::string& host : replicas_) {
-    const std::string base = "http://" + host;
-    net::RetryResult pushed = net::PostWithRetry(
-        net, base + Replica::kSnapshotPath, snapshot_blob, now,
-        options_.retry, options_.timeout_seconds, ack_validator);
+    net::RetryResult pushed =
+        push(host, Replica::kSnapshotPath, snapshot_blob, now);
     stats.elapsed_seconds += pushed.total_elapsed_seconds;
     bytes_pushed_.Add(pushed.total_bytes);
     bool ok = pushed.ok();
     if (ok && options_.push_responses) {
-      net::RetryResult responses = net::PostWithRetry(
-          net, base + Replica::kResponsesPath, batch_blob, pushed.finished_at,
-          options_.retry, options_.timeout_seconds, ack_validator);
+      net::RetryResult responses =
+          push(host, Replica::kResponsesPath, batch_blob, pushed.finished_at);
       stats.elapsed_seconds += responses.total_elapsed_seconds;
       bytes_pushed_.Add(responses.total_bytes);
       // The snapshot landed either way; a failed response push only costs
@@ -97,6 +144,19 @@ Publisher::PushStats Publisher::Publish(net::SimNet& net,
       ++stats.replicas_failed;
       pushes_failed_.Increment();
     }
+  }
+  if (traced) {
+    obs::DistSpan span;
+    span.trace = root_ctx.trace;
+    span.span = root_ctx.span;
+    span.parent = 0;
+    span.name = "fleet.publish";
+    span.node = "publisher";
+    span.kind = obs::SpanKind::kInternal;
+    span.status = stats.replicas_failed == 0 ? 200 : 0;
+    span.start_ns = obs::VirtualNs(now, 0);
+    span.end_ns = obs::VirtualNs(now, stats.elapsed_seconds);
+    collector.Record(span);
   }
   max_lag_.Set(static_cast<std::int64_t>(MaxLagEpochs()));
   return stats;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "net/url.h"
+#include "obs/distrace.h"
 #include "obs/metrics.h"
 
 namespace rev::net {
@@ -21,6 +22,12 @@ std::uint64_t Mix64(std::uint64_t x) {
 double UnitFromHash(std::uint64_t h) {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
+
+// Span-id salts: each retry attempt (and each backoff wait) gets a
+// distinct child of the caller's span, so the exchange spans SimNet
+// records underneath never collide across attempts.
+constexpr std::uint64_t kAttemptSalt = 0xA77E3B9Dull;
+constexpr std::uint64_t kBackoffSalt = 0xBAC0FF5Dull;
 
 struct RetryMetrics {
   obs::Counter& retries;
@@ -105,6 +112,17 @@ RetryResult FetchWithRetry(SimNet& net, const HttpRequest& request,
   const std::string key = request.host + request.path;
   const int max_attempts = std::max(1, policy.max_attempts);
 
+  obs::DistTraceCollector& collector = obs::DistTraceCollector::Global();
+  obs::SpanContext parent;
+  bool traced = false;
+  if (collector.enabled()) {
+    const auto it = request.headers.find(obs::kTraceparentHeader);
+    traced = it != request.headers.end() &&
+             obs::ParseTraceparent(it->second, &parent);
+  }
+  HttpRequest traced_request;  // copied once; header rewritten per attempt
+  if (traced) traced_request = request;
+
   double elapsed = 0;
   std::int64_t pending_retry_after = 0;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
@@ -114,6 +132,19 @@ RetryResult FetchWithRetry(SimNet& net, const HttpRequest& request,
       // replacement for the (possibly longer) computed backoff.
       wait = std::max(BackoffDelay(policy, key, attempt),
                       static_cast<double>(pending_retry_after));
+      if (traced && wait > 0) {
+        obs::DistSpan span;
+        span.trace = parent.trace;
+        span.span = obs::DeriveSpanId(
+            parent, kBackoffSalt + static_cast<std::uint64_t>(attempt));
+        span.parent = parent.span;
+        span.name = "net.backoff";
+        span.node = "client";
+        span.kind = obs::SpanKind::kInternal;
+        span.start_ns = obs::VirtualNs(now, elapsed);
+        span.end_ns = obs::VirtualNs(now, elapsed + wait);
+        collector.Record(span);
+      }
       elapsed += wait;
       out.backoff_seconds += wait;
       metrics.retries.Increment();
@@ -123,10 +154,38 @@ RetryResult FetchWithRetry(SimNet& net, const HttpRequest& request,
     // Each attempt happens on the simulated clock at `now` plus everything
     // spent so far, so fault windows and flap phases see honest time.
     const util::Timestamp at = now + static_cast<util::Timestamp>(elapsed);
-    FetchResult fetch = net.Fetch(request, at, timeout_seconds);
+    const HttpRequest* to_send = &request;
+    obs::SpanContext attempt_ctx;
+    if (traced) {
+      // Each attempt is a distinct child span; SimNet's exchange span
+      // parents under it, so retries never share exchange span ids.
+      attempt_ctx = {parent.trace,
+                     obs::DeriveSpanId(
+                         parent, kAttemptSalt +
+                                     static_cast<std::uint64_t>(attempt))};
+      traced_request.headers[obs::kTraceparentHeader] =
+          obs::FormatTraceparent(attempt_ctx);
+      to_send = &traced_request;
+    }
+    FetchResult fetch = net.Fetch(*to_send, at, timeout_seconds);
     if (fetch.ok() && validate && !validate(fetch.response)) {
       fetch.error = FetchError::kCorruptBody;
       metrics.corrupt_bodies.Increment();
+    }
+    if (traced) {
+      obs::DistSpan span;
+      span.trace = parent.trace;
+      span.span = attempt_ctx.span;
+      span.parent = parent.span;
+      span.name = "net.attempt";
+      span.node = "client";
+      span.kind = obs::SpanKind::kInternal;
+      span.status = fetch.error == FetchError::kOk
+                        ? fetch.response.status
+                        : -1 - static_cast<std::int32_t>(fetch.error);
+      span.start_ns = obs::VirtualNs(at, 0);
+      span.end_ns = obs::VirtualNs(at, fetch.elapsed_seconds);
+      collector.Record(span);
     }
     elapsed += fetch.elapsed_seconds;
     out.total_bytes += fetch.bytes_transferred;

@@ -1,8 +1,56 @@
 #include "net/simnet.h"
 
 #include "net/fault.h"
+#include "obs/distrace.h"
+#include "obs/metrics.h"
 
 namespace rev::net {
+
+namespace {
+
+// Span-id salt for the wire exchange itself; the caller's per-attempt
+// context (FetchWithRetry) keeps retries of one request distinct.
+constexpr std::uint64_t kExchangeSalt = 0xE8C4A27Dull;
+
+// Every fetch in the process lands in one of four status classes, plus a
+// bytes counter — the fleet's bandwidth finally visible in one place.
+struct FetchMetrics {
+  obs::Counter& class_2xx;
+  obs::Counter& class_4xx;
+  obs::Counter& class_5xx;
+  obs::Counter& class_err;
+  obs::Counter& bytes;
+
+  static FetchMetrics& Get() {
+    // Leaked: counters outlive static teardown (registry semantics).
+    static FetchMetrics* metrics = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      return new FetchMetrics{reg.GetCounter("net.fetch{class=2xx}"),
+                              reg.GetCounter("net.fetch{class=4xx}"),
+                              reg.GetCounter("net.fetch{class=5xx}"),
+                              reg.GetCounter("net.fetch{class=err}"),
+                              reg.GetCounter("net.fetch.bytes")};
+    }();
+    return *metrics;
+  }
+};
+
+void CountFetch(const FetchResult& result) {
+  FetchMetrics& m = FetchMetrics::Get();
+  if (result.error != FetchError::kOk) {
+    m.class_err.Increment();
+  } else {
+    switch (result.response.status / 100) {
+      case 2: m.class_2xx.Increment(); break;
+      case 4: m.class_4xx.Increment(); break;
+      case 5: m.class_5xx.Increment(); break;
+      default: m.class_err.Increment(); break;
+    }
+  }
+  if (result.bytes_transferred > 0) m.bytes.Add(result.bytes_transferred);
+}
+
+}  // namespace
 
 const char* FetchErrorName(FetchError e) {
   switch (e) {
@@ -58,6 +106,48 @@ FaultPlan* SimNet::fault_plan() const {
 
 FetchResult SimNet::Fetch(const HttpRequest& request, util::Timestamp now,
                           double timeout_seconds) {
+  obs::DistTraceCollector& collector = obs::DistTraceCollector::Global();
+  obs::SpanContext parent;
+  bool traced = false;
+  if (collector.enabled()) {
+    const auto it = request.headers.find(obs::kTraceparentHeader);
+    traced = it != request.headers.end() &&
+             obs::ParseTraceparent(it->second, &parent);
+  }
+
+  FetchResult result;
+  if (traced) {
+    // The exchange gets its own span id; the handler sees *that* context,
+    // so server-side spans parent under the hop that carried them.
+    const obs::SpanContext exchange{parent.trace,
+                                    obs::DeriveSpanId(parent, kExchangeSalt)};
+    HttpRequest forwarded = request;
+    forwarded.headers[obs::kTraceparentHeader] =
+        obs::FormatTraceparent(exchange);
+    result = DoFetch(forwarded, now, timeout_seconds);
+
+    obs::DistSpan span;
+    span.trace = parent.trace;
+    span.span = exchange.span;
+    span.parent = parent.span;
+    span.name = "net.exchange";
+    span.node = obs::InternName(request.host);
+    span.kind = obs::SpanKind::kClient;
+    span.status = result.error == FetchError::kOk
+                      ? result.response.status
+                      : -1 - static_cast<std::int32_t>(result.error);
+    span.start_ns = obs::VirtualNs(now, 0);
+    span.end_ns = obs::VirtualNs(now, result.elapsed_seconds);
+    collector.Record(span);
+  } else {
+    result = DoFetch(request, now, timeout_seconds);
+  }
+  CountFetch(result);
+  return result;
+}
+
+FetchResult SimNet::DoFetch(const HttpRequest& request, util::Timestamp now,
+                            double timeout_seconds) {
   // One lock spans the whole exchange: the handler may mutate CA state.
   std::lock_guard<std::mutex> lock(mu_);
   FetchResult result;

@@ -26,6 +26,10 @@ struct HttpRequest {
   std::string host;
   std::string path;
   Bytes body;
+  // Wire headers (lowercase names by convention). Carries the
+  // traceparent context for distributed tracing (obs/distrace.h);
+  // handlers may read application headers from here too.
+  std::map<std::string, std::string, std::less<>> headers;
 };
 
 struct HttpResponse {
@@ -36,6 +40,8 @@ struct HttpResponse {
   std::int64_t max_age = 0;
   // Retry-After hint in seconds, set by load-shedding endpoints on 503.
   std::int64_t retry_after = 0;
+  // Response headers (lowercase names by convention).
+  std::map<std::string, std::string, std::less<>> headers;
 };
 
 using HttpHandler =
@@ -97,6 +103,11 @@ class SimNet {
   FaultPlan* fault_plan() const;
 
   // Executes an HTTP exchange. `timeout_seconds` caps the simulated wait.
+  // Every call tallies the process-wide per-status-class counters
+  // net.fetch{class=2xx|4xx|5xx|err} and net.fetch.bytes; when the
+  // distributed-trace collector is armed and the request carries a
+  // traceparent header, the exchange is recorded as a client span (with a
+  // fresh span id injected into the header the handler sees).
   FetchResult Fetch(const HttpRequest& request, util::Timestamp now,
                     double timeout_seconds = 10.0);
 
@@ -119,6 +130,11 @@ class SimNet {
     bool dns_failure = false;
     bool unresponsive = false;
   };
+
+  // The exchange itself, minus tracing/metrics (which the public Fetch
+  // wraps around it).
+  FetchResult DoFetch(const HttpRequest& request, util::Timestamp now,
+                      double timeout_seconds);
 
   mutable std::mutex mu_;  // serializes exchanges, guards hosts_ + counters
   std::map<std::string, Host, std::less<>> hosts_;

@@ -1,0 +1,181 @@
+// Distributed tracing over the simulated fleet: one causal tree per
+// request, stitched across every node it touched.
+//
+// The per-process TraceCollector (trace.h) answers "where did the wall
+// clock go inside this process". This layer answers the cross-node
+// question the fleet raised: a hedged OCSP query crosses a client, two or
+// three replicas, and the retry stack — which hop, queue, or backoff ate
+// the latency? Spans here live on the *virtual* clock (SimNet seconds),
+// carry explicit 128-bit trace ids + 64-bit span ids, and propagate over
+// the wire in a W3C-traceparent-style header on net::HttpRequest, so the
+// merged Snapshot() of all simulated nodes stitches into one tree.
+//
+// Determinism is a hard requirement (the fleet bench byte-compares its
+// artifacts across thread counts): ids are derived from seeded
+// per-request state via splitmix64 — never from wall clock, thread ids,
+// or allocation order — and Snapshot() sorts by (trace, start, span), so
+// the same seed yields the same trace at any thread count.
+//
+// Span/node names may be dynamic ("replica-3.fleet.sim"): InternName()
+// maps equal contents to one stable const char* for the process lifetime,
+// so spans stay POD and recording stays allocation-free after warm-up.
+//
+// Export: DumpJson() ({"spans":[...]}, rendered by tools/trace2txt -d) and
+// CriticalPath(), which tiles a root span's [start, end] into segments
+// attributed to the deepest span covering each instant — the segments sum
+// to the root's duration exactly by construction. See
+// docs/observability.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.h"
+
+namespace rev::obs {
+
+// Stable interned copy of `s`: equal contents always return the same
+// pointer, valid for the process lifetime. Thread-safe.
+const char* InternName(std::string_view s);
+
+// 128-bit trace id. All-zero means "no trace".
+struct TraceId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool valid() const { return (hi | lo) != 0; }
+  friend bool operator==(const TraceId& a, const TraceId& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const TraceId& a, const TraceId& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const TraceId& a, const TraceId& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+  std::string Hex() const;  // 32 lowercase hex digits
+};
+
+// A span's identity within its trace, as carried by the wire header.
+struct SpanContext {
+  TraceId trace;
+  std::uint64_t span = 0;
+
+  bool valid() const { return trace.valid() && span != 0; }
+};
+
+// Deterministic id minting: splitmix64 over caller-provided seeds. The
+// caller owns uniqueness of the (seed_a, seed_b) pair (e.g. client seed ×
+// query counter); the mix only decorrelates.
+TraceId MakeTraceId(std::uint64_t seed_a, std::uint64_t seed_b);
+// Child span id from a parent context and a caller-chosen salt (attempt
+// index, hop kind). Never returns 0.
+std::uint64_t DeriveSpanId(const SpanContext& parent, std::uint64_t salt);
+// Root span id for a fresh trace.
+std::uint64_t RootSpanId(const TraceId& trace);
+
+// Wire format: "00-<32 hex trace>-<16 hex span>-01", the W3C traceparent
+// shape. Parse accepts exactly that shape and rejects all-zero ids.
+inline constexpr const char* kTraceparentHeader = "traceparent";
+std::string FormatTraceparent(const SpanContext& context);
+bool ParseTraceparent(std::string_view header, SpanContext* out);
+
+// Virtual-clock nanoseconds: `now` is SimNet's integer-second timestamp,
+// `offset_seconds` the fractional simulated time since it. Fits uint64
+// comfortably for the 2015-era epochs the simulation uses.
+std::uint64_t VirtualNs(util::Timestamp now, double offset_seconds);
+
+enum class SpanKind : std::uint8_t {
+  kInternal = 0,  // in-process work (backoff waits, queue time)
+  kClient = 1,    // a wire exchange, observed from the calling side
+  kServer = 2,    // request handling, observed on the serving node
+};
+const char* SpanKindName(SpanKind kind);
+
+struct DistSpan {
+  TraceId trace;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;    // 0 = root
+  const char* name = "";       // interned (InternName) or a literal
+  const char* node = "";       // which simulated node recorded it
+  SpanKind kind = SpanKind::kInternal;
+  // HTTP status of the hop (0 = none/n.a.); negative values carry a
+  // net::FetchError for failed exchanges (-1 - int(error)).
+  std::int32_t status = 0;
+  std::uint64_t start_ns = 0;  // virtual clock (VirtualNs)
+  std::uint64_t end_ns = 0;
+
+  std::uint64_t dur_ns() const {
+    return end_ns > start_ns ? end_ns - start_ns : 0;
+  }
+};
+
+// Process-wide collector for distributed spans. Disabled by default (one
+// relaxed load per would-be span); REV_DIST_TRACE=<path> in the
+// environment arms it at startup, benches enable it around showcase runs.
+class DistTraceCollector {
+ public:
+  static DistTraceCollector& Global();
+
+  DistTraceCollector(const DistTraceCollector&) = delete;
+  DistTraceCollector& operator=(const DistTraceCollector&) = delete;
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Clear();
+  void Record(const DistSpan& span);
+  std::size_t size() const;
+
+  // All spans, sorted by (trace, start_ns, span id) — a deterministic
+  // order for a deterministic id/timestamp scheme, independent of the
+  // thread interleaving that recorded them.
+  std::vector<DistSpan> Snapshot() const;
+  // Only the spans of `trace`, same order.
+  std::vector<DistSpan> SnapshotTrace(const TraceId& trace) const;
+
+  // {"spans":[{"trace":…,"span":…,"parent":…,"name":…,"node":…,"kind":…,
+  //   "status":…,"start_ns":…,"dur_ns":…},…]}
+  static std::string DumpJson(const std::vector<DistSpan>& spans);
+  std::string DumpJson() const { return DumpJson(Snapshot()); }
+  bool WriteJson(const std::string& path) const;
+  // Writes DumpJson() to $REV_DIST_TRACE if set; returns whether it wrote.
+  bool ExportFromEnv() const;
+
+ private:
+  DistTraceCollector();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<DistSpan> spans_;
+};
+
+// One tile of a root span's critical path: [start_ns, end_ns) attributed
+// to `span` (the deepest span covering the interval when walking latest-
+// ending children first — concurrent hedge legs resolve to whichever leg
+// finished last, i.e. the one the caller actually waited on).
+struct PathSegment {
+  std::uint64_t span = 0;
+  const char* name = "";
+  const char* node = "";
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+
+  std::uint64_t dur_ns() const {
+    return end_ns > start_ns ? end_ns - start_ns : 0;
+  }
+};
+
+// Critical path of the trace in `spans` (all spans must share one trace;
+// the root is the span whose parent is absent). The returned segments are
+// ordered by start time and tile the root's [start_ns, end_ns) exactly, so
+// their durations sum to the root's duration — the property the fleet
+// bench gates on. Empty input (or no root) yields an empty path.
+std::vector<PathSegment> CriticalPath(const std::vector<DistSpan>& spans);
+
+}  // namespace rev::obs

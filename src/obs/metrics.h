@@ -104,6 +104,17 @@ class Gauge {
   std::array<internal::PaddedI64, kInstrumentShards> shards_;
 };
 
+// A trace id attached to a histogram bucket: the most recent traced
+// request that landed in that bucket, linking "the p99 bucket" to a
+// reconstructable distributed trace (see distrace.h). All-zero = none.
+struct Exemplar {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+  std::string Hex() const;  // 32 lowercase hex digits
+};
+
 // Snapshot of a Histogram at one instant. Bucket i holds values whose
 // bit_width is i (bucket 0 is the literal value 0), i.e. bucket i covers
 // [2^(i-1), 2^i - 1] for i >= 1.
@@ -113,6 +124,8 @@ struct HistogramSnapshot {
   std::uint64_t min = 0;  // 0 when count == 0
   std::uint64_t max = 0;
   std::array<std::uint64_t, 65> buckets{};
+  // exemplars[i] = last traced value recorded into bucket i (if any).
+  std::array<Exemplar, 65> exemplars{};
 
   double Mean() const {
     return count == 0 ? 0.0
@@ -147,6 +160,16 @@ class Histogram {
                count);
   }
 
+  // Record() plus an exemplar: remember `trace` as the most recent traced
+  // value in the bucket `value` lands in. The exemplar table is tiny and
+  // mutex-guarded (traced requests are a slow-path minority); the plain
+  // Record() hot path is untouched. A zero trace records no exemplar.
+  void RecordWithExemplar(std::uint64_t value, const Exemplar& trace);
+  void RecordSecondsWithExemplar(double seconds, const Exemplar& trace) {
+    RecordWithExemplar(
+        seconds <= 0 ? 0 : static_cast<std::uint64_t>(seconds * 1e9), trace);
+  }
+
   HistogramSnapshot Snapshot() const;
   std::uint64_t Count() const {
     return count_.load(std::memory_order_relaxed);
@@ -158,6 +181,8 @@ class Histogram {
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> min_{~0ull};
   std::atomic<std::uint64_t> max_{0};
+  mutable std::mutex ex_mu_;  // guards exemplars_ only
+  std::array<Exemplar, 65> exemplars_{};
 };
 
 // Full registry snapshot, sorted by instrument name for stable output.
@@ -215,6 +240,33 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
+
+// ---- Snapshot-level operations (fleet-wide aggregation) --------------------
+//
+// The fleet scraper (fleet/metricsview.h) pulls each node's DumpJson over
+// SimNet, parses it back into a MetricsSnapshot, strips per-instance
+// labels, and merges everything into one fleet view — so exposition,
+// parsing, and merging all live here next to the schema they share.
+
+// Same exposition formats as the registry methods, over any snapshot.
+std::string DumpText(const MetricsSnapshot& snapshot);
+std::string DumpJson(const MetricsSnapshot& snapshot);
+
+// Parses the DumpJson schema back into a snapshot (quantile fields are
+// recomputable and ignored; bucket indices are recovered from `le`).
+// Returns false on any malformed input, leaving *out unspecified.
+bool ParseMetricsJson(std::string_view json, MetricsSnapshot* out);
+
+// Merges `src` into `dst` by instrument name: counters/gauges add,
+// histograms add buckets/count/sum and widen min/max; a valid src exemplar
+// replaces dst's. Output stays name-sorted.
+void MergeSnapshot(MetricsSnapshot* dst, const MetricsSnapshot& src);
+
+// "serve.latency_ns{frontend=3}" -> "serve.latency_ns".
+std::string StripInstrumentLabel(std::string_view name);
+// Re-keys every instrument by its label-stripped name, merging collisions
+// (the per-instance tallies of one fleet node fold into one series).
+MetricsSnapshot StripLabels(const MetricsSnapshot& snapshot);
 
 // Process-unique id for labelling per-instance instruments:
 // `NextInstanceId("frontend")` -> 1, 2, … per kind-independent sequence.

@@ -1,0 +1,159 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace rev::obs {
+
+namespace {
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min<std::size_t>(static_cast<std::size_t>(n),
+                                                   sizeof(buf) - 1));
+}
+
+}  // namespace
+
+SloMonitor::Tally& SloMonitor::State::WindowAt(std::int64_t index) {
+  auto it = std::lower_bound(
+      windows.begin(), windows.end(), index,
+      [](const std::pair<std::int64_t, Tally>& w, std::int64_t i) {
+        return w.first < i;
+      });
+  if (it == windows.end() || it->first != index)
+    it = windows.insert(it, {index, Tally{}});
+  return it->second;
+}
+
+void SloMonitor::AddObjective(SloObjective objective) {
+  if (objective.window_seconds <= 0) objective.window_seconds = 60;
+  if (objective.short_windows <= 0) objective.short_windows = 1;
+  if (objective.long_windows < objective.short_windows)
+    objective.long_windows = objective.short_windows;
+  objectives_.push_back(objective);
+  State state;
+  state.objective = std::move(objective);
+  states_.push_back(std::move(state));
+}
+
+void SloMonitor::Record(std::string_view name, util::Timestamp t,
+                        std::uint64_t good, std::uint64_t total) {
+  if (total == 0) return;
+  if (good > total) good = total;
+  for (State& state : states_) {
+    if (state.objective.name != name) continue;
+    const std::int64_t index =
+        t >= 0 ? t / state.objective.window_seconds
+               : (t - (state.objective.window_seconds - 1)) /
+                     state.objective.window_seconds;
+    Tally& tally = state.WindowAt(index);
+    tally.good += good;
+    tally.total += total;
+  }
+}
+
+namespace {
+
+// Burn rate over a window range: error-rate / error-budget. A service
+// exactly meeting its objective burns at 1.0; the alert thresholds are
+// multiples of that.
+double BurnRate(std::uint64_t good, std::uint64_t total, double objective) {
+  if (total == 0) return 0.0;
+  const double error_rate =
+      static_cast<double>(total - good) / static_cast<double>(total);
+  const double budget = 1.0 - objective;
+  if (budget <= 0.0) return error_rate > 0.0 ? 1e9 : 0.0;
+  return error_rate / budget;
+}
+
+}  // namespace
+
+std::vector<SloMonitor::Alert> SloMonitor::AlertTimeline() const {
+  // Collect every window index any objective saw, so the timeline is in
+  // global virtual-time order with objectives interleaved deterministically
+  // (registration order within one window).
+  std::vector<Alert> timeline;
+  std::vector<std::int64_t> indices;
+  for (const State& state : states_)
+    for (const auto& [index, tally] : state.windows) indices.push_back(index);
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+
+  for (const std::int64_t index : indices) {
+    for (const State& state : states_) {
+      const SloObjective& o = state.objective;
+      // Sum tallies over [index - k + 1, index] for the short and long
+      // ranges. windows is sorted, and typically tiny (one entry per
+      // bench tick), so a linear scan is fine.
+      std::uint64_t short_good = 0, short_total = 0;
+      std::uint64_t long_good = 0, long_total = 0;
+      bool saw_this_window = false;
+      for (const auto& [w, tally] : state.windows) {
+        if (w > index) break;
+        if (w == index) saw_this_window = true;
+        if (w > index - o.long_windows) {
+          long_good += tally.good;
+          long_total += tally.total;
+        }
+        if (w > index - o.short_windows) {
+          short_good += tally.good;
+          short_total += tally.total;
+        }
+      }
+      if (!saw_this_window || short_total == 0) continue;
+      const double short_burn = BurnRate(short_good, short_total, o.objective);
+      const double long_burn = BurnRate(long_good, long_total, o.objective);
+      if (short_burn > o.burn_threshold && long_burn > o.burn_threshold) {
+        Alert alert;
+        alert.objective = o.name;
+        alert.window_start = index * o.window_seconds;
+        alert.window_end = (index + 1) * o.window_seconds;
+        alert.short_burn = short_burn;
+        alert.long_burn = long_burn;
+        timeline.push_back(std::move(alert));
+      }
+    }
+  }
+  return timeline;
+}
+
+std::string SloMonitor::TimelineJson() const {
+  std::string out = "{\"objectives\": [";
+  for (std::size_t i = 0; i < objectives_.size(); ++i) {
+    const SloObjective& o = objectives_[i];
+    AppendF(out,
+            "%s{\"name\": \"%s\", \"objective\": %.6f, \"window_s\": %" PRId64
+            ", \"short_windows\": %d, \"long_windows\": %d, "
+            "\"burn_threshold\": %.3f}",
+            i > 0 ? ", " : "", o.name.c_str(), o.objective, o.window_seconds,
+            o.short_windows, o.long_windows, o.burn_threshold);
+  }
+  out += "], \"alert_timeline\": [";
+  const std::vector<Alert> timeline = AlertTimeline();
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const Alert& a = timeline[i];
+    AppendF(out,
+            "%s{\"objective\": \"%s\", \"from_s\": %" PRId64
+            ", \"to_s\": %" PRId64
+            ", \"short_burn\": %.3f, \"long_burn\": %.3f}",
+            i > 0 ? ", " : "", a.objective.c_str(),
+            static_cast<std::int64_t>(a.window_start),
+            static_cast<std::int64_t>(a.window_end), a.short_burn,
+            a.long_burn);
+  }
+  out += "]}";
+  return out;
+}
+
+const std::vector<SloObjective>& SloMonitor::objectives() const {
+  return objectives_;
+}
+
+}  // namespace rev::obs

@@ -1,0 +1,92 @@
+// Declarative service-level objectives over rolling virtual-time windows,
+// with multi-window burn-rate alerting.
+//
+// An objective is a good/total ratio target ("availability >= 99.9%",
+// "p99 latency <= 250ms" expressed as "share of requests under 250ms >=
+// 99%", "staleness <= 300s" likewise). Callers Record() per-window tallies
+// of good and total events on the *virtual* clock; tallies are plain
+// integers, so a deterministic workload produces a byte-identical alert
+// timeline at any thread count — the fleet bench gates on exactly that.
+//
+// Alerting follows the multi-window burn-rate discipline: the burn rate of
+// a window range is (error rate) / (error budget), i.e. how many times
+// faster than "exactly meets the objective" the budget is being spent. An
+// alert fires for window W when BOTH the short range (the last
+// `short_windows` windows ending at W) and the long range (the last
+// `long_windows`) burn faster than `burn_threshold`. The short range makes
+// alerts recover quickly when the storm ends; the long range keeps a
+// single bad window from paging. Evaluation is retrospective and pure — a
+// function of the recorded tallies only — so the timeline can be
+// recomputed, diffed, and byte-compared. See docs/observability.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.h"
+
+namespace rev::obs {
+
+struct SloObjective {
+  std::string name;          // "availability", "latency_p99", ...
+  double objective = 0.999;  // required good/total ratio
+  // Width of one evaluation window on the virtual clock.
+  std::int64_t window_seconds = 60;
+  int short_windows = 1;     // burn measured over the last k windows...
+  int long_windows = 3;      // ...and confirmed over the last m (m >= k)
+  double burn_threshold = 4.0;
+};
+
+class SloMonitor {
+ public:
+  // Objectives are evaluated (and serialized) in registration order.
+  void AddObjective(SloObjective objective);
+
+  // Adds `good` good events out of `total` to the window containing
+  // virtual time `t` for objective `name`. Unknown names are ignored.
+  // Not thread-safe: callers record from their deterministic merge step.
+  void Record(std::string_view name, util::Timestamp t, std::uint64_t good,
+              std::uint64_t total);
+
+  struct Alert {
+    std::string objective;
+    util::Timestamp window_start = 0;  // virtual seconds
+    util::Timestamp window_end = 0;
+    double short_burn = 0;
+    double long_burn = 0;
+  };
+
+  // Every window (in virtual-time order, objectives in registration order
+  // within one window) whose short AND long burn rates exceed the
+  // objective's threshold. Windows with no traffic in the short range
+  // never fire.
+  std::vector<Alert> AlertTimeline() const;
+
+  // Stable serialization of objectives + timeline, for BENCH json blocks
+  // and byte-identity comparisons:
+  // {"objectives":[{"name":…,"objective":…,"window_s":…,…},…],
+  //  "alert_timeline":[{"objective":…,"from_s":…,"to_s":…,
+  //                     "short_burn":…,"long_burn":…},…]}
+  std::string TimelineJson() const;
+
+  const std::vector<SloObjective>& objectives() const;
+
+ private:
+  struct Tally {
+    std::uint64_t good = 0;
+    std::uint64_t total = 0;
+  };
+  struct State {
+    SloObjective objective;
+    // window index (floor(t / window_seconds)) -> tally. Ordered so the
+    // timeline comes out in virtual-time order.
+    std::vector<std::pair<std::int64_t, Tally>> windows;  // sorted by index
+    Tally& WindowAt(std::int64_t index);
+  };
+  std::vector<State> states_;
+  std::vector<SloObjective> objectives_;
+};
+
+}  // namespace rev::obs

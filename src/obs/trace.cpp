@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "obs/distrace.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
@@ -216,6 +218,16 @@ Span::Span(const char* name) : name_(nullptr) {
   TraceCollector& collector = TraceCollector::Global();
   if (!collector.enabled()) return;  // one relaxed load on the fast path
   name_ = name;
+  depth_ = tl_depth++;
+  start_ns_ = collector.NowNs();
+}
+
+Span::Span(std::string_view dynamic_name) : name_(nullptr) {
+  TraceCollector& collector = TraceCollector::Global();
+  if (!collector.enabled()) return;
+  // Interning only when tracing is on: a disabled dynamic span costs the
+  // same relaxed load as a literal one.
+  name_ = InternName(dynamic_name);
   depth_ = tl_depth++;
   start_ns_ = collector.NowNs();
 }

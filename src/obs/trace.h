@@ -20,12 +20,15 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace rev::obs {
 
 struct TraceEvent {
-  const char* name = nullptr;  // static-lifetime string (literal)
+  // Static-lifetime string: a literal, or an InternName() pointer
+  // (distrace.h) for dynamic labels like "fleet.replica{3}".
+  const char* name = nullptr;
   std::uint64_t start_ns = 0;  // relative to the collector's time base
   std::uint64_t dur_ns = 0;
   std::uint32_t tid = 0;   // collector-assigned thread number
@@ -98,11 +101,16 @@ class TraceCollector {
   std::uint32_t next_tid_ = 1;
 };
 
-// RAII span. `name` must be a string literal (stored by pointer). Nesting
-// is tracked per thread; the span stack depth is recorded with each event.
+// RAII span. `name` must be a static-lifetime string (stored by pointer):
+// pass a literal, or use the string_view overload, which interns dynamic
+// names (one hash lookup at construction — fine off the hot path; cache
+// the InternName() result and use the const char* form in loops).
+// Nesting is tracked per thread; the span stack depth is recorded with
+// each event.
 class Span {
  public:
   explicit Span(const char* name);
+  explicit Span(std::string_view dynamic_name);
   ~Span();
 
   Span(const Span&) = delete;

@@ -12,6 +12,33 @@
 
 namespace rev::serve {
 
+namespace {
+
+// Span-id salt for server-side request spans (child of the exchange span
+// carried by the traceparent header).
+constexpr std::uint64_t kServeSalt = 0x5E44E1F7ull;
+
+// Records the frontend-side server span for a traced request/batch. The
+// simulated handler is instantaneous on the virtual clock (the cost model
+// charges the exchange, not the handler), so the span is zero-duration:
+// a causality marker carrying node + status, never a critical-path tile.
+void RecordServerSpan(const obs::SpanContext& ctx, const char* name,
+                      const char* node, int http_status, util::Timestamp now) {
+  obs::DistSpan span;
+  span.trace = ctx.trace;
+  span.span = obs::DeriveSpanId(ctx, kServeSalt);
+  span.parent = ctx.span;
+  span.name = name;
+  span.node = node;
+  span.kind = obs::SpanKind::kServer;
+  span.status = http_status;
+  span.start_ns = obs::VirtualNs(now, 0);
+  span.end_ns = span.start_ns;
+  obs::DistTraceCollector::Global().Record(span);
+}
+
+}  // namespace
+
 // Registry instruments, one set per frontend instance (label "frontend=N")
 // so counters() stays exact when several frontends coexist. References are
 // resolved once at construction; the hot path touches only lock-free
@@ -349,7 +376,8 @@ void Frontend::ExitShard(std::size_t shard) {
 }
 
 Frontend::ServeResult Frontend::Serve(BytesView request_der,
-                                      util::Timestamp now) {
+                                      util::Timestamp now,
+                                      const obs::SpanContext* ctx) {
   metrics_->requests.Increment();
   // Zero-allocation fast path for the dominant shape (single cert, no
   // nonce): route and build the status key straight off views into the
@@ -369,29 +397,31 @@ Frontend::ServeResult Frontend::Serve(BytesView request_der,
       metrics_->unauthorized.Increment();
       return {200, unauthorized_der_, 0, false};
     }
-    return EnqueueOne(nullptr, responder, view.serial, true, now, start);
+    return EnqueueOne(nullptr, responder, view.serial, true, now, start, ctx);
   }
   auto request = ocsp::ParseOcspRequest(request_der);
   if (!request) {
     metrics_->malformed.Increment();
     return {200, malformed_der_, 0, false};
   }
-  return ServeParsed(*request, now);
+  return ServeParsed(*request, now, ctx);
 }
 
 Frontend::ServeResult Frontend::ServeGetPath(std::string_view path,
-                                             util::Timestamp now) {
+                                             util::Timestamp now,
+                                             const obs::SpanContext* ctx) {
   metrics_->requests.Increment();
   auto request = ocsp::ParseOcspGetPath(path);
   if (!request) {
     metrics_->malformed.Increment();
     return {200, malformed_der_, 0, false};
   }
-  return ServeParsed(*request, now);
+  return ServeParsed(*request, now, ctx);
 }
 
 Frontend::ServeResult Frontend::ServeParsed(const ocsp::OcspRequest& request,
-                                            util::Timestamp now) {
+                                            util::Timestamp now,
+                                            const obs::SpanContext* ctx) {
   obs::Span span("serve.request");
   const auto start = options_.record_latency
                          ? std::chrono::steady_clock::now()
@@ -414,18 +444,23 @@ Frontend::ServeResult Frontend::ServeParsed(const ocsp::OcspRequest& request,
 
   return EnqueueOne(&request, responder, request.cert_ids.front().serial,
                     request.cert_ids.size() == 1 && request.nonce.empty(), now,
-                    start);
+                    start, ctx);
 }
 
 Frontend::ServeResult Frontend::EnqueueOne(
     const ocsp::OcspRequest* request, const ocsp::Responder* responder,
     BytesView serial, bool cacheable, util::Timestamp now,
-    std::chrono::steady_clock::time_point start) {
+    std::chrono::steady_clock::time_point start, const obs::SpanContext* ctx) {
+  const bool traced =
+      ctx != nullptr && obs::DistTraceCollector::Global().enabled();
   Op op;
   op.SetKey(responder->issuer_key_hash(), serial);
   const std::size_t shard = index_.ShardOf(op.key());
   if (!TryEnterShard(shard)) {
     metrics_->shed.Increment();
+    if (traced)
+      RecordServerSpan(*ctx, "serve.request", obs::InternName(metrics_label_),
+                       503, now);
     return {503, try_later_der_, options_.retry_after_seconds, false};
   }
 
@@ -447,15 +482,27 @@ Frontend::ServeResult Frontend::EnqueueOne(
   RunUntil(gate, &shard, 1);
 
   if (options_.record_latency) {
-    metrics_->latency_ns.RecordSeconds(
+    const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count());
+            .count();
+    if (traced) {
+      // The trace id becomes the bucket's exemplar: "the p99 bucket" now
+      // names a reconstructable slow request.
+      metrics_->latency_ns.RecordSecondsWithExemplar(
+          seconds, {ctx->trace.hi, ctx->trace.lo});
+    } else {
+      metrics_->latency_ns.RecordSeconds(seconds);
+    }
   }
+  if (traced)
+    RecordServerSpan(*ctx, "serve.request", obs::InternName(metrics_label_),
+                     op.result.http_status, now);
   return std::move(op.result);
 }
 
 std::vector<Frontend::ServeResult> Frontend::ServeBatch(
-    const std::vector<BytesView>& requests, util::Timestamp now) {
+    const std::vector<BytesView>& requests, util::Timestamp now,
+    const obs::SpanContext* ctx) {
   obs::Span span("serve.batch");
   const auto start = options_.record_latency
                          ? std::chrono::steady_clock::now()
@@ -569,15 +616,28 @@ std::vector<Frontend::ServeResult> Frontend::ServeBatch(
   for (std::size_t i = 0; i < n; ++i)
     if (ops[i].gate != nullptr) results[i] = std::move(ops[i].result);
 
+  const bool traced =
+      ctx != nullptr && obs::DistTraceCollector::Global().enabled();
   if (options_.record_latency) {
     // Amortized per-request latency: the batch's wall time spread over the
     // ops it completed — the quantity the batch path optimizes.
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
-    metrics_->latency_ns.RecordSecondsMany(
-        elapsed / static_cast<double>(accepted), accepted);
+    const double per = elapsed / static_cast<double>(accepted);
+    if (traced) {
+      // One sample carries the batch's trace id as an exemplar; the rest
+      // go through the batched path as before.
+      if (accepted > 1) metrics_->latency_ns.RecordSecondsMany(per, accepted - 1);
+      metrics_->latency_ns.RecordSecondsWithExemplar(
+          per, {ctx->trace.hi, ctx->trace.lo});
+    } else {
+      metrics_->latency_ns.RecordSecondsMany(per, accepted);
+    }
   }
+  if (traced)
+    RecordServerSpan(*ctx, "serve.batch", obs::InternName(metrics_label_), 200,
+                     now);
   return results;
 }
 
@@ -745,12 +805,43 @@ net::HttpResponse Frontend::HandleHttp(const net::HttpRequest& request,
     response.body.assign(text.begin(), text.end());
     return response;
   }
+  if (request.method == "GET" && request.path == "/metrics.json") {
+    // Scrape endpoint for fleet-wide aggregation: only THIS instance's
+    // instruments (label-matched), so merging scrapes from several nodes
+    // in one simulated process never double-counts the globals.
+    obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+    const std::string tag_only = "{" + metrics_label_ + "}";
+    const std::string tag_first = "{" + metrics_label_ + ",";
+    const auto foreign = [&](const std::string& name) {
+      return name.find(tag_only) == std::string::npos &&
+             name.find(tag_first) == std::string::npos;
+    };
+    std::erase_if(snap.counters,
+                  [&](const auto& c) { return foreign(c.name); });
+    std::erase_if(snap.gauges, [&](const auto& g) { return foreign(g.name); });
+    std::erase_if(snap.histograms,
+                  [&](const auto& h) { return foreign(h.name); });
+    net::HttpResponse response;
+    response.status = 200;
+    const std::string json = obs::DumpJson(snap);
+    response.body.assign(json.begin(), json.end());
+    return response;
+  }
+  obs::SpanContext ctx;
+  const obs::SpanContext* ctx_ptr = nullptr;
+  if (obs::DistTraceCollector::Global().enabled()) {
+    const auto it = request.headers.find(obs::kTraceparentHeader);
+    if (it != request.headers.end() &&
+        obs::ParseTraceparent(it->second, &ctx)) {
+      ctx_ptr = &ctx;
+    }
+  }
   for (const auto& [prefix, handler] : routes_) {
     if (request.path.rfind(prefix, 0) == 0) return handler(request, now);
   }
   const ServeResult result = request.method == "GET"
-                                 ? ServeGetPath(request.path, now)
-                                 : Serve(request.body, now);
+                                 ? ServeGetPath(request.path, now, ctx_ptr)
+                                 : Serve(request.body, now, ctx_ptr);
   net::HttpResponse response;
   response.status = result.http_status;
   if (result.body) response.body = *result.body;

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "net/simnet.h"
+#include "obs/distrace.h"
 #include "obs/metrics.h"
 #include "ocsp/responder.h"
 #include "serve/response_cache.h"
@@ -93,23 +94,34 @@ class Frontend {
   };
 
   // POST form: a DER OCSP request. Thread-safe; blocks until a combiner
-  // (possibly this thread) has produced the response.
-  ServeResult Serve(BytesView request_der, util::Timestamp now);
+  // (possibly this thread) has produced the response. A non-null `ctx`
+  // (the caller's distributed-trace context, usually extracted from the
+  // traceparent header by HandleHttp) records a server span for the
+  // request and tags the latency histogram bucket with the trace id as an
+  // exemplar.
+  ServeResult Serve(BytesView request_der, util::Timestamp now,
+                    const obs::SpanContext* ctx = nullptr);
 
   // RFC 6960 Appendix A GET form: "/{base64(request)}". Thread-safe.
-  ServeResult ServeGetPath(std::string_view path, util::Timestamp now);
+  ServeResult ServeGetPath(std::string_view path, util::Timestamp now,
+                           const obs::SpanContext* ctx = nullptr);
 
   // Batch entry point: admits and enqueues every request up front, then
   // drains the touched shards until all have completed. Results line up
   // index-for-index with `requests`. Shedding, malformed and unauthorized
   // handling are identical to per-request Serve — the batch path yields
-  // byte-identical bodies and identical counter totals.
+  // byte-identical bodies and identical counter totals. `ctx` covers the
+  // whole batch (one server span, one exemplar).
   std::vector<ServeResult> ServeBatch(const std::vector<BytesView>& requests,
-                                      util::Timestamp now);
+                                      util::Timestamp now,
+                                      const obs::SpanContext* ctx = nullptr);
 
-  // Adapter for net::SimNet host handlers (GET and POST). Also serves
-  // `GET /metrics`: the global obs::MetricsRegistry text exposition (this
-  // frontend's instruments carry the metrics_label() suffix).
+  // Adapter for net::SimNet host handlers (GET and POST). Also serves the
+  // observability exposition: `GET /metrics` is the global registry text
+  // dump; `GET /metrics.json` is the JSON exposition filtered to THIS
+  // instance's instruments (the scrape target for fleet-wide aggregation,
+  // see fleet/metricsview.h). A traceparent request header is extracted
+  // here and propagated into the serve path.
   net::HttpResponse HandleHttp(const net::HttpRequest& request,
                                util::Timestamp now);
 
@@ -228,8 +240,8 @@ class Frontend {
   ResponseCache::Entry SignFromRecord(
       const ocsp::Responder& responder, BytesView key,
       const std::optional<StatusIndex::Record>& record, util::Timestamp now);
-  ServeResult ServeParsed(const ocsp::OcspRequest& request,
-                          util::Timestamp now);
+  ServeResult ServeParsed(const ocsp::OcspRequest& request, util::Timestamp now,
+                          const obs::SpanContext* ctx);
   // Common tail of the single-request entry points: admission, enqueue on
   // the key's shard, drive the combiner protocol to completion, record
   // latency from `start`. The status key is built inline in the op from
@@ -239,7 +251,8 @@ class Frontend {
   ServeResult EnqueueOne(const ocsp::OcspRequest* request,
                          const ocsp::Responder* responder, BytesView serial,
                          bool cacheable, util::Timestamp now,
-                         std::chrono::steady_clock::time_point start);
+                         std::chrono::steady_clock::time_point start,
+                         const obs::SpanContext* ctx);
   // Combiner: pops batches off `shard`'s queue and processes them until the
   // queue is empty. Caller must hold the shard's drain lock.
   void DrainShard(std::size_t shard);

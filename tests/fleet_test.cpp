@@ -18,12 +18,15 @@
 
 #include "fleet/client.h"
 #include "fleet/health.h"
+#include "fleet/metricsview.h"
 #include "fleet/publisher.h"
 #include "fleet/replica.h"
 #include "fleet/ring.h"
 #include "fleet/snapshot.h"
 #include "net/fault.h"
 #include "net/simnet.h"
+#include "obs/distrace.h"
+#include "obs/metrics.h"
 #include "ocsp/ocsp.h"
 #include "ocsp/responder.h"
 #include "serve/frontend.h"
@@ -917,6 +920,126 @@ TEST(FleetSoak, ZeroWrongAnswersAndBitIdenticalAcrossThreadCounts) {
   const std::uint64_t total =
       static_cast<std::uint64_t>(kClients) * kTicks * kPerTick;
   EXPECT_GE(static_cast<double>(answered) / static_cast<double>(total), 0.999);
+}
+
+// ----------------------------------------------------- distributed traces --
+
+TEST(FleetTrace, FailoverQueryStitchesOneCausalTree) {
+  auto& collector = obs::DistTraceCollector::Global();
+  collector.Clear();
+  collector.Enable();
+
+  TestFleet fleet(3);
+  fleet.AddGood(1, 30);
+  fleet.authority_frontend.RebuildAll(kNow);
+  fleet.publisher.Publish(fleet.net, kNow);
+
+  std::uint64_t victim_serial = 0;
+  for (std::uint64_t s = 1; s <= 30; ++s) {
+    if (*fleet.ring.PrimaryFor(fleet.Key(s)) == fleet.replicas[0]->name()) {
+      victim_serial = s;
+      break;
+    }
+  }
+  ASSERT_NE(victim_serial, 0u);
+  net::FaultPlan plan(0xBEEF);
+  net::FaultRule outage;
+  outage.target = fleet.replicas[0]->name();
+  outage.kind = net::FaultKind::kOutage;
+  plan.AddRule(outage);
+  fleet.net.SetFaultPlan(&plan);
+
+  auto options = fleet.ClientOptions();
+  options.trace_seed = 0x7A11;
+  FleetClient client(&fleet.net, &fleet.ring, options);
+  collector.Clear();  // drop the publish-path spans; keep just the query
+  const auto result =
+      client.Query(fleet.Request(victim_serial), fleet.Key(victim_serial),
+                   kNow + 100);
+  collector.Disable();
+  ASSERT_TRUE(result.ok);
+  ASSERT_TRUE(result.failed_over);
+  ASSERT_TRUE(result.trace_id.valid());
+
+  // One trace holds the whole query: the root, one leg per replica tried,
+  // an exchange under each leg, and the surviving replica's server marker.
+  const auto spans = collector.SnapshotTrace(result.trace_id);
+  std::size_t roots = 0, legs = 0, exchanges = 0;
+  std::set<std::string> nodes;
+  std::uint64_t root_span = 0, root_dur = 0;
+  for (const auto& span : spans) {
+    nodes.insert(span.node);
+    const std::string_view name(span.name);
+    if (name == "fleet.query") {
+      ++roots;
+      root_span = span.span;
+      root_dur = span.dur_ns();
+    } else if (name == "fleet.attempt" || name == "fleet.hedge") {
+      ++legs;
+    } else if (name == "net.exchange") {
+      ++exchanges;
+    }
+  }
+  EXPECT_EQ(roots, 1u);
+  EXPECT_EQ(legs, static_cast<std::size_t>(result.replicas_tried));
+  EXPECT_GE(legs, 2u);  // the outage forced a second leg
+  EXPECT_EQ(exchanges, legs);
+  EXPECT_GE(nodes.size(), 3u);  // client + dead replica + surviving replica
+  for (const auto& span : spans)
+    if (std::string_view(span.name) != "fleet.query")
+      EXPECT_EQ(span.trace.lo, result.trace_id.lo);
+
+  // The critical path tiles the root span exactly, and the root's width is
+  // the client-observed latency (same 1% gate the fleet bench enforces).
+  const auto path = obs::CriticalPath(spans);
+  ASSERT_FALSE(path.empty());
+  std::uint64_t path_ns = 0;
+  for (const auto& segment : path) path_ns += segment.dur_ns();
+  EXPECT_EQ(path_ns, root_dur);
+  const double measured_ns = result.elapsed_seconds * 1e9;
+  EXPECT_NEAR(static_cast<double>(path_ns), measured_ns,
+              0.01 * measured_ns + 1.0);
+  EXPECT_NE(root_span, 0u);
+  collector.Clear();
+}
+
+TEST(FleetMetrics, ScrapeMergesPerFrontendExpositions) {
+  TestFleet fleet(3);
+  fleet.AddGood(1, 20);
+  fleet.authority_frontend.RebuildAll(kNow);
+  fleet.publisher.Publish(fleet.net, kNow);
+
+  FleetClient client(&fleet.net, &fleet.ring, fleet.ClientOptions());
+  constexpr std::uint64_t kQueries = 10;
+  for (std::uint64_t s = 1; s <= kQueries; ++s)
+    ASSERT_TRUE(client.Query(fleet.Request(s), fleet.Key(s), kNow + 10).ok);
+
+  std::vector<std::string> hosts;
+  for (const auto& replica : fleet.replicas) hosts.push_back(replica->name());
+  hosts.push_back("no-such-replica.fleet.sim");  // scrape failures are counted
+  const FleetMetricsView view =
+      ScrapeFleetMetrics(fleet.net, hosts, kNow + 20);
+  EXPECT_EQ(view.hosts_ok, fleet.replicas.size());
+  EXPECT_EQ(view.hosts_failed, 1u);
+  EXPECT_GT(view.scrape_bytes, 0u);
+
+  // Per-instance labels were stripped and merged: the fleet-wide request
+  // count is the sum over replicas, which answered every query exactly
+  // once each (no failovers in a healthy fleet).
+  std::uint64_t fleet_requests = 0;
+  bool found = false;
+  for (const auto& counter : view.merged.counters) {
+    if (counter.name == "serve.requests") {
+      found = true;
+      fleet_requests = counter.value;
+    }
+  }
+  ASSERT_TRUE(found);
+  EXPECT_GE(fleet_requests, kQueries);
+  std::uint64_t per_replica_sum = 0;
+  for (const auto& replica : fleet.replicas)
+    per_replica_sum += replica->frontend().counters().requests;
+  EXPECT_EQ(fleet_requests, per_replica_sum);
 }
 
 }  // namespace

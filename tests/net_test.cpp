@@ -7,6 +7,8 @@
 #include "net/retry.h"
 #include "net/simnet.h"
 #include "net/url.h"
+#include "obs/distrace.h"
+#include "obs/metrics.h"
 
 namespace rev::net {
 namespace {
@@ -537,6 +539,160 @@ TEST(CachingClient, RetriedFetchCountsExactlyOneMiss) {
   EXPECT_EQ(client.misses(), 1u);
   // The cumulative cost of all three attempts is reported on the result.
   EXPECT_GT(result.fetch.elapsed_seconds, 3.0);  // two 1s+2s waits + wire
+}
+
+// -------------------------------------------- fetch observability ----------
+
+TEST(SimNet, FetchStatusClassCountersTallyExactly) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter& c2xx = registry.GetCounter("net.fetch{class=2xx}");
+  obs::Counter& c4xx = registry.GetCounter("net.fetch{class=4xx}");
+  obs::Counter& c5xx = registry.GetCounter("net.fetch{class=5xx}");
+  obs::Counter& cerr = registry.GetCounter("net.fetch{class=err}");
+  obs::Counter& cbytes = registry.GetCounter("net.fetch.bytes");
+  const std::uint64_t base_2xx = c2xx.Value();
+  const std::uint64_t base_4xx = c4xx.Value();
+  const std::uint64_t base_5xx = c5xx.Value();
+  const std::uint64_t base_err = cerr.Value();
+  const std::uint64_t base_bytes = cbytes.Value();
+
+  SimNet net;
+  net.AddHost("classes.sim", [](const HttpRequest& request, util::Timestamp) {
+    HttpResponse response;
+    if (request.path == "/ok") {
+      response.body = {'h', 'i'};
+    } else if (request.path == "/missing") {
+      response.status = 404;
+    } else {
+      response.status = 503;
+    }
+    return response;
+  });
+
+  std::uint64_t transferred = 0;
+  const FetchResult ok = net.Get("http://classes.sim/ok", 1000);
+  transferred += ok.bytes_transferred;
+  const FetchResult ok2 = net.Get("http://classes.sim/ok", 1001);
+  transferred += ok2.bytes_transferred;
+  const FetchResult missing = net.Get("http://classes.sim/missing", 1002);
+  transferred += missing.bytes_transferred;
+  const FetchResult shed = net.Get("http://classes.sim/shed", 1003);
+  transferred += shed.bytes_transferred;
+  const FetchResult dns = net.Get("http://no-such-host.sim/", 1004);
+  transferred += dns.bytes_transferred;
+  ASSERT_EQ(dns.error, FetchError::kDnsFailure);
+
+  EXPECT_EQ(c2xx.Value() - base_2xx, 2u);
+  EXPECT_EQ(c4xx.Value() - base_4xx, 1u);
+  EXPECT_EQ(c5xx.Value() - base_5xx, 1u);
+  EXPECT_EQ(cerr.Value() - base_err, 1u);
+  EXPECT_EQ(cbytes.Value() - base_bytes, transferred);
+  EXPECT_GT(transferred, 0u);
+}
+
+TEST(SimNet, TraceparentRewritesPerExchangeAndRecordsSpan) {
+  obs::DistTraceCollector& collector = obs::DistTraceCollector::Global();
+  collector.Clear();
+  collector.Enable();
+
+  std::string seen_header;
+  SimNet net;
+  net.AddHost("traced.sim",
+              [&](const HttpRequest& request, util::Timestamp) {
+                const auto it = request.headers.find(obs::kTraceparentHeader);
+                if (it != request.headers.end()) seen_header = it->second;
+                return HttpResponse{};
+              });
+
+  const obs::TraceId trace = obs::MakeTraceId(0x7E57, 1);
+  const obs::SpanContext root{trace, obs::RootSpanId(trace)};
+  HttpRequest request;
+  request.host = "traced.sim";
+  request.path = "/";
+  request.headers[obs::kTraceparentHeader] = obs::FormatTraceparent(root);
+  const FetchResult result = net.Fetch(request, 2000);
+  collector.Disable();
+  ASSERT_TRUE(result.ok());
+
+  // The wire header is rewritten per exchange: same trace, new span id, so
+  // server-side spans parent under the hop that carried them.
+  ASSERT_FALSE(seen_header.empty());
+  EXPECT_NE(seen_header, request.headers[obs::kTraceparentHeader]);
+  obs::SpanContext on_wire;
+  ASSERT_TRUE(obs::ParseTraceparent(seen_header, &on_wire));
+  EXPECT_EQ(on_wire.trace.hi, trace.hi);
+  EXPECT_EQ(on_wire.trace.lo, trace.lo);
+  EXPECT_NE(on_wire.span, root.span);
+
+  const auto spans = collector.SnapshotTrace(trace);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "net.exchange");
+  EXPECT_STREQ(spans[0].node, "traced.sim");
+  EXPECT_EQ(spans[0].span, on_wire.span);
+  EXPECT_EQ(spans[0].parent, root.span);
+  EXPECT_EQ(spans[0].kind, obs::SpanKind::kClient);
+  EXPECT_EQ(spans[0].status, 200);
+  EXPECT_EQ(spans[0].start_ns, obs::VirtualNs(2000, 0));
+  EXPECT_EQ(spans[0].end_ns, obs::VirtualNs(2000, result.elapsed_seconds));
+  collector.Clear();
+}
+
+TEST(Retry, AttemptAndBackoffSpansCoverTheLadder) {
+  obs::DistTraceCollector& collector = obs::DistTraceCollector::Global();
+  collector.Clear();
+  collector.Enable();
+
+  int calls = 0;
+  SimNet net;
+  net.AddHost("flaky.sim", [&](const HttpRequest&, util::Timestamp) {
+    HttpResponse response;
+    if (++calls < 3) response.status = 503;
+    return response;
+  });
+
+  const obs::TraceId trace = obs::MakeTraceId(0x7E57, 2);
+  const obs::SpanContext root{trace, obs::RootSpanId(trace)};
+  HttpRequest request;
+  request.host = "flaky.sim";
+  request.path = "/";
+  request.headers[obs::kTraceparentHeader] = obs::FormatTraceparent(root);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.jitter = 0;
+  const RetryResult result = net::FetchWithRetry(net, request, 3000, policy);
+  collector.Disable();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.attempts, 3);
+
+  std::size_t attempts = 0, backoffs = 0, exchanges = 0;
+  const auto spans = collector.SnapshotTrace(trace);
+  // Exchanges are recorded before their enclosing attempt span closes, so
+  // collect the attempt ids up front.
+  std::vector<std::uint64_t> attempt_ids;
+  for (const auto& span : spans)
+    if (std::string_view(span.name) == "net.attempt")
+      attempt_ids.push_back(span.span);
+  for (const auto& span : spans) {
+    if (std::string_view(span.name) == "net.attempt") {
+      ++attempts;
+      EXPECT_EQ(span.parent, root.span);
+    } else if (std::string_view(span.name) == "net.backoff") {
+      ++backoffs;
+      EXPECT_EQ(span.parent, root.span);
+      EXPECT_GT(span.end_ns, span.start_ns);  // the wait has real width
+    } else if (std::string_view(span.name) == "net.exchange") {
+      ++exchanges;
+      // Every exchange hangs off one of the attempt spans.
+      bool under_attempt = false;
+      for (const std::uint64_t id : attempt_ids)
+        if (span.parent == id) under_attempt = true;
+      EXPECT_TRUE(under_attempt);
+    }
+  }
+  EXPECT_EQ(attempts, 3u);   // one per wire attempt
+  EXPECT_EQ(backoffs, 2u);   // one per wait between attempts
+  EXPECT_EQ(exchanges, 3u);  // each attempt carried one exchange
+  collector.Clear();
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 // under ThreadSanitizer.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <cstdint>
 #include <map>
@@ -15,7 +16,9 @@
 
 #include "net/cache.h"
 #include "net/simnet.h"
+#include "obs/distrace.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "ocsp/ocsp.h"
 #include "ocsp/responder.h"
@@ -614,6 +617,356 @@ TEST(Monotonic, ResponseCacheCountersSurviveRefreshAndEpochSwap) {
   frontend.Serve(request, kNow + 3);
   check_monotonic();
   EXPECT_EQ(cache.misses(), 1u);
+}
+
+// ------------------------------------------------- distributed tracing ----
+
+TEST(DistTrace, InternNameStableAcrossThreads) {
+  // The regression this pins: TraceEvent::name used to require string
+  // literals; dynamic names (e.g. "replica-3.fleet.sim") must intern to
+  // one stable pointer, no matter which thread interns first.
+  constexpr int kThreads = 8;
+  std::vector<const char*> seen(kThreads * 2);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&seen, t] {
+      const std::string dynamic = "obs.intern." + std::string("dynamic");
+      seen[t * 2] = InternName(dynamic);
+      seen[t * 2 + 1] = InternName("obs.intern.dynamic");
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const char* p : seen) {
+    EXPECT_EQ(p, seen[0]);
+    EXPECT_STREQ(p, "obs.intern.dynamic");
+  }
+  // Interning again later (different backing string) still dedupes.
+  EXPECT_EQ(InternName(std::string("obs.intern.") + "dynamic"), seen[0]);
+}
+
+TEST(DistTrace, TraceparentRoundTrip) {
+  const TraceId trace = MakeTraceId(0xDEAD, 0xBEEF);
+  const SpanContext context{trace, RootSpanId(trace)};
+  const std::string header = FormatTraceparent(context);
+  EXPECT_EQ(header.size(), 55u);  // "00-" + 32 + "-" + 16 + "-01"
+  SpanContext parsed;
+  ASSERT_TRUE(ParseTraceparent(header, &parsed));
+  EXPECT_EQ(parsed.trace.hi, context.trace.hi);
+  EXPECT_EQ(parsed.trace.lo, context.trace.lo);
+  EXPECT_EQ(parsed.span, context.span);
+
+  SpanContext reject;
+  EXPECT_FALSE(ParseTraceparent("", &reject));
+  EXPECT_FALSE(ParseTraceparent("garbage", &reject));
+  EXPECT_FALSE(ParseTraceparent(header.substr(0, 54), &reject));
+  std::string bad_hex = header;
+  bad_hex[5] = 'z';
+  EXPECT_FALSE(ParseTraceparent(bad_hex, &reject));
+}
+
+TEST(DistTrace, IdDerivationIsPure) {
+  const TraceId a = MakeTraceId(1, 2);
+  EXPECT_EQ(a.hi, MakeTraceId(1, 2).hi);
+  EXPECT_EQ(a.lo, MakeTraceId(1, 2).lo);
+  EXPECT_TRUE(a.valid());
+  const TraceId b = MakeTraceId(1, 3);
+  EXPECT_TRUE(a.hi != b.hi || a.lo != b.lo);
+
+  const SpanContext root{a, RootSpanId(a)};
+  EXPECT_EQ(DeriveSpanId(root, 42), DeriveSpanId(root, 42));
+  EXPECT_NE(DeriveSpanId(root, 42), DeriveSpanId(root, 43));
+  EXPECT_NE(DeriveSpanId(root, 42), root.span);
+}
+
+TEST(DistTrace, CriticalPathTilesHedgedTrace) {
+  // A hand-built hedged request: the losing leg spans the whole window,
+  // the winning hedge overlaps its tail. The extractor must tile the
+  // root's window exactly — segments sum to the root duration with no
+  // gaps — attributing overlap to the latest-ending deepest span.
+  const TraceId trace = MakeTraceId(7, 7);
+  std::vector<DistSpan> spans;
+  DistSpan root;
+  root.trace = trace;
+  root.span = 1;
+  root.parent = 0;
+  root.name = "fleet.query";
+  root.node = "client";
+  root.start_ns = 1'000;
+  root.end_ns = 2'000;
+  spans.push_back(root);
+  DistSpan losing = root;
+  losing.span = 2;
+  losing.parent = 1;
+  losing.name = "fleet.attempt";
+  losing.start_ns = 1'000;
+  losing.end_ns = 2'000;
+  spans.push_back(losing);
+  DistSpan exchange = losing;
+  exchange.span = 3;
+  exchange.parent = 2;
+  exchange.name = "net.exchange";
+  exchange.start_ns = 1'100;
+  exchange.end_ns = 1'900;
+  spans.push_back(exchange);
+  DistSpan hedge = root;
+  hedge.span = 4;
+  hedge.parent = 1;
+  hedge.name = "fleet.hedge";
+  hedge.start_ns = 1'600;
+  hedge.end_ns = 1'950;
+  spans.push_back(hedge);
+
+  const std::vector<PathSegment> path = CriticalPath(spans);
+  ASSERT_FALSE(path.empty());
+  std::uint64_t total = 0;
+  std::uint64_t cursor = root.start_ns;
+  for (const PathSegment& segment : path) {
+    EXPECT_EQ(segment.start_ns, cursor);  // gap-free tiling, in order
+    EXPECT_GE(segment.end_ns, segment.start_ns);
+    cursor = segment.end_ns;
+    total += segment.dur_ns();
+  }
+  EXPECT_EQ(cursor, root.end_ns);
+  EXPECT_EQ(total, root.end_ns - root.start_ns);
+}
+
+TEST(DistTrace, CollectorRoundTripsThroughDumpJson) {
+  DistTraceCollector& collector = DistTraceCollector::Global();
+  collector.Clear();
+  collector.Enable();
+  const TraceId trace = MakeTraceId(11, 12);
+  DistSpan span;
+  span.trace = trace;
+  span.span = RootSpanId(trace);
+  span.parent = 0;
+  span.name = InternName("obs.dump.root");
+  span.node = InternName("node-a");
+  span.kind = SpanKind::kClient;
+  span.status = 200;
+  span.start_ns = 5'000;
+  span.end_ns = 9'000;
+  collector.Record(span);
+  collector.Disable();
+
+  const std::string json = DistTraceCollector::DumpJson({span});
+  JsonValue parsed;
+  ASSERT_TRUE(JsonParser(json).Parse(parsed)) << json;
+  const auto& spans = parsed.at("spans").array;
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].at("trace").string, trace.Hex());
+  EXPECT_EQ(spans[0].at("name").string, "obs.dump.root");
+  EXPECT_EQ(spans[0].at("node").string, "node-a");
+  EXPECT_EQ(spans[0].at("kind").string, "client");
+  EXPECT_EQ(spans[0].at("dur_ns").number, 4'000);
+
+  const auto snap = collector.SnapshotTrace(trace);
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].span, span.span);
+  collector.Clear();
+}
+
+// ------------------------------------------------------------ exemplars ----
+
+TEST(Metrics, HistogramExemplarTagsBucketAndSurvivesJson) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Histogram& histogram =
+      registry.GetHistogram("test.exemplar_histogram");
+  const Exemplar first{0xAAAA, 0xBBBB};
+  const Exemplar second{0xCCCC, 0xDDDD};
+  histogram.Record(1);                          // bucket 1, no exemplar
+  histogram.RecordWithExemplar(1000, first);    // bucket 10
+  histogram.RecordWithExemplar(1001, second);   // same bucket: newest wins
+
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_FALSE(snap.exemplars[1].valid());
+  ASSERT_TRUE(snap.exemplars[10].valid());
+  EXPECT_EQ(snap.exemplars[10].trace_hi, second.trace_hi);
+  EXPECT_EQ(snap.exemplars[10].trace_lo, second.trace_lo);
+  EXPECT_EQ(snap.exemplars[10].Hex(), "000000000000cccc000000000000dddd");
+
+  // Exemplars survive the JSON exposition round trip...
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(ParseMetricsJson(registry.DumpJson(), &parsed));
+  const HistogramSnapshot* round = nullptr;
+  for (const auto& h : parsed.histograms)
+    if (h.name == "test.exemplar_histogram") round = &h.snapshot;
+  ASSERT_NE(round, nullptr);
+  EXPECT_EQ(round->count, snap.count);
+  ASSERT_TRUE(round->exemplars[10].valid());
+  EXPECT_EQ(round->exemplars[10].Hex(), snap.exemplars[10].Hex());
+
+  // ...and through a merge: a valid source exemplar replaces the target's.
+  MetricsSnapshot merged;
+  MergeSnapshot(&merged, parsed);
+  const HistogramSnapshot* merged_hist = nullptr;
+  for (const auto& h : merged.histograms)
+    if (h.name == "test.exemplar_histogram") merged_hist = &h.snapshot;
+  ASSERT_NE(merged_hist, nullptr);
+  EXPECT_EQ(merged_hist->exemplars[10].Hex(), snap.exemplars[10].Hex());
+}
+
+// ------------------------------------------------------------- escaping ----
+
+TEST(Metrics, ExpositionEscapesHostileLabelValues) {
+  // Label values carrying the exposition's own delimiters — '"', '{',
+  // '}' — must come back intact from DumpJson/ParseMetricsJson, and
+  // DumpJson must stay machine-parseable.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const std::string name = "test.escape{path=\"a{b}c\\\"d\"}";
+  registry.GetCounter(name).Add(77);
+
+  const std::string json = registry.DumpJson();
+  JsonValue parsed_json;
+  ASSERT_TRUE(JsonParser(json).Parse(parsed_json));
+
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(ParseMetricsJson(json, &parsed));
+  bool found = false;
+  for (const auto& c : parsed.counters) {
+    if (c.name == name) {
+      found = true;
+      EXPECT_EQ(c.value, 77);
+    }
+  }
+  EXPECT_TRUE(found) << json;
+
+  // The text exposition carries the name verbatim (it is line-, not
+  // quote-delimited, so no escaping is needed there).
+  EXPECT_EQ(ExpositionValue(registry.DumpText(), name), 77u);
+}
+
+// ------------------------------------------------------- SLO burn rates ----
+
+TEST(Slo, BurnRateFiresInStormWindowsOnly) {
+  const auto feed = [](SloMonitor& slo) {
+    slo.AddObjective({.name = "availability",
+                      .objective = 0.999,
+                      .window_seconds = 60,
+                      .short_windows = 1,
+                      .long_windows = 3,
+                      .burn_threshold = 4.0});
+    // Five clean minutes, three stormy ones, two clean again.
+    for (int w = 0; w < 5; ++w) slo.Record("availability", w * 60, 1000, 1000);
+    for (int w = 5; w < 8; ++w) slo.Record("availability", w * 60, 900, 1000);
+    for (int w = 8; w < 10; ++w)
+      slo.Record("availability", w * 60, 1000, 1000);
+  };
+  SloMonitor slo;
+  feed(slo);
+
+  const std::vector<SloMonitor::Alert> alerts = slo.AlertTimeline();
+  ASSERT_FALSE(alerts.empty());
+  for (const SloMonitor::Alert& alert : alerts) {
+    // Storm windows are [300, 480); the long (3-window) confirmation keeps
+    // the clean windows on either side silent, and the short window makes
+    // recovery immediate at window 8.
+    EXPECT_GE(alert.window_start, 5 * 60);
+    EXPECT_LT(alert.window_start, 8 * 60);
+    EXPECT_GT(alert.short_burn, 4.0);
+    EXPECT_GT(alert.long_burn, 4.0);
+  }
+
+  // The timeline is a pure function of the tallies: an identically fed
+  // monitor serializes byte-identically.
+  SloMonitor again;
+  feed(again);
+  EXPECT_EQ(slo.TimelineJson(), again.TimelineJson());
+  EXPECT_NE(slo.TimelineJson().find("\"alert_timeline\""), std::string::npos);
+}
+
+TEST(Slo, UnknownObjectiveAndEmptyWindowsAreSilent) {
+  SloMonitor slo;
+  slo.AddObjective({.name = "latency", .objective = 0.99});
+  slo.Record("nonexistent", 0, 0, 1000);  // ignored, not a crash
+  EXPECT_TRUE(slo.AlertTimeline().empty());
+  // Recording zero traffic never divides by zero or fires.
+  slo.Record("latency", 0, 0, 0);
+  EXPECT_TRUE(slo.AlertTimeline().empty());
+}
+
+// ---------------------------------------- exposition under concurrency ----
+
+TEST(ObsStress, MetricsEndpointsConcurrentWithServeBatch) {
+  const x509::Certificate issuer = MakeIssuerCert();
+  ocsp::Responder responder(issuer, crypto::SimKeyFromLabel("obs-issuer"));
+  constexpr std::size_t kCerts = 32;
+  for (std::size_t i = 0; i < kCerts; ++i)
+    responder.AddCertificate(x509::Serial{0x60, static_cast<std::uint8_t>(i)});
+
+  serve::Frontend frontend;
+  frontend.AttachResponder(&responder);
+  frontend.RebuildAll(kNow);
+
+  std::vector<Bytes> bodies;
+  for (std::size_t i = 0; i < kCerts; ++i)
+    bodies.push_back(EncodeRequestFor(
+        issuer, x509::Serial{0x60, static_cast<std::uint8_t>(i)}));
+
+  // Writers hammer the batch path while readers scrape both expositions
+  // through the same HandleHttp adapter — the TSan target for the scrape
+  // path (ci.sh runs ObsStress.* under -fsanitize=thread).
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  constexpr std::size_t kBatches = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t round = 0; round < kBatches; ++round) {
+        std::vector<BytesView> batch;
+        for (std::size_t i = 0; i < 8; ++i)
+          batch.push_back(bodies[(t * 13 + round + i) % kCerts]);
+        const auto results = frontend.ServeBatch(batch, kNow);
+        EXPECT_EQ(results.size(), batch.size());
+      }
+    });
+  }
+  std::atomic<std::uint64_t> scrapes{0};
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t round = 0; round < kBatches; ++round) {
+        net::HttpRequest text_request;
+        text_request.method = "GET";
+        text_request.path = "/metrics";
+        const net::HttpResponse text = frontend.HandleHttp(text_request, kNow);
+        EXPECT_EQ(text.status, 200);
+        EXPECT_FALSE(text.body.empty());
+        net::HttpRequest json_request;
+        json_request.method = "GET";
+        json_request.path = "/metrics.json";
+        const net::HttpResponse json = frontend.HandleHttp(json_request, kNow);
+        EXPECT_EQ(json.status, 200);
+        MetricsSnapshot snapshot;
+        EXPECT_TRUE(ParseMetricsJson(
+            std::string_view(reinterpret_cast<const char*>(json.body.data()),
+                             json.body.size()),
+            &snapshot));
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(scrapes.load(), kReaders * kBatches);
+
+  // Settled scrape agrees with the struct counters exactly.
+  net::HttpRequest final_request;
+  final_request.method = "GET";
+  final_request.path = "/metrics.json";
+  const net::HttpResponse final_json = frontend.HandleHttp(final_request, kNow);
+  MetricsSnapshot snapshot;
+  ASSERT_TRUE(ParseMetricsJson(
+      std::string_view(reinterpret_cast<const char*>(final_json.body.data()),
+                       final_json.body.size()),
+      &snapshot));
+  const std::string wanted = "serve.requests{" + frontend.metrics_label() + "}";
+  bool found = false;
+  for (const auto& c : snapshot.counters) {
+    if (c.name == wanted) {
+      found = true;
+      EXPECT_EQ(static_cast<std::uint64_t>(c.value),
+                frontend.counters().requests);
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 }  // namespace
