@@ -100,11 +100,11 @@ int Main() {
   // saw) cannot be cascade members by construction and are excluded.
   auto universe = std::make_shared<std::vector<Bytes>>();
   std::map<Bytes, util::Timestamp> expiry_by_key;
-  for (const auto& [fingerprint, record] : world.pipeline->records()) {
-    if (record.cert == nullptr) continue;
-    Bytes key =
-        cascade::CertKey(record.cert->tbs.issuer.Encode(), record.cert->tbs.serial);
-    expiry_by_key.emplace(key, record.cert->tbs.not_after);
+  const core::CertCorpus& corpus = world.pipeline->corpus();
+  for (core::CertCorpus::Row row = 0; row < corpus.size(); ++row) {
+    Bytes key = cascade::CertKey(corpus.name_der(corpus.issuer_id(row)),
+                                 corpus.serial(row));
+    expiry_by_key.emplace(key, corpus.not_after(row));
     universe->push_back(std::move(key));
   }
   std::sort(universe->begin(), universe->end());

@@ -181,7 +181,14 @@ struct World {
       BenchRun::Phase phase("world.scans");
       for (util::Timestamp t = c.study_start; t <= c.study_end;
            t += 7 * util::kSecondsPerDay) {
-        world.pipeline->IngestScan(scan::RunCertScan(world.eco->internet(), t));
+        // Streaming ingest: observations flow straight into the columnar
+        // corpus; the snapshot is never resident.
+        world.pipeline->BeginScan(t);
+        scan::StreamCertScan(world.eco->internet(), t,
+                             [&](const scan::CertObservation& obs) {
+                               world.pipeline->Observe(obs.chain);
+                             });
+        world.pipeline->EndScan();
         ++world.num_scans;
       }
       world.pipeline->Finalize();

@@ -55,15 +55,16 @@ int main() {
   // found 642 and queried each responder directly.
   core::RevocationCrawler crawler(&world.eco->net());
   std::size_t ocsp_only = 0, answered = 0, revoked = 0;
-  for (const core::CertRecord* record : world.pipeline->LeafSet()) {
-    if (!record->cert->tbs.crl_urls.empty() ||
-        record->cert->tbs.ocsp_urls.empty())
+  const core::CertCorpus& corpus = world.pipeline->corpus();
+  for (const core::CertCorpus::Row row : world.pipeline->LeafSet()) {
+    if (!corpus.crl_url_ids(row).empty() || corpus.ocsp_url_ids(row).empty())
       continue;
     ++ocsp_only;
+    // Cold path: the handful of OCSP-only certs are materialized on demand.
+    const x509::CertPtr cert = corpus.cert(row);
     for (const core::Ecosystem::CaEntry& entry : world.eco->cas()) {
-      if (!(entry.ca->cert()->tbs.subject == record->cert->tbs.issuer))
-        continue;
-      auto status = crawler.QueryOcsp(*record->cert, *entry.ca->cert(),
+      if (!(entry.ca->cert()->tbs.subject == cert->tbs.issuer)) continue;
+      auto status = crawler.QueryOcsp(*cert, *entry.ca->cert(),
                                       world.eco->config().study_end);
       if (status) {
         ++answered;

@@ -17,9 +17,13 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 echo "== TSan: thread pool, parallel pipeline, serving frontend, obs, chaos =="
 cmake -B build-tsan -S . -DREV_SANITIZE_THREAD=ON
-cmake --build build-tsan -j"$(nproc)" --target util_test core_test serve_test obs_test chaos_test cascade_test fleet_test bench_serve bench_fleet
+cmake --build build-tsan -j"$(nproc)" --target util_test core_test corpus_test serve_test obs_test chaos_test cascade_test fleet_test bench_serve bench_fleet
 ./build-tsan/tests/util_test --gtest_filter='ThreadPool.*:MpscQueue.*'
 ./build-tsan/tests/core_test --gtest_filter='Parallelism.*'
+# The corpus equivalence suite under TSan: the columnar store must match
+# the serial map-based reference byte for byte at 1 and 8 threads, with no
+# races in the batched Finalize() verification (docs/corpus.md).
+./build-tsan/tests/corpus_test
 # Full serve suite under TSan: includes the batch-vs-serial equivalence
 # tests (1 and 8 threads) and the attach-latch regression test, the two
 # raciest additions of the event-driven core.

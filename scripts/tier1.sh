@@ -38,6 +38,29 @@ grep -q '"wrong_answers": 0' "$smoke_dir"/BENCH_cascade.json || {
   echo "BENCH_cascade.json records wrong answers" >&2; exit 1; }
 rm -rf "$smoke_dir"
 
+# Paper-scale corpus smoke: bench_paper_scale at a reduced certificate
+# count, with the throughput floor and peak-RSS ceiling gates armed
+# (docs/corpus.md). The floor catches an accidental return to node-per-cert
+# storage or per-cert re-parsing on the ingest path; the ceiling catches a
+# memory regression in the arena/column layout. The bench exits non-zero on
+# a gate violation.
+paper_dir=$(mktemp -d)
+( cd "$paper_dir" &&
+  REV_PAPER_CERTS=200000 REV_PAPER_SCANS=4 REV_PAPER_FLOOR=15000 \
+    REV_PAPER_RSS_MB=600 "$OLDPWD"/build/bench/bench_paper_scale \
+    > bench_paper_scale.out ) || {
+  echo "bench_paper_scale smoke failed its certs/sec or RSS gates" >&2
+  exit 1; }
+grep -q "gates OK" "$paper_dir"/bench_paper_scale.out || {
+  echo "bench_paper_scale did not report its gates" >&2; exit 1; }
+grep -q '"ingest_certs_per_sec"' "$paper_dir"/BENCH_paper_scale.json || {
+  echo "BENCH_paper_scale.json is missing the throughput field" >&2; exit 1; }
+grep -q '"peak_rss_mb"' "$paper_dir"/BENCH_paper_scale.json || {
+  echo "BENCH_paper_scale.json is missing the peak-RSS field" >&2; exit 1; }
+grep -q '"slo": {' "$paper_dir"/BENCH_paper_scale.json || {
+  echo "BENCH_paper_scale.json is missing the slo block" >&2; exit 1; }
+rm -rf "$paper_dir"
+
 # Fixed-seed fleet-failover smoke: the replicated serving layer's client
 # failover, hedging, and storm soak at the pinned chaos seed — zero wrong
 # answers and bit-identity across thread counts (docs/fleet.md).
@@ -66,4 +89,4 @@ grep -q "serve.request" "$trace_dir"/trees.txt || {
   echo "stitched trees never crossed onto a replica node" >&2; exit 1; }
 rm -rf "$trace_dir"
 
-echo "tier-1 OK (unit suites + TSan determinism + chaos smoke + cascade smoke + fleet failover smoke + stitched-trace smoke)"
+echo "tier-1 OK (unit suites + TSan determinism + chaos smoke + cascade smoke + paper-scale corpus smoke + fleet failover smoke + stitched-trace smoke)"

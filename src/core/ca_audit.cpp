@@ -7,26 +7,57 @@
 
 namespace rev::core {
 
+namespace {
+
+// Per-URL-id memo of net::IsFetchable over the corpus's interned URL table:
+// each distinct URL is classified once, not once per referencing row.
+class FetchableMemo {
+ public:
+  explicit FetchableMemo(const CertCorpus& corpus)
+      : corpus_(corpus), memo_(corpus.num_urls(), kUnknown) {}
+
+  bool operator()(std::uint32_t url_id) {
+    std::int8_t& slot = memo_[url_id];
+    if (slot == kUnknown)
+      slot = net::IsFetchable(std::string(corpus_.url(url_id))) ? 1 : 0;
+    return slot == 1;
+  }
+
+  bool AnyFetchable(std::span<const std::uint32_t> ids) {
+    for (const std::uint32_t id : ids)
+      if ((*this)(id)) return true;
+    return false;
+  }
+
+ private:
+  static constexpr std::int8_t kUnknown = -1;
+  const CertCorpus& corpus_;
+  std::vector<std::int8_t> memo_;
+};
+
+}  // namespace
+
 DatasetStats ComputeDatasetStats(const Pipeline& pipeline) {
+  const CertCorpus& corpus = pipeline.corpus();
   DatasetStats stats;
-  stats.unique_certs = pipeline.records().size();
+  stats.unique_certs = corpus.size();
   stats.intermediate_set = pipeline.IntermediateSet().size();
 
+  FetchableMemo fetchable(corpus);
+  for (const CertCorpus::Row row : pipeline.LeafSet()) {
+    ++stats.leaf_set;
+    if (corpus.in_latest_scan(row)) ++stats.leaf_still_advertised;
+    const bool crl = fetchable.AnyFetchable(corpus.crl_url_ids(row));
+    const bool ocsp = fetchable.AnyFetchable(corpus.ocsp_url_ids(row));
+    if (crl) ++stats.leaf_with_crl;
+    if (ocsp) ++stats.leaf_with_ocsp;
+    if (!crl && !ocsp) ++stats.leaf_unrevocable;
+  }
   auto has_fetchable = [](const std::vector<std::string>& urls) {
     for (const std::string& url : urls)
       if (net::IsFetchable(url)) return true;
     return false;
   };
-
-  for (const CertRecord* record : pipeline.LeafSet()) {
-    ++stats.leaf_set;
-    if (record->in_latest_scan) ++stats.leaf_still_advertised;
-    const bool crl = has_fetchable(record->cert->tbs.crl_urls);
-    const bool ocsp = has_fetchable(record->cert->tbs.ocsp_urls);
-    if (crl) ++stats.leaf_with_crl;
-    if (ocsp) ++stats.leaf_with_ocsp;
-    if (!crl && !ocsp) ++stats.leaf_unrevocable;
-  }
   for (const x509::CertPtr& cert : pipeline.IntermediateSet()) {
     const bool crl = has_fetchable(cert->tbs.crl_urls);
     const bool ocsp = has_fetchable(cert->tbs.ocsp_urls);
@@ -40,6 +71,7 @@ DatasetStats ComputeDatasetStats(const Pipeline& pipeline) {
 std::vector<CrlSizeSample> CollectCrlSizes(const RevocationCrawler& crawler,
                                            const Pipeline& pipeline,
                                            const Ecosystem& eco) {
+  const CertCorpus& corpus = pipeline.corpus();
   std::map<std::string, CrlSizeSample> by_url;
   for (const auto& [url, crawled] : crawler.crawled()) {
     CrlSizeSample sample;
@@ -50,14 +82,26 @@ std::vector<CrlSizeSample> CollectCrlSizes(const RevocationCrawler& crawler,
     by_url.emplace(url, std::move(sample));
   }
 
+  // URL id -> sample, resolved once per distinct URL (map nodes are
+  // pointer-stable; nullptr marks ids with no crawled CRL).
+  std::vector<CrlSizeSample*> by_id(corpus.num_urls(), nullptr);
+  std::vector<bool> resolved(corpus.num_urls(), false);
+  auto sample_for = [&](std::uint32_t url_id) -> CrlSizeSample* {
+    if (!resolved[url_id]) {
+      resolved[url_id] = true;
+      auto it = by_url.find(std::string(corpus.url(url_id)));
+      by_id[url_id] = it == by_url.end() ? nullptr : &it->second;
+    }
+    return by_id[url_id];
+  };
+
   // Weight: each Leaf Set certificate contributes 1 to its smallest CRL.
-  for (const CertRecord* record : pipeline.LeafSet()) {
+  for (const CertCorpus::Row row : pipeline.LeafSet()) {
     CrlSizeSample* smallest = nullptr;
-    for (const std::string& url : record->cert->tbs.crl_urls) {
-      auto it = by_url.find(url);
-      if (it == by_url.end()) continue;
-      if (!smallest || it->second.bytes < smallest->bytes)
-        smallest = &it->second;
+    for (const std::uint32_t url_id : corpus.crl_url_ids(row)) {
+      CrlSizeSample* sample = sample_for(url_id);
+      if (!sample) continue;
+      if (!smallest || sample->bytes < smallest->bytes) smallest = sample;
     }
     if (smallest) smallest->cert_weight += 1;
   }
@@ -81,8 +125,9 @@ CrlSizeDistributions BuildCrlSizeDistributions(
 
 std::vector<CaStatsRow> ComputeTable1(const std::vector<CrlSizeSample>& samples,
                                       const Pipeline& pipeline,
-                                      const RevocationCrawler& crawler,
-                                      const Ecosystem& eco) {
+                                      const RevocationDb& db,
+                                      const CaNameResolver& ca_name_for_url) {
+  const CertCorpus& corpus = pipeline.corpus();
   struct Agg {
     std::size_t num_crls = 0;
     std::size_t total_certs = 0;
@@ -101,18 +146,29 @@ std::vector<CaStatsRow> ComputeTable1(const std::vector<CrlSizeSample>& samples,
     agg.weight += sample.cert_weight;
   }
 
-  for (const CertRecord* record : pipeline.LeafSet()) {
+  // URL id -> CA name, resolved once per distinct URL.
+  std::vector<std::string> name_memo(corpus.num_urls());
+  std::vector<bool> name_resolved(corpus.num_urls(), false);
+  auto name_for = [&](std::uint32_t url_id) -> const std::string& {
+    if (!name_resolved[url_id]) {
+      name_resolved[url_id] = true;
+      name_memo[url_id] = ca_name_for_url(std::string(corpus.url(url_id)));
+    }
+    return name_memo[url_id];
+  };
+
+  for (const CertCorpus::Row row : pipeline.LeafSet()) {
     std::string ca_name;
-    for (const std::string& url : record->cert->tbs.crl_urls) {
-      ca_name = eco.CaNameForUrl(url);
+    for (const std::uint32_t url_id : corpus.crl_url_ids(row)) {
+      ca_name = name_for(url_id);
       if (!ca_name.empty()) break;
     }
-    if (ca_name.empty() && !record->cert->tbs.ocsp_urls.empty())
-      ca_name = eco.CaNameForUrl(record->cert->tbs.ocsp_urls.front());
+    const std::span<const std::uint32_t> ocsp = corpus.ocsp_url_ids(row);
+    if (ca_name.empty() && !ocsp.empty()) ca_name = name_for(ocsp.front());
     if (ca_name.empty()) continue;
     Agg& agg = by_ca[ca_name];
     ++agg.total_certs;
-    if (crawler.Lookup(record->cert->tbs.issuer, record->cert->tbs.serial))
+    if (db.Lookup(corpus.name_der(corpus.issuer_id(row)), corpus.serial(row)))
       ++agg.revoked;
   }
 

@@ -1,16 +1,29 @@
 // CA-side measurements: dataset composition (§3), CRL sizes (Fig. 5 and
 // Fig. 6), and the per-CA Table 1 statistics.
+//
+// The analyses read the pipeline's columnar corpus (interned URL ids, view
+// serial/issuer columns) — no certificate objects are materialized. The
+// primary ComputeTable1 takes a bare RevocationDb plus a CA-name resolver so
+// the paper-scale bench can run it against a synthesized database; the
+// (crawler, eco) signature delegates.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/crawler.h"
 #include "core/ecosystem.h"
 #include "core/pipeline.h"
+#include "core/revocation_db.h"
 #include "util/stats.h"
 
 namespace rev::core {
+
+// Maps a distribution-point / responder URL to the display name of the CA
+// operating it ("" = unknown). Ecosystem::CaNameForUrl wrapped in a
+// std::function, so analyses don't need a whole Ecosystem.
+using CaNameResolver = std::function<std::string(const std::string&)>;
 
 // §3.1/§3.2 dataset statistics.
 struct DatasetStats {
@@ -64,7 +77,15 @@ struct CaStatsRow {
 
 std::vector<CaStatsRow> ComputeTable1(const std::vector<CrlSizeSample>& samples,
                                       const Pipeline& pipeline,
-                                      const RevocationCrawler& crawler,
-                                      const Ecosystem& eco);
+                                      const RevocationDb& db,
+                                      const CaNameResolver& ca_name_for_url);
+
+inline std::vector<CaStatsRow> ComputeTable1(
+    const std::vector<CrlSizeSample>& samples, const Pipeline& pipeline,
+    const RevocationCrawler& crawler, const Ecosystem& eco) {
+  return ComputeTable1(
+      samples, pipeline, crawler.db(),
+      [&eco](const std::string& url) { return eco.CaNameForUrl(url); });
+}
 
 }  // namespace rev::core

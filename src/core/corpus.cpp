@@ -1,0 +1,274 @@
+#include "core/corpus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace rev::core {
+
+namespace {
+
+BytesView AsBytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace
+
+CertCorpus::Row CertCorpus::Find(BytesView fingerprint) const {
+  const std::uint64_t hash = FingerprintIndex::HashOf(fingerprint);
+  return index_.Find(hash, [&](std::uint32_t row) {
+    const BytesView stored = this->fingerprint(row);
+    return stored.size() == fingerprint.size() &&
+           std::memcmp(stored.data(), fingerprint.data(), stored.size()) == 0;
+  });
+}
+
+CertCorpus::UrlRef CertCorpus::InternUrlLists(
+    const std::vector<std::uint32_t>& crl_ids,
+    const std::vector<std::uint32_t>& ocsp_ids) {
+  auto key = std::make_pair(crl_ids, ocsp_ids);
+  auto it = url_list_cache_.find(key);
+  if (it != url_list_cache_.end()) return it->second;
+  UrlRef ref;
+  ref.offset = static_cast<std::uint32_t>(url_pool_.size());
+  ref.num_crl = static_cast<std::uint16_t>(crl_ids.size());
+  ref.num_ocsp = static_cast<std::uint16_t>(ocsp_ids.size());
+  url_pool_.insert(url_pool_.end(), crl_ids.begin(), crl_ids.end());
+  url_pool_.insert(url_pool_.end(), ocsp_ids.begin(), ocsp_ids.end());
+  url_list_cache_.emplace(std::move(key), ref);
+  return ref;
+}
+
+CertCorpus::Row CertCorpus::AppendRow(BytesView fingerprint, const DerRef& ref,
+                                      const x509::CertView& view) {
+  assert(refs_.size() < kNoRow);
+  const Row row = static_cast<Row>(refs_.size());
+
+  fps_.insert(fps_.end(), fingerprint.begin(), fingerprint.end());
+  refs_.push_back(ref);
+
+  issuer_id_.push_back(names_.Intern(view.issuer_der));
+  subject_id_.push_back(names_.Intern(view.subject_der));
+
+  std::vector<std::uint32_t> crl_ids;
+  crl_ids.reserve(view.crl_urls.size());
+  for (std::string_view u : view.crl_urls) crl_ids.push_back(urls_.Intern(u));
+  std::vector<std::uint32_t> ocsp_ids;
+  ocsp_ids.reserve(view.ocsp_urls.size());
+  for (std::string_view u : view.ocsp_urls) ocsp_ids.push_back(urls_.Intern(u));
+  url_ref_.push_back(InternUrlLists(crl_ids, ocsp_ids));
+
+  not_before_.push_back(view.not_before);
+  not_after_.push_back(view.not_after);
+  first_seen_.push_back(0);
+  last_seen_.push_back(0);
+  observations_.push_back(0);
+  latest_epoch_.push_back(0);
+  sig_type_.push_back(static_cast<std::uint8_t>(view.sig_type));
+  std::uint8_t flags = 0;
+  if (view.is_ca) flags |= kFlagCa;
+  if (view.is_ev) flags |= kFlagEv;
+  flags_.push_back(flags);
+  valid_.push_back(0);
+
+  index_.Insert(FingerprintIndex::HashOf(fingerprint), row);
+  return row;
+}
+
+CertCorpus::Row CertCorpus::Intern(const x509::CertPtr& cert) {
+  const Bytes& fp = cert->Fingerprint();
+  const Row existing = Find(fp);
+  if (existing != kNoRow) return existing;
+
+  const BytesView arena_der = arena_.Copy(cert->der);
+  DerRef ref;
+  ref.base = arena_der.data();
+  ref.der_len = static_cast<std::uint32_t>(arena_der.size());
+
+  if (auto view = x509::ParseCertView(arena_der)) {
+    ref.tbs_off =
+        static_cast<std::uint32_t>(view->tbs_der.data() - arena_der.data());
+    ref.tbs_len = static_cast<std::uint32_t>(view->tbs_der.size());
+    ref.sig_off =
+        static_cast<std::uint32_t>(view->signature.data() - arena_der.data());
+    ref.sig_len = static_cast<std::uint16_t>(view->signature.size());
+    ref.serial_off =
+        static_cast<std::uint32_t>(view->serial.data() - arena_der.data());
+    ref.serial_len = static_cast<std::uint16_t>(view->serial.size());
+    return AppendRow(fp, ref, *view);
+  }
+
+  // Fallback: the DER does not view-parse (hand-built Certificate objects in
+  // tests can carry unparseable bytes). Append the parsed pieces behind the
+  // DER in one stable block and synthesize the view from the parsed object.
+  const Bytes issuer_der = cert->tbs.issuer.Encode();
+  const Bytes subject_der = cert->tbs.subject.Encode();
+  const std::size_t total = cert->der.size() + cert->tbs_der.size() +
+                            cert->signature.size() + cert->tbs.serial.size();
+  std::span<std::uint8_t> block = arena_.Allocate(total);
+  std::uint8_t* p = block.data();
+  auto append = [&p](const Bytes& b) {
+    if (!b.empty()) std::memcpy(p, b.data(), b.size());
+    p += b.size();
+  };
+  // The arena_der copy above is abandoned (a few hundred wasted bytes on a
+  // path only tests hit); the block is self-contained.
+  append(cert->der);
+  append(cert->tbs_der);
+  append(cert->signature);
+  append(cert->tbs.serial);
+
+  ref.base = block.data();
+  ref.der_len = static_cast<std::uint32_t>(cert->der.size());
+  ref.tbs_off = ref.der_len;
+  ref.tbs_len = static_cast<std::uint32_t>(cert->tbs_der.size());
+  ref.sig_off = ref.tbs_off + ref.tbs_len;
+  ref.sig_len = static_cast<std::uint16_t>(cert->signature.size());
+  ref.serial_off = ref.sig_off + ref.sig_len;
+  ref.serial_len = static_cast<std::uint16_t>(cert->tbs.serial.size());
+
+  x509::CertView view;
+  view.der = BytesView{block.data(), ref.der_len};
+  view.tbs_der = BytesView{block.data() + ref.tbs_off, ref.tbs_len};
+  view.signature = BytesView{block.data() + ref.sig_off, ref.sig_len};
+  view.serial = BytesView{block.data() + ref.serial_off, ref.serial_len};
+  view.issuer_der = issuer_der;
+  view.subject_der = subject_der;
+  view.not_before = cert->tbs.not_before;
+  view.not_after = cert->tbs.not_after;
+  view.sig_type = cert->sig_type;
+  view.is_ca = cert->IsCa();
+  view.is_ev = cert->IsEv();
+  for (const std::string& u : cert->tbs.crl_urls) view.crl_urls.push_back(u);
+  for (const std::string& u : cert->tbs.ocsp_urls) view.ocsp_urls.push_back(u);
+  return AppendRow(fp, ref, view);
+}
+
+CertCorpus::Row CertCorpus::InternDer(BytesView der) {
+  // Validate against the caller's buffer BEFORE touching any corpus state:
+  // a rejected certificate must leave the store bit-identical.
+  const auto probe = x509::ParseCertView(der);
+  if (!probe) return kNoRow;
+
+  const crypto::Sha256Digest digest = crypto::Sha256::Hash(der);
+  const BytesView fp{digest.data(), digest.size()};
+  const Row existing = Find(fp);
+  if (existing != kNoRow) return existing;
+
+  const BytesView arena_der = arena_.Copy(der);
+  // Rebase the views onto the arena copy by offset arithmetic — the copy is
+  // byte-identical, so no second parse is needed.
+  const auto off = [&](BytesView field) {
+    return static_cast<std::uint32_t>(field.data() - der.data());
+  };
+  DerRef ref;
+  ref.base = arena_der.data();
+  ref.der_len = static_cast<std::uint32_t>(arena_der.size());
+  ref.tbs_off = off(probe->tbs_der);
+  ref.tbs_len = static_cast<std::uint32_t>(probe->tbs_der.size());
+  ref.sig_off = off(probe->signature);
+  ref.sig_len = static_cast<std::uint16_t>(probe->signature.size());
+  ref.serial_off = off(probe->serial);
+  ref.serial_len = static_cast<std::uint16_t>(probe->serial.size());
+
+  x509::CertView view = *probe;
+  view.der = arena_der;
+  view.tbs_der = BytesView{arena_der.data() + ref.tbs_off, ref.tbs_len};
+  view.signature = BytesView{arena_der.data() + ref.sig_off, ref.sig_len};
+  view.serial = BytesView{arena_der.data() + ref.serial_off, ref.serial_len};
+  // issuer/subject/url views still alias the caller buffer; AppendRow interns
+  // (copies) them, so that is safe.
+  return AppendRow(fp, ref, view);
+}
+
+x509::CertPtr CertCorpus::cert(Row r) const {
+  {
+    std::lock_guard<std::mutex> lock(cert_mu_);
+    auto it = cert_cache_.find(r);
+    if (it != cert_cache_.end()) return it->second;
+  }
+  auto parsed = x509::ParseCertificate(der(r));
+  x509::CertPtr ptr =
+      parsed ? std::make_shared<const x509::Certificate>(*std::move(parsed))
+             : nullptr;
+  std::lock_guard<std::mutex> lock(cert_mu_);
+  auto [it, inserted] = cert_cache_.emplace(r, std::move(ptr));
+  return it->second;
+}
+
+std::vector<CertCorpus::Row> CertCorpus::RowsByFingerprint() const {
+  // The sorted order is cached: at paper scale every analysis pass calls
+  // LeafSet(), and re-sorting 38M rows each time would dominate. AppendRow
+  // invalidates the cache; not safe against concurrent ingest (no reader of
+  // this order runs during ingest).
+  if (sorted_rows_.size() != size()) {
+    std::vector<Row> rows(size());
+    for (Row r = 0; r < rows.size(); ++r) rows[r] = r;
+    const std::uint8_t* fps = fps_.data();
+    std::sort(rows.begin(), rows.end(), [fps](Row a, Row b) {
+      return std::memcmp(fps + std::size_t{a} * 32, fps + std::size_t{b} * 32,
+                         32) < 0;
+    });
+    sorted_rows_ = std::move(rows);
+  }
+  return sorted_rows_;
+}
+
+std::size_t CertCorpus::column_bytes() const {
+  return fps_.size() + refs_.size() * sizeof(DerRef) +
+         issuer_id_.size() * 4 + subject_id_.size() * 4 +
+         url_ref_.size() * sizeof(UrlRef) + url_pool_.size() * 4 +
+         not_before_.size() * 8 + not_after_.size() * 8 +
+         first_seen_.size() * 8 + last_seen_.size() * 8 +
+         observations_.size() * 8 + latest_epoch_.size() * 4 +
+         sig_type_.size() + flags_.size() + valid_.size();
+}
+
+bool CertCorpus::CheckInvariants() const {
+  const std::size_t n = size();
+  if (fps_.size() != n * 32 || issuer_id_.size() != n ||
+      subject_id_.size() != n || url_ref_.size() != n ||
+      not_before_.size() != n || not_after_.size() != n ||
+      first_seen_.size() != n || last_seen_.size() != n ||
+      observations_.size() != n || latest_epoch_.size() != n ||
+      sig_type_.size() != n || flags_.size() != n || valid_.size() != n)
+    return false;
+  if (index_.size() != n) return false;
+
+  for (Row r = 0; r < n; ++r) {
+    const DerRef& ref = refs_[r];
+    if (ref.base == nullptr || ref.der_len == 0) return false;
+    // tbs/sig/serial must land inside the row's block (der plus any
+    // fallback appendix — offsets are monotone on that path).
+    const std::uint64_t block_end =
+        std::max<std::uint64_t>(ref.der_len,
+                                std::uint64_t{ref.serial_off} + ref.serial_len);
+    if (std::uint64_t{ref.tbs_off} + ref.tbs_len > block_end) return false;
+    if (std::uint64_t{ref.sig_off} + ref.sig_len > block_end) return false;
+
+    const crypto::Sha256Digest digest = crypto::Sha256::Hash(der(r));
+    if (std::memcmp(digest.data(), fps_.data() + std::size_t{r} * 32, 32) != 0)
+      return false;
+    if (Find(BytesView{digest.data(), digest.size()}) != r) return false;
+
+    if (issuer_id_[r] >= names_.size() || subject_id_[r] >= names_.size())
+      return false;
+    for (std::uint32_t id : crl_url_ids(r))
+      if (id >= urls_.size()) return false;
+    for (std::uint32_t id : ocsp_url_ids(r))
+      if (id >= urls_.size()) return false;
+    const UrlRef& uref = url_ref_[r];
+    if (std::size_t{uref.offset} + uref.num_crl + uref.num_ocsp >
+        url_pool_.size())
+      return false;
+  }
+
+  // Interned names must round-trip through Find.
+  for (std::uint32_t id = 0; id < names_.size(); ++id)
+    if (names_.Find(AsBytes(names_.Get(id))) != id) return false;
+  return true;
+}
+
+}  // namespace rev::core

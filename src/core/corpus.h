@@ -1,0 +1,226 @@
+// The paper-scale certificate store (ROADMAP item 2): a struct-of-arrays
+// columnar corpus replacing Pipeline's node-per-cert std::map<Bytes,
+// CertRecord> of heap CertPtrs.
+//
+// Layout (docs/corpus.md has the full diagram and invariants):
+//   - DER bytes live in a util::Arena (chunked, pointer-stable: views never
+//     dangle as rows are appended);
+//   - tbs/signature/serial are offsets into each row's arena block, not
+//     copies;
+//   - issuer/subject name DER and CRL/OCSP URLs are interned
+//     (util::StringInterner) — columns hold 4-byte ids;
+//   - lifetimes/observations/flags are fixed-width columns, contiguous for
+//     ParallelFor;
+//   - a fingerprint-keyed open-addressing index (FingerprintIndex) maps
+//     SHA-256 fingerprints to rows;
+//   - the "in latest scan" view is epoch-based: starting a newer scan is one
+//     counter bump, not an O(rows) flag sweep.
+//
+// Certificate *objects* are materialized lazily: cert(row) re-parses the
+// arena DER on demand and caches the result (used for the few hundred CA
+// rows and cold paths like OCSP queries; the analyses read columns).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/fingerprint_index.h"
+#include "util/arena.h"
+#include "util/bytes.h"
+#include "util/interner.h"
+#include "util/time.h"
+#include "x509/certificate.h"
+#include "x509/verify.h"
+#include "x509/view.h"
+
+namespace rev::core {
+
+class CertCorpus {
+ public:
+  using Row = std::uint32_t;
+  static constexpr Row kNoRow = 0xFFFF'FFFFu;
+
+  // Interns a parsed certificate (dedup by fingerprint); returns its row.
+  Row Intern(const x509::CertPtr& cert);
+
+  // Interns raw DER (the streaming-ingest path): view-parses, dedups, and
+  // copies into the arena. Returns kNoRow on malformed input, leaving the
+  // corpus untouched (fuzz-tested invariant).
+  Row InternDer(BytesView der);
+
+  // Row for a fingerprint, or kNoRow.
+  Row Find(BytesView fingerprint) const;
+
+  std::size_t size() const { return refs_.size(); }
+
+  // Identity / bytes ---------------------------------------------------------
+  BytesView fingerprint(Row r) const {
+    return {fps_.data() + std::size_t{r} * 32, 32};
+  }
+  BytesView der(Row r) const {
+    const DerRef& ref = refs_[r];
+    return {ref.base, ref.der_len};
+  }
+  BytesView tbs_der(Row r) const {
+    const DerRef& ref = refs_[r];
+    return {ref.base + ref.tbs_off, ref.tbs_len};
+  }
+  BytesView signature(Row r) const {
+    const DerRef& ref = refs_[r];
+    return {ref.base + ref.sig_off, ref.sig_len};
+  }
+  BytesView serial(Row r) const {
+    const DerRef& ref = refs_[r];
+    return {ref.base + ref.serial_off, ref.serial_len};
+  }
+  crypto::KeyType sig_type(Row r) const {
+    return static_cast<crypto::KeyType>(sig_type_[r]);
+  }
+
+  // Interned names / URLs ----------------------------------------------------
+  std::uint32_t issuer_id(Row r) const { return issuer_id_[r]; }
+  std::uint32_t subject_id(Row r) const { return subject_id_[r]; }
+  BytesView name_der(std::uint32_t name_id) const {
+    return names_.GetBytes(name_id);
+  }
+  std::size_t num_names() const { return names_.size(); }
+  // Id for a name DER if interned (i.e. referenced by any row), else
+  // util::StringInterner::kInvalidId.
+  std::uint32_t FindName(BytesView name_der) const {
+    return names_.Find(name_der);
+  }
+
+  std::span<const std::uint32_t> crl_url_ids(Row r) const {
+    const UrlRef& ref = url_ref_[r];
+    return {url_pool_.data() + ref.offset, ref.num_crl};
+  }
+  std::span<const std::uint32_t> ocsp_url_ids(Row r) const {
+    const UrlRef& ref = url_ref_[r];
+    return {url_pool_.data() + ref.offset + ref.num_crl, ref.num_ocsp};
+  }
+  std::string_view url(std::uint32_t url_id) const { return urls_.Get(url_id); }
+  std::size_t num_urls() const { return urls_.size(); }
+
+  // Fixed-width columns ------------------------------------------------------
+  util::Timestamp not_before(Row r) const { return not_before_[r]; }
+  util::Timestamp not_after(Row r) const { return not_after_[r]; }
+  bool is_ca(Row r) const { return (flags_[r] & kFlagCa) != 0; }
+  bool is_ev(Row r) const { return (flags_[r] & kFlagEv) != 0; }
+
+  bool valid(Row r) const { return valid_[r] != 0; }
+  // Per-row byte column: safe for concurrent ParallelFor writers that each
+  // own disjoint rows.
+  void set_valid(Row r, bool v) { valid_[r] = v ? 1 : 0; }
+
+  util::Timestamp first_seen(Row r) const { return first_seen_[r]; }
+  util::Timestamp last_seen(Row r) const { return last_seen_[r]; }
+  std::uint64_t observations(Row r) const { return observations_[r]; }
+  bool in_latest_scan(Row r) const {
+    return latest_epoch_[r] == current_epoch_;
+  }
+
+  // Ingest mutators (driven by Pipeline) -------------------------------------
+  // Folds a sighting at `t` (> 0) into the lifetime columns.
+  void FoldSeen(Row r, util::Timestamp t) {
+    if (first_seen_[r] == 0 || t < first_seen_[r]) first_seen_[r] = t;
+    if (t > last_seen_[r]) last_seen_[r] = t;
+  }
+  void AddLeafObservation(Row r) { ++observations_[r]; }
+  void MarkInLatestScan(Row r) { latest_epoch_[r] = current_epoch_; }
+  // O(1) clear of the latest-scan view (every row's membership lapses).
+  void AdvanceLatestScan() { ++current_epoch_; }
+
+  // Lazy materialization -----------------------------------------------------
+  // Full Certificate for a row, re-parsed from arena DER and cached.
+  // Thread-safe; returns nullptr only if the stored DER fails the full parse
+  // (cannot happen for rows interned from parsed certificates).
+  x509::CertPtr cert(Row r) const;
+
+  // All rows sorted by fingerprint bytes — the iteration order of the
+  // std::map<Bytes, CertRecord> this store replaced, so downstream results
+  // stay byte-identical. Cached between ingests (analyses call this per
+  // pass); recomputed lazily when rows have been appended since.
+  std::vector<Row> RowsByFingerprint() const;
+
+  // Memory accounting --------------------------------------------------------
+  std::size_t arena_bytes() const { return arena_.bytes_used(); }
+  std::size_t column_bytes() const;
+  std::size_t index_bytes() const { return index_.bytes(); }
+  std::size_t interner_bytes() const {
+    return names_.arena_bytes() + urls_.arena_bytes();
+  }
+
+  // Structural invariants (fingerprints match stored DER, offsets in
+  // bounds, index agrees, columns aligned). O(rows); for tests.
+  bool CheckInvariants() const;
+
+ private:
+  static constexpr std::uint8_t kFlagCa = 1;
+  static constexpr std::uint8_t kFlagEv = 2;
+
+  // One arena block per row: [der | fallback tbs | fallback sig | fallback
+  // serial]. On the fast path tbs/sig/serial alias ranges *inside* der and
+  // the block is just the DER; the fallback (view-parse failed but a full
+  // parse exists) appends the pieces after it.
+  struct DerRef {
+    const std::uint8_t* base = nullptr;
+    std::uint32_t der_len = 0;
+    std::uint32_t tbs_off = 0;
+    std::uint32_t tbs_len = 0;
+    std::uint32_t sig_off = 0;
+    std::uint32_t serial_off = 0;
+    std::uint16_t sig_len = 0;
+    std::uint16_t serial_len = 0;
+  };
+  struct UrlRef {
+    std::uint32_t offset = 0;
+    std::uint16_t num_crl = 0;
+    std::uint16_t num_ocsp = 0;
+  };
+
+  Row AppendRow(BytesView fingerprint, const DerRef& ref,
+                const x509::CertView& view);
+  UrlRef InternUrlLists(const std::vector<std::uint32_t>& crl_ids,
+                        const std::vector<std::uint32_t>& ocsp_ids);
+
+  util::Arena arena_;
+  std::vector<std::uint8_t> fps_;  // 32 bytes per row, flat
+  std::vector<DerRef> refs_;
+  std::vector<std::uint32_t> issuer_id_;
+  std::vector<std::uint32_t> subject_id_;
+  std::vector<UrlRef> url_ref_;
+  std::vector<std::uint32_t> url_pool_;
+  std::vector<std::int64_t> not_before_;
+  std::vector<std::int64_t> not_after_;
+  std::vector<std::int64_t> first_seen_;
+  std::vector<std::int64_t> last_seen_;
+  std::vector<std::uint64_t> observations_;
+  std::vector<std::uint32_t> latest_epoch_;
+  std::vector<std::uint8_t> sig_type_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::uint8_t> valid_;
+  std::uint32_t current_epoch_ = 1;
+
+  FingerprintIndex index_;
+  util::StringInterner names_;
+  util::StringInterner urls_;
+  // (crl ids, ocsp ids) -> shared pool segment; most rows share a handful
+  // of distinct URL lists.
+  std::map<std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>>,
+           UrlRef>
+      url_list_cache_;
+
+  mutable std::mutex cert_mu_;
+  mutable std::map<Row, x509::CertPtr> cert_cache_;
+  // Cache for RowsByFingerprint; stale iff its length differs from size()
+  // (rows are append-only, fingerprints immutable). Not guarded: callers
+  // never read the sorted order concurrently with ingest.
+  mutable std::vector<Row> sorted_rows_;
+};
+
+}  // namespace rev::core

@@ -69,10 +69,14 @@ void RevocationCrawler::set_threads(unsigned threads) {
 }
 
 void RevocationCrawler::CollectUrls(const Pipeline& pipeline) {
-  for (const CertRecord* record : pipeline.LeafSet()) {
-    for (const std::string& url : record->cert->tbs.crl_urls)
-      AddUrl(url);
+  // Columnar walk: URLs are interned ids, so dedup by id first and build a
+  // std::string only once per distinct URL.
+  const CertCorpus& corpus = pipeline.corpus();
+  std::set<std::uint32_t> url_ids;
+  for (const CertCorpus::Row row : pipeline.LeafSet()) {
+    for (const std::uint32_t id : corpus.crl_url_ids(row)) url_ids.insert(id);
   }
+  for (const std::uint32_t id : url_ids) AddUrl(std::string(corpus.url(id)));
   for (const x509::CertPtr& cert : pipeline.IntermediateSet()) {
     for (const std::string& url : cert->tbs.crl_urls) AddUrl(url);
   }
@@ -172,14 +176,12 @@ std::size_t RevocationCrawler::CrawlAll(util::Timestamp now) {
     crawled.last_good_fetch = now;
 
     for (const crl::CrlEntry& entry : parsed.tbs.entries) {
-      auto [it, inserted] = revocations_.try_emplace(
-          std::make_pair(crawled.issuer_name_der, entry.serial));
-      if (inserted) {
-        it->second.revoked_at = entry.revocation_date;
-        it->second.reason = entry.reason;
-        it->second.first_seen_in_crl = now;
+      RevocationInfo info;
+      info.revoked_at = entry.revocation_date;
+      info.reason = entry.reason;
+      info.first_seen_in_crl = now;
+      if (db_.Insert(crawled.issuer_name_der, entry.serial, info))
         ++new_entries;
-      }
     }
     crawled.crl = std::move(parsed);
   }
@@ -221,13 +223,11 @@ std::optional<ocsp::CertStatus> RevocationCrawler::QueryOcsp(
     if (!response || response->status != ocsp::ResponseStatus::kSuccessful)
       continue;
     if (response->single.status == ocsp::CertStatus::kRevoked) {
-      auto [it, inserted] = revocations_.try_emplace(
-          std::make_pair(cert.tbs.issuer.Encode(), cert.tbs.serial));
-      if (inserted) {
-        it->second.revoked_at = response->single.revocation_time;
-        it->second.reason = response->single.reason;
-        it->second.first_seen_in_crl = now;
-      }
+      RevocationInfo info;
+      info.revoked_at = response->single.revocation_time;
+      info.reason = response->single.reason;
+      info.first_seen_in_crl = now;
+      db_.Insert(cert.tbs.issuer.Encode(), cert.tbs.serial, info);
     }
     return response->single.status;
   }
@@ -236,18 +236,15 @@ std::optional<ocsp::CertStatus> RevocationCrawler::QueryOcsp(
 
 const RevocationInfo* RevocationCrawler::Lookup(
     const x509::Name& issuer, const x509::Serial& serial) const {
-  auto it = revocations_.find(std::make_pair(issuer.Encode(), serial));
-  return it == revocations_.end() ? nullptr : &it->second;
+  return db_.Lookup(issuer.Encode(), serial);
 }
 
-std::size_t RevocationCrawler::total_revocations() const {
-  return revocations_.size();
-}
+std::size_t RevocationCrawler::total_revocations() const { return db_.size(); }
 
 std::map<x509::ReasonCode, std::size_t> RevocationCrawler::ReasonCodeHistogram()
     const {
   std::map<x509::ReasonCode, std::size_t> histogram;
-  for (const auto& [key, info] : revocations_) ++histogram[info.reason];
+  for (const auto& [key, info] : db_.entries()) ++histogram[info.reason];
   return histogram;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "core/revocation_db.h"
 #include "crl/crl.h"
 #include "net/cache.h"
 #include "net/simnet.h"
@@ -25,14 +26,6 @@
 #include "x509/certificate.h"
 
 namespace rev::core {
-
-struct RevocationInfo {
-  util::Timestamp revoked_at = 0;
-  x509::ReasonCode reason = x509::ReasonCode::kNoReasonCode;
-  // When the crawler first saw this entry in a CRL (for Fig. 10's
-  // window-of-vulnerability analysis).
-  util::Timestamp first_seen_in_crl = 0;
-};
 
 // Snapshot of one crawled CRL.
 struct CrawledCrl {
@@ -83,11 +76,12 @@ class RevocationCrawler {
 
   const std::map<std::string, CrawledCrl>& crawled() const { return crawled_; }
   // The full revocation database, keyed (issuer name DER, serial) — exposed
-  // so determinism tests can compare two crawls byte for byte.
-  const std::map<std::pair<Bytes, x509::Serial>, RevocationInfo>& revocations()
-      const {
-    return revocations_;
-  }
+  // so determinism tests can compare two crawls byte for byte. Same map
+  // type and iteration order as before the RevocationDb extraction.
+  const RevocationDb::Map& revocations() const { return db_.entries(); }
+  // The database itself, for analyses that run against a RevocationDb
+  // directly (Table 1 / timeline / CRLSet columnar overloads).
+  const RevocationDb& db() const { return db_; }
   std::size_t total_revocations() const;
 
   // §4.2: histogram of CRL reason codes across all discovered revocations
@@ -135,8 +129,7 @@ class RevocationCrawler {
   std::unique_ptr<util::ThreadPool> pool_;  // created on first CrawlAll
   std::set<std::string> urls_;
   std::map<std::string, CrawledCrl> crawled_;
-  // (issuer name DER, serial) -> info
-  std::map<std::pair<Bytes, x509::Serial>, RevocationInfo> revocations_;
+  RevocationDb db_;
   std::uint64_t bytes_downloaded_ = 0;
   double seconds_spent_ = 0;
   std::uint64_t fetch_failures_ = 0;

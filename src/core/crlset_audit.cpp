@@ -156,21 +156,35 @@ CrlsetAuditor::CoverageStats CrlsetAuditor::ComputeCoverage(
   for (const Ecosystem::CaEntry& entry : eco_->cas())
     parent_by_ca[entry.spec.name] = entry.ca->cert()->SubjectSpkiSha256();
 
-  for (const CertRecord* record : pipeline.LeafSet()) {
-    if (!crawler.Lookup(record->cert->tbs.issuer, record->cert->tbs.serial))
-      continue;
-    const PopularityTier tier = eco_->TierOf(record->cert->Fingerprint());
+  const CertCorpus& corpus = pipeline.corpus();
+  // URL id -> CA name, resolved once per distinct URL.
+  std::vector<std::string> name_memo(corpus.num_urls());
+  std::vector<bool> name_resolved(corpus.num_urls(), false);
+  auto name_for = [&](std::uint32_t url_id) -> const std::string& {
+    if (!name_resolved[url_id]) {
+      name_resolved[url_id] = true;
+      name_memo[url_id] = eco_->CaNameForUrl(std::string(corpus.url(url_id)));
+    }
+    return name_memo[url_id];
+  };
+  for (const CertCorpus::Row row : pipeline.LeafSet()) {
+    const BytesView issuer = corpus.name_der(corpus.issuer_id(row));
+    const BytesView serial_view = corpus.serial(row);
+    if (!crawler.db().Lookup(issuer, serial_view)) continue;
+    const Bytes fp(corpus.fingerprint(row).begin(),
+                   corpus.fingerprint(row).end());
+    const PopularityTier tier = eco_->TierOf(fp);
     if (tier == PopularityTier::kOther) continue;
 
     std::string ca_name;
-    for (const std::string& url : record->cert->tbs.crl_urls) {
-      ca_name = eco_->CaNameForUrl(url);
+    for (const std::uint32_t url_id : corpus.crl_url_ids(row)) {
+      ca_name = name_for(url_id);
       if (!ca_name.empty()) break;
     }
+    const x509::Serial serial(serial_view.begin(), serial_view.end());
     auto parent_it = parent_by_ca.find(ca_name);
-    const bool in_crlset =
-        parent_it != parent_by_ca.end() &&
-        latest_.IsRevoked(parent_it->second, record->cert->tbs.serial);
+    const bool in_crlset = parent_it != parent_by_ca.end() &&
+                           latest_.IsRevoked(parent_it->second, serial);
 
     if (tier == PopularityTier::kTop1k) {
       ++stats.top1k_revoked;

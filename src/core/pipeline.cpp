@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <set>
 
+#include "crypto/hmac.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -41,44 +43,84 @@ obs::Histogram& VerifyHistogram() {
 
 }  // namespace
 
-void Pipeline::IngestScan(const scan::CertScanSnapshot& snapshot) {
-  obs::Span span("pipeline.ingest_scan");
+void Pipeline::BeginScan(util::Timestamp t) {
   ScansCounter().Increment();
   finalized_ = false;
   // Only a strictly newer snapshot starts a new latest-scan view; a second
   // snapshot at the same timestamp merges into the current view (clearing
   // here would silently drop the first snapshot's leaves), and an older one
   // must not disturb the view at all.
-  const bool strictly_newer = snapshot.time > latest_scan_time_;
-  const bool in_latest = snapshot.time >= latest_scan_time_;
+  const bool strictly_newer = t > latest_scan_time_;
+  scan_in_latest_ = t >= latest_scan_time_;
   if (strictly_newer) {
-    latest_scan_time_ = snapshot.time;
-    for (auto& [fp, record] : records_) record.in_latest_scan = false;
-  } else if (!in_latest) {
+    latest_scan_time_ = t;
+    corpus_.AdvanceLatestScan();  // O(1): every row's membership lapses
+  } else if (!scan_in_latest_) {
     ++out_of_order_scans_;
   }
-  for (const scan::CertObservation& obs : snapshot.observations) {
-    for (std::size_t i = 0; i < obs.chain.size(); ++i) {
-      const x509::CertPtr& cert = obs.chain[i];
-      if (!cert) continue;
-      auto [it, inserted] = records_.try_emplace(cert->Fingerprint());
-      CertRecord& record = it->second;
-      if (inserted) {
-        record.cert = cert;
-        record.first_seen = snapshot.time;
-        record.last_seen = snapshot.time;
-      } else {
-        record.first_seen = std::min(record.first_seen, snapshot.time);
-        record.last_seen = std::max(record.last_seen, snapshot.time);
-      }
-      // Count server-observations for the leaf position only (used for
-      // weighted statistics); chain elements are shared.
-      if (i == 0) {
-        ++record.observations;
-        if (in_latest) record.in_latest_scan = true;
-      }
+  scan_time_ = t;
+}
+
+CertCorpus::Row Pipeline::Observe(std::span<const x509::CertPtr> chain) {
+  CertCorpus::Row leaf_row = CertCorpus::kNoRow;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const x509::CertPtr& cert = chain[i];
+    if (!cert) continue;
+    const CertCorpus::Row row = corpus_.Intern(cert);
+    corpus_.FoldSeen(row, scan_time_);
+    // Count server-observations for the leaf position only (used for
+    // weighted statistics); chain elements are shared.
+    if (i == 0) {
+      leaf_row = row;
+      corpus_.AddLeafObservation(row);
+      if (scan_in_latest_) corpus_.MarkInLatestScan(row);
     }
   }
+  return leaf_row;
+}
+
+std::optional<CertCorpus::Row> Pipeline::ObserveDer(
+    std::span<const BytesView> chain) {
+  if (chain.empty()) return std::nullopt;
+  // Validate every element before interning any: a rejected observation
+  // must leave the corpus bit-identical (fuzz-tested), so no element may be
+  // folded before the last one has passed the parse.
+  for (const BytesView der : chain) {
+    if (!x509::ParseCertView(der)) return std::nullopt;
+  }
+  CertCorpus::Row leaf_row = CertCorpus::kNoRow;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const CertCorpus::Row row = corpus_.InternDer(chain[i]);
+    corpus_.FoldSeen(row, scan_time_);
+    if (i == 0) {
+      leaf_row = row;
+      corpus_.AddLeafObservation(row);
+      if (scan_in_latest_) corpus_.MarkInLatestScan(row);
+    }
+  }
+  return leaf_row;
+}
+
+void Pipeline::ObserveRows(std::span<const CertCorpus::Row> chain) {
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const CertCorpus::Row row = chain[i];
+    if (row == CertCorpus::kNoRow) continue;
+    corpus_.FoldSeen(row, scan_time_);
+    if (i == 0) {
+      corpus_.AddLeafObservation(row);
+      if (scan_in_latest_) corpus_.MarkInLatestScan(row);
+    }
+  }
+}
+
+void Pipeline::EndScan() {}
+
+void Pipeline::IngestScan(const scan::CertScanSnapshot& snapshot) {
+  obs::Span span("pipeline.ingest_scan");
+  BeginScan(snapshot.time);
+  for (const scan::CertObservation& obs : snapshot.observations)
+    Observe(obs.chain);
+  EndScan();
 }
 
 void Pipeline::Finalize() {
@@ -87,14 +129,19 @@ void Pipeline::Finalize() {
   obs::Span finalize_span("pipeline.finalize");
   const auto start = std::chrono::steady_clock::now();
 
-  // Candidate intermediates: every CA certificate observed.
+  const std::vector<CertCorpus::Row> rows = corpus_.RowsByFingerprint();
+
+  // Candidate intermediates: every CA certificate observed, materialized in
+  // fingerprint order (the old map's iteration order). CA rows are a tiny
+  // fraction of the corpus, so this is the only place whole-certificate
+  // objects are built in bulk.
   x509::CertPool intermediates;
   std::set<Bytes> intermediate_fps;
   {
     obs::Span intermediates_span("pipeline.intermediates");
     std::vector<x509::CertPtr> candidates;
-    for (const auto& [fp, record] : records_) {
-      if (record.cert->IsCa()) candidates.push_back(record.cert);
+    for (const CertCorpus::Row r : rows) {
+      if (corpus_.is_ca(r)) candidates.push_back(corpus_.cert(r));
     }
     intermediate_set_ = x509::BuildIntermediateSet(candidates, roots_);
 
@@ -105,32 +152,109 @@ void Pipeline::Finalize() {
   }
   intermediate_wall_seconds_ = SecondsSince(start);
 
+  std::set<Bytes> root_fps;
+  for (const x509::CertPtr& root : roots_.all())
+    root_fps.insert(root->Fingerprint());
+  // Allocation-free root check for the per-leaf hot loop: a 64-bit prefix
+  // probe over the handful of roots, full compare only on a prefix hit.
+  std::vector<std::uint64_t> root_prefixes;
+  for (const Bytes& fp : root_fps)
+    root_prefixes.push_back(FingerprintIndex::HashOf(fp));
+  std::sort(root_prefixes.begin(), root_prefixes.end());
+  const auto is_root_fp = [&](BytesView fp) {
+    if (!std::binary_search(root_prefixes.begin(), root_prefixes.end(),
+                            FingerprintIndex::HashOf(fp)))
+      return false;
+    for (const Bytes& root_fp : root_fps) {
+      if (root_fp.size() == fp.size() &&
+          std::equal(fp.begin(), fp.end(), root_fp.begin()))
+        return true;
+    }
+    return false;
+  };
+
   // Validate every certificate, ignoring date errors (§3.1). CA records are
-  // membership checks against the precomputed fingerprint set; leaves get a
-  // full chain verification, fanned out across workers. Each worker writes
-  // only its own record's `valid` slot over the read-only pools, so the
-  // result is identical at every thread count.
-  x509::VerifyOptions options;
-  options.ignore_dates = true;
-  std::vector<CertRecord*> leaves;
-  leaves.reserve(records_.size());
-  for (auto& [fp, record] : records_) {
-    if (record.cert->IsCa()) {
-      record.valid = roots_.Contains(*record.cert) ||
-                     intermediate_fps.contains(record.cert->Fingerprint());
+  // membership checks against the precomputed fingerprint sets; leaves get
+  // the batched columnar verification below.
+  std::vector<CertCorpus::Row> leaves;
+  leaves.reserve(rows.size());
+  for (const CertCorpus::Row r : rows) {
+    if (corpus_.is_ca(r)) {
+      const Bytes fp(corpus_.fingerprint(r).begin(),
+                     corpus_.fingerprint(r).end());
+      corpus_.set_valid(r,
+                        root_fps.contains(fp) || intermediate_fps.contains(fp));
     } else {
-      leaves.push_back(&record);
+      leaves.push_back(r);
     }
   }
+
+  // Batched leaf verification. The DFS in x509::VerifyChain reduces, for a
+  // non-CA leaf over this pool, to: valid ⟺ the leaf IS a root, or some
+  // name-matched candidate (roots first, then Intermediate Set members)
+  // whose key type matches verifies the signature — every pool candidate is
+  // itself verifiable to a root by construction, and with ignore_dates all
+  // date checks pass. So candidates are grouped per interned issuer-name id
+  // once, sim-scheme keys get a PrecomputedHmacKey (two SHA-256 mid-state
+  // copies per tag instead of two key-block compressions), and the
+  // ParallelFor below runs over contiguous columns. Equivalence with the
+  // real DFS is asserted by tests/corpus_test.cpp.
+  struct Candidate {
+    crypto::PrecomputedHmacKey sim_key;  // valid iff is_sim
+    const crypto::PublicKey* key = nullptr;
+    bool is_sim = false;
+  };
+  // issuer name id -> candidates, in root-store-then-pool order (the DFS
+  // candidate order; order only affects which candidate matches first, not
+  // whether one does).
+  std::map<std::uint32_t, std::vector<Candidate>> candidates_by_name;
+  auto add_candidate = [&](const x509::CertPtr& cert) {
+    const std::uint32_t name_id = corpus_.FindName(cert->tbs.subject.Encode());
+    // A subject no leaf names can never match: FindName misses only when no
+    // corpus row interned that name as issuer or subject.
+    if (name_id == util::StringInterner::kInvalidId) return;
+    const crypto::PublicKey& key = cert->tbs.public_key;
+    const bool is_sim = key.type == crypto::KeyType::kSimSha256;
+    candidates_by_name[name_id].push_back(
+        Candidate{crypto::PrecomputedHmacKey(is_sim ? BytesView(key.sim_id)
+                                                    : BytesView{}),
+                  &key, is_sim});
+  };
+  for (const x509::CertPtr& root : roots_.all()) add_candidate(root);
+  for (const x509::CertPtr& cert : intermediate_set_) add_candidate(cert);
+
   const auto verify_start = std::chrono::steady_clock::now();
   {
     obs::Span verify_span("pipeline.verify");
     util::ThreadPool pool(threads_);
     pool.ParallelFor(leaves.size(), [&](std::size_t i) {
-      CertRecord& record = *leaves[i];
+      const CertCorpus::Row r = leaves[i];
       const auto chain_start = std::chrono::steady_clock::now();
-      record.valid =
-          x509::VerifyChain(record.cert, intermediates, roots_, options).ok();
+      bool valid = false;
+      // A leaf that *is* a trusted root verifies trivially.
+      if (is_root_fp(corpus_.fingerprint(r))) {
+        valid = true;
+      } else if (auto it = candidates_by_name.find(corpus_.issuer_id(r));
+                 it != candidates_by_name.end()) {
+        const BytesView tbs = corpus_.tbs_der(r);
+        const BytesView sig = corpus_.signature(r);
+        const crypto::KeyType sig_type = corpus_.sig_type(r);
+        for (const Candidate& cand : it->second) {
+          if (cand.key->type != sig_type) continue;
+          if (cand.is_sim) {
+            const crypto::Sha256Digest tag = cand.sim_key.Tag(tbs);
+            if (sig.size() == tag.size() &&
+                std::equal(tag.begin(), tag.end(), sig.begin())) {
+              valid = true;
+              break;
+            }
+          } else if (crypto::Verify(*cand.key, tbs, sig)) {
+            valid = true;
+            break;
+          }
+        }
+      }
+      corpus_.set_valid(r, valid);
       VerifyHistogram().RecordSeconds(SecondsSince(chain_start));
     });
     LeavesCounter().Add(leaves.size());
@@ -139,10 +263,10 @@ void Pipeline::Finalize() {
   finalize_wall_seconds_ = SecondsSince(start);
 }
 
-std::vector<const CertRecord*> Pipeline::LeafSet() const {
-  std::vector<const CertRecord*> out;
-  for (const auto& [fp, record] : records_) {
-    if (record.valid && !record.cert->IsCa()) out.push_back(&record);
+std::vector<CertCorpus::Row> Pipeline::LeafSet() const {
+  std::vector<CertCorpus::Row> out;
+  for (const CertCorpus::Row r : corpus_.RowsByFingerprint()) {
+    if (corpus_.valid(r) && !corpus_.is_ca(r)) out.push_back(r);
   }
   return out;
 }

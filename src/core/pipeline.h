@@ -3,29 +3,25 @@
 // last), builds the Intermediate Set by iterative verification against the
 // root store, and validates leaves with date errors ignored.
 //
-// Finalize() fans the per-leaf chain verifications out across a
-// util::ThreadPool; results are written into each record's pre-existing
-// slot, so output is bit-identical at any thread count (docs/parallelism.md).
+// Storage is the columnar core::CertCorpus (ROADMAP item 2): ingest streams
+// observations into arena/interned columns — a full scan snapshot never
+// needs to be resident — and Finalize() batches leaf verification with
+// ParallelFor over contiguous columns plus precomputed per-issuer HMAC
+// verifiers, so output is bit-identical at any thread count
+// (docs/parallelism.md, docs/corpus.md). Equivalence with the pre-columnar
+// serial path is locked down by tests/corpus_test.cpp.
 #pragma once
 
-#include <map>
+#include <span>
 #include <vector>
 
+#include "core/corpus.h"
 #include "scan/scanner.h"
 #include "util/bytes.h"
 #include "util/time.h"
 #include "x509/verify.h"
 
 namespace rev::core {
-
-struct CertRecord {
-  x509::CertPtr cert;
-  util::Timestamp first_seen = 0;  // birth
-  util::Timestamp last_seen = 0;   // death (so far)
-  std::uint64_t observations = 0;  // server-observations across all scans
-  bool valid = false;              // verified against the root store
-  bool in_latest_scan = false;
-};
 
 class Pipeline {
  public:
@@ -39,17 +35,36 @@ class Pipeline {
   // latest-scan view (it does NOT clear previously set flags), and an older
   // snapshot is folded into lifetimes/observations but never touches the
   // latest-scan view — such regressions are counted in out_of_order_scans().
+  // Equivalent to BeginScan + one Observe per observation + EndScan.
   void IngestScan(const scan::CertScanSnapshot& snapshot);
 
+  // Streaming ingest: fold observations one at a time without materializing
+  // a snapshot. Timestamp semantics are identical to IngestScan.
+  void BeginScan(util::Timestamp t);
+  // One observation (chain leaf-first); null chain elements are skipped.
+  // Returns the leaf's row (kNoRow for an empty/null-leaf chain).
+  CertCorpus::Row Observe(std::span<const x509::CertPtr> chain);
+  // Raw-DER variant: every element must parse (borrowed-view parse); if any
+  // is malformed the whole observation is rejected (nullopt) and the corpus
+  // is left untouched. This is the path fuzzed in tests/fuzz_test.cpp.
+  std::optional<CertCorpus::Row> ObserveDer(std::span<const BytesView> chain);
+  // Replay fast path for chains already interned (bench_paper_scale): folds
+  // lifetime/observation columns only.
+  void ObserveRows(std::span<const CertCorpus::Row> chain);
+  void EndScan();
+
   // Builds the Intermediate Set and validates all leaves. Call after the
-  // last IngestScan; idempotent.
+  // last scan; idempotent.
   void Finalize();
 
-  // All unique certificates observed (leaves and CA certs alike).
-  const std::map<Bytes, CertRecord>& records() const { return records_; }
+  // The columnar store of every unique certificate observed.
+  const CertCorpus& corpus() const { return corpus_; }
 
-  // The paper's Leaf Set: non-CA certificates that verified (dates ignored).
-  std::vector<const CertRecord*> LeafSet() const;
+  // The paper's Leaf Set: non-CA certificates that verified (dates
+  // ignored), as stable corpus row ids in fingerprint order — the iteration
+  // order of the map-based store this replaced. Row ids (unlike the old
+  // record pointers) survive any amount of further ingest.
+  std::vector<CertCorpus::Row> LeafSet() const;
 
   // The paper's Intermediate Set.
   const std::vector<x509::CertPtr>& IntermediateSet() const {
@@ -58,7 +73,7 @@ class Pipeline {
 
   const x509::CertPool& roots() const { return roots_; }
   util::Timestamp latest_scan_time() const { return latest_scan_time_; }
-  std::uint64_t total_observed() const { return records_.size(); }
+  std::uint64_t total_observed() const { return corpus_.size(); }
 
   // Snapshots ingested with a timestamp older than one already seen.
   std::uint64_t out_of_order_scans() const { return out_of_order_scans_; }
@@ -75,12 +90,14 @@ class Pipeline {
 
  private:
   x509::CertPool roots_;
-  std::map<Bytes, CertRecord> records_;
+  CertCorpus corpus_;
   std::vector<x509::CertPtr> intermediate_set_;
   util::Timestamp latest_scan_time_ = 0;
   std::uint64_t out_of_order_scans_ = 0;
   bool finalized_ = false;
   unsigned threads_ = 0;
+  util::Timestamp scan_time_ = 0;
+  bool scan_in_latest_ = false;
   double finalize_wall_seconds_ = 0;
   double intermediate_wall_seconds_ = 0;
   double verify_wall_seconds_ = 0;

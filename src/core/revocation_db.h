@@ -1,0 +1,84 @@
+// The revocation database: (issuer name DER, serial) -> RevocationInfo.
+//
+// Extracted from RevocationCrawler so the Table 1 / Fig. 1 / CRLSet analyses
+// can run against a database alone (the paper-scale bench synthesizes one
+// directly), and so columnar callers can look up by borrowed views without
+// materializing key Bytes. Entries are insert-only — the first sighting of a
+// (issuer, serial) pair wins, preserving first_seen_in_crl for the Fig. 10
+// vulnerability-window analysis — and iteration order matches the
+// std::map<std::pair<Bytes, Serial>> it replaced byte for byte.
+#pragma once
+
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "util/bytes.h"
+#include "util/time.h"
+#include "x509/extensions.h"
+
+namespace rev::core {
+
+struct RevocationInfo {
+  util::Timestamp revoked_at = 0;
+  x509::ReasonCode reason = x509::ReasonCode::kNoReasonCode;
+  // When the crawler first saw this entry in a CRL (for Fig. 10's
+  // window-of-vulnerability analysis).
+  util::Timestamp first_seen_in_crl = 0;
+};
+
+class RevocationDb {
+ public:
+  using Key = std::pair<Bytes, Bytes>;  // (issuer name DER, serial)
+
+  // Lexicographic pair order, identical to std::less<Key>, with transparent
+  // overloads so view keys never allocate.
+  struct KeyLess {
+    using is_transparent = void;
+
+    static int Cmp(BytesView a, BytesView b) {
+      const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+      if (n != 0) {
+        const int c = std::memcmp(a.data(), b.data(), n);
+        if (c != 0) return c;
+      }
+      return a.size() < b.size() ? -1 : (a.size() > b.size() ? 1 : 0);
+    }
+    template <typename A, typename B, typename C, typename D>
+    bool operator()(const std::pair<A, B>& a, const std::pair<C, D>& b) const {
+      const int c = Cmp(BytesView(a.first), BytesView(b.first));
+      if (c != 0) return c < 0;
+      return Cmp(BytesView(a.second), BytesView(b.second)) < 0;
+    }
+  };
+
+  using Map = std::map<Key, RevocationInfo, KeyLess>;
+
+  // try_emplace semantics: inserts only if the key is new; returns whether
+  // it inserted. An existing entry is never overwritten.
+  bool Insert(BytesView issuer_name_der, BytesView serial,
+              const RevocationInfo& info) {
+    auto it = map_.find(std::make_pair(issuer_name_der, serial));
+    if (it != map_.end()) return false;
+    map_.emplace(Key{Bytes(issuer_name_der.begin(), issuer_name_der.end()),
+                     Bytes(serial.begin(), serial.end())},
+                 info);
+    return true;
+  }
+
+  // Revocation info for (issuer, serial), or nullptr. Accepts borrowed
+  // views — no allocation on the lookup path.
+  const RevocationInfo* Lookup(BytesView issuer_name_der,
+                               BytesView serial) const {
+    auto it = map_.find(std::make_pair(issuer_name_der, serial));
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  const Map& entries() const { return map_; }
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  Map map_;
+};
+
+}  // namespace rev::core

@@ -8,24 +8,25 @@
 namespace rev::core {
 
 std::vector<RevocationTimelinePoint> ComputeRevocationTimeline(
-    const Pipeline& pipeline, const RevocationCrawler& crawler,
-    util::Timestamp start, util::Timestamp end, std::int64_t step_seconds) {
+    const Pipeline& pipeline, const RevocationDb& db, util::Timestamp start,
+    util::Timestamp end, std::int64_t step_seconds) {
   struct CertSpan {
     util::Timestamp not_before, not_after;
     util::Timestamp birth, death;
     util::Timestamp revoked_at;  // 0 = never
     bool ev;
   };
+  const CertCorpus& corpus = pipeline.corpus();
   std::vector<CertSpan> spans;
-  for (const CertRecord* record : pipeline.LeafSet()) {
+  for (const CertCorpus::Row row : pipeline.LeafSet()) {
     CertSpan span;
-    span.not_before = record->cert->tbs.not_before;
-    span.not_after = record->cert->tbs.not_after;
-    span.birth = record->first_seen;
-    span.death = record->last_seen;
-    span.ev = record->cert->IsEv();
+    span.not_before = corpus.not_before(row);
+    span.not_after = corpus.not_after(row);
+    span.birth = corpus.first_seen(row);
+    span.death = corpus.last_seen(row);
+    span.ev = corpus.is_ev(row);
     const RevocationInfo* info =
-        crawler.Lookup(record->cert->tbs.issuer, record->cert->tbs.serial);
+        db.Lookup(corpus.name_der(corpus.issuer_id(row)), corpus.serial(row));
     span.revoked_at = info ? info->revoked_at : 0;
     spans.push_back(span);
   }
@@ -59,21 +60,27 @@ std::vector<RevocationTimelinePoint> ComputeRevocationTimeline(
 }
 
 std::vector<AdoptionPoint> ComputeRevinfoAdoption(const Pipeline& pipeline) {
+  const CertCorpus& corpus = pipeline.corpus();
+  // Per-URL-id memo: each distinct interned URL is classified once.
+  std::vector<std::int8_t> fetchable_memo(corpus.num_urls(), -1);
+  auto any_fetchable = [&](std::span<const std::uint32_t> ids) {
+    bool any = false;
+    for (const std::uint32_t id : ids) {
+      std::int8_t& slot = fetchable_memo[id];
+      if (slot < 0)
+        slot = net::IsFetchable(std::string(corpus.url(id))) ? 1 : 0;
+      any = any || slot == 1;
+    }
+    return any;
+  };
   std::map<util::Timestamp, AdoptionPoint> by_month;
-  for (const CertRecord* record : pipeline.LeafSet()) {
-    const util::Timestamp month =
-        util::StartOfMonth(record->cert->tbs.not_before);
+  for (const CertCorpus::Row row : pipeline.LeafSet()) {
+    const util::Timestamp month = util::StartOfMonth(corpus.not_before(row));
     AdoptionPoint& point = by_month[month];
     point.month_start = month;
     ++point.issued;
-    bool has_crl = false;
-    for (const std::string& url : record->cert->tbs.crl_urls)
-      has_crl = has_crl || net::IsFetchable(url);
-    bool has_ocsp = false;
-    for (const std::string& url : record->cert->tbs.ocsp_urls)
-      has_ocsp = has_ocsp || net::IsFetchable(url);
-    if (has_crl) ++point.with_crl;
-    if (has_ocsp) ++point.with_ocsp;
+    if (any_fetchable(corpus.crl_url_ids(row))) ++point.with_crl;
+    if (any_fetchable(corpus.ocsp_url_ids(row))) ++point.with_ocsp;
   }
   std::vector<AdoptionPoint> points;
   points.reserve(by_month.size());

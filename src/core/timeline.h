@@ -38,12 +38,21 @@ struct RevocationTimelinePoint {
 
 // Samples the fraction of fresh and alive certificates that are revoked,
 // every `step_seconds` from `start` to `end` (Fig. 2). Revocation times come
-// from the crawler's database, so certificates revoked before the crawl
+// from the revocation database, so certificates revoked before the crawl
 // period are back-dated by their CRL revocation timestamps, matching §3.
+// The primary overload takes the database directly (the paper-scale bench
+// synthesizes one); the crawler overload delegates.
 std::vector<RevocationTimelinePoint> ComputeRevocationTimeline(
+    const Pipeline& pipeline, const RevocationDb& db, util::Timestamp start,
+    util::Timestamp end, std::int64_t step_seconds = 7 * util::kSecondsPerDay);
+
+inline std::vector<RevocationTimelinePoint> ComputeRevocationTimeline(
     const Pipeline& pipeline, const RevocationCrawler& crawler,
     util::Timestamp start, util::Timestamp end,
-    std::int64_t step_seconds = 7 * util::kSecondsPerDay);
+    std::int64_t step_seconds = 7 * util::kSecondsPerDay) {
+  return ComputeRevocationTimeline(pipeline, crawler.db(), start, end,
+                                   step_seconds);
+}
 
 struct AdoptionPoint {
   util::Timestamp month_start = 0;

@@ -5,7 +5,7 @@
 
 namespace rev::crypto {
 
-Sha256Digest HmacSha256(BytesView key, BytesView message) {
+PrecomputedHmacKey::PrecomputedHmacKey(BytesView key) {
   std::array<std::uint8_t, 64> block{};
   if (key.size() > 64) {
     const Sha256Digest kd = Sha256::Hash(key);
@@ -20,16 +20,22 @@ Sha256Digest HmacSha256(BytesView key, BytesView message) {
     ipad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
     opad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
   }
+  inner_.Update(BytesView(ipad.data(), ipad.size()));
+  outer_.Update(BytesView(opad.data(), opad.size()));
+}
 
-  Sha256 inner;
-  inner.Update(BytesView(ipad.data(), ipad.size()));
+Sha256Digest PrecomputedHmacKey::Tag(BytesView message) const {
+  Sha256 inner = inner_;  // mid-state copies: the key block is already absorbed
   inner.Update(message);
   const Sha256Digest inner_digest = inner.Finish();
 
-  Sha256 outer;
-  outer.Update(BytesView(opad.data(), opad.size()));
+  Sha256 outer = outer_;
   outer.Update(BytesView(inner_digest.data(), inner_digest.size()));
   return outer.Finish();
+}
+
+Sha256Digest HmacSha256(BytesView key, BytesView message) {
+  return PrecomputedHmacKey(key).Tag(message);
 }
 
 Bytes DeriveKey(BytesView key, std::string_view label, std::size_t n) {

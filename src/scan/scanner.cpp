@@ -2,14 +2,21 @@
 
 namespace rev::scan {
 
+void StreamCertScan(const Internet& internet, util::Timestamp t,
+                    const std::function<void(const CertObservation&)>& fn) {
+  CertObservation obs;  // reused: the callback borrows it per server
+  internet.ForEachAlive(t, [&](const Server& server) {
+    obs.ip = server.ip;
+    obs.chain = server.chain;
+    fn(obs);
+  });
+}
+
 CertScanSnapshot RunCertScan(const Internet& internet, util::Timestamp t) {
   CertScanSnapshot snapshot;
   snapshot.time = t;
-  internet.ForEachAlive(t, [&](const Server& server) {
-    CertObservation obs;
-    obs.ip = server.ip;
-    obs.chain = server.chain;
-    snapshot.observations.push_back(std::move(obs));
+  StreamCertScan(internet, t, [&](const CertObservation& obs) {
+    snapshot.observations.push_back(obs);
   });
   return snapshot;
 }

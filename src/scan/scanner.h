@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "scan/internet.h"
@@ -30,7 +31,15 @@ struct CertScanSnapshot {
   std::vector<CertObservation> observations;
 };
 
-// Scans every alive server, harvesting advertised chains.
+// Streaming scan: invokes `fn` with each alive server's observation as it is
+// harvested, never materializing the whole snapshot. This is the ingest path
+// for Pipeline::BeginScan/Observe — a 13M-server snapshot stays O(1)
+// resident instead of O(servers).
+void StreamCertScan(const Internet& internet, util::Timestamp t,
+                    const std::function<void(const CertObservation&)>& fn);
+
+// Scans every alive server, harvesting advertised chains into one resident
+// snapshot (tests and archival replay; large populations should stream).
 CertScanSnapshot RunCertScan(const Internet& internet, util::Timestamp t);
 
 struct HandshakeObservation {

@@ -85,8 +85,14 @@ scan::CertScanSnapshot MakeSnapshot(util::Timestamp t,
   return snapshot;
 }
 
+CertCorpus::Row RowOf(const Pipeline& pipeline, const x509::CertPtr& cert) {
+  const CertCorpus::Row row = pipeline.corpus().Find(cert->Fingerprint());
+  EXPECT_NE(row, CertCorpus::kNoRow);
+  return row;
+}
+
 bool InLatestScan(const Pipeline& pipeline, const x509::CertPtr& cert) {
-  return pipeline.records().at(cert->Fingerprint()).in_latest_scan;
+  return pipeline.corpus().in_latest_scan(RowOf(pipeline, cert));
 }
 
 TEST(Pipeline, SameTimestampSnapshotsMergeIntoLatestView) {
@@ -129,13 +135,14 @@ TEST(Pipeline, OutOfOrderSnapshotIsFlaggedAndDoesNotTouchLatestView) {
   EXPECT_TRUE(InLatestScan(pipeline, a));
   EXPECT_FALSE(InLatestScan(pipeline, b));
 
-  const CertRecord& ra = pipeline.records().at(a->Fingerprint());
-  EXPECT_EQ(ra.first_seen, t1);  // the older scan still widens the lifetime
-  EXPECT_EQ(ra.last_seen, t2);
-  EXPECT_EQ(ra.observations, 2u);
-  const CertRecord& rb = pipeline.records().at(b->Fingerprint());
-  EXPECT_EQ(rb.first_seen, t1);
-  EXPECT_EQ(rb.last_seen, t1);
+  const CertCorpus& corpus = pipeline.corpus();
+  const CertCorpus::Row ra = RowOf(pipeline, a);
+  EXPECT_EQ(corpus.first_seen(ra), t1);  // the older scan still widens the lifetime
+  EXPECT_EQ(corpus.last_seen(ra), t2);
+  EXPECT_EQ(corpus.observations(ra), 2u);
+  const CertCorpus::Row rb = RowOf(pipeline, b);
+  EXPECT_EQ(corpus.first_seen(rb), t1);
+  EXPECT_EQ(corpus.last_seen(rb), t1);
 }
 
 TEST(Pipeline, BuildsLeafAndIntermediateSets) {
@@ -144,28 +151,31 @@ TEST(Pipeline, BuildsLeafAndIntermediateSets) {
   // One intermediate CA entry per issuing CA (big 9 + offweb + tail).
   EXPECT_GE(w.pipeline->IntermediateSet().size(), 40u);
   // Every leaf validated against the roots.
-  for (const CertRecord* record : w.pipeline->LeafSet()) {
-    EXPECT_TRUE(record->valid);
-    EXPECT_FALSE(record->cert->IsCa());
+  const CertCorpus& corpus = w.pipeline->corpus();
+  for (const CertCorpus::Row row : w.pipeline->LeafSet()) {
+    EXPECT_TRUE(corpus.valid(row));
+    EXPECT_FALSE(corpus.is_ca(row));
   }
 }
 
 TEST(Pipeline, LifetimesWithinStudy) {
   World& w = World::Get();
   const EcosystemConfig& c = w.eco->config();
-  for (const CertRecord* record : w.pipeline->LeafSet()) {
-    EXPECT_GE(record->first_seen, c.study_start);
-    EXPECT_LE(record->last_seen, c.study_end);
-    EXPECT_LE(record->first_seen, record->last_seen);
-    EXPECT_GT(record->observations, 0u);
+  const CertCorpus& corpus = w.pipeline->corpus();
+  for (const CertCorpus::Row row : w.pipeline->LeafSet()) {
+    EXPECT_GE(corpus.first_seen(row), c.study_start);
+    EXPECT_LE(corpus.last_seen(row), c.study_end);
+    EXPECT_LE(corpus.first_seen(row), corpus.last_seen(row));
+    EXPECT_GT(corpus.observations(row), 0u);
   }
 }
 
 TEST(Pipeline, SomeCertsStillAdvertisedSomeGone) {
   World& w = World::Get();
   std::size_t advertised = 0;
-  for (const CertRecord* record : w.pipeline->LeafSet())
-    if (record->in_latest_scan) ++advertised;
+  const CertCorpus& corpus = w.pipeline->corpus();
+  for (const CertCorpus::Row row : w.pipeline->LeafSet())
+    if (corpus.in_latest_scan(row)) ++advertised;
   const double fraction =
       static_cast<double>(advertised) /
       static_cast<double>(w.pipeline->LeafSet().size());
@@ -238,13 +248,14 @@ TEST(Crawler, LookupAgreesWithCaGroundTruth) {
 TEST(Crawler, OcspQueryPath) {
   World& w = World::Get();
   // Find a leaf with an OCSP URL and query it end to end.
-  for (const CertRecord* record : w.pipeline->LeafSet()) {
-    if (record->cert->tbs.ocsp_urls.empty()) continue;
+  const CertCorpus& corpus = w.pipeline->corpus();
+  for (const CertCorpus::Row row : w.pipeline->LeafSet()) {
+    if (corpus.ocsp_url_ids(row).empty()) continue;
+    const x509::CertPtr cert = corpus.cert(row);
     // Issuer CA cert: find by name among ecosystem CAs.
     for (const Ecosystem::CaEntry& entry : w.eco->cas()) {
-      if (!(entry.ca->cert()->tbs.subject == record->cert->tbs.issuer))
-        continue;
-      auto status = w.crawler->QueryOcsp(*record->cert, *entry.ca->cert(),
+      if (!(entry.ca->cert()->tbs.subject == cert->tbs.issuer)) continue;
+      auto status = w.crawler->QueryOcsp(*cert, *entry.ca->cert(),
                                          w.eco->config().study_end);
       ASSERT_TRUE(status.has_value());
       EXPECT_NE(*status, ocsp::CertStatus::kUnknown);
@@ -290,18 +301,24 @@ TEST(Parallelism, FinalizeAndCrawlDeterministicAcrossThreadCounts) {
   EXPECT_EQ(serial.pipeline->threads(), 1u);
   EXPECT_EQ(parallel.pipeline->threads(), 8u);
 
-  // Pipeline records: identical fingerprints, verdicts, and lifetimes.
-  ASSERT_EQ(serial.pipeline->records().size(),
-            parallel.pipeline->records().size());
-  auto it1 = serial.pipeline->records().begin();
-  auto it8 = parallel.pipeline->records().begin();
-  for (; it1 != serial.pipeline->records().end(); ++it1, ++it8) {
-    ASSERT_EQ(it1->first, it8->first);
-    EXPECT_EQ(it1->second.valid, it8->second.valid);
-    EXPECT_EQ(it1->second.first_seen, it8->second.first_seen);
-    EXPECT_EQ(it1->second.last_seen, it8->second.last_seen);
-    EXPECT_EQ(it1->second.observations, it8->second.observations);
-    EXPECT_EQ(it1->second.in_latest_scan, it8->second.in_latest_scan);
+  // Corpus rows: identical fingerprints, verdicts, and lifetimes in
+  // fingerprint order (the old map's iteration order).
+  const CertCorpus& corpus1 = serial.pipeline->corpus();
+  const CertCorpus& corpus8 = parallel.pipeline->corpus();
+  ASSERT_EQ(corpus1.size(), corpus8.size());
+  const std::vector<CertCorpus::Row> rows1 = corpus1.RowsByFingerprint();
+  const std::vector<CertCorpus::Row> rows8 = corpus8.RowsByFingerprint();
+  for (std::size_t i = 0; i < rows1.size(); ++i) {
+    const CertCorpus::Row r1 = rows1[i], r8 = rows8[i];
+    ASSERT_EQ(Bytes(corpus1.fingerprint(r1).begin(),
+                    corpus1.fingerprint(r1).end()),
+              Bytes(corpus8.fingerprint(r8).begin(),
+                    corpus8.fingerprint(r8).end()));
+    EXPECT_EQ(corpus1.valid(r1), corpus8.valid(r8));
+    EXPECT_EQ(corpus1.first_seen(r1), corpus8.first_seen(r8));
+    EXPECT_EQ(corpus1.last_seen(r1), corpus8.last_seen(r8));
+    EXPECT_EQ(corpus1.observations(r1), corpus8.observations(r8));
+    EXPECT_EQ(corpus1.in_latest_scan(r1), corpus8.in_latest_scan(r8));
   }
   ASSERT_EQ(serial.pipeline->IntermediateSet().size(),
             parallel.pipeline->IntermediateSet().size());

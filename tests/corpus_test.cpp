@@ -1,0 +1,399 @@
+// Serial-reference equivalence suite for the columnar CertCorpus pipeline
+// (ROADMAP item 2): an embedded copy of the pre-columnar map-based pipeline
+// runs side by side with core::Pipeline on the same seeded ecosystems, and
+// every analysis-visible output — Leaf Set, Intermediate Set, per-record
+// lifetime/verdict fields — must match byte for byte, at 1 thread and at 8.
+// Also locks down the PR 1 ingest-ordering regressions, corpus view/row-id
+// stability, and the Observe/ObserveDer round trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/ecosystem.h"
+#include "core/pipeline.h"
+#include "crypto/signer.h"
+#include "scan/scanner.h"
+#include "x509/verify.h"
+
+namespace rev::core {
+namespace {
+
+constexpr std::int64_t kDay = util::kSecondsPerDay;
+
+// ---------------------------------------------------------------------------
+// The reference: a verbatim copy of the pipeline as it was before the
+// columnar store, down to the map iteration order and the full
+// x509::VerifyChain DFS per leaf. Kept deliberately naive — it is the
+// oracle, not the implementation.
+struct ReferenceRecord {
+  x509::CertPtr cert;
+  util::Timestamp first_seen = 0;
+  util::Timestamp last_seen = 0;
+  std::uint64_t observations = 0;
+  bool valid = false;
+  bool in_latest_scan = false;
+};
+
+class ReferencePipeline {
+ public:
+  explicit ReferencePipeline(x509::CertPool roots)
+      : roots_(std::move(roots)) {}
+
+  void IngestScan(const scan::CertScanSnapshot& snapshot) {
+    const bool strictly_newer = snapshot.time > latest_scan_time_;
+    const bool in_latest = snapshot.time >= latest_scan_time_;
+    if (strictly_newer) {
+      latest_scan_time_ = snapshot.time;
+      for (auto& [fp, record] : records_) record.in_latest_scan = false;
+    } else if (!in_latest) {
+      ++out_of_order_scans_;
+    }
+    for (const scan::CertObservation& obs : snapshot.observations) {
+      for (std::size_t i = 0; i < obs.chain.size(); ++i) {
+        const x509::CertPtr& cert = obs.chain[i];
+        if (!cert) continue;
+        auto [it, inserted] = records_.try_emplace(cert->Fingerprint());
+        ReferenceRecord& record = it->second;
+        if (inserted) {
+          record.cert = cert;
+          record.first_seen = snapshot.time;
+          record.last_seen = snapshot.time;
+        } else {
+          record.first_seen = std::min(record.first_seen, snapshot.time);
+          record.last_seen = std::max(record.last_seen, snapshot.time);
+        }
+        if (i == 0) {
+          ++record.observations;
+          if (in_latest) record.in_latest_scan = true;
+        }
+      }
+    }
+  }
+
+  void Finalize() {
+    x509::CertPool intermediates;
+    std::set<Bytes> intermediate_fps;
+    std::vector<x509::CertPtr> candidates;
+    for (const auto& [fp, record] : records_) {
+      if (record.cert->IsCa()) candidates.push_back(record.cert);
+    }
+    intermediate_set_ = x509::BuildIntermediateSet(candidates, roots_);
+    for (const x509::CertPtr& cert : intermediate_set_) {
+      intermediates.Add(cert);
+      intermediate_fps.insert(cert->Fingerprint());
+    }
+
+    x509::VerifyOptions options;
+    options.ignore_dates = true;
+    for (auto& [fp, record] : records_) {
+      if (record.cert->IsCa()) {
+        record.valid = roots_.Contains(*record.cert) ||
+                       intermediate_fps.contains(record.cert->Fingerprint());
+      } else {
+        record.valid =
+            x509::VerifyChain(record.cert, intermediates, roots_, options)
+                .ok();
+      }
+    }
+  }
+
+  std::vector<const ReferenceRecord*> LeafSet() const {
+    std::vector<const ReferenceRecord*> out;
+    for (const auto& [fp, record] : records_) {
+      if (record.valid && !record.cert->IsCa()) out.push_back(&record);
+    }
+    return out;
+  }
+
+  const std::map<Bytes, ReferenceRecord>& records() const { return records_; }
+  const std::vector<x509::CertPtr>& IntermediateSet() const {
+    return intermediate_set_;
+  }
+  util::Timestamp latest_scan_time() const { return latest_scan_time_; }
+  std::uint64_t out_of_order_scans() const { return out_of_order_scans_; }
+
+ private:
+  x509::CertPool roots_;
+  std::map<Bytes, ReferenceRecord> records_;
+  std::vector<x509::CertPtr> intermediate_set_;
+  util::Timestamp latest_scan_time_ = 0;
+  std::uint64_t out_of_order_scans_ = 0;
+};
+
+// Asserts that every analysis-visible output of `pipeline` is byte-identical
+// to the reference run on the same scans.
+void ExpectEquivalent(const ReferencePipeline& reference,
+                      const Pipeline& pipeline) {
+  const CertCorpus& corpus = pipeline.corpus();
+  ASSERT_EQ(reference.records().size(), corpus.size());
+  EXPECT_EQ(reference.latest_scan_time(), pipeline.latest_scan_time());
+  EXPECT_EQ(reference.out_of_order_scans(), pipeline.out_of_order_scans());
+
+  // Record fields, walked in the map's fingerprint order vs
+  // RowsByFingerprint — the orders must coincide exactly.
+  const std::vector<CertCorpus::Row> rows = corpus.RowsByFingerprint();
+  std::size_t i = 0;
+  for (const auto& [fp, record] : reference.records()) {
+    const CertCorpus::Row row = rows[i++];
+    const BytesView row_fp = corpus.fingerprint(row);
+    ASSERT_EQ(fp, Bytes(row_fp.begin(), row_fp.end()));
+    EXPECT_EQ(record.valid, corpus.valid(row)) << i;
+    EXPECT_EQ(record.first_seen, corpus.first_seen(row));
+    EXPECT_EQ(record.last_seen, corpus.last_seen(row));
+    EXPECT_EQ(record.observations, corpus.observations(row));
+    EXPECT_EQ(record.in_latest_scan, corpus.in_latest_scan(row));
+    EXPECT_EQ(record.cert->IsCa(), corpus.is_ca(row));
+    EXPECT_EQ(record.cert->IsEv(), corpus.is_ev(row));
+    // Byte columns vs the certificate object they encode.
+    const BytesView der = corpus.der(row);
+    EXPECT_EQ(record.cert->der, Bytes(der.begin(), der.end()));
+    const BytesView tbs = corpus.tbs_der(row);
+    EXPECT_EQ(record.cert->tbs_der, Bytes(tbs.begin(), tbs.end()));
+    const BytesView sig = corpus.signature(row);
+    EXPECT_EQ(record.cert->signature, Bytes(sig.begin(), sig.end()));
+    const BytesView issuer = corpus.name_der(corpus.issuer_id(row));
+    EXPECT_EQ(record.cert->tbs.issuer.Encode(),
+              Bytes(issuer.begin(), issuer.end()));
+    const BytesView subject = corpus.name_der(corpus.subject_id(row));
+    EXPECT_EQ(record.cert->tbs.subject.Encode(),
+              Bytes(subject.begin(), subject.end()));
+    EXPECT_EQ(record.cert->tbs.not_before, corpus.not_before(row));
+    EXPECT_EQ(record.cert->tbs.not_after, corpus.not_after(row));
+    // Interned URL lists, in declaration order.
+    const auto crl_ids = corpus.crl_url_ids(row);
+    ASSERT_EQ(record.cert->tbs.crl_urls.size(), crl_ids.size());
+    for (std::size_t u = 0; u < crl_ids.size(); ++u)
+      EXPECT_EQ(record.cert->tbs.crl_urls[u], corpus.url(crl_ids[u]));
+    const auto ocsp_ids = corpus.ocsp_url_ids(row);
+    ASSERT_EQ(record.cert->tbs.ocsp_urls.size(), ocsp_ids.size());
+    for (std::size_t u = 0; u < ocsp_ids.size(); ++u)
+      EXPECT_EQ(record.cert->tbs.ocsp_urls[u], corpus.url(ocsp_ids[u]));
+  }
+
+  // Leaf Set: same size, same fingerprints, same order.
+  const auto ref_leaves = reference.LeafSet();
+  const auto leaves = pipeline.LeafSet();
+  ASSERT_EQ(ref_leaves.size(), leaves.size());
+  for (std::size_t l = 0; l < leaves.size(); ++l) {
+    const BytesView fp = corpus.fingerprint(leaves[l]);
+    EXPECT_EQ(ref_leaves[l]->cert->Fingerprint(), Bytes(fp.begin(), fp.end()));
+  }
+
+  // Intermediate Set: same certificates in the same order.
+  ASSERT_EQ(reference.IntermediateSet().size(),
+            pipeline.IntermediateSet().size());
+  for (std::size_t s = 0; s < pipeline.IntermediateSet().size(); ++s)
+    EXPECT_EQ(reference.IntermediateSet()[s]->Fingerprint(),
+              pipeline.IntermediateSet()[s]->Fingerprint());
+}
+
+// Runs a seeded ecosystem through both pipelines and asserts equivalence.
+void RunEcosystemEquivalence(std::uint64_t seed, unsigned threads) {
+  EcosystemConfig config;
+  config.scale = 0.001;
+  config.seed = seed;
+  std::unique_ptr<Ecosystem> eco = Ecosystem::Build(config);
+  const EcosystemConfig& c = eco->config();
+
+  ReferencePipeline reference(eco->roots());
+  Pipeline pipeline(eco->roots(), threads);
+  for (util::Timestamp t = c.study_start; t <= c.study_end; t += 14 * kDay) {
+    const scan::CertScanSnapshot snapshot =
+        scan::RunCertScan(eco->internet(), t);
+    reference.IngestScan(snapshot);
+    pipeline.IngestScan(snapshot);
+  }
+  reference.Finalize();
+  pipeline.Finalize();
+  ExpectEquivalent(reference, pipeline);
+  EXPECT_TRUE(pipeline.corpus().CheckInvariants());
+}
+
+TEST(CorpusEquivalence, SeededEcosystemSerial) {
+  RunEcosystemEquivalence(/*seed=*/11, /*threads=*/1);
+}
+
+TEST(CorpusEquivalence, SeededEcosystemEightThreads) {
+  RunEcosystemEquivalence(/*seed=*/11, /*threads=*/8);
+}
+
+TEST(CorpusEquivalence, SecondSeed) {
+  RunEcosystemEquivalence(/*seed=*/29, /*threads=*/8);
+}
+
+// ------------------------------------------------------- ingest ordering ----
+
+x509::CertPtr MakeTestLeaf(const std::string& cn) {
+  x509::TbsCertificate tbs;
+  tbs.serial = x509::Serial(8, 0x21);
+  tbs.issuer = x509::Name::Make("Ingest Test CA", "Ingest");
+  tbs.subject = x509::Name::FromCommonName(cn);
+  tbs.not_before = util::MakeDate(2013, 1, 1);
+  tbs.not_after = util::MakeDate(2016, 1, 1);
+  tbs.public_key = crypto::SimKeyFromLabel("ingest-" + cn).Public();
+  tbs.dns_names = {cn};
+  return std::make_shared<const x509::Certificate>(
+      x509::SignCertificate(tbs, crypto::SimKeyFromLabel("ingest-ca")));
+}
+
+scan::CertScanSnapshot MakeSnapshot(util::Timestamp t,
+                                    const std::vector<x509::CertPtr>& leaves) {
+  scan::CertScanSnapshot snapshot;
+  snapshot.time = t;
+  for (const x509::CertPtr& leaf : leaves) {
+    scan::CertObservation obs;
+    obs.chain = {leaf};
+    snapshot.observations.push_back(obs);
+  }
+  return snapshot;
+}
+
+// PR 1 regressions, replayed against the reference: same-timestamp
+// snapshots merge, out-of-order snapshots fold lifetimes without touching
+// the latest-scan view — in both pipelines, identically.
+TEST(CorpusEquivalence, OutOfOrderAndSameTimestampIngest) {
+  const util::Timestamp t1 = util::MakeDate(2014, 6, 1);
+  const util::Timestamp t2 = util::MakeDate(2014, 6, 8);
+  const x509::CertPtr a = MakeTestLeaf("a.eq.sim");
+  const x509::CertPtr b = MakeTestLeaf("b.eq.sim");
+  const x509::CertPtr c = MakeTestLeaf("c.eq.sim");
+
+  const std::vector<scan::CertScanSnapshot> scans = {
+      MakeSnapshot(t2, {a, b}),
+      MakeSnapshot(t2, {c}),       // same timestamp: merges into the view
+      MakeSnapshot(t1, {a, c}),    // older: folds lifetimes only
+      MakeSnapshot(t2 + kDay, {b}),
+  };
+
+  ReferencePipeline reference{x509::CertPool{}};
+  Pipeline pipeline{x509::CertPool{}};
+  for (const scan::CertScanSnapshot& snapshot : scans) {
+    reference.IngestScan(snapshot);
+    pipeline.IngestScan(snapshot);
+  }
+  reference.Finalize();
+  pipeline.Finalize();
+  ExpectEquivalent(reference, pipeline);
+  EXPECT_EQ(pipeline.out_of_order_scans(), 1u);
+  EXPECT_TRUE(pipeline.corpus().CheckInvariants());
+}
+
+// --------------------------------------------------------- row stability ----
+
+// Row ids and borrowed views must survive arbitrary further ingest — the
+// replacement for the old LeafSet()'s record pointers, which dangled if the
+// map rehashed its nodes away (and invited iterator-invalidation bugs).
+TEST(Corpus, RowIdsAndViewsStableAcrossIngest) {
+  Pipeline pipeline{x509::CertPool{}};
+  const util::Timestamp t = util::MakeDate(2014, 1, 1);
+  const x509::CertPtr first = MakeTestLeaf("stable.sim");
+  pipeline.BeginScan(t);
+  const CertCorpus::Row row = pipeline.Observe({&first, 1});
+  pipeline.EndScan();
+  ASSERT_NE(row, CertCorpus::kNoRow);
+
+  const CertCorpus& corpus = pipeline.corpus();
+  const BytesView der_before = corpus.der(row);
+  const std::uint8_t* data_before = der_before.data();
+  const Bytes fp_before(corpus.fingerprint(row).begin(),
+                        corpus.fingerprint(row).end());
+
+  // Intern enough certificates to force arena chunk growth and several
+  // index rehashes.
+  for (int i = 0; i < 3000; ++i) {
+    const x509::CertPtr leaf = MakeTestLeaf("churn-" + std::to_string(i));
+    pipeline.BeginScan(t + i);
+    pipeline.Observe({&leaf, 1});
+    pipeline.EndScan();
+  }
+
+  // Same row id, same bytes, same arena address (views never move).
+  EXPECT_EQ(corpus.der(row).data(), data_before);
+  EXPECT_EQ(fp_before, Bytes(corpus.fingerprint(row).begin(),
+                             corpus.fingerprint(row).end()));
+  EXPECT_EQ(corpus.Find(fp_before), row);
+  EXPECT_EQ(first->der, Bytes(corpus.der(row).begin(), corpus.der(row).end()));
+  EXPECT_TRUE(corpus.CheckInvariants());
+}
+
+// ------------------------------------------------- DER/parsed round trip ----
+
+// ObserveDer (the streaming raw-DER path) must produce exactly the columns
+// Observe produces from the parsed certificate.
+TEST(Corpus, ObserveDerMatchesObserve) {
+  const util::Timestamp t = util::MakeDate(2014, 3, 1);
+  std::vector<x509::CertPtr> leaves;
+  for (int i = 0; i < 50; ++i)
+    leaves.push_back(MakeTestLeaf("roundtrip-" + std::to_string(i)));
+
+  Pipeline from_certs{x509::CertPool{}};
+  Pipeline from_der{x509::CertPool{}};
+  from_certs.BeginScan(t);
+  from_der.BeginScan(t);
+  for (const x509::CertPtr& leaf : leaves) {
+    const CertCorpus::Row row = from_certs.Observe({&leaf, 1});
+    const BytesView der(leaf->der);
+    const auto der_row = from_der.ObserveDer({&der, 1});
+    ASSERT_TRUE(der_row.has_value());
+    ASSERT_EQ(row, *der_row);
+  }
+  from_certs.EndScan();
+  from_der.EndScan();
+  from_certs.Finalize();
+  from_der.Finalize();
+
+  const CertCorpus& a = from_certs.corpus();
+  const CertCorpus& b = from_der.corpus();
+  ASSERT_EQ(a.size(), b.size());
+  for (CertCorpus::Row r = 0; r < a.size(); ++r) {
+    EXPECT_EQ(Bytes(a.fingerprint(r).begin(), a.fingerprint(r).end()),
+              Bytes(b.fingerprint(r).begin(), b.fingerprint(r).end()));
+    EXPECT_EQ(Bytes(a.der(r).begin(), a.der(r).end()),
+              Bytes(b.der(r).begin(), b.der(r).end()));
+    EXPECT_EQ(Bytes(a.tbs_der(r).begin(), a.tbs_der(r).end()),
+              Bytes(b.tbs_der(r).begin(), b.tbs_der(r).end()));
+    EXPECT_EQ(Bytes(a.signature(r).begin(), a.signature(r).end()),
+              Bytes(b.signature(r).begin(), b.signature(r).end()));
+    EXPECT_EQ(Bytes(a.serial(r).begin(), a.serial(r).end()),
+              Bytes(b.serial(r).begin(), b.serial(r).end()));
+    EXPECT_EQ(a.sig_type(r), b.sig_type(r));
+    EXPECT_EQ(a.is_ca(r), b.is_ca(r));
+    EXPECT_EQ(a.is_ev(r), b.is_ev(r));
+    EXPECT_EQ(a.not_before(r), b.not_before(r));
+    EXPECT_EQ(a.not_after(r), b.not_after(r));
+    EXPECT_EQ(a.valid(r), b.valid(r));
+    EXPECT_EQ(Bytes(a.name_der(a.issuer_id(r)).begin(),
+                    a.name_der(a.issuer_id(r)).end()),
+              Bytes(b.name_der(b.issuer_id(r)).begin(),
+                    b.name_der(b.issuer_id(r)).end()));
+    ASSERT_EQ(a.crl_url_ids(r).size(), b.crl_url_ids(r).size());
+    for (std::size_t u = 0; u < a.crl_url_ids(r).size(); ++u)
+      EXPECT_EQ(a.url(a.crl_url_ids(r)[u]), b.url(b.crl_url_ids(r)[u]));
+    ASSERT_EQ(a.ocsp_url_ids(r).size(), b.ocsp_url_ids(r).size());
+    for (std::size_t u = 0; u < a.ocsp_url_ids(r).size(); ++u)
+      EXPECT_EQ(a.url(a.ocsp_url_ids(r)[u]), b.url(b.ocsp_url_ids(r)[u]));
+  }
+  EXPECT_TRUE(b.CheckInvariants());
+}
+
+// Lazy materialization re-parses the arena DER into the same certificate.
+TEST(Corpus, LazyCertMatchesSource) {
+  Pipeline pipeline{x509::CertPool{}};
+  const x509::CertPtr leaf = MakeTestLeaf("lazy.sim");
+  pipeline.BeginScan(util::MakeDate(2014, 1, 1));
+  const CertCorpus::Row row = pipeline.Observe({&leaf, 1});
+  pipeline.EndScan();
+
+  const x509::CertPtr parsed = pipeline.corpus().cert(row);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->der, leaf->der);
+  EXPECT_EQ(parsed->tbs_der, leaf->tbs_der);
+  EXPECT_EQ(parsed->Fingerprint(), leaf->Fingerprint());
+  EXPECT_TRUE(parsed->tbs.subject == leaf->tbs.subject);
+  // Cached: the same shared object comes back.
+  EXPECT_EQ(parsed.get(), pipeline.corpus().cert(row).get());
+}
+
+}  // namespace
+}  // namespace rev::core

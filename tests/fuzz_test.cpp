@@ -8,6 +8,7 @@
 
 #include "cascade/cascade.h"
 #include "cascade/delta.h"
+#include "core/pipeline.h"
 #include "crl/crl.h"
 #include "crlset/crlset.h"
 #include "ocsp/ocsp.h"
@@ -261,6 +262,51 @@ TEST_P(FuzzSeeds, PureGarbageRejected) {
     EXPECT_FALSE(cascade::CascadeDelta::Deserialize(garbage));
     EXPECT_FALSE(cascade::UpdateResponse::Deserialize(garbage));
   }
+}
+
+// Mutated/truncated DER through the streaming corpus ingest: a rejected
+// observation must leave the columnar store bit-identical — no partial
+// interning, no arena corruption. CheckInvariants() re-derives every
+// fingerprint from the arena and re-probes the index, so it would catch a
+// torn row immediately.
+TEST_P(FuzzSeeds, StreamingIngestRejectsWithoutCorpusCorruption) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 48611 + 3);
+  const Bytes valid = ValidCertDer();
+
+  core::Pipeline pipeline{x509::CertPool{}};
+  pipeline.BeginScan(kNow);
+  // Seed with one good row so rejection has a store to corrupt.
+  const BytesView valid_view(valid);
+  ASSERT_TRUE(pipeline.ObserveDer({&valid_view, 1}).has_value());
+
+  const core::CertCorpus& corpus = pipeline.corpus();
+  std::size_t accepted = 1;
+  for (int i = 0; i < 300; ++i) {
+    Bytes mutated = Mutate(valid, rng);
+    if (rng.NextBelow(4) == 0)  // also exercise hard truncation
+      mutated.resize(rng.NextBelow(mutated.size() + 1));
+    const std::size_t size_before = corpus.size();
+    const BytesView view(mutated);
+    const auto row = pipeline.ObserveDer({&view, 1});
+    if (row.has_value()) {
+      ++accepted;  // structurally valid mutant (e.g. unsigned-field tweak)
+    } else {
+      ASSERT_EQ(corpus.size(), size_before);
+    }
+    ASSERT_TRUE(corpus.CheckInvariants()) << "after mutant " << i;
+  }
+  EXPECT_GE(corpus.size(), 1u);
+  EXPECT_LE(corpus.size(), accepted);
+
+  // Multi-element chains are all-or-nothing: one bad element rejects the
+  // whole observation even when the others are pristine.
+  Bytes truncated(valid.begin(), valid.begin() + valid.size() / 2);
+  const std::size_t size_before = corpus.size();
+  const BytesView chain[2] = {BytesView(valid), BytesView(truncated)};
+  EXPECT_FALSE(pipeline.ObserveDer(chain).has_value());
+  EXPECT_EQ(corpus.size(), size_before);
+  EXPECT_TRUE(corpus.CheckInvariants());
+  pipeline.EndScan();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 8));

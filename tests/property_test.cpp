@@ -7,9 +7,11 @@
 #include <algorithm>
 
 #include "browser/client.h"
+#include "core/fingerprint_index.h"
 #include "net/retry.h"
 #include "browser/profiles.h"
 #include "ca/ca.h"
+#include "util/interner.h"
 #include "crl/crl.h"
 #include "crlset/bloom.h"
 #include "crlset/gcs.h"
@@ -550,6 +552,105 @@ TEST_P(RetryProperty, RetryAfterIsLowerBoundOnNextAttempt) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RetryProperty, ::testing::Range(0, 10));
+
+// --------------------------------------------- corpus building blocks ----
+
+// String interner: intern -> resolve round-trips, dedup returns the same
+// id, and ids handed out early stay valid as the table grows through many
+// rehashes.
+class InternerProperty : public Seeded {};
+
+TEST_P(InternerProperty, RoundTripAndIdStabilityUnderGrowth) {
+  util::StringInterner interner;
+  std::vector<std::string> strings;
+  std::vector<std::uint32_t> ids;
+  // Mixed lengths, including duplicates and the empty string.
+  for (int i = 0; i < 4000; ++i) {
+    std::string s;
+    if (rng_.NextBelow(10) == 0 && !strings.empty()) {
+      s = strings[rng_.NextBelow(strings.size())];  // duplicate
+    } else if (rng_.NextBelow(50) == 0) {
+      s = "";  // empty must intern like anything else
+    } else {
+      s = RandomLabel(rng_, 1 + rng_.NextBelow(80));
+    }
+    const std::uint32_t id = interner.Intern(s);
+    ASSERT_NE(id, util::StringInterner::kInvalidId);
+    // Resolve immediately...
+    ASSERT_EQ(interner.Get(id), s);
+    strings.push_back(std::move(s));
+    ids.push_back(id);
+  }
+  // ...and again after all growth: every id must still resolve to the
+  // string it was handed out for, and re-interning must return it.
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    EXPECT_EQ(interner.Get(ids[i]), strings[i]);
+    EXPECT_EQ(interner.Intern(strings[i]), ids[i]);
+    EXPECT_EQ(interner.Find(strings[i]), ids[i]);
+  }
+  // Ids are dense: one per distinct string.
+  std::set<std::string> distinct(strings.begin(), strings.end());
+  EXPECT_EQ(interner.size(), distinct.size());
+  // Find misses cleanly for strings never interned.
+  EXPECT_EQ(interner.Find("never-interned-\x01\x02"),
+            util::StringInterner::kInvalidId);
+}
+
+// Fingerprint index vs a std::map oracle: random insert/lookup workloads
+// agree exactly, including lookups of absent fingerprints after rehashes
+// (no false hits from stale tags).
+class FingerprintIndexProperty : public Seeded {};
+
+TEST_P(FingerprintIndexProperty, MatchesMapOracleAcrossRehashes) {
+  core::FingerprintIndex index;
+  std::vector<Bytes> stored;  // fingerprint per row, row id == vector index
+  std::map<Bytes, std::uint32_t> oracle;
+
+  auto find = [&](const Bytes& fp) {
+    return index.Find(core::FingerprintIndex::HashOf(fp),
+                      [&](std::uint32_t row) {
+                        return stored[row].size() == fp.size() &&
+                               std::equal(fp.begin(), fp.end(),
+                                          stored[row].begin());
+                      });
+  };
+  auto random_fp = [&] {
+    Bytes fp(32);
+    rng_.Fill(fp.data(), fp.size());
+    return fp;
+  };
+
+  for (int i = 0; i < 5000; ++i) {
+    Bytes fp = random_fp();
+    // Sometimes re-query an existing fingerprint instead of a fresh one.
+    if (!stored.empty() && rng_.NextBelow(4) == 0)
+      fp = stored[rng_.NextBelow(stored.size())];
+
+    const std::uint32_t got = find(fp);
+    const auto it = oracle.find(fp);
+    if (it == oracle.end()) {
+      ASSERT_EQ(got, core::FingerprintIndex::kNoRow) << "false hit at " << i;
+      const auto row = static_cast<std::uint32_t>(stored.size());
+      index.Insert(core::FingerprintIndex::HashOf(fp), row);
+      stored.push_back(fp);
+      oracle.emplace(std::move(fp), row);
+    } else {
+      ASSERT_EQ(got, it->second) << "miss/mismatch at " << i;
+    }
+  }
+  // Post-growth sweep: every stored fingerprint resolves to its row, and
+  // fresh fingerprints still miss (the table has rehashed many times by
+  // now — 5k inserts from a 64-slot start).
+  for (const auto& [fp, row] : oracle) EXPECT_EQ(find(fp), row);
+  for (int i = 0; i < 500; ++i) {
+    const Bytes fp = random_fp();
+    if (!oracle.contains(fp)) EXPECT_EQ(find(fp), core::FingerprintIndex::kNoRow);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InternerProperty, ::testing::Range(0, 6));
+INSTANTIATE_TEST_SUITE_P(Seeds, FingerprintIndexProperty,
+                         ::testing::Range(0, 6));
 
 }  // namespace
 }  // namespace rev
